@@ -1,0 +1,45 @@
+//! DSS-LC decision-time bench (§7.2 text: "1.99 ms for a node size of 500
+//! and 3.98 ms for a node size of 1000").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tango_sched::{CandidateNode, DssLc, TypeBatch};
+use tango_types::{ClusterId, NodeId, RequestId, Resources, ServiceId, SimTime};
+
+fn make_batch(n_nodes: usize, n_requests: u64) -> TypeBatch {
+    let nodes: Vec<CandidateNode> = (0..n_nodes)
+        .map(|i| CandidateNode {
+            node: NodeId(i as u32),
+            cluster: ClusterId((i / 10) as u32),
+            total: Resources::cpu_mem(8_000, 16_384),
+            available_lc: Resources::cpu_mem(2_000 + (i as u64 % 7) * 500, 4_096),
+            available_be: Resources::cpu_mem(2_000, 4_096),
+            min_request: Resources::cpu_mem(500, 256),
+            delay: SimTime::from_micros(300 + (i as u64 % 50) * 997),
+            link_capacity: 64,
+            slack: 1.0,
+        })
+        .collect();
+    TypeBatch {
+        service: ServiceId(0),
+        requests: (0..n_requests).map(RequestId).collect(),
+        nodes,
+    }
+}
+
+fn bench_dss(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dss_lc_decision");
+    for &n in &[100usize, 500, 1000] {
+        // paper-like regime: pending ≈ 2× instantaneous capacity, so both
+        // the immediate and the λ-augmented overflow graphs are solved
+        let batch = make_batch(n, n as u64 * 2);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &batch, |b, batch| {
+            let mut sched = DssLc::new(7);
+            b.iter(|| black_box(sched.plan(black_box(batch))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dss);
+criterion_main!(benches);

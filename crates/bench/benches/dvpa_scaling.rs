@@ -1,0 +1,71 @@
+//! D-VPA scaling-operation microbenchmark (§7.1 text).
+//!
+//! The paper measures 23 ms per D-VPA scaling operation versus ~100× that
+//! for the native VPA's delete-and-rebuild. The *modeled* latencies carry
+//! those numbers; this bench measures the control-flow cost of the two
+//! paths in the in-memory substrate (ordered cgroup writes vs kill +
+//! recreate), which is what an adopter pays per call.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tango_hrm::Dvpa;
+use tango_kube::{NativeVpa, Node};
+use tango_types::{
+    ClusterId, NodeId, Resources, ServiceClass, ServiceId, ServiceSpec, SimTime,
+};
+
+fn spec() -> ServiceSpec {
+    ServiceSpec {
+        id: ServiceId(0),
+        name: "svc".into(),
+        class: ServiceClass::Lc,
+        min_request: Resources::cpu_mem(500, 256),
+        work_milli_ms: 50_000,
+        qos_target: SimTime::from_millis(300),
+        payload_kib: 64,
+    }
+}
+
+fn fresh_node() -> Node {
+    let mut n = Node::new(
+        NodeId(1),
+        ClusterId(0),
+        false,
+        Resources::new(8_000, 16_384, 1_000, 100_000),
+    );
+    n.deploy_service(&spec(), Resources::new(1_000, 1_024, 100, 1_000), SimTime::ZERO)
+        .unwrap();
+    n
+}
+
+fn bench_dvpa(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vpa_scaling");
+    let small = Resources::new(1_000, 1_024, 100, 1_000);
+    let big = Resources::new(2_000, 2_048, 200, 2_000);
+
+    group.bench_function("dvpa_expand_shrink_pair", |b| {
+        let mut node = fresh_node();
+        let mut dvpa = Dvpa::default();
+        b.iter(|| {
+            dvpa.scale(&mut node, ServiceId(0), black_box(big), SimTime::ZERO)
+                .unwrap();
+            dvpa.scale(&mut node, ServiceId(0), black_box(small), SimTime::ZERO)
+                .unwrap();
+        })
+    });
+
+    group.bench_function("native_vpa_rebuild_pair", |b| {
+        let mut node = fresh_node();
+        let vpa = NativeVpa::default();
+        b.iter(|| {
+            vpa.scale(&mut node, ServiceId(0), black_box(big), SimTime::ZERO)
+                .unwrap();
+            vpa.scale(&mut node, ServiceId(0), black_box(small), SimTime::ZERO)
+                .unwrap();
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dvpa);
+criterion_main!(benches);

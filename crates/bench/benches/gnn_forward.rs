@@ -1,0 +1,61 @@
+//! GNN encoder forward/backward cost — DCG-BE makes one encode per BE
+//! scheduling decision, so this bounds the central dispatcher's decision
+//! rate (Fig. 11(d)'s structures compared head-to-head).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tango_gnn::{Encoder, EncoderKind, FeatureGraph, GnnEncoder};
+use tango_nn::Matrix;
+
+fn make_graph(n: usize, f: usize) -> FeatureGraph {
+    let data: Vec<f32> = (0..n * f).map(|i| ((i * 37) % 101) as f32 / 101.0).collect();
+    let mut g = FeatureGraph::new(Matrix::from_vec(n, f, data).unwrap());
+    // star clusters of 10 + chain of heads (the dispatcher's topology)
+    for head in (0..n).step_by(10) {
+        for i in head + 1..(head + 10).min(n) {
+            g.add_edge(head, i);
+        }
+        if head + 10 < n {
+            g.add_edge(head, head + 10);
+        }
+    }
+    g
+}
+
+fn bench_gnn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gnn_encode");
+    for &n in &[100usize, 1000] {
+        let graph = make_graph(n, 8);
+        for (name, kind) in [
+            ("sage", EncoderKind::Sage { p: 3 }),
+            ("gcn", EncoderKind::Gcn),
+            ("gat", EncoderKind::Gat),
+            ("native", EncoderKind::Native),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, n),
+                &graph,
+                |b, graph| {
+                    let mut enc = GnnEncoder::paper_shape(kind, 8, 32, 16, 5);
+                    b.iter(|| black_box(enc.forward(black_box(graph))))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_gnn_train_step(c: &mut Criterion) {
+    let graph = make_graph(200, 8);
+    c.bench_function("gnn_sage_forward_backward_step", |b| {
+        let mut enc = GnnEncoder::paper_shape(EncoderKind::Sage { p: 3 }, 8, 32, 16, 5);
+        b.iter(|| {
+            let h = enc.forward(&graph);
+            enc.backward(&h);
+            enc.step(1e-3);
+        })
+    });
+}
+
+criterion_group!(benches, bench_gnn, bench_gnn_train_step);
+criterion_main!(benches);

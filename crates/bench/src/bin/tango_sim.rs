@@ -1,0 +1,176 @@
+//! `tango-sim` — run one configured simulation from the command line and
+//! print (or export) its report. The adopter-facing driver: everything the
+//! figures harness sweeps is exposed as a flag here.
+//!
+//! ```sh
+//! cargo run --release -p tango-bench --bin tango_sim -- \
+//!     --clusters 8 --duration 30 --lc-policy dss-lc --be-policy dcg-be \
+//!     --pattern p1 --lc-rps 800 --be-rps 40 --csv /tmp/run.csv
+//! ```
+
+use tango::{AllocatorKind, BePolicy, EdgeCloudSystem, LcPolicy, TangoConfig};
+use tango_gnn::EncoderKind;
+use tango_types::SimTime;
+use tango_workload::PatternKind;
+
+struct Args {
+    clusters: Option<usize>,
+    duration_s: u64,
+    lc_policy: LcPolicy,
+    be_policy: BePolicy,
+    allocator: AllocatorKind,
+    pattern: PatternKind,
+    lc_rps: Option<f64>,
+    be_rps: Option<f64>,
+    seed: u64,
+    reassurance: bool,
+    local_only: bool,
+    csv: Option<String>,
+    periods: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tango_sim [--clusters N] [--duration SECONDS] \
+         [--lc-policy dss-lc|load-greedy|k8s-native|scoring|dsaco] \
+         [--be-policy dcg-be|gnn-sac|load-greedy|k8s-native] \
+         [--allocator hrm|static] [--pattern p1|p2|p3] \
+         [--lc-rps F] [--be-rps F] [--seed N] [--no-reassurance] \
+         [--local-only] [--csv PATH] [--periods]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        clusters: None,
+        duration_s: 20,
+        lc_policy: LcPolicy::DssLc,
+        be_policy: BePolicy::DcgBe(EncoderKind::Sage { p: 3 }),
+        allocator: AllocatorKind::Hrm,
+        pattern: PatternKind::P3,
+        lc_rps: None,
+        be_rps: None,
+        seed: 42,
+        reassurance: true,
+        local_only: false,
+        csv: None,
+        periods: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--clusters" => args.clusters = value(&mut i).parse().ok(),
+            "--duration" => args.duration_s = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--lc-policy" => {
+                args.lc_policy = match value(&mut i).as_str() {
+                    "dss-lc" => LcPolicy::DssLc,
+                    "load-greedy" => LcPolicy::LoadGreedy,
+                    "k8s-native" => LcPolicy::KsNative,
+                    "scoring" => LcPolicy::Scoring,
+                    "dsaco" => LcPolicy::Dsaco,
+                    _ => usage(),
+                }
+            }
+            "--be-policy" => {
+                args.be_policy = match value(&mut i).as_str() {
+                    "dcg-be" => BePolicy::DcgBe(EncoderKind::Sage { p: 3 }),
+                    "dcg-be-gcn" => BePolicy::DcgBe(EncoderKind::Gcn),
+                    "dcg-be-gat" => BePolicy::DcgBe(EncoderKind::Gat),
+                    "gnn-sac" => BePolicy::GnnSac,
+                    "load-greedy" => BePolicy::LoadGreedy,
+                    "k8s-native" => BePolicy::KsNative,
+                    _ => usage(),
+                }
+            }
+            "--allocator" => {
+                args.allocator = match value(&mut i).as_str() {
+                    "hrm" => AllocatorKind::Hrm,
+                    "static" => AllocatorKind::Static,
+                    _ => usage(),
+                }
+            }
+            "--pattern" => {
+                args.pattern = match value(&mut i).as_str() {
+                    "p1" => PatternKind::P1,
+                    "p2" => PatternKind::P2,
+                    "p3" => PatternKind::P3,
+                    _ => usage(),
+                }
+            }
+            "--lc-rps" => args.lc_rps = value(&mut i).parse().ok(),
+            "--be-rps" => args.be_rps = value(&mut i).parse().ok(),
+            "--seed" => args.seed = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--no-reassurance" => args.reassurance = false,
+            "--local-only" => args.local_only = true,
+            "--csv" => args.csv = Some(value(&mut i)),
+            "--periods" => args.periods = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+        i += 1;
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let mut cfg = match args.clusters {
+        Some(n) if n != 4 => TangoConfig::dual_space(n),
+        _ => TangoConfig::physical_testbed(),
+    };
+    cfg.lc_policy = args.lc_policy;
+    cfg.be_policy = args.be_policy;
+    cfg.allocator = args.allocator;
+    cfg.workload.pattern = args.pattern;
+    if let Some(r) = args.lc_rps {
+        cfg.workload.lc_rps = r;
+    }
+    if let Some(r) = args.be_rps {
+        cfg.workload.be_rps = r;
+    }
+    cfg.seed = args.seed;
+    if !args.reassurance {
+        cfg.reassurance = None;
+    }
+    cfg.local_only = args.local_only;
+
+    eprintln!(
+        "tango-sim: {} clusters, {}s, lc={} be={} alloc={:?} pattern={:?} seed={}",
+        cfg.clusters,
+        args.duration_s,
+        cfg.lc_policy.name(),
+        cfg.be_policy.name(),
+        cfg.allocator,
+        cfg.workload.pattern,
+        cfg.seed
+    );
+    let report = EdgeCloudSystem::new(cfg).run(SimTime::from_secs(args.duration_s), "tango-sim");
+    println!("{}", report.summary());
+    println!(
+        "dvpa_ops={} be_evictions={} periods={}",
+        report.dvpa_ops,
+        report.be_evictions,
+        report.periods.len()
+    );
+    if args.periods {
+        print!("{}", report.periods_csv());
+    }
+    if let Some(path) = args.csv {
+        report
+            .write_csv(std::path::Path::new(&path))
+            .unwrap_or_else(|e| {
+                eprintln!("csv write failed: {e}");
+                std::process::exit(1);
+            });
+        eprintln!("periods written to {path}");
+    }
+}

@@ -1,0 +1,138 @@
+//! Run reports: the numbers every §7 figure is drawn from.
+
+use tango_metrics::PeriodRecord;
+
+/// Summary of one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Label (policy pairing / system name).
+    pub label: String,
+    /// Per-800ms-period rows.
+    pub periods: Vec<PeriodRecord>,
+    /// QoS-guarantee satisfaction rate φ (Eq. 1), against arrivals.
+    pub qos_satisfaction: f64,
+    /// BE long-term throughput φ′ (completed BE requests).
+    pub be_throughput: u64,
+    /// Total abandoned requests.
+    pub abandoned: u64,
+    /// Mean overall resource utilization across sampled periods.
+    pub mean_utilization: f64,
+    /// p95 latency over all completed LC requests, ms.
+    pub lc_p95_ms: f64,
+    /// Total LC requests that arrived.
+    pub lc_arrived: u64,
+    /// Total LC requests completed.
+    pub lc_completed: u64,
+    /// D-VPA scaling operations performed (0 under the static allocator).
+    pub dvpa_ops: u64,
+    /// BE containers evicted by LC preemption.
+    pub be_evictions: u64,
+}
+
+impl RunReport {
+    /// Per-period series as CSV (header + one row per 800 ms period),
+    /// ready for external plotting.
+    pub fn periods_csv(&self) -> String {
+        let mut out = String::from(
+            "period,lc_arrived,lc_completed,lc_satisfied,be_completed,abandoned,util_overall,util_lc,util_be,lc_p95_ms\n",
+        );
+        for p in &self.periods {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{:.4},{:.4},{:.4},{:.2}\n",
+                p.index,
+                p.lc_arrived,
+                p.lc_completed,
+                p.lc_satisfied,
+                p.be_completed,
+                p.abandoned,
+                p.util_overall,
+                p.util_lc,
+                p.util_be,
+                p.lc_p95_ms
+            ));
+        }
+        out
+    }
+
+    /// Write the per-period CSV to a file.
+    pub fn write_csv(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.periods_csv())
+    }
+
+    /// Render a compact one-line summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: qos={:.3} thpt={} util={:.3} p95={:.1}ms abandoned={} (lc {}/{} done)",
+            self.label,
+            self.qos_satisfaction,
+            self.be_throughput,
+            self.mean_utilization,
+            self.lc_p95_ms,
+            self.abandoned,
+            self.lc_completed,
+            self.lc_arrived,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_contains_key_fields() {
+        let r = RunReport {
+            label: "tango".into(),
+            periods: vec![],
+            qos_satisfaction: 0.95,
+            be_throughput: 1234,
+            abandoned: 5,
+            mean_utilization: 0.61,
+            lc_p95_ms: 212.5,
+            lc_arrived: 1000,
+            lc_completed: 990,
+            dvpa_ops: 10,
+            be_evictions: 2,
+        };
+        let s = r.summary();
+        assert!(s.contains("tango"));
+        assert!(s.contains("0.950"));
+        assert!(s.contains("1234"));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let r = RunReport {
+            label: "x".into(),
+            periods: vec![
+                PeriodRecord {
+                    index: 0,
+                    lc_arrived: 10,
+                    lc_completed: 9,
+                    lc_satisfied: 8,
+                    be_completed: 3,
+                    abandoned: 1,
+                    util_overall: 0.5,
+                    util_lc: 0.2,
+                    util_be: 0.3,
+                    lc_p95_ms: 123.45,
+                },
+                PeriodRecord::default(),
+            ],
+            qos_satisfaction: 0.8,
+            be_throughput: 3,
+            abandoned: 1,
+            mean_utilization: 0.5,
+            lc_p95_ms: 123.45,
+            lc_arrived: 10,
+            lc_completed: 9,
+            dvpa_ops: 0,
+            be_evictions: 0,
+        };
+        let csv = r.periods_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("period,lc_arrived"));
+        assert!(lines[1].starts_with("0,10,9,8,3,1,0.5000"));
+    }
+}

@@ -1,0 +1,97 @@
+//! Parallel experiment execution.
+//!
+//! Tango the system is heavily asynchronous (§6: multiprocessing, thread
+//! pools); the simulation keeps each *run* single-threaded for exact
+//! determinism and instead parallelizes across runs — which is what the
+//! evaluation needs: Fig. 12 alone is a 4×4 grid of policy pairings.
+//! `run_parallel` fans runs out over OS threads with crossbeam's scoped
+//! threads and returns reports in input order.
+
+use crate::config::TangoConfig;
+use crate::report::RunReport;
+use crate::system::EdgeCloudSystem;
+use tango_types::SimTime;
+
+/// One experiment to run.
+#[derive(Clone)]
+pub struct RunSpec {
+    /// Report label.
+    pub label: String,
+    /// System configuration.
+    pub config: TangoConfig,
+    /// Simulated duration.
+    pub duration: SimTime,
+}
+
+/// Run every spec on its own thread (bounded by available parallelism);
+/// results come back in input order.
+pub fn run_parallel(specs: Vec<RunSpec>) -> Vec<RunReport> {
+    let max_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let mut reports: Vec<Option<RunReport>> = (0..specs.len()).map(|_| None).collect();
+    // chunked fan-out so we never oversubscribe wildly
+    for chunk in specs.chunks(max_threads) {
+        let base = chunk.as_ptr() as usize;
+        let offset = (base - specs.as_ptr() as usize) / std::mem::size_of::<RunSpec>();
+        let results: Vec<(usize, RunReport)> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = chunk
+                .iter()
+                .enumerate()
+                .map(|(i, spec)| {
+                    let spec = spec.clone();
+                    scope.spawn(move |_| {
+                        let report =
+                            EdgeCloudSystem::new(spec.config).run(spec.duration, &spec.label);
+                        (offset + i, report)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("run panicked")).collect()
+        })
+        .expect("scope");
+        for (i, r) in results {
+            reports[i] = Some(r);
+        }
+    }
+    reports.into_iter().map(|r| r.expect("filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BePolicy;
+
+    #[test]
+    fn parallel_runs_match_sequential() {
+        let mut cfg = TangoConfig::physical_testbed();
+        cfg.clusters = 2;
+        cfg.topology.clusters = 2;
+        cfg.be_policy = BePolicy::LoadGreedy;
+        cfg.workload.lc_rps = 20.0;
+        cfg.workload.be_rps = 4.0;
+        let dur = SimTime::from_secs(3);
+
+        let specs = vec![
+            RunSpec {
+                label: "a".into(),
+                config: cfg.clone(),
+                duration: dur,
+            },
+            RunSpec {
+                label: "b".into(),
+                config: cfg.clone(),
+                duration: dur,
+            },
+        ];
+        let par = run_parallel(specs);
+        let seq = EdgeCloudSystem::new(cfg).run(dur, "seq");
+        assert_eq!(par.len(), 2);
+        assert_eq!(par[0].label, "a");
+        assert_eq!(par[1].label, "b");
+        // identical configs -> identical deterministic results
+        assert_eq!(par[0].lc_arrived, seq.lc_arrived);
+        assert_eq!(par[0].be_throughput, par[1].be_throughput);
+        assert_eq!(par[0].lc_completed, seq.lc_completed);
+    }
+}

@@ -1,0 +1,1235 @@
+//! The edge-cloud system runtime: Tango's dispatch–allocate–adjust loop
+//! (§3 "Operation") as a discrete-event simulation over the kube/cgroup/
+//! net substrates.
+//!
+//! Event alphabet:
+//! * `Arrival` — a trace request reaches its origin master and is queued
+//!   (LC queue or BE queue);
+//! * `Dispatch(c)` — master c's dispatch round: LC requests are planned
+//!   per type by the cluster's LC scheduler over geo-nearby candidates;
+//!   BE requests are forwarded to the central cluster (or scheduled
+//!   locally in `local_only` / CERES mode);
+//! * `CentralArrive` — a forwarded BE request lands at the central
+//!   cluster's BE traffic dispatcher;
+//! * `BeDispatch` — the central dispatcher schedules queued BE requests
+//!   with the configured [`BeScheduler`], paying it the §5.3.1 reward for
+//!   its previous decision;
+//! * `Deliver` — a dispatched request reaches its target worker and is
+//!   admitted under the configured allocator (HRM regulations or static
+//!   limits); failures requeue, evictions requeue the evicted BE work;
+//! * `NodeCheck` — a projected completion: advance the node, collect
+//!   completions, feed the QoS detector, reclaim resources;
+//! * `Reassure` — Algorithm 1 over the QoS detector;
+//! * `Sync` — push node snapshots to the state storage and sample
+//!   utilization (the Prometheus/QoS-detector push cycle of Fig. 3).
+
+use crate::config::{AllocatorKind, TangoConfig};
+use crate::policy::{make_be_scheduler, make_lc_scheduler};
+use crate::report::RunReport;
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use tango_hrm::{HrmAllocator, Reassurer, StaticAllocator};
+use tango_kube::Node;
+use tango_metrics::{ExperimentCounters, NodeRole, NodeSnapshot, QosDetector, StateStorage};
+use tango_net::NetworkTopology;
+use tango_sched::{BeScheduler, CandidateNode, LcScheduler, TypeBatch};
+use tango_simcore::{Engine, EventHandler, SimRng};
+use tango_types::{
+    ClusterId, NodeId, Request, RequestId, RequestOutcome, Resources, ServiceClass, ServiceId,
+    SimTime,
+};
+use tango_workload::{DiurnalProfile, ServiceCatalog, TraceGenerator, TraceSpec};
+
+/// Simulation events.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// A request arrives at its origin master.
+    Arrival {
+        /// Service type.
+        service: ServiceId,
+        /// Origin cluster.
+        origin: ClusterId,
+        /// Jittered demand from the trace.
+        demand: Resources,
+    },
+    /// Master dispatch round for a cluster.
+    Dispatch(ClusterId),
+    /// Forwarded BE request reaches the central dispatcher.
+    CentralArrive(RequestId),
+    /// Central BE dispatch round.
+    BeDispatch,
+    /// Request payload reaches its target worker.
+    Deliver(RequestId, NodeId),
+    /// Projected completion check (with the generation that scheduled it).
+    NodeCheck(NodeId, u64),
+    /// QoS re-assurance tick (Algorithm 1).
+    Reassure,
+    /// State-storage sync + metrics sampling.
+    Sync,
+}
+
+struct ClusterRt {
+    #[allow(dead_code)]
+    id: ClusterId,
+    #[allow(dead_code)]
+    master: NodeId,
+    workers: Vec<NodeId>,
+    lc_q: VecDeque<RequestId>,
+    be_q: VecDeque<RequestId>,
+}
+
+enum Allocator {
+    Hrm(HrmAllocator),
+    Static(StaticAllocator),
+}
+
+/// The simulated edge-cloud system.
+pub struct EdgeCloudSystem {
+    cfg: TangoConfig,
+    catalog: ServiceCatalog,
+    topology: NetworkTopology,
+    nodes: Vec<Node>,
+    clusters: Vec<ClusterRt>,
+    store: StateStorage,
+    lc_scheds: Vec<Box<dyn LcScheduler + Send>>,
+    be_sched: Box<dyn BeScheduler + Send>,
+    allocator: Allocator,
+    detector: QosDetector,
+    reassurer: Option<Reassurer>,
+    counters: ExperimentCounters,
+    requests: HashMap<RequestId, Request>,
+    next_request_id: u64,
+    central: ClusterId,
+    central_q: VecDeque<RequestId>,
+    /// Demands dispatched but not yet resolved at their target, per node —
+    /// the dispatcher's in-flight reservation table. Without it, the
+    /// per-type graphs (and the 100 ms snapshot staleness) would
+    /// double-book nodes within a dispatch round.
+    reserved: HashMap<NodeId, Resources>,
+    /// Per-node LC wait queues: the R′_k requests that DSS-LC routes to a
+    /// node beyond its instantaneous capacity wait *at the node* (§5.2.2)
+    /// rather than bouncing back to the master.
+    node_wait: Vec<VecDeque<RequestId>>,
+    /// Node chosen by the previous BE decision, awaiting its reward.
+    be_pending_feedback: Option<NodeId>,
+    be_completed_frac: f64,
+    be_evictions: u64,
+    horizon: SimTime,
+}
+
+impl EdgeCloudSystem {
+    /// Build the system: place clusters, create nodes, deploy all ten
+    /// services on every worker, instantiate policies.
+    pub fn new(cfg: TangoConfig) -> Self {
+        Self::with_catalog(cfg, ServiceCatalog::standard())
+    }
+
+    /// Build with a custom service catalog.
+    pub fn with_catalog(cfg: TangoConfig, catalog: ServiceCatalog) -> Self {
+        let mut topo_cfg = cfg.topology.clone();
+        topo_cfg.clusters = cfg.clusters;
+        topo_cfg.seed = cfg.seed ^ 0x7070;
+        let topology = NetworkTopology::generate(&topo_cfg);
+        let mut rng = SimRng::new(cfg.seed);
+
+        let mut nodes: Vec<Node> = Vec::new();
+        let mut clusters: Vec<ClusterRt> = Vec::new();
+        let mut lc_scheds = Vec::new();
+
+        let static_limits = Self::static_limits(&cfg, &catalog);
+        for c in 0..cfg.clusters {
+            let cid = ClusterId(c as u32);
+            let master_id = NodeId(nodes.len() as u32);
+            nodes.push(Node::new(master_id, cid, true, cfg.master_capacity));
+            let n_workers =
+                rng.range_u64(cfg.workers_per_cluster.0 as u64, cfg.workers_per_cluster.1 as u64)
+                    as usize;
+            let mut workers = Vec::with_capacity(n_workers);
+            for _ in 0..n_workers {
+                let wid = NodeId(nodes.len() as u32);
+                // heterogeneity: ±25% capacity jitter
+                let jitter = rng.range_f64(0.75, 1.25);
+                let capacity = cfg.worker_capacity.scale_f64(jitter);
+                let mut node = Node::new(wid, cid, false, capacity);
+                for spec in catalog.specs() {
+                    let initial = match cfg.allocator {
+                        AllocatorKind::Hrm => spec.min_request,
+                        AllocatorKind::Static => static_limits[spec.id.index()]
+                            .min(&capacity)
+                            .max(&spec.min_request)
+                            .min(&capacity),
+                    };
+                    node.deploy_service(spec, initial, SimTime::ZERO)
+                        .expect("fresh node accepts deployments");
+                }
+                nodes.push(node);
+                workers.push(wid);
+            }
+            clusters.push(ClusterRt {
+                id: cid,
+                master: master_id,
+                workers,
+                lc_q: VecDeque::new(),
+                be_q: VecDeque::new(),
+            });
+            lc_scheds.push(make_lc_scheduler(
+                cfg.lc_policy,
+                cfg.seed ^ (c as u64) << 8,
+                &cfg.ablations,
+            ));
+        }
+
+        let be_sched = make_be_scheduler(cfg.be_policy, cfg.seed ^ 0xbe, &cfg.ablations);
+        let allocator = match cfg.allocator {
+            AllocatorKind::Hrm => {
+                let floors = catalog
+                    .specs()
+                    .iter()
+                    .map(|s| (s.id, s.min_request))
+                    .collect();
+                Allocator::Hrm(HrmAllocator::new(floors))
+            }
+            AllocatorKind::Static => Allocator::Static(StaticAllocator),
+        };
+        let reassurer = cfg.reassurance.clone().map(Reassurer::new);
+        let central = topology.most_central();
+        let counters = ExperimentCounters::new(cfg.period);
+
+        let node_wait = (0..nodes.len()).map(|_| VecDeque::new()).collect();
+        EdgeCloudSystem {
+            cfg,
+            catalog,
+            topology,
+            nodes,
+            clusters,
+            node_wait,
+            reserved: HashMap::new(),
+            store: StateStorage::new(),
+            lc_scheds,
+            be_sched,
+            allocator,
+            detector: QosDetector::paper_default(),
+            reassurer,
+            counters,
+            requests: HashMap::new(),
+            next_request_id: 0,
+            central,
+            central_q: VecDeque::new(),
+            be_pending_feedback: None,
+            be_completed_frac: 0.0,
+            be_evictions: 0,
+            horizon: SimTime::MAX,
+        }
+    }
+
+    /// K8s-native fixed limits "according to the total resource usage
+    /// ratio in the trace" (§7.1): share ∝ arrival-rate × work.
+    fn static_limits(cfg: &TangoConfig, catalog: &ServiceCatalog) -> Vec<Resources> {
+        let lc_count = catalog.lc_ids().len().max(1) as f64;
+        let be_count = catalog.be_ids().len().max(1) as f64;
+        let weights: Vec<f64> = catalog
+            .specs()
+            .iter()
+            .map(|s| {
+                let rate = match s.class {
+                    ServiceClass::Lc => cfg.workload.lc_rps / lc_count,
+                    ServiceClass::Be => cfg.workload.be_rps / be_count,
+                };
+                rate * s.work_milli_ms as f64
+            })
+            .collect();
+        let total: f64 = weights.iter().sum::<f64>().max(1e-9);
+        let mut limits: Vec<Resources> = catalog
+            .specs()
+            .iter()
+            .zip(&weights)
+            .map(|(s, &w)| {
+                let share = w / total;
+                cfg.worker_capacity
+                    .scale_f64(share)
+                    .max(&s.min_request)
+                    .min(&cfg.worker_capacity)
+            })
+            .collect();
+        // Normalize to a true partition (Σ limits ≤ capacity per
+        // dimension): fixed allocation means fragmentation, which is
+        // exactly the §7.1 "turbulent allocation" the baseline exhibits.
+        for kind in tango_types::ResourceKind::ALL {
+            let sum: u64 = limits.iter().map(|l| l.get(kind)).sum();
+            let cap = cfg.worker_capacity.get(kind);
+            if sum > cap && sum > 0 {
+                let scale = cap as f64 / sum as f64;
+                for l in &mut limits {
+                    l.set(kind, ((l.get(kind) as f64 * scale) as u64).max(1));
+                }
+            }
+        }
+        limits
+    }
+
+    /// Access the service catalog.
+    pub fn catalog(&self) -> &ServiceCatalog {
+        &self.catalog
+    }
+
+    /// Number of nodes (masters + workers).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of worker nodes.
+    pub fn worker_count(&self) -> usize {
+        self.clusters.iter().map(|c| c.workers.len()).sum()
+    }
+
+    fn alloc_request_id(&mut self) -> RequestId {
+        let id = RequestId(self.next_request_id);
+        self.next_request_id += 1;
+        id
+    }
+
+    fn cluster_of_node(&self, node: NodeId) -> ClusterId {
+        self.nodes[node.index()].cluster
+    }
+
+    /// Requests-per-round transmission capacity of the master→node link
+    /// (Eq. 4's c_{i,j} discretized to the dispatch interval).
+    fn link_capacity(&self, from: ClusterId, to: ClusterId, payload_kib: u64) -> u32 {
+        let bw = self.topology.bandwidth_mbps(from, to).max(1);
+        let bits_per_round = bw as u128 * self.cfg.dispatch_interval.as_micros() as u128;
+        let bits_per_req = (payload_kib.max(1) as u128) * 8_192;
+        ((bits_per_round / bits_per_req).clamp(1, 100_000)) as u32
+    }
+
+    /// Build LC candidate views for (origin cluster, service) from the
+    /// state storage — exactly what the paper's dispatcher reads.
+    fn lc_candidates(&self, origin: ClusterId, service: ServiceId) -> Vec<CandidateNode> {
+        let spec = self.catalog.get(service);
+        let mut cluster_set = if self.cfg.local_only {
+            Vec::new()
+        } else {
+            self.topology.clusters_within(origin, self.cfg.geo_radius_km)
+        };
+        cluster_set.push(origin);
+        let snaps = self.store.in_clusters(&cluster_set);
+        snaps
+            .into_iter()
+            .filter(|s| s.role == NodeRole::Worker)
+            .map(|s| {
+                let min_request = match &self.reassurer {
+                    Some(r) => r.min_request(s.node, service, spec.min_request),
+                    None => spec.min_request,
+                };
+                let reserved = self
+                    .reserved
+                    .get(&s.node)
+                    .copied()
+                    .unwrap_or(Resources::ZERO);
+                CandidateNode {
+                    node: s.node,
+                    cluster: s.cluster,
+                    total: s.total,
+                    available_lc: s.lc_available().saturating_sub(&reserved),
+                    available_be: s.be_available().saturating_sub(&reserved),
+                    min_request,
+                    delay: self
+                        .topology
+                        .transfer_time(origin, s.cluster, spec.payload_kib),
+                    link_capacity: self.link_capacity(origin, s.cluster, spec.payload_kib),
+                    slack: s.slack.get(&service).copied().unwrap_or(1.0),
+                }
+            })
+            .collect()
+    }
+
+    /// Build BE candidate views over the whole system, from the central
+    /// cluster's vantage point.
+    fn be_candidates(&self, service: ServiceId) -> Vec<CandidateNode> {
+        let spec = self.catalog.get(service);
+        self.store
+            .all()
+            .into_iter()
+            .filter(|s| s.role == NodeRole::Worker)
+            .map(|s| {
+                let reserved = self
+                    .reserved
+                    .get(&s.node)
+                    .copied()
+                    .unwrap_or(Resources::ZERO);
+                (s, reserved)
+            })
+            .map(|(s, reserved)| CandidateNode {
+                node: s.node,
+                cluster: s.cluster,
+                total: s.total,
+                available_lc: s.lc_available().saturating_sub(&reserved),
+                available_be: s.be_available().saturating_sub(&reserved),
+                min_request: spec.min_request,
+                delay: self
+                    .topology
+                    .transfer_time(self.central, s.cluster, spec.payload_kib),
+                link_capacity: self.link_capacity(self.central, s.cluster, spec.payload_kib),
+                slack: s.slack.get(&service).copied().unwrap_or(1.0),
+            })
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // event handlers
+    // ------------------------------------------------------------------
+
+    fn on_arrival(
+        &mut self,
+        service: ServiceId,
+        origin: ClusterId,
+        demand: Resources,
+        now: SimTime,
+    ) {
+        let spec = self.catalog.get(service);
+        let class = spec.class;
+        let id = self.alloc_request_id();
+        let req = Request::new(id, service, class, origin, now, demand);
+        if class.is_lc() {
+            self.counters.on_lc_arrival(now);
+            self.clusters[origin.index()].lc_q.push_back(id);
+        } else {
+            self.clusters[origin.index()].be_q.push_back(id);
+        }
+        self.requests.insert(id, req);
+    }
+
+    fn abandon(&mut self, rid: RequestId, now: SimTime) {
+        if let Some(req) = self.requests.get_mut(&rid) {
+            req.mark_done(RequestOutcome::Abandoned, now);
+            self.counters.on_abandon(now);
+        }
+    }
+
+    /// Deadline past which a queued request is hopeless: an LC request
+    /// older than its QoS target γ can no longer satisfy it even if it
+    /// completed instantly, so it is shed (the "abandoned requests"
+    /// metric of §7.2); BE requests wait out their patience.
+    fn queue_deadline(catalog: &ServiceCatalog, req: &Request, patience: SimTime) -> SimTime {
+        match req.class {
+            ServiceClass::Lc => catalog.get(req.service).qos_target.min(patience),
+            ServiceClass::Be => patience,
+        }
+    }
+
+    /// Remove hopeless queue entries, abandoning them.
+    fn expire_queue(
+        catalog: &ServiceCatalog,
+        queue: &mut VecDeque<RequestId>,
+        requests: &HashMap<RequestId, Request>,
+        patience: SimTime,
+        now: SimTime,
+    ) -> Vec<RequestId> {
+        let mut expired = Vec::new();
+        queue.retain(|rid| {
+            let keep = requests
+                .get(rid)
+                .map(|r| {
+                    now.saturating_since(r.arrival) <= Self::queue_deadline(catalog, r, patience)
+                })
+                .unwrap_or(false);
+            if !keep {
+                expired.push(*rid);
+            }
+            keep
+        });
+        expired
+    }
+
+    fn on_dispatch(&mut self, cluster: ClusterId, sched: &mut tango_simcore::engine::Scheduler<'_, Event>) {
+        let now = sched.now();
+        let ci = cluster.index();
+
+        // LC queue: expire, group by type, plan, dispatch.
+        let expired = Self::expire_queue(
+            &self.catalog,
+            &mut self.clusters[ci].lc_q,
+            &self.requests,
+            self.cfg.lc_patience,
+            now,
+        );
+        for rid in expired {
+            self.abandon(rid, now);
+        }
+        if !self.clusters[ci].lc_q.is_empty() {
+            let drained: Vec<RequestId> = self.clusters[ci].lc_q.drain(..).collect();
+            let mut by_type: BTreeMap<ServiceId, Vec<RequestId>> = BTreeMap::new();
+            for rid in &drained {
+                if let Some(r) = self.requests.get(rid) {
+                    by_type.entry(r.service).or_default().push(*rid);
+                }
+            }
+            let mut assigned: HashSet<RequestId> = HashSet::new();
+            for (service, requests) in by_type {
+                let nodes = self.lc_candidates(cluster, service);
+                let batch = TypeBatch {
+                    service,
+                    requests,
+                    nodes,
+                };
+                let placements = self.lc_scheds[ci].assign(&batch);
+                let payload = self.catalog.get(service).payload_kib;
+                for (rid, node) in placements {
+                    assigned.insert(rid);
+                    if let Some(r) = self.requests.get_mut(&rid) {
+                        r.mark_dispatched(node);
+                        let slot = self.reserved.entry(node).or_insert(Resources::ZERO);
+                        *slot += r.demand;
+                    }
+                    let delay =
+                        self.topology
+                            .transfer_time(cluster, self.cluster_of_node(node), payload);
+                    sched.schedule_in(delay, Event::Deliver(rid, node));
+                }
+            }
+            // unplaced requests stay queued, original order
+            for rid in drained {
+                if !assigned.contains(&rid) {
+                    self.clusters[ci].lc_q.push_back(rid);
+                }
+            }
+        }
+
+        // BE queue: forward to the central dispatcher (or local round-
+        // robin in CERES mode, where BE never leaves the cluster).
+        let expired = Self::expire_queue(
+            &self.catalog,
+            &mut self.clusters[ci].be_q,
+            &self.requests,
+            self.cfg.be_patience,
+            now,
+        );
+        for rid in expired {
+            self.abandon(rid, now);
+        }
+        if self.cfg.local_only {
+            // schedule BE within the cluster using the central policy but
+            // with local candidates only
+            let drained: Vec<RequestId> = self.clusters[ci].be_q.drain(..).collect();
+            for rid in drained {
+                let Some(req) = self.requests.get(&rid) else {
+                    continue;
+                };
+                let service = req.service;
+                let demand = req.demand;
+                let payload = self.catalog.get(service).payload_kib;
+                let local: Vec<CandidateNode> = self
+                    .be_candidates(service)
+                    .into_iter()
+                    .filter(|c| c.cluster == cluster)
+                    .collect();
+                self.pay_be_feedback(&demand, &local, now);
+                match self.be_sched.schedule(&demand, &local) {
+                    Some(node) => {
+                        if let Some(r) = self.requests.get_mut(&rid) {
+                            r.mark_dispatched(node);
+                            let slot = self.reserved.entry(node).or_insert(Resources::ZERO);
+                            *slot += r.demand;
+                        }
+                        self.be_pending_feedback = Some(node);
+                        let delay = self.topology.transfer_time(
+                            cluster,
+                            self.cluster_of_node(node),
+                            payload,
+                        );
+                        sched.schedule_in(delay, Event::Deliver(rid, node));
+                    }
+                    None => self.clusters[ci].be_q.push_back(rid),
+                }
+            }
+        } else {
+            let forward_delay = self.topology.transfer_time(cluster, self.central, 64);
+            for rid in self.clusters[ci].be_q.drain(..) {
+                sched.schedule_in(forward_delay, Event::CentralArrive(rid));
+            }
+        }
+
+        sched.schedule_in(self.cfg.dispatch_interval, Event::Dispatch(cluster));
+    }
+
+    /// Pay the §5.3.1 reward for the previous BE decision.
+    fn pay_be_feedback(&mut self, next_demand: &Resources, next_nodes: &[CandidateNode], _now: SimTime) {
+        if let Some(prev_node) = self.be_pending_feedback.take() {
+            let node = &self.nodes[prev_node.index()];
+            let (_, be_held) = node.demand_usage();
+            let r_short = tango_sched::dcg_be::short_term_reward(&be_held, &node.capacity());
+            let r_long = tango_sched::dcg_be::long_term_reward(self.be_completed_frac);
+            self.be_completed_frac = 0.0;
+            // r = r_short + η·r_long (§5.3.1; η = 1 in the paper)
+            let reward = r_short + self.cfg.ablations.dcg_eta * r_long;
+            self.be_sched.feedback(reward, next_demand, next_nodes);
+        }
+    }
+
+    fn on_central_arrive(&mut self, rid: RequestId) {
+        if self.requests.contains_key(&rid) {
+            self.central_q.push_back(rid);
+        }
+    }
+
+    fn on_be_dispatch(&mut self, sched: &mut tango_simcore::engine::Scheduler<'_, Event>) {
+        let now = sched.now();
+        let expired = Self::expire_queue(
+            &self.catalog,
+            &mut self.central_q,
+            &self.requests,
+            self.cfg.be_patience,
+            now,
+        );
+        for rid in expired {
+            self.abandon(rid, now);
+        }
+        let mut deferred = VecDeque::new();
+        // The central dispatcher has finite decision throughput per round
+        // (each decision is a GNN forward); cap it so a bounce storm —
+        // e.g. with the context filter ablated off — degrades throughput
+        // instead of wedging the simulation.
+        let mut budget = 512usize;
+        while let Some(rid) = self.central_q.pop_front() {
+            if budget == 0 {
+                deferred.push_back(rid);
+                break;
+            }
+            budget -= 1;
+            let Some(req) = self.requests.get(&rid) else {
+                continue;
+            };
+            let service = req.service;
+            let demand = req.demand;
+            let payload = self.catalog.get(service).payload_kib;
+            let candidates = self.be_candidates(service);
+            self.pay_be_feedback(&demand, &candidates, now);
+            match self.be_sched.schedule(&demand, &candidates) {
+                Some(node) => {
+                    if let Some(r) = self.requests.get_mut(&rid) {
+                        r.mark_dispatched(node);
+                        let slot = self.reserved.entry(node).or_insert(Resources::ZERO);
+                        *slot += r.demand;
+                    }
+                    self.be_pending_feedback = Some(node);
+                    let delay = self.topology.transfer_time(
+                        self.central,
+                        self.cluster_of_node(node),
+                        payload,
+                    );
+                    sched.schedule_in(delay, Event::Deliver(rid, node));
+                }
+                None => {
+                    // nothing feasible system-wide right now: try again
+                    // next round (Alg. 3's reschedule path)
+                    deferred.push_back(rid);
+                    break;
+                }
+            }
+        }
+        // keep order: deferred head goes back in front
+        while let Some(rid) = deferred.pop_back() {
+            self.central_q.push_front(rid);
+        }
+        sched.schedule_in(self.cfg.dispatch_interval, Event::BeDispatch);
+    }
+
+    fn requeue_or_abandon(&mut self, rid: RequestId, now: SimTime) {
+        let Some(req) = self.requests.get_mut(&rid) else {
+            return;
+        };
+        if req.is_done() {
+            return;
+        }
+        req.mark_requeued();
+        // LC requests have a bounce budget; evicted/bounced BE work is
+        // "restarted at a later time" (§4.1) and is only bounded by its
+        // patience window.
+        if req.class.is_lc() && req.requeues > self.cfg.max_requeues {
+            req.mark_done(RequestOutcome::Failed, now);
+            self.counters.on_abandon(now);
+            return;
+        }
+        let origin = req.origin;
+        match req.class {
+            ServiceClass::Lc => self.clusters[origin.index()].lc_q.push_back(rid),
+            ServiceClass::Be => {
+                if self.cfg.local_only {
+                    self.clusters[origin.index()].be_q.push_back(rid);
+                } else {
+                    self.central_q.push_back(rid);
+                }
+            }
+        }
+    }
+
+    fn schedule_node_check(
+        &self,
+        node: NodeId,
+        sched: &mut tango_simcore::engine::Scheduler<'_, Event>,
+    ) {
+        let n = &self.nodes[node.index()];
+        if let Some(t) = n.next_completion(sched.now()) {
+            // Completions projected past the horizon will never be
+            // observed in this run; scheduling them anyway would livelock
+            // the engine at the horizon instant.
+            if t <= self.horizon {
+                sched.schedule_at(t, Event::NodeCheck(node, n.generation()));
+            }
+        }
+    }
+
+    fn release_reservation(&mut self, node: NodeId, demand: Resources) {
+        if let Some(r) = self.reserved.get_mut(&node) {
+            *r = r.saturating_sub(&demand);
+        }
+    }
+
+    /// Try to admit a queued/delivered request on a node: applies the
+    /// re-assurance factor ("encapsulated in the packet of scheduled
+    /// requests", §3 ➎), runs the configured allocator, and on success
+    /// updates the request state and processes evictions.
+    fn try_admit_at(&mut self, rid: RequestId, node_id: NodeId, now: SimTime) -> bool {
+        let Some(req) = self.requests.get(&rid) else {
+            return true; // vanished: treat as handled
+        };
+        if req.is_done() {
+            return true;
+        }
+        let service = req.service;
+        let work = self.catalog.get(service).work_milli_ms;
+        let factor = self
+            .reassurer
+            .as_ref()
+            .map(|r| r.factor(node_id, service))
+            .unwrap_or(1.0);
+        let eff_demand = req
+            .demand
+            .scale_f64(factor)
+            .max(&Resources::new(1, 1, 0, 0));
+        let mut admit_req = req.clone();
+        admit_req.demand = eff_demand;
+
+        let node = &mut self.nodes[node_id.index()];
+        let result = match &mut self.allocator {
+            Allocator::Hrm(h) => h.try_admit(node, &admit_req, work, now),
+            Allocator::Static(s) => s.try_admit(node, &admit_req, work, now),
+        };
+        match result {
+            Ok(outcome) => {
+                if let Some(r) = self.requests.get_mut(&rid) {
+                    r.demand = eff_demand;
+                    r.mark_running(node_id, now);
+                }
+                self.be_evictions += outcome.evicted.len() as u64;
+                let evicted_ids: Vec<RequestId> =
+                    outcome.evicted.iter().map(|(_, rr)| rr.request).collect();
+                for erid in evicted_ids {
+                    self.requeue_or_abandon(erid, now);
+                }
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn patience_for(&self, class: ServiceClass) -> SimTime {
+        match class {
+            ServiceClass::Lc => self.cfg.lc_patience,
+            ServiceClass::Be => self.cfg.be_patience,
+        }
+    }
+
+    /// Admit as many node-waiting LC requests as now fit (FIFO), expiring
+    /// the ones past their patience.
+    fn drain_node_wait(
+        &mut self,
+        node_id: NodeId,
+        sched: &mut tango_simcore::engine::Scheduler<'_, Event>,
+    ) {
+        let now = sched.now();
+        let mut admitted_any = false;
+        while let Some(&rid) = self.node_wait[node_id.index()].front() {
+            let (demand, expired) = match self.requests.get(&rid) {
+                Some(r) => (
+                    r.demand,
+                    now.saturating_since(r.arrival)
+                        > Self::queue_deadline(&self.catalog, r, self.patience_for(r.class)),
+                ),
+                None => (Resources::ZERO, true),
+            };
+            if expired {
+                self.node_wait[node_id.index()].pop_front();
+                self.release_reservation(node_id, demand);
+                self.abandon(rid, now);
+                continue;
+            }
+            if self.try_admit_at(rid, node_id, now) {
+                self.node_wait[node_id.index()].pop_front();
+                self.release_reservation(node_id, demand);
+                admitted_any = true;
+            } else {
+                break; // head of line still does not fit
+            }
+        }
+        if admitted_any {
+            self.schedule_node_check(node_id, sched);
+        }
+    }
+
+    fn on_deliver(
+        &mut self,
+        rid: RequestId,
+        node_id: NodeId,
+        sched: &mut tango_simcore::engine::Scheduler<'_, Event>,
+    ) {
+        let now = sched.now();
+        let Some(req) = self.requests.get(&rid) else {
+            return;
+        };
+        if req.is_done() {
+            return;
+        }
+        let class = req.class;
+        let demand = req.demand;
+        if self.try_admit_at(rid, node_id, now) {
+            self.release_reservation(node_id, demand);
+            self.schedule_node_check(node_id, sched);
+        } else {
+            match class {
+                // R′_k semantics (§5.2.2): LC requests routed beyond the
+                // node's instantaneous capacity wait at the node. The
+                // reservation stays until they run or expire.
+                ServiceClass::Lc => {
+                    self.node_wait[node_id.index()].push_back(rid);
+                }
+                // Alg. 3: BE requests that cannot be processed in time
+                // return to the central scheduling queue.
+                ServiceClass::Be => {
+                    self.release_reservation(node_id, demand);
+                    self.requeue_or_abandon(rid, now);
+                }
+            }
+        }
+    }
+
+    fn on_node_check(
+        &mut self,
+        node_id: NodeId,
+        generation: u64,
+        sched: &mut tango_simcore::engine::Scheduler<'_, Event>,
+    ) {
+        let now = sched.now();
+        {
+            let node = &mut self.nodes[node_id.index()];
+            if node.generation() != generation {
+                return; // stale projection; a newer check is scheduled
+            }
+            node.advance(now);
+        }
+        let completions = self.nodes[node_id.index()].take_completions();
+        if !completions.is_empty() {
+            let node_cap = self.nodes[node_id.index()].capacity();
+            for done in &completions {
+                let Some(req) = self.requests.get_mut(&done.request) else {
+                    continue;
+                };
+                req.mark_done(RequestOutcome::Completed, now);
+                let latency = now.saturating_since(req.arrival);
+                match done.class {
+                    ServiceClass::Lc => {
+                        let within = self.catalog.get(done.service).meets_qos(latency);
+                        self.counters.on_lc_complete(now, latency, within);
+                        self.detector.record(node_id, done.service, now, latency);
+                    }
+                    ServiceClass::Be => {
+                        self.counters.on_be_complete(now);
+                        let d = req.demand;
+                        self.be_completed_frac += d.cpu_milli as f64
+                            / node_cap.cpu_milli.max(1) as f64
+                            + d.memory_mib as f64 / node_cap.memory_mib.max(1) as f64;
+                    }
+                }
+            }
+            if let Allocator::Hrm(h) = &mut self.allocator {
+                h.rebalance(&mut self.nodes[node_id.index()], now);
+            }
+            // freed resources may unblock node-waiting LC requests
+            self.drain_node_wait(node_id, sched);
+        }
+        self.schedule_node_check(node_id, sched);
+    }
+
+    fn on_reassure(&mut self, sched: &mut tango_simcore::engine::Scheduler<'_, Event>) {
+        let now = sched.now();
+        if let Some(reassurer) = &mut self.reassurer {
+            let catalog = &self.catalog;
+            let targets = |svc: ServiceId| catalog.get(svc).qos_target;
+            reassurer.tick(&mut self.detector, &targets, now);
+        }
+        sched.schedule_in(self.cfg.reassure_interval, Event::Reassure);
+    }
+
+    fn on_sync(&mut self, sched: &mut tango_simcore::engine::Scheduler<'_, Event>) {
+        let now = sched.now();
+        // push snapshots
+        let lc_services = self.catalog.lc_ids();
+        for node in &mut self.nodes {
+            node.advance(now);
+        }
+        for node in &self.nodes {
+            let (lc_held, be_held) = node.demand_usage();
+            let available = node
+                .capacity()
+                .saturating_sub(&lc_held)
+                .saturating_sub(&be_held);
+            let mut slack = HashMap::new();
+            for &svc in &lc_services {
+                let target = self.catalog.get(svc).qos_target;
+                if let Some(s) = self.detector.slack(node.id, svc, target, now) {
+                    slack.insert(svc, s);
+                }
+            }
+            let mut pending = HashMap::new();
+            if node.is_master {
+                let cluster = &self.clusters[node.cluster.index()];
+                for rid in cluster.lc_q.iter().chain(cluster.be_q.iter()) {
+                    if let Some(r) = self.requests.get(rid) {
+                        *pending.entry(r.service).or_insert(0u32) += 1;
+                    }
+                }
+            }
+            self.store.push(NodeSnapshot {
+                node: node.id,
+                cluster: node.cluster,
+                role: if node.is_master {
+                    NodeRole::Master
+                } else {
+                    NodeRole::Worker
+                },
+                total: node.capacity(),
+                available,
+                be_held,
+                slack,
+                pending,
+                updated_at: now,
+            });
+        }
+        // utilization sample over workers
+        let mut overall = 0.0;
+        let mut lc_frac = 0.0;
+        let mut be_frac = 0.0;
+        let mut n_workers = 0u32;
+        for node in &self.nodes {
+            if node.is_master {
+                continue;
+            }
+            let (lc, be) = node.actual_usage();
+            let cap = node.capacity();
+            overall += (lc + be).utilization_against(&cap);
+            lc_frac += lc.utilization_against(&cap);
+            be_frac += be.utilization_against(&cap);
+            n_workers += 1;
+        }
+        if n_workers > 0 {
+            let n = n_workers as f64;
+            self.counters
+                .sample_utilization(now, overall / n, lc_frac / n, be_frac / n);
+        }
+        sched.schedule_in(self.cfg.sync_interval, Event::Sync);
+    }
+
+    // ------------------------------------------------------------------
+    // driving
+    // ------------------------------------------------------------------
+
+    /// Run the system for `duration`, driven by a synthesized trace, and
+    /// produce the report.
+    pub fn run(mut self, duration: SimTime, label: &str) -> RunReport {
+        self.horizon = duration;
+        let mut engine: Engine<Event> = Engine::new();
+        // trace
+        let spec = TraceSpec {
+            diurnal: if self.cfg.workload.diurnal {
+                DiurnalProfile::default()
+            } else {
+                DiurnalProfile::flat()
+            },
+            ..TraceSpec::new(
+                self.cfg.workload.pattern(),
+                self.cfg.clusters,
+                duration,
+                self.cfg.seed ^ 0x77ace,
+            )
+        };
+        let events = TraceGenerator::new(&self.catalog, spec).collect_events();
+        for ev in events {
+            engine.schedule_at(
+                ev.at,
+                Event::Arrival {
+                    service: ev.service,
+                    origin: ev.origin,
+                    demand: ev.demand,
+                },
+            );
+        }
+        // periodic drivers
+        engine.schedule_at(SimTime::ZERO, Event::Sync);
+        for c in 0..self.cfg.clusters {
+            engine.schedule_at(self.cfg.dispatch_interval, Event::Dispatch(ClusterId(c as u32)));
+        }
+        engine.schedule_at(self.cfg.dispatch_interval, Event::BeDispatch);
+        engine.schedule_at(self.cfg.reassure_interval, Event::Reassure);
+
+        engine.run_until(&mut self, duration);
+        self.finish(label)
+    }
+
+    fn finish(self, label: &str) -> RunReport {
+        let dvpa_ops = match &self.allocator {
+            Allocator::Hrm(h) => h.dvpa.ops,
+            Allocator::Static(_) => 0,
+        };
+        RunReport {
+            label: label.to_string(),
+            qos_satisfaction: self.counters.qos_satisfaction_rate().unwrap_or(0.0),
+            be_throughput: self.counters.be_throughput(),
+            abandoned: self.counters.total_abandoned(),
+            mean_utilization: self.counters.mean_utilization(),
+            lc_p95_ms: self.counters.overall_lc_p95_ms(),
+            lc_arrived: self
+                .counters
+                .periods()
+                .iter()
+                .map(|p| p.lc_arrived)
+                .sum(),
+            lc_completed: self
+                .counters
+                .periods()
+                .iter()
+                .map(|p| p.lc_completed)
+                .sum(),
+            periods: self.counters.periods(),
+            dvpa_ops,
+            be_evictions: self.be_evictions,
+        }
+    }
+}
+
+impl EventHandler for EdgeCloudSystem {
+    type Event = Event;
+
+    fn handle(&mut self, event: Event, sched: &mut tango_simcore::engine::Scheduler<'_, Event>) {
+        match event {
+            Event::Arrival {
+                service,
+                origin,
+                demand,
+            } => self.on_arrival(service, origin, demand, sched.now()),
+            Event::Dispatch(cluster) => self.on_dispatch(cluster, sched),
+            Event::CentralArrive(rid) => self.on_central_arrive(rid),
+            Event::BeDispatch => self.on_be_dispatch(sched),
+            Event::Deliver(rid, node) => self.on_deliver(rid, node, sched),
+            Event::NodeCheck(node, generation) => self.on_node_check(node, generation, sched),
+            Event::Reassure => self.on_reassure(sched),
+            Event::Sync => self.on_sync(sched),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{BePolicy, LcPolicy};
+
+    fn small_cfg() -> TangoConfig {
+        let mut cfg = TangoConfig::physical_testbed();
+        cfg.clusters = 2;
+        cfg.topology.clusters = 2;
+        cfg.workload.lc_rps = 30.0;
+        cfg.workload.be_rps = 4.0;
+        // keep unit tests fast: non-learning policies by default
+        cfg.lc_policy = LcPolicy::DssLc;
+        cfg.be_policy = BePolicy::LoadGreedy;
+        cfg
+    }
+
+    #[test]
+    fn system_builds_with_expected_layout() {
+        let sys = EdgeCloudSystem::new(small_cfg());
+        assert_eq!(sys.clusters.len(), 2);
+        assert_eq!(sys.worker_count(), 8); // 4 per cluster
+        assert_eq!(sys.node_count(), 10); // + 2 masters
+        // every worker has all ten services deployed
+        for c in &sys.clusters {
+            for &w in &c.workers {
+                let node = &sys.nodes[w.index()];
+                for spec in sys.catalog.specs() {
+                    assert!(node.container_for(spec.id).is_some());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn short_run_completes_requests_and_meets_some_qos() {
+        let report = EdgeCloudSystem::new(small_cfg()).run(SimTime::from_secs(10), "test");
+        assert!(report.lc_arrived > 100, "arrived {}", report.lc_arrived);
+        assert!(
+            report.lc_completed as f64 > report.lc_arrived as f64 * 0.5,
+            "completed {}/{}",
+            report.lc_completed,
+            report.lc_arrived
+        );
+        assert!(
+            report.qos_satisfaction > 0.5,
+            "qos {}",
+            report.qos_satisfaction
+        );
+        assert!(report.be_throughput > 0);
+        assert!(report.mean_utilization > 0.0);
+        assert!(!report.periods.is_empty());
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let a = EdgeCloudSystem::new(small_cfg()).run(SimTime::from_secs(5), "a");
+        let b = EdgeCloudSystem::new(small_cfg()).run(SimTime::from_secs(5), "b");
+        assert_eq!(a.lc_arrived, b.lc_arrived);
+        assert_eq!(a.lc_completed, b.lc_completed);
+        assert_eq!(a.be_throughput, b.be_throughput);
+        assert_eq!(a.abandoned, b.abandoned);
+    }
+
+    #[test]
+    fn hrm_uses_dvpa_and_static_does_not() {
+        let hrm_report = EdgeCloudSystem::new(small_cfg()).run(SimTime::from_secs(5), "hrm");
+        assert!(hrm_report.dvpa_ops > 0);
+
+        let mut cfg = small_cfg();
+        cfg.allocator = AllocatorKind::Static;
+        cfg.reassurance = None;
+        let static_report = EdgeCloudSystem::new(cfg).run(SimTime::from_secs(5), "static");
+        assert_eq!(static_report.dvpa_ops, 0);
+    }
+
+    #[test]
+    fn local_only_restricts_candidates() {
+        let mut cfg = small_cfg();
+        cfg.local_only = true;
+        let report = EdgeCloudSystem::new(cfg).run(SimTime::from_secs(5), "local");
+        // still functions end to end
+        assert!(report.lc_completed > 0);
+        assert!(report.be_throughput > 0);
+    }
+
+    #[test]
+    fn overload_causes_abandonment_or_queueing() {
+        let mut cfg = small_cfg();
+        cfg.workload.lc_rps = 2_000.0; // way beyond 8 small workers
+        let report = EdgeCloudSystem::new(cfg).run(SimTime::from_secs(5), "overload");
+        assert!(
+            report.abandoned > 0 || report.lc_completed < report.lc_arrived,
+            "overload must leave a trace"
+        );
+    }
+
+    #[test]
+    fn all_lc_policies_run_end_to_end() {
+        for p in [
+            LcPolicy::DssLc,
+            LcPolicy::LoadGreedy,
+            LcPolicy::KsNative,
+            LcPolicy::Scoring,
+        ] {
+            let mut cfg = small_cfg();
+            cfg.lc_policy = p;
+            let report = EdgeCloudSystem::new(cfg).run(SimTime::from_secs(3), p.name());
+            assert!(report.lc_completed > 0, "{} completed nothing", p.name());
+        }
+    }
+
+    #[test]
+    fn static_limits_form_a_partition_with_floors() {
+        let mut cfg = small_cfg();
+        cfg.allocator = AllocatorKind::Static;
+        let catalog = ServiceCatalog::standard();
+        let limits = EdgeCloudSystem::static_limits(&cfg, &catalog);
+        assert_eq!(limits.len(), catalog.len());
+        // per-dimension sums never exceed worker capacity (the
+        // fragmentation property of fixed allocation)
+        for kind in tango_types::ResourceKind::ALL {
+            let sum: u64 = limits.iter().map(|l| l.get(kind)).sum();
+            assert!(
+                sum <= cfg.worker_capacity.get(kind),
+                "{kind:?}: {sum} > capacity"
+            );
+        }
+        // every service gets a nonzero slice
+        assert!(limits.iter().all(|l| l.cpu_milli >= 1 && l.memory_mib >= 1));
+    }
+
+    #[test]
+    fn queue_deadline_shed_rule() {
+        let catalog = ServiceCatalog::standard();
+        let lc_svc = catalog.lc_ids()[0];
+        let be_svc = catalog.be_ids()[0];
+        let patience = SimTime::from_secs(60);
+        let mk = |svc: ServiceId| {
+            let spec = catalog.get(svc);
+            Request::new(
+                RequestId(1),
+                svc,
+                spec.class,
+                ClusterId(0),
+                SimTime::ZERO,
+                spec.min_request,
+            )
+        };
+        // LC deadline is its QoS target (smaller than patience)
+        let lc_deadline = EdgeCloudSystem::queue_deadline(&catalog, &mk(lc_svc), patience);
+        assert_eq!(lc_deadline, catalog.get(lc_svc).qos_target);
+        // BE deadline is the patience window
+        let be_deadline = EdgeCloudSystem::queue_deadline(&catalog, &mk(be_svc), patience);
+        assert_eq!(be_deadline, patience);
+    }
+
+    #[test]
+    fn central_cluster_is_geographically_central() {
+        let cfg = small_cfg();
+        let sys = EdgeCloudSystem::new(cfg);
+        assert!(sys.central.index() < sys.clusters.len());
+    }
+
+    #[test]
+    fn expire_queue_sheds_only_hopeless_entries() {
+        let catalog = ServiceCatalog::standard();
+        let lc_svc = catalog.lc_ids()[0];
+        let target = catalog.get(lc_svc).qos_target;
+        let mut requests = HashMap::new();
+        let mut queue = VecDeque::new();
+        for (i, arrival) in [(0u64, SimTime::ZERO), (1, target)].into_iter() {
+            let spec = catalog.get(lc_svc);
+            let req = Request::new(
+                RequestId(i),
+                lc_svc,
+                spec.class,
+                ClusterId(0),
+                arrival,
+                spec.min_request,
+            );
+            requests.insert(RequestId(i), req);
+            queue.push_back(RequestId(i));
+        }
+        // at now = target + 1µs: request 0 (arrived at 0) is past its
+        // target; request 1 (arrived at `target`) is still viable
+        let now = target + SimTime::from_micros(1);
+        let expired = EdgeCloudSystem::expire_queue(
+            &catalog,
+            &mut queue,
+            &requests,
+            SimTime::from_secs(60),
+            now,
+        );
+        assert_eq!(expired, vec![RequestId(0)]);
+        assert_eq!(queue, VecDeque::from(vec![RequestId(1)]));
+    }
+}

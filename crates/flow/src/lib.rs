@@ -1,0 +1,24 @@
+//! Network-flow machinery for DSS-LC (§5.2).
+//!
+//! The paper formulates LC request dispatch as a Multi-Commodity Network
+//! Flow problem — one graph G_k per request type k, unit-demand requests as
+//! commodities, transmission delays as edge costs, link/node capacities as
+//! constraints (Eq. 3–6) — and hands it to Google OR-tools. This crate is
+//! the from-scratch replacement: an exact **min-cost max-flow** solver
+//! (successive shortest augmenting paths with Johnson potentials, Bellman–
+//! Ford bootstrap for negative costs) plus:
+//!
+//! * node-capacity splitting (Eq. 5's per-node processing capacity becomes
+//!   an internal edge);
+//! * a flow-decomposition routine that turns the optimal flow back into
+//!   per-request routing paths;
+//! * a sequential multi-commodity wrapper that routes several request
+//!   types over shared link capacities.
+
+pub mod graph;
+pub mod mcmf;
+pub mod mcnf;
+
+pub use graph::{EdgeRef, FlowGraph};
+pub use mcmf::{FlowResult, MinCostMaxFlow};
+pub use mcnf::{Commodity, CommodityResult, McnfProblem};

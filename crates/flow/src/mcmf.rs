@@ -1,0 +1,349 @@
+//! Min-cost max-flow: successive shortest augmenting paths with Johnson
+//! potentials.
+//!
+//! Complexity O(F · E log V) for F units of flow — far more than enough
+//! for DSS-LC's graphs (≤ ~2,000 nodes, unit-demand requests), and exact:
+//! the flow it returns is a true optimum of Eq. 3 subject to Eq. 4–6.
+
+use crate::graph::FlowGraph;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Outcome of a solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowResult {
+    /// Units of flow actually routed.
+    pub flow: i64,
+    /// Total cost Σ flow·cost over all edges.
+    pub cost: i64,
+}
+
+/// Solver state bound to a graph.
+pub struct MinCostMaxFlow<'g> {
+    g: &'g mut FlowGraph,
+    potential: Vec<i64>,
+    dist: Vec<i64>,
+    prev_edge: Vec<usize>,
+}
+
+const INF: i64 = i64::MAX / 4;
+
+impl<'g> MinCostMaxFlow<'g> {
+    /// Bind a solver to `graph`. Existing flow is preserved (so a second
+    /// solve continues on the residual network).
+    pub fn new(graph: &'g mut FlowGraph) -> Self {
+        let n = graph.node_count();
+        MinCostMaxFlow {
+            g: graph,
+            potential: vec![0; n],
+            dist: vec![INF; n],
+            prev_edge: vec![usize::MAX; n],
+        }
+    }
+
+    /// Initialize potentials with Bellman–Ford so that negative edge costs
+    /// are handled. Called automatically by [`Self::solve`] when needed.
+    fn bellman_ford(&mut self, source: usize) {
+        let n = self.g.node_count();
+        self.potential = vec![INF; n];
+        self.potential[source] = 0;
+        // standard |V|-1 rounds over residual edges
+        for _ in 0..n.saturating_sub(1) {
+            let mut changed = false;
+            for u in 0..n {
+                if self.potential[u] >= INF {
+                    continue;
+                }
+                for &eid in &self.g.adj[u] {
+                    let e = &self.g.edges[eid];
+                    if e.cap - e.flow > 0 && self.potential[u] + e.cost < self.potential[e.to] {
+                        self.potential[e.to] = self.potential[u] + e.cost;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // unreachable nodes keep INF; clamp to 0 so reduced costs stay sane
+        for p in &mut self.potential {
+            if *p >= INF {
+                *p = 0;
+            }
+        }
+    }
+
+    /// Dijkstra on reduced costs; returns whether `sink` is reachable.
+    fn dijkstra(&mut self, source: usize, sink: usize) -> bool {
+        let n = self.g.node_count();
+        self.dist = vec![INF; n];
+        self.prev_edge = vec![usize::MAX; n];
+        self.dist[source] = 0;
+        let mut heap: BinaryHeap<Reverse<(i64, usize)>> = BinaryHeap::new();
+        heap.push(Reverse((0, source)));
+        while let Some(Reverse((d, u))) = heap.pop() {
+            if d > self.dist[u] {
+                continue;
+            }
+            for &eid in &self.g.adj[u] {
+                let e = &self.g.edges[eid];
+                if e.cap - e.flow <= 0 {
+                    continue;
+                }
+                let reduced = e.cost + self.potential[u] - self.potential[e.to];
+                debug_assert!(reduced >= 0, "negative reduced cost after potentials");
+                let nd = d + reduced;
+                if nd < self.dist[e.to] {
+                    self.dist[e.to] = nd;
+                    self.prev_edge[e.to] = eid;
+                    heap.push(Reverse((nd, e.to)));
+                }
+            }
+        }
+        self.dist[sink] < INF
+    }
+
+    /// Route up to `limit` units of flow from `source` to `sink` at
+    /// minimum cost. Use `i64::MAX` for a true max-flow.
+    pub fn solve(&mut self, source: usize, sink: usize, limit: i64) -> FlowResult {
+        let has_negative = self.g.edges.iter().any(|e| e.cap - e.flow > 0 && e.cost < 0);
+        if has_negative {
+            self.bellman_ford(source);
+        } else {
+            self.potential = vec![0; self.g.node_count()];
+        }
+
+        let mut total_flow = 0i64;
+        let mut total_cost = 0i64;
+        while total_flow < limit && self.dijkstra(source, sink) {
+            // update potentials
+            for v in 0..self.g.node_count() {
+                if self.dist[v] < INF {
+                    self.potential[v] += self.dist[v];
+                }
+            }
+            // bottleneck along the augmenting path
+            let mut push = limit - total_flow;
+            let mut v = sink;
+            while v != source {
+                let eid = self.prev_edge[v];
+                let e = &self.g.edges[eid];
+                push = push.min(e.cap - e.flow);
+                v = self.g.edges[eid ^ 1].to;
+            }
+            // apply
+            let mut v = sink;
+            while v != source {
+                let eid = self.prev_edge[v];
+                self.g.edges[eid].flow += push;
+                self.g.edges[eid ^ 1].flow -= push;
+                total_cost += push * self.g.edges[eid].cost;
+                v = self.g.edges[eid ^ 1].to;
+            }
+            total_flow += push;
+        }
+        FlowResult {
+            flow: total_flow,
+            cost: total_cost,
+        }
+    }
+
+    /// Decompose the current flow leaving `source` into unit paths
+    /// (sequences of node indices). Destroys nothing: works on a copy of
+    /// the per-edge flows. Cycles in the flow (possible with zero-cost
+    /// loops) are skipped.
+    pub fn decompose_paths(&self, source: usize, sink: usize) -> Vec<Vec<usize>> {
+        let mut remaining: Vec<i64> = self.g.edges.iter().map(|e| e.flow).collect();
+        let mut paths = Vec::new();
+        loop {
+            // walk greedily from source along positive-flow edges
+            let mut path = vec![source];
+            let mut u = source;
+            let mut used_edges = Vec::new();
+            let mut steps = 0;
+            while u != sink {
+                steps += 1;
+                if steps > self.g.node_count() + 1 {
+                    break; // cycle guard
+                }
+                let next = self.g.adj[u]
+                    .iter()
+                    .copied()
+                    .find(|&eid| eid % 2 == 0 && remaining[eid] > 0);
+                match next {
+                    Some(eid) => {
+                        used_edges.push(eid);
+                        u = self.g.edges[eid].to;
+                        path.push(u);
+                    }
+                    None => break,
+                }
+            }
+            if u != sink {
+                break;
+            }
+            for eid in used_edges {
+                remaining[eid] -= 1;
+            }
+            paths.push(path);
+        }
+        paths
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::FlowGraph;
+
+    #[test]
+    fn single_edge_routes_all_capacity() {
+        let mut g = FlowGraph::new(2);
+        let e = g.add_edge(0, 1, 7, 2);
+        let r = MinCostMaxFlow::new(&mut g).solve(0, 1, i64::MAX);
+        assert_eq!(r, FlowResult { flow: 7, cost: 14 });
+        assert_eq!(g.flow(e), 7);
+    }
+
+    #[test]
+    fn prefers_cheap_path_then_spills() {
+        // 0 -> 1 -> 3 cheap (cap 1), 0 -> 2 -> 3 expensive (cap 10)
+        let mut g = FlowGraph::new(4);
+        g.add_edge(0, 1, 1, 1);
+        g.add_edge(1, 3, 1, 1);
+        g.add_edge(0, 2, 10, 5);
+        g.add_edge(2, 3, 10, 5);
+        let r = MinCostMaxFlow::new(&mut g).solve(0, 3, 3);
+        assert_eq!(r.flow, 3);
+        // 1 unit at cost 2 + 2 units at cost 10 = 22
+        assert_eq!(r.cost, 22);
+    }
+
+    #[test]
+    fn limit_caps_flow() {
+        let mut g = FlowGraph::new(2);
+        g.add_edge(0, 1, 100, 1);
+        let r = MinCostMaxFlow::new(&mut g).solve(0, 1, 5);
+        assert_eq!(r.flow, 5);
+        assert_eq!(r.cost, 5);
+    }
+
+    #[test]
+    fn disconnected_sink_gets_zero() {
+        let mut g = FlowGraph::new(3);
+        g.add_edge(0, 1, 5, 1);
+        let r = MinCostMaxFlow::new(&mut g).solve(0, 2, i64::MAX);
+        assert_eq!(r, FlowResult { flow: 0, cost: 0 });
+    }
+
+    #[test]
+    fn classic_diamond_optimum() {
+        // CLRS-style: two paths share a middle edge; check exact optimum.
+        let mut g = FlowGraph::new(4);
+        g.add_edge(0, 1, 2, 1);
+        g.add_edge(0, 2, 2, 4);
+        g.add_edge(1, 2, 1, 1);
+        g.add_edge(1, 3, 1, 6);
+        g.add_edge(2, 3, 3, 1);
+        let r = MinCostMaxFlow::new(&mut g).solve(0, 3, i64::MAX);
+        assert_eq!(r.flow, 4);
+        // optimal: 0-1-2-3 (cost 3), 0-1-3 (cost 7), 2× 0-2-3 (cost 5 each) = 20
+        assert_eq!(r.cost, 20);
+    }
+
+    #[test]
+    fn negative_costs_are_handled_via_bellman_ford() {
+        let mut g = FlowGraph::new(3);
+        g.add_edge(0, 1, 2, -3);
+        g.add_edge(1, 2, 2, 1);
+        g.add_edge(0, 2, 2, 0);
+        let r = MinCostMaxFlow::new(&mut g).solve(0, 2, i64::MAX);
+        assert_eq!(r.flow, 4);
+        // 2 units via (−3+1=−2) and 2 via 0 → total −4
+        assert_eq!(r.cost, -4);
+    }
+
+    #[test]
+    fn node_capacity_split_limits_throughput() {
+        // source -> [node cap 2] -> sink, with wide outer edges
+        let mut g = FlowGraph::new(2); // 0 = source, 1 = sink
+        let (inn, out, _e) = g.add_split_node(2);
+        g.add_edge(0, inn, 10, 0);
+        g.add_edge(out, 1, 10, 0);
+        let r = MinCostMaxFlow::new(&mut g).solve(0, 1, i64::MAX);
+        assert_eq!(r.flow, 2);
+    }
+
+    #[test]
+    fn path_decomposition_covers_all_flow() {
+        let mut g = FlowGraph::new(4);
+        g.add_edge(0, 1, 2, 1);
+        g.add_edge(0, 2, 1, 2);
+        g.add_edge(1, 3, 2, 1);
+        g.add_edge(2, 3, 1, 1);
+        let mut solver = MinCostMaxFlow::new(&mut g);
+        let r = solver.solve(0, 3, i64::MAX);
+        assert_eq!(r.flow, 3);
+        let paths = solver.decompose_paths(0, 3);
+        assert_eq!(paths.len(), 3);
+        for p in &paths {
+            assert_eq!(*p.first().unwrap(), 0);
+            assert_eq!(*p.last().unwrap(), 3);
+        }
+    }
+
+    #[test]
+    fn repeated_solve_on_residual_continues() {
+        let mut g = FlowGraph::new(2);
+        g.add_edge(0, 1, 10, 1);
+        let r1 = MinCostMaxFlow::new(&mut g).solve(0, 1, 4);
+        let r2 = MinCostMaxFlow::new(&mut g).solve(0, 1, i64::MAX);
+        assert_eq!(r1.flow, 4);
+        assert_eq!(r2.flow, 6);
+    }
+
+    #[test]
+    fn large_random_graph_flow_conservation() {
+        // build a layered random-ish graph deterministically; assert
+        // conservation at interior nodes.
+        let layers = 5;
+        let width = 8;
+        let n = 2 + layers * width;
+        let mut g = FlowGraph::new(n);
+        let node = |l: usize, w: usize| 2 + l * width + w;
+        let mut x: u64 = 12345;
+        let mut rnd = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for w in 0..width {
+            g.add_edge(0, node(0, w), (rnd() % 5 + 1) as i64, (rnd() % 10) as i64);
+            g.add_edge(node(layers - 1, w), 1, (rnd() % 5 + 1) as i64, (rnd() % 10) as i64);
+        }
+        for l in 0..layers - 1 {
+            for w in 0..width {
+                for _ in 0..3 {
+                    let t = (rnd() % width as u64) as usize;
+                    g.add_edge(node(l, w), node(l + 1, t), (rnd() % 4 + 1) as i64, (rnd() % 20) as i64);
+                }
+            }
+        }
+        let r = MinCostMaxFlow::new(&mut g).solve(0, 1, i64::MAX);
+        assert!(r.flow > 0);
+        // conservation: for each interior node, in-flow == out-flow
+        let mut balance = vec![0i64; n];
+        for (i, e) in g.edges.iter().enumerate().step_by(2) {
+            let from = g.edges[i ^ 1].to;
+            balance[from] -= e.flow;
+            balance[e.to] += e.flow;
+        }
+        for (v, &b) in balance.iter().enumerate().skip(2) {
+            assert_eq!(b, 0, "node {v} unbalanced");
+        }
+        assert_eq!(balance[0], -r.flow);
+        assert_eq!(balance[1], r.flow);
+    }
+}

@@ -1,0 +1,94 @@
+//! Feature graphs: node feature matrix plus undirected adjacency.
+
+use tango_nn::Matrix;
+
+/// A graph with per-node feature vectors.
+#[derive(Debug, Clone)]
+pub struct FeatureGraph {
+    /// N×F node features.
+    pub features: Matrix,
+    adj: Vec<Vec<usize>>,
+}
+
+impl FeatureGraph {
+    /// Create a graph from an N×F feature matrix and no edges.
+    pub fn new(features: Matrix) -> Self {
+        let n = features.rows;
+        FeatureGraph {
+            features,
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// `true` when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Feature dimensionality.
+    pub fn feature_dim(&self) -> usize {
+        self.features.cols
+    }
+
+    /// Add an undirected edge. Self-loops and duplicates are ignored
+    /// (aggregators add the self term themselves).
+    pub fn add_edge(&mut self, a: usize, b: usize) {
+        assert!(a < self.len() && b < self.len(), "node out of range");
+        if a == b || self.adj[a].contains(&b) {
+            return;
+        }
+        self.adj[a].push(b);
+        self.adj[b].push(a);
+    }
+
+    /// Neighbors of a node.
+    pub fn neighbors(&self, v: usize) -> &[usize] {
+        &self.adj[v]
+    }
+
+    /// Degree of a node.
+    pub fn degree(&self, v: usize) -> usize {
+        self.adj[v].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g3() -> FeatureGraph {
+        let f = Matrix::from_vec(3, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0]).unwrap();
+        FeatureGraph::new(f)
+    }
+
+    #[test]
+    fn edges_are_undirected_and_deduped() {
+        let mut g = g3();
+        g.add_edge(0, 1);
+        g.add_edge(1, 0); // duplicate
+        g.add_edge(2, 2); // self-loop ignored
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0]);
+        assert_eq!(g.degree(2), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "node out of range")]
+    fn out_of_range_edge_panics() {
+        let mut g = g3();
+        g.add_edge(0, 9);
+    }
+
+    #[test]
+    fn dimensions_reported() {
+        let g = g3();
+        assert_eq!(g.len(), 3);
+        assert!(!g.is_empty());
+        assert_eq!(g.feature_dim(), 2);
+    }
+}

@@ -1,0 +1,22 @@
+//! Graph neural network encoders for DCG-BE (§5.3.2).
+//!
+//! The paper encodes the edge-cloud topology with **GraphSAGE** — per-node
+//! sampling of p neighbors and L = 2 rounds of mean aggregation,
+//! `v_i^{l+1} = σ(W · MEAN(v_i^l ∪ {v_j^l : s_j ∈ N(s_i)}))` (Eq. 9) —
+//! and compares against GCN and GAT variants in Fig. 11(d). This crate
+//! implements all three over the `tango-nn` layers, with a shared
+//! aggregation-matrix representation that makes backprop uniform:
+//! aggregation is a sparse row-stochastic operator `A`, so ∂L/∂H = Aᵀ·G.
+//!
+//! One documented simplification: in GAT, attention coefficients are
+//! treated as constants during the backward pass (gradients flow through
+//! the value path only). The networks involved are tiny and trained by
+//! policy gradient; this "stop-gradient through α" variant is standard in
+//! lightweight implementations and preserves the forward semantics
+//! exactly.
+
+pub mod encoder;
+pub mod graph;
+
+pub use encoder::{Encoder, EncoderKind, GnnEncoder};
+pub use graph::FeatureGraph;

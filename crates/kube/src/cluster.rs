@@ -1,0 +1,110 @@
+//! Edge-cloud clusters: a master node plus workers, with the LC and BE
+//! scheduling queues the master maintains (§3 "Operation" step 1).
+
+use std::collections::VecDeque;
+use tango_types::{ClusterId, NodeId, Request, ServiceClass};
+
+/// One edge-cloud cluster.
+#[derive(Debug)]
+pub struct Cluster {
+    /// Cluster id.
+    pub id: ClusterId,
+    /// The master node (edge access point / controller).
+    pub master: NodeId,
+    /// Worker nodes, in id order.
+    pub workers: Vec<NodeId>,
+    /// Pending LC requests awaiting the LC traffic dispatcher.
+    pub lc_queue: VecDeque<Request>,
+    /// Pending BE requests awaiting forwarding to the central dispatcher.
+    pub be_queue: VecDeque<Request>,
+}
+
+impl Cluster {
+    /// Create a cluster over pre-allocated node ids.
+    pub fn new(id: ClusterId, master: NodeId, workers: Vec<NodeId>) -> Self {
+        Cluster {
+            id,
+            master,
+            workers,
+            lc_queue: VecDeque::new(),
+            be_queue: VecDeque::new(),
+        }
+    }
+
+    /// Route an incoming request into the right queue.
+    pub fn enqueue(&mut self, request: Request) {
+        match request.class {
+            ServiceClass::Lc => self.lc_queue.push_back(request),
+            ServiceClass::Be => self.be_queue.push_back(request),
+        }
+    }
+
+    /// Total queued requests.
+    pub fn queued(&self) -> usize {
+        self.lc_queue.len() + self.be_queue.len()
+    }
+
+    /// Drain the LC queue for a dispatch round.
+    pub fn drain_lc(&mut self) -> Vec<Request> {
+        self.lc_queue.drain(..).collect()
+    }
+
+    /// Drain the BE queue for forwarding to the central cluster.
+    pub fn drain_be(&mut self) -> Vec<Request> {
+        self.be_queue.drain(..).collect()
+    }
+
+    /// All node ids (master first).
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        let mut v = Vec::with_capacity(self.workers.len() + 1);
+        v.push(self.master);
+        v.extend_from_slice(&self.workers);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tango_types::{RequestId, Resources, ServiceId, SimTime};
+
+    fn req(id: u64, class: ServiceClass) -> Request {
+        Request::new(
+            RequestId(id),
+            ServiceId(0),
+            class,
+            ClusterId(0),
+            SimTime::ZERO,
+            Resources::cpu_mem(100, 64),
+        )
+    }
+
+    #[test]
+    fn enqueue_routes_by_class() {
+        let mut c = Cluster::new(ClusterId(0), NodeId(0), vec![NodeId(1), NodeId(2)]);
+        c.enqueue(req(1, ServiceClass::Lc));
+        c.enqueue(req(2, ServiceClass::Be));
+        c.enqueue(req(3, ServiceClass::Lc));
+        assert_eq!(c.lc_queue.len(), 2);
+        assert_eq!(c.be_queue.len(), 1);
+        assert_eq!(c.queued(), 3);
+    }
+
+    #[test]
+    fn drains_preserve_fifo() {
+        let mut c = Cluster::new(ClusterId(0), NodeId(0), vec![]);
+        for i in 0..5 {
+            c.enqueue(req(i, ServiceClass::Lc));
+        }
+        let drained = c.drain_lc();
+        let ids: Vec<u64> = drained.iter().map(|r| r.id.raw()).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+        assert_eq!(c.queued(), 0);
+    }
+
+    #[test]
+    fn node_ids_lists_master_first() {
+        let c = Cluster::new(ClusterId(3), NodeId(10), vec![NodeId(11), NodeId(12)]);
+        assert_eq!(c.node_ids(), vec![NodeId(10), NodeId(11), NodeId(12)]);
+    }
+}

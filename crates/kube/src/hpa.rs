@@ -1,0 +1,197 @@
+//! The K8s Horizontal Pod Autoscaler, behaviour-level.
+//!
+//! §2.1: "Horizontal scaling, which adjusts the number of instances as
+//! part of autoscaling, is relatively time-consuming for millisecond-level
+//! LC services due to long container start-up time." This model exists to
+//! make that comparison concrete: it reproduces the HPA control loop
+//! (desired = ceil(current × observed/target), stabilization window,
+//! min/max clamps) and charges the container start-up delay for every
+//! scale-up — so a bench can show the reaction-time gap against D-VPA's
+//! 23 ms vertical adjustments.
+
+use tango_types::SimTime;
+
+/// HPA configuration (mirrors the v2 autoscaler's core fields).
+#[derive(Debug, Clone)]
+pub struct HpaConfig {
+    /// Target utilization of the scaled metric, in (0, 1].
+    pub target_utilization: f64,
+    /// Minimum replicas.
+    pub min_replicas: u32,
+    /// Maximum replicas.
+    pub max_replicas: u32,
+    /// Scale-*down* stabilization window (K8s default 300 s; shortened in
+    /// simulations).
+    pub stabilization: SimTime,
+    /// Time for a new replica to become ready (container start-up).
+    pub startup_delay: SimTime,
+}
+
+impl Default for HpaConfig {
+    fn default() -> Self {
+        HpaConfig {
+            target_utilization: 0.6,
+            min_replicas: 1,
+            max_replicas: 16,
+            stabilization: SimTime::from_secs(30),
+            startup_delay: SimTime::from_millis(2_300),
+        }
+    }
+}
+
+/// A replica that has been ordered but is still starting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingReplica {
+    /// When it becomes ready.
+    pub ready_at: SimTime,
+}
+
+/// One service's horizontal autoscaler state.
+#[derive(Debug, Clone)]
+pub struct Hpa {
+    cfg: HpaConfig,
+    ready: u32,
+    pending: Vec<PendingReplica>,
+    last_scale_down: SimTime,
+}
+
+impl Hpa {
+    /// Start with `initial` ready replicas.
+    pub fn new(cfg: HpaConfig, initial: u32) -> Self {
+        let ready = initial.clamp(cfg.min_replicas, cfg.max_replicas);
+        Hpa {
+            cfg,
+            ready,
+            pending: Vec::new(),
+            last_scale_down: SimTime::ZERO,
+        }
+    }
+
+    /// Replicas currently serving traffic at `now` (promotes finished
+    /// pending starts).
+    pub fn ready_replicas(&mut self, now: SimTime) -> u32 {
+        let newly_ready = self
+            .pending
+            .iter()
+            .filter(|p| p.ready_at <= now)
+            .count() as u32;
+        self.pending.retain(|p| p.ready_at > now);
+        self.ready = (self.ready + newly_ready).min(self.cfg.max_replicas);
+        self.ready
+    }
+
+    /// Replicas ordered but not yet ready.
+    pub fn pending_replicas(&self) -> u32 {
+        self.pending.len() as u32
+    }
+
+    /// The HPA reconcile step: given observed utilization (of the ready
+    /// replicas) at `now`, possibly order a scale-up (paying the start-up
+    /// delay) or apply a scale-down (immediate, but rate-limited by the
+    /// stabilization window). Returns the desired replica count.
+    pub fn reconcile(&mut self, observed_utilization: f64, now: SimTime) -> u32 {
+        let ready = self.ready_replicas(now);
+        let in_flight = ready + self.pending_replicas();
+        let desired = if observed_utilization <= 0.0 {
+            self.cfg.min_replicas
+        } else {
+            // ceil(current × observed / target), the HPA v2 formula
+            let raw = (ready as f64 * observed_utilization / self.cfg.target_utilization).ceil();
+            (raw as u32).clamp(self.cfg.min_replicas, self.cfg.max_replicas)
+        };
+        if desired > in_flight {
+            for _ in 0..(desired - in_flight) {
+                self.pending.push(PendingReplica {
+                    ready_at: now + self.cfg.startup_delay,
+                });
+            }
+        } else if desired < ready {
+            // scale-down only after the stabilization window
+            if now.saturating_since(self.last_scale_down) >= self.cfg.stabilization {
+                self.ready = desired;
+                self.last_scale_down = now;
+            }
+        }
+        desired
+    }
+
+    /// Time until the autoscaler can actually absorb a utilization spike:
+    /// the earliest instant at which a replica ordered *now* serves
+    /// traffic. This is the §2.1 argument in one number.
+    pub fn reaction_time(&self) -> SimTime {
+        self.cfg.startup_delay
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hpa() -> Hpa {
+        Hpa::new(HpaConfig::default(), 2)
+    }
+
+    #[test]
+    fn scale_up_orders_pending_replicas_with_startup_delay() {
+        let mut h = hpa();
+        let now = SimTime::from_secs(1);
+        // 2 ready at 1.2 observed vs 0.6 target -> desired ceil(2·1.2/0.6)=4
+        let desired = h.reconcile(1.2, now);
+        assert_eq!(desired, 4);
+        assert_eq!(h.pending_replicas(), 2);
+        // not ready yet
+        assert_eq!(h.ready_replicas(now + SimTime::from_millis(100)), 2);
+        // ready after the 2.3s start-up
+        assert_eq!(h.ready_replicas(now + SimTime::from_millis(2_300)), 4);
+        assert_eq!(h.pending_replicas(), 0);
+    }
+
+    #[test]
+    fn scale_down_respects_stabilization_window() {
+        let mut h = hpa();
+        // idle: desired = min replicas, but first scale-down already
+        // happened at t=0, so within the window nothing shrinks
+        let early = SimTime::from_secs(5);
+        h.reconcile(0.01, early);
+        assert_eq!(h.ready_replicas(early), 2);
+        // after the window, shrink applies
+        let later = SimTime::from_secs(40);
+        h.reconcile(0.01, later);
+        assert_eq!(h.ready_replicas(later), 1);
+    }
+
+    #[test]
+    fn clamps_at_min_and_max() {
+        let mut h = Hpa::new(
+            HpaConfig {
+                max_replicas: 3,
+                ..HpaConfig::default()
+            },
+            2,
+        );
+        let desired = h.reconcile(10.0, SimTime::from_secs(1));
+        assert_eq!(desired, 3);
+        assert_eq!(h.pending_replicas(), 1);
+        // zero load clamps to min
+        let mut h2 = hpa();
+        assert_eq!(h2.reconcile(0.0, SimTime::from_secs(100)), 1);
+    }
+
+    #[test]
+    fn no_duplicate_orders_while_pending() {
+        let mut h = hpa();
+        let now = SimTime::from_secs(1);
+        h.reconcile(1.2, now); // orders 2
+        h.reconcile(1.2, now + SimTime::from_millis(10)); // already in flight
+        assert_eq!(h.pending_replicas(), 2);
+    }
+
+    #[test]
+    fn reaction_time_is_the_startup_delay() {
+        let h = hpa();
+        assert_eq!(h.reaction_time(), SimTime::from_millis(2_300));
+        // two orders of magnitude slower than D-VPA's 23 ms op: the §2.1
+        // argument for vertical, in-place scaling at the edge.
+        assert!(h.reaction_time().as_millis() / 23 == 100);
+    }
+}

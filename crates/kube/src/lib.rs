@@ -1,0 +1,37 @@
+//! A behaviour-level Kubernetes model.
+//!
+//! The paper's "twin space" (§6.1) simulates 100 of its 104 edge-cloud
+//! clusters at the K8s *API behaviour* level: nodes, pods and containers
+//! with real resource semantics, but no physical container instances —
+//! request processing times come from a pressure-measured service-time
+//! model. This crate is that twin space, extended to cover all clusters:
+//!
+//! * [`node::Node`] — a worker/master with a CGroup tree
+//!   ([`tango_cgroup::CgroupFs`]), one continuously-running service pod per
+//!   deployed service (paper footnote 3), and a **processor-sharing
+//!   execution model**: requests inside a container share its effective
+//!   CPU limit equally, each capped at its own demand, so shrinking a
+//!   container's quota stretches its requests' latencies exactly the way
+//!   CFS throttling does.
+//! * [`pod`] — pods and containers with K8s QoS classes (LC → Burstable,
+//!   BE → BestEffort under the §4.1 regulations).
+//! * [`vpa::NativeVpa`] — the stock K8s Vertical Pod Autoscaler's
+//!   delete-and-rebuild scaling (§4.2 "Pain Points"): interrupts running
+//!   requests and leaves the pod unavailable for the container start-up
+//!   time. D-VPA (in `tango-hrm`) is the paper's replacement.
+//! * [`cluster::Cluster`] — master + workers with LC/BE scheduling queues.
+//! * [`scheduler::RoundRobin`] — the K8s-native default dispatch baseline.
+
+pub mod cluster;
+pub mod hpa;
+pub mod node;
+pub mod pod;
+pub mod scheduler;
+pub mod vpa;
+
+pub use cluster::Cluster;
+pub use hpa::{Hpa, HpaConfig};
+pub use node::{CompletedRequest, Node, RunningRequest};
+pub use pod::{Container, Pod};
+pub use scheduler::RoundRobin;
+pub use vpa::NativeVpa;

@@ -1,0 +1,64 @@
+//! Pods and containers.
+//!
+//! Each application is instantiated in a single container inside its own
+//! pod (§6.2), and the pod runs continuously serving requests of its
+//! service type (footnote 3: "fixed types of containerized applications
+//! … run continuously on the edge-clouds").
+
+use tango_cgroup::{CgroupId, QosLevel};
+use tango_types::{ContainerId, PodId, ServiceClass, ServiceId};
+
+/// The K8s QoS class Tango assigns a service (§4.1: LC services get a
+/// higher priority class than BE).
+pub fn qos_level_for(class: ServiceClass) -> QosLevel {
+    match class {
+        // Burstable so D-VPA can stretch limits above requests.
+        ServiceClass::Lc => QosLevel::Burstable,
+        // Lowest priority: first to be evicted under memory pressure.
+        ServiceClass::Be => QosLevel::BestEffort,
+    }
+}
+
+/// A pod: the smallest K8s scheduling unit. One service container each.
+#[derive(Debug, Clone)]
+pub struct Pod {
+    /// Pod id.
+    pub id: PodId,
+    /// The service it hosts.
+    pub service: ServiceId,
+    /// Its QoS class directory.
+    pub qos: QosLevel,
+    /// Pod-level cgroup.
+    pub cgroup: CgroupId,
+    /// The single container.
+    pub container: ContainerId,
+}
+
+/// A container executing requests of one service type.
+#[derive(Debug, Clone)]
+pub struct Container {
+    /// Container id.
+    pub id: ContainerId,
+    /// Owning pod.
+    pub pod: PodId,
+    /// Service type.
+    pub service: ServiceId,
+    /// LC or BE.
+    pub class: ServiceClass,
+    /// Container-level cgroup.
+    pub cgroup: CgroupId,
+    /// Times this container has been killed and restarted (evictions +
+    /// native-VPA rebuilds).
+    pub restarts: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qos_mapping_matches_regulations() {
+        assert_eq!(qos_level_for(ServiceClass::Lc), QosLevel::Burstable);
+        assert_eq!(qos_level_for(ServiceClass::Be), QosLevel::BestEffort);
+    }
+}

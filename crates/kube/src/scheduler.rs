@@ -1,0 +1,84 @@
+//! The K8s-native dispatch baseline: round-robin with a feasibility
+//! filter.
+//!
+//! §2.1/§7.2: "K8s only provides simplistic policies such as round-robin",
+//! used in the evaluation as the *K8s-native* baseline for both LC and BE
+//! requests. We keep the one nod to reality kube-scheduler has: a node
+//! must pass the resource-fit predicate before being picked.
+
+use tango_types::{NodeId, Resources};
+
+/// Round-robin node selection state.
+#[derive(Debug, Clone, Default)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl RoundRobin {
+    /// Fresh round-robin cursor.
+    pub fn new() -> Self {
+        RoundRobin::default()
+    }
+
+    /// Pick the next node (in `candidates` order) whose reported free
+    /// resources fit `demand`. Advances the cursor past the chosen node.
+    /// Returns `None` when no candidate fits.
+    pub fn pick(
+        &mut self,
+        candidates: &[(NodeId, Resources)],
+        demand: &Resources,
+    ) -> Option<NodeId> {
+        if candidates.is_empty() {
+            return None;
+        }
+        let n = candidates.len();
+        for off in 0..n {
+            let i = (self.next + off) % n;
+            let (node, free) = &candidates[i];
+            if demand.fits_within(free) {
+                self.next = (i + 1) % n;
+                return Some(*node);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(id: u32, cpu: u64) -> (NodeId, Resources) {
+        (NodeId(id), Resources::cpu_mem(cpu, 10_000))
+    }
+
+    #[test]
+    fn cycles_through_feasible_nodes() {
+        let mut rr = RoundRobin::new();
+        let cands = [c(0, 1_000), c(1, 1_000), c(2, 1_000)];
+        let demand = Resources::cpu_mem(100, 10);
+        let picks: Vec<u32> = (0..6)
+            .map(|_| rr.pick(&cands, &demand).unwrap().raw())
+            .collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn skips_nodes_that_do_not_fit() {
+        let mut rr = RoundRobin::new();
+        let cands = [c(0, 50), c(1, 1_000), c(2, 50)];
+        let demand = Resources::cpu_mem(100, 10);
+        let picks: Vec<u32> = (0..3)
+            .map(|_| rr.pick(&cands, &demand).unwrap().raw())
+            .collect();
+        assert_eq!(picks, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn no_fit_returns_none() {
+        let mut rr = RoundRobin::new();
+        let cands = [c(0, 50)];
+        assert_eq!(rr.pick(&cands, &Resources::cpu_mem(100, 10)), None);
+        assert_eq!(rr.pick(&[], &Resources::ZERO), None);
+    }
+}

@@ -1,0 +1,288 @@
+//! Experiment accounting.
+//!
+//! §6.2: "each period in figures represents 800 ms, which is the frequency
+//! at which we collect data". [`ExperimentCounters`] buckets every request
+//! outcome and utilization sample into such periods and yields one
+//! [`PeriodRecord`] per period — the rows behind every §7 figure — plus the
+//! cumulative objectives of Eq. 1: the QoS-guarantee satisfaction rate φ
+//! for LC and the long-term throughput φ′ for BE.
+
+use tango_types::SimTime;
+
+/// Aggregates for one reporting period.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PeriodRecord {
+    /// Period index (time / period length).
+    pub index: u64,
+    /// LC requests that arrived in this period (Q_{b,t} summed over b).
+    pub lc_arrived: u64,
+    /// LC requests completed in this period.
+    pub lc_completed: u64,
+    /// LC requests completed within their QoS target (q_{b,t}).
+    pub lc_satisfied: u64,
+    /// BE requests completed in this period (q'_{b,t}).
+    pub be_completed: u64,
+    /// Requests abandoned in this period.
+    pub abandoned: u64,
+    /// Mean overall resource utilization sampled in this period, [0, 1].
+    pub util_overall: f64,
+    /// Mean utilization attributable to LC containers.
+    pub util_lc: f64,
+    /// Mean utilization attributable to BE containers.
+    pub util_be: f64,
+    /// p95 latency of LC completions in this period, ms (0 when none).
+    pub lc_p95_ms: f64,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Accum {
+    lc_arrived: u64,
+    lc_completed: u64,
+    lc_satisfied: u64,
+    be_completed: u64,
+    abandoned: u64,
+    util_sum: (f64, f64, f64),
+    util_samples: u64,
+    lc_latencies_us: Vec<u64>,
+}
+
+/// Period-bucketed experiment counters.
+#[derive(Debug)]
+pub struct ExperimentCounters {
+    period: SimTime,
+    buckets: Vec<Accum>,
+}
+
+impl ExperimentCounters {
+    /// Create counters with the given period length.
+    pub fn new(period: SimTime) -> Self {
+        assert!(period > SimTime::ZERO, "period must be positive");
+        ExperimentCounters {
+            period,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// The paper's 800 ms reporting period.
+    pub fn paper_default() -> Self {
+        ExperimentCounters::new(SimTime::from_millis(800))
+    }
+
+    fn bucket(&mut self, at: SimTime) -> &mut Accum {
+        let idx = (at.as_micros() / self.period.as_micros()) as usize;
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, Accum::default());
+        }
+        &mut self.buckets[idx]
+    }
+
+    /// An LC request arrived.
+    pub fn on_lc_arrival(&mut self, at: SimTime) {
+        self.bucket(at).lc_arrived += 1;
+    }
+
+    /// An LC request completed; `within_qos` per its service target.
+    pub fn on_lc_complete(&mut self, at: SimTime, latency: SimTime, within_qos: bool) {
+        let b = self.bucket(at);
+        b.lc_completed += 1;
+        if within_qos {
+            b.lc_satisfied += 1;
+        }
+        b.lc_latencies_us.push(latency.as_micros());
+    }
+
+    /// A BE request completed.
+    pub fn on_be_complete(&mut self, at: SimTime) {
+        self.bucket(at).be_completed += 1;
+    }
+
+    /// A request was abandoned.
+    pub fn on_abandon(&mut self, at: SimTime) {
+        self.bucket(at).abandoned += 1;
+    }
+
+    /// Record a utilization sample (overall, LC share, BE share), each in
+    /// [0, 1].
+    pub fn sample_utilization(&mut self, at: SimTime, overall: f64, lc: f64, be: f64) {
+        let b = self.bucket(at);
+        b.util_sum.0 += overall;
+        b.util_sum.1 += lc;
+        b.util_sum.2 += be;
+        b.util_samples += 1;
+    }
+
+    /// Cumulative QoS-guarantee satisfaction rate φ = Σq / ΣQ over all
+    /// periods. `None` when no LC requests arrived.
+    pub fn qos_satisfaction_rate(&self) -> Option<f64> {
+        let arrived: u64 = self.buckets.iter().map(|b| b.lc_arrived).sum();
+        if arrived == 0 {
+            return None;
+        }
+        let sat: u64 = self.buckets.iter().map(|b| b.lc_satisfied).sum();
+        Some(sat as f64 / arrived as f64)
+    }
+
+    /// Satisfaction rate against *completed* LC requests (used when a run
+    /// is truncated and late arrivals never finished).
+    pub fn qos_satisfaction_of_completed(&self) -> Option<f64> {
+        let done: u64 = self.buckets.iter().map(|b| b.lc_completed).sum();
+        if done == 0 {
+            return None;
+        }
+        let sat: u64 = self.buckets.iter().map(|b| b.lc_satisfied).sum();
+        Some(sat as f64 / done as f64)
+    }
+
+    /// Cumulative BE throughput φ′ = Σ q′.
+    pub fn be_throughput(&self) -> u64 {
+        self.buckets.iter().map(|b| b.be_completed).sum()
+    }
+
+    /// Total abandoned requests.
+    pub fn total_abandoned(&self) -> u64 {
+        self.buckets.iter().map(|b| b.abandoned).sum()
+    }
+
+    /// Mean overall utilization across all samples.
+    pub fn mean_utilization(&self) -> f64 {
+        let (sum, n) = self
+            .buckets
+            .iter()
+            .fold((0.0, 0u64), |(s, n), b| (s + b.util_sum.0, n + b.util_samples));
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// p95 of all LC completion latencies, in ms.
+    pub fn overall_lc_p95_ms(&self) -> f64 {
+        let mut all: Vec<u64> = self
+            .buckets
+            .iter()
+            .flat_map(|b| b.lc_latencies_us.iter().copied())
+            .collect();
+        if all.is_empty() {
+            return 0.0;
+        }
+        let n = all.len();
+        let idx = ((0.95 * n as f64).ceil() as usize).clamp(1, n) - 1;
+        all.select_nth_unstable(idx);
+        all[idx] as f64 / 1_000.0
+    }
+
+    /// Materialize the per-period rows.
+    pub fn periods(&self) -> Vec<PeriodRecord> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                let n = b.util_samples.max(1) as f64;
+                let p95 = if b.lc_latencies_us.is_empty() {
+                    0.0
+                } else {
+                    let mut v = b.lc_latencies_us.clone();
+                    let len = v.len();
+                    let idx = ((0.95 * len as f64).ceil() as usize).clamp(1, len) - 1;
+                    v.select_nth_unstable(idx);
+                    v[idx] as f64 / 1_000.0
+                };
+                PeriodRecord {
+                    index: i as u64,
+                    lc_arrived: b.lc_arrived,
+                    lc_completed: b.lc_completed,
+                    lc_satisfied: b.lc_satisfied,
+                    be_completed: b.be_completed,
+                    abandoned: b.abandoned,
+                    util_overall: b.util_sum.0 / n,
+                    util_lc: b.util_sum.1 / n,
+                    util_be: b.util_sum.2 / n,
+                    lc_p95_ms: p95,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    #[test]
+    fn events_land_in_the_right_period() {
+        let mut c = ExperimentCounters::paper_default();
+        c.on_lc_arrival(ms(100)); // period 0
+        c.on_lc_arrival(ms(799)); // period 0
+        c.on_lc_arrival(ms(800)); // period 1
+        c.on_lc_complete(ms(900), ms(50), true); // period 1
+        c.on_be_complete(ms(1_700)); // period 2
+        c.on_abandon(ms(2_500)); // period 3
+        let p = c.periods();
+        assert_eq!(p.len(), 4);
+        assert_eq!(p[0].lc_arrived, 2);
+        assert_eq!(p[1].lc_arrived, 1);
+        assert_eq!(p[1].lc_completed, 1);
+        assert_eq!(p[1].lc_satisfied, 1);
+        assert_eq!(p[2].be_completed, 1);
+        assert_eq!(p[3].abandoned, 1);
+    }
+
+    #[test]
+    fn satisfaction_rate_is_sat_over_arrived() {
+        let mut c = ExperimentCounters::paper_default();
+        assert_eq!(c.qos_satisfaction_rate(), None);
+        for i in 0..10 {
+            c.on_lc_arrival(ms(i * 10));
+        }
+        for i in 0..8 {
+            c.on_lc_complete(ms(500 + i), ms(100), i < 6);
+        }
+        assert!((c.qos_satisfaction_rate().unwrap() - 0.6).abs() < 1e-12);
+        assert!((c.qos_satisfaction_of_completed().unwrap() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_and_abandoned_accumulate() {
+        let mut c = ExperimentCounters::paper_default();
+        for i in 0..25 {
+            c.on_be_complete(ms(i * 100));
+        }
+        c.on_abandon(ms(5));
+        c.on_abandon(ms(5_000));
+        assert_eq!(c.be_throughput(), 25);
+        assert_eq!(c.total_abandoned(), 2);
+    }
+
+    #[test]
+    fn utilization_averages_within_period() {
+        let mut c = ExperimentCounters::paper_default();
+        c.sample_utilization(ms(0), 0.2, 0.1, 0.1);
+        c.sample_utilization(ms(400), 0.6, 0.4, 0.2);
+        let p = c.periods();
+        assert!((p[0].util_overall - 0.4).abs() < 1e-12);
+        assert!((p[0].util_lc - 0.25).abs() < 1e-12);
+        assert!((c.mean_utilization() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p95_per_period_and_overall() {
+        let mut c = ExperimentCounters::paper_default();
+        for i in 1..=100u64 {
+            c.on_lc_complete(ms(10), ms(i), true);
+        }
+        let p = c.periods();
+        assert!((p[0].lc_p95_ms - 95.0).abs() < 1e-9);
+        assert!((c.overall_lc_p95_ms() - 95.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_panics() {
+        let _ = ExperimentCounters::new(SimTime::ZERO);
+    }
+}

@@ -1,0 +1,27 @@
+//! Telemetry for Tango: the state storage fed by Prometheus-style scrapes
+//! and the QoS detector (§3 ➋➍).
+//!
+//! * [`window`] — sliding 100 ms latency windows with exact tail-percentile
+//!   queries (the paper's QoS metric is p95 within a 100 ms window, §4.3);
+//! * [`qos`] — slack scores δ = 1 − ξ/γ and the per-(node, service)
+//!   QoS detector;
+//! * [`store`] — the state storage each master consults: per-node resource
+//!   snapshots plus RTT and slack, safely shared between the cluster
+//!   control threads;
+//! * [`counters`] — experiment accounting: per-period utilization,
+//!   QoS-guarantee satisfaction rate and BE throughput, i.e. the y-axes of
+//!   every figure in §7.
+
+pub mod counters;
+pub mod p2;
+pub mod percentile;
+pub mod qos;
+pub mod store;
+pub mod window;
+
+pub use counters::{ExperimentCounters, PeriodRecord};
+pub use p2::P2Quantile;
+pub use percentile::percentile;
+pub use qos::{slack_score, QosDetector};
+pub use store::{NodeRole, NodeSnapshot, StateStorage};
+pub use window::LatencyWindow;

@@ -1,0 +1,220 @@
+//! The P² (piecewise-parabolic) streaming quantile estimator
+//! (Jain & Chlamtac, 1985).
+//!
+//! The exact windows in [`crate::window`] are right for the QoS detector's
+//! small 100 ms windows; the P² estimator serves the *long-horizon*
+//! percentiles (a whole run's p95, Fig. 11(b)'s tail latency) in O(1)
+//! memory instead of buffering every completion of a multi-hour trace.
+
+use tango_types::SimTime;
+
+/// Streaming estimator for a single quantile q ∈ (0, 1).
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    q: f64,
+    /// marker heights
+    heights: [f64; 5],
+    /// marker positions (1-based, as in the paper)
+    positions: [f64; 5],
+    /// desired marker positions
+    desired: [f64; 5],
+    /// increments to desired positions
+    increments: [f64; 5],
+    count: usize,
+}
+
+impl P2Quantile {
+    /// Create an estimator for quantile `q` (clamped to (0.001, 0.999)).
+    pub fn new(q: f64) -> Self {
+        let q = q.clamp(0.001, 0.999);
+        P2Quantile {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+        }
+    }
+
+    /// A p95 estimator.
+    pub fn p95() -> Self {
+        P2Quantile::new(0.95)
+    }
+
+    /// Number of samples observed.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Feed one observation.
+    pub fn observe(&mut self, x: f64) {
+        if self.count < 5 {
+            self.heights[self.count] = x;
+            self.count += 1;
+            if self.count == 5 {
+                self.heights
+                    .sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            }
+            return;
+        }
+        self.count += 1;
+
+        // locate cell k such that heights[k] <= x < heights[k+1]
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            let mut k = 0;
+            for i in 0..4 {
+                if self.heights[i] <= x && x < self.heights[i + 1] {
+                    k = i;
+                    break;
+                }
+            }
+            k
+        };
+
+        for p in self.positions.iter_mut().skip(k + 1) {
+            *p += 1.0;
+        }
+        for (d, inc) in self.desired.iter_mut().zip(self.increments) {
+            *d += inc;
+        }
+
+        // adjust interior markers with the piecewise-parabolic formula
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right = self.positions[i + 1] - self.positions[i];
+            let left = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right > 1.0) || (d <= -1.0 && left < -1.0) {
+                let d_sign = d.signum();
+                let parabolic = self.heights[i]
+                    + d_sign / (self.positions[i + 1] - self.positions[i - 1])
+                        * ((self.positions[i] - self.positions[i - 1] + d_sign)
+                            * (self.heights[i + 1] - self.heights[i])
+                            / right
+                            + (self.positions[i + 1] - self.positions[i] - d_sign)
+                                * (self.heights[i] - self.heights[i - 1])
+                                / -left);
+                let new_height = if self.heights[i - 1] < parabolic
+                    && parabolic < self.heights[i + 1]
+                {
+                    parabolic
+                } else {
+                    // linear fallback
+                    let j = if d_sign > 0.0 { i + 1 } else { i - 1 };
+                    self.heights[i]
+                        + d_sign * (self.heights[j] - self.heights[i])
+                            / (self.positions[j] - self.positions[i])
+                };
+                self.heights[i] = new_height;
+                self.positions[i] += d_sign;
+            }
+        }
+    }
+
+    /// Feed a latency observation.
+    pub fn observe_time(&mut self, t: SimTime) {
+        self.observe(t.as_millis_f64());
+    }
+
+    /// Current estimate; `None` until at least one sample arrived. For
+    /// fewer than five samples, falls back to the exact small-sample
+    /// quantile.
+    pub fn estimate(&self) -> Option<f64> {
+        match self.count {
+            0 => None,
+            n if n < 5 => {
+                let mut v = self.heights[..n].to_vec();
+                v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+                let idx = ((self.q * n as f64).ceil() as usize).clamp(1, n) - 1;
+                Some(v[idx])
+            }
+            _ => Some(self.heights[2]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tango_simcore::SimRng;
+
+    #[test]
+    fn empty_and_small_sample_paths() {
+        let mut p = P2Quantile::p95();
+        assert_eq!(p.estimate(), None);
+        p.observe(10.0);
+        assert_eq!(p.estimate(), Some(10.0));
+        p.observe(20.0);
+        p.observe(5.0);
+        // 3 samples, p95 -> max
+        assert_eq!(p.estimate(), Some(20.0));
+        assert_eq!(p.count(), 3);
+    }
+
+    #[test]
+    fn median_of_uniform_converges() {
+        let mut p = P2Quantile::new(0.5);
+        let mut rng = SimRng::new(7);
+        for _ in 0..50_000 {
+            p.observe(rng.range_f64(0.0, 100.0));
+        }
+        let est = p.estimate().unwrap();
+        assert!((est - 50.0).abs() < 2.0, "median est = {est}");
+    }
+
+    #[test]
+    fn p95_of_uniform_converges() {
+        let mut p = P2Quantile::p95();
+        let mut rng = SimRng::new(11);
+        for _ in 0..50_000 {
+            p.observe(rng.range_f64(0.0, 1000.0));
+        }
+        let est = p.estimate().unwrap();
+        assert!((est - 950.0).abs() < 15.0, "p95 est = {est}");
+    }
+
+    #[test]
+    fn p95_of_exponential_close_to_exact() {
+        // exponential(mean 100): p95 = -100 ln(0.05) ≈ 299.6
+        let mut p = P2Quantile::p95();
+        let mut rng = SimRng::new(13);
+        let mut all = Vec::new();
+        for _ in 0..50_000 {
+            let x = rng.exponential(100.0);
+            p.observe(x);
+            all.push(x);
+        }
+        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let exact = all[(0.95 * all.len() as f64) as usize];
+        let est = p.estimate().unwrap();
+        assert!(
+            (est - exact).abs() / exact < 0.08,
+            "est {est} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn observe_time_uses_millis() {
+        let mut p = P2Quantile::new(0.5);
+        for i in 1..=5u64 {
+            p.observe_time(SimTime::from_millis(i * 10));
+        }
+        let est = p.estimate().unwrap();
+        assert!((10.0..=50.0).contains(&est));
+    }
+
+    #[test]
+    fn constant_stream_is_exact() {
+        let mut p = P2Quantile::p95();
+        for _ in 0..1_000 {
+            p.observe(42.0);
+        }
+        assert_eq!(p.estimate(), Some(42.0));
+    }
+}

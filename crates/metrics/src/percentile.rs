@@ -1,0 +1,78 @@
+//! Exact percentile computation.
+//!
+//! Windows in Tango are small (a 100 ms window holds at most a few hundred
+//! samples), so we compute tail percentiles exactly by selection instead of
+//! a streaming sketch — no approximation error in the slack score.
+
+use tango_types::SimTime;
+
+/// The q-th percentile (q in [0, 100]) of a set of latencies using the
+/// nearest-rank method (the convention tail-latency SLOs use: the value at
+/// rank ⌈q/100 × n⌉). Returns `None` on an empty set.
+///
+/// The input does not need to be sorted.
+pub fn percentile(samples: &[SimTime], q: f64) -> Option<SimTime> {
+    if samples.is_empty() {
+        return None;
+    }
+    let q = q.clamp(0.0, 100.0);
+    let n = samples.len();
+    let rank = ((q / 100.0 * n as f64).ceil() as usize).clamp(1, n);
+    let mut sorted: Vec<SimTime> = samples.to_vec();
+    // selection of the (rank-1)-th smallest
+    let idx = rank - 1;
+    sorted.select_nth_unstable(idx);
+    Some(sorted[idx])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    #[test]
+    fn empty_has_no_percentile() {
+        assert_eq!(percentile(&[], 95.0), None);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let s = [ms(42)];
+        assert_eq!(percentile(&s, 0.0), Some(ms(42)));
+        assert_eq!(percentile(&s, 50.0), Some(ms(42)));
+        assert_eq!(percentile(&s, 100.0), Some(ms(42)));
+    }
+
+    #[test]
+    fn nearest_rank_on_known_set() {
+        // 1..=100 ms: p95 = 95th smallest = 95ms
+        let s: Vec<SimTime> = (1..=100).map(ms).collect();
+        assert_eq!(percentile(&s, 95.0), Some(ms(95)));
+        assert_eq!(percentile(&s, 50.0), Some(ms(50)));
+        assert_eq!(percentile(&s, 100.0), Some(ms(100)));
+        assert_eq!(percentile(&s, 1.0), Some(ms(1)));
+    }
+
+    #[test]
+    fn unsorted_input_is_fine() {
+        let s = [ms(30), ms(10), ms(50), ms(20), ms(40)];
+        assert_eq!(percentile(&s, 50.0), Some(ms(30)));
+        assert_eq!(percentile(&s, 95.0), Some(ms(50)));
+    }
+
+    #[test]
+    fn out_of_range_q_clamps() {
+        let s = [ms(1), ms(2), ms(3)];
+        assert_eq!(percentile(&s, -5.0), Some(ms(1)));
+        assert_eq!(percentile(&s, 400.0), Some(ms(3)));
+    }
+
+    #[test]
+    fn duplicates_handled() {
+        let s = [ms(7); 10];
+        assert_eq!(percentile(&s, 95.0), Some(ms(7)));
+    }
+}

@@ -1,0 +1,206 @@
+//! The state storage (Fig. 3 ➋).
+//!
+//! Each master node keeps a store of node status for the clusters it can
+//! dispatch to: resource totals and availability pushed by the
+//! Prometheus-style scraper, plus the QoS slack pushed by the QoS detector.
+//! The LC traffic dispatcher reads it to build its per-type graphs; the BE
+//! traffic dispatcher reads the global one. It is shared between cluster
+//! control threads, so access is guarded by a `parking_lot::RwLock`.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use tango_types::{ClusterId, NodeId, Resources, ServiceId, SimTime};
+
+/// Master or worker (§5.1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeRole {
+    /// Edge access point, controller, decision maker.
+    Master,
+    /// Executes container instances.
+    Worker,
+}
+
+/// Point-in-time status of one node.
+#[derive(Debug, Clone)]
+pub struct NodeSnapshot {
+    /// Which node this describes.
+    pub node: NodeId,
+    /// The cluster it belongs to.
+    pub cluster: ClusterId,
+    /// Master or worker.
+    pub role: NodeRole,
+    /// Total allocatable resources (r_total).
+    pub total: Resources,
+    /// Currently idle resources (r_ava, before counting preemptible BE).
+    pub available: Resources,
+    /// Resources currently held by BE services — preemptible by LC under
+    /// the §4.1 regulations.
+    pub be_held: Resources,
+    /// Per-service QoS slack δ at the last detector push.
+    pub slack: HashMap<ServiceId, f64>,
+    /// Per-service pending request counts (masters only: the t_i^k > 0
+    /// side of Eq. 2).
+    pub pending: HashMap<ServiceId, u32>,
+    /// When this snapshot was pushed.
+    pub updated_at: SimTime,
+}
+
+impl NodeSnapshot {
+    /// Resources an LC request may draw on: idle plus preemptible BE
+    /// holdings (§4.1 — "resources available for scheduling and processing
+    /// LC service requests include both idle resources and resources
+    /// currently being used by BE services").
+    pub fn lc_available(&self) -> Resources {
+        self.available + self.be_held
+    }
+
+    /// Resources a BE request may draw on: idle only.
+    pub fn be_available(&self) -> Resources {
+        self.available
+    }
+}
+
+/// Thread-safe snapshot store.
+#[derive(Debug, Default)]
+pub struct StateStorage {
+    inner: RwLock<HashMap<NodeId, NodeSnapshot>>,
+}
+
+impl StateStorage {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        StateStorage::default()
+    }
+
+    /// Insert or replace a node's snapshot.
+    pub fn push(&self, snap: NodeSnapshot) {
+        self.inner.write().insert(snap.node, snap);
+    }
+
+    /// Copy of one node's snapshot.
+    pub fn get(&self, node: NodeId) -> Option<NodeSnapshot> {
+        self.inner.read().get(&node).cloned()
+    }
+
+    /// Copies of all snapshots, sorted by node id (deterministic order for
+    /// the schedulers).
+    pub fn all(&self) -> Vec<NodeSnapshot> {
+        let mut v: Vec<NodeSnapshot> = self.inner.read().values().cloned().collect();
+        v.sort_by_key(|s| s.node);
+        v
+    }
+
+    /// Snapshots of the nodes in one cluster, sorted by node id.
+    pub fn in_cluster(&self, cluster: ClusterId) -> Vec<NodeSnapshot> {
+        let mut v: Vec<NodeSnapshot> = self
+            .inner
+            .read()
+            .values()
+            .filter(|s| s.cluster == cluster)
+            .cloned()
+            .collect();
+        v.sort_by_key(|s| s.node);
+        v
+    }
+
+    /// Snapshots of the nodes in any of `clusters` (the geo-nearby set for
+    /// LC dispatch), sorted by node id.
+    pub fn in_clusters(&self, clusters: &[ClusterId]) -> Vec<NodeSnapshot> {
+        let mut v: Vec<NodeSnapshot> = self
+            .inner
+            .read()
+            .values()
+            .filter(|s| clusters.contains(&s.cluster))
+            .cloned()
+            .collect();
+        v.sort_by_key(|s| s.node);
+        v
+    }
+
+    /// Number of nodes known.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// `true` if no snapshots have been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(node: u32, cluster: u32, avail_cpu: u64, be_cpu: u64) -> NodeSnapshot {
+        NodeSnapshot {
+            node: NodeId(node),
+            cluster: ClusterId(cluster),
+            role: NodeRole::Worker,
+            total: Resources::cpu_mem(4_000, 8_192),
+            available: Resources::cpu_mem(avail_cpu, 1_024),
+            be_held: Resources::cpu_mem(be_cpu, 512),
+            slack: HashMap::new(),
+            pending: HashMap::new(),
+            updated_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn lc_sees_idle_plus_preemptible_be() {
+        let s = snap(1, 0, 1_000, 500);
+        assert_eq!(s.lc_available().cpu_milli, 1_500);
+        assert_eq!(s.be_available().cpu_milli, 1_000);
+    }
+
+    #[test]
+    fn push_get_replace() {
+        let store = StateStorage::new();
+        assert!(store.is_empty());
+        store.push(snap(1, 0, 100, 0));
+        store.push(snap(1, 0, 200, 0));
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.get(NodeId(1)).unwrap().available.cpu_milli, 200);
+        assert!(store.get(NodeId(9)).is_none());
+    }
+
+    #[test]
+    fn cluster_queries_filter_and_sort() {
+        let store = StateStorage::new();
+        store.push(snap(3, 1, 1, 0));
+        store.push(snap(1, 0, 1, 0));
+        store.push(snap(2, 1, 1, 0));
+        let c1 = store.in_cluster(ClusterId(1));
+        assert_eq!(
+            c1.iter().map(|s| s.node).collect::<Vec<_>>(),
+            vec![NodeId(2), NodeId(3)]
+        );
+        let all = store.all();
+        assert_eq!(
+            all.iter().map(|s| s.node).collect::<Vec<_>>(),
+            vec![NodeId(1), NodeId(2), NodeId(3)]
+        );
+        let multi = store.in_clusters(&[ClusterId(0), ClusterId(1)]);
+        assert_eq!(multi.len(), 3);
+    }
+
+    #[test]
+    fn concurrent_pushes_are_safe() {
+        use std::sync::Arc;
+        let store = Arc::new(StateStorage::new());
+        let handles: Vec<_> = (0..8u32)
+            .map(|t| {
+                let st = Arc::clone(&store);
+                std::thread::spawn(move || {
+                    for i in 0..100u32 {
+                        st.push(snap(t * 1000 + i, t, i as u64, 0));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.len(), 800);
+    }
+}

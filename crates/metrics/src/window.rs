@@ -1,0 +1,139 @@
+//! Sliding latency windows.
+//!
+//! §4.3: "The processing latency of LC service requests on each worker
+//! node is collected within a time window of 100 ms." A [`LatencyWindow`]
+//! keeps the (timestamp, latency) pairs of the last `width` of simulated
+//! time and answers tail-percentile queries over them.
+
+use crate::percentile::percentile;
+use std::collections::VecDeque;
+use tango_types::SimTime;
+
+/// A time-bounded window of latency samples.
+#[derive(Debug, Clone)]
+pub struct LatencyWindow {
+    width: SimTime,
+    samples: VecDeque<(SimTime, SimTime)>,
+}
+
+impl LatencyWindow {
+    /// Create a window covering the trailing `width` of time.
+    pub fn new(width: SimTime) -> Self {
+        LatencyWindow {
+            width,
+            samples: VecDeque::new(),
+        }
+    }
+
+    /// The paper's 100 ms window.
+    pub fn paper_default() -> Self {
+        LatencyWindow::new(SimTime::from_millis(100))
+    }
+
+    /// Record a completed request's latency observed at time `at`.
+    /// Samples must arrive in non-decreasing `at` order (the simulator
+    /// guarantees this); out-of-order samples are still accepted but may
+    /// be evicted early.
+    pub fn record(&mut self, at: SimTime, latency: SimTime) {
+        self.samples.push_back((at, latency));
+    }
+
+    /// Drop samples older than `now − width`.
+    pub fn evict(&mut self, now: SimTime) {
+        let cutoff = now.saturating_since(self.width);
+        while let Some(&(at, _)) = self.samples.front() {
+            if at < cutoff {
+                self.samples.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Number of samples currently in the window (after eviction at `now`).
+    pub fn count(&mut self, now: SimTime) -> usize {
+        self.evict(now);
+        self.samples.len()
+    }
+
+    /// Tail latency ξ: the p-th percentile of samples within the window at
+    /// `now`. `None` when the window is empty.
+    pub fn tail(&mut self, now: SimTime, p: f64) -> Option<SimTime> {
+        self.evict(now);
+        let lats: Vec<SimTime> = self.samples.iter().map(|&(_, l)| l).collect();
+        percentile(&lats, p)
+    }
+
+    /// p95 — the paper's QoS metric.
+    pub fn p95(&mut self, now: SimTime) -> Option<SimTime> {
+        self.tail(now, 95.0)
+    }
+
+    /// Mean latency over the window, for reporting.
+    pub fn mean(&mut self, now: SimTime) -> Option<SimTime> {
+        self.evict(now);
+        if self.samples.is_empty() {
+            return None;
+        }
+        let sum: u64 = self.samples.iter().map(|&(_, l)| l.as_micros()).sum();
+        Some(SimTime::from_micros(sum / self.samples.len() as u64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    #[test]
+    fn empty_window_has_no_tail() {
+        let mut w = LatencyWindow::paper_default();
+        assert_eq!(w.p95(ms(1_000)), None);
+        assert_eq!(w.mean(ms(1_000)), None);
+        assert_eq!(w.count(ms(1_000)), 0);
+    }
+
+    #[test]
+    fn samples_age_out_after_width() {
+        let mut w = LatencyWindow::new(ms(100));
+        w.record(ms(0), ms(10));
+        w.record(ms(50), ms(20));
+        w.record(ms(120), ms(30));
+        // at t=130: cutoff 30 -> the t=0 sample is gone
+        assert_eq!(w.count(ms(130)), 2);
+        // at t=220: cutoff 120 -> only the t=120 sample remains
+        assert_eq!(w.count(ms(220)), 1);
+        assert_eq!(w.p95(ms(220)), Some(ms(30)));
+        // far future: empty
+        assert_eq!(w.count(ms(1_000)), 0);
+    }
+
+    #[test]
+    fn boundary_sample_exactly_at_cutoff_is_kept() {
+        let mut w = LatencyWindow::new(ms(100));
+        w.record(ms(100), ms(5));
+        // cutoff at t=200 is 100; sample at 100 is NOT older than cutoff
+        assert_eq!(w.count(ms(200)), 1);
+        assert_eq!(w.count(ms(201)), 0);
+    }
+
+    #[test]
+    fn p95_over_window_contents() {
+        let mut w = LatencyWindow::new(ms(1_000));
+        for i in 1..=100u64 {
+            w.record(ms(i), ms(i));
+        }
+        assert_eq!(w.p95(ms(100)), Some(ms(95)));
+    }
+
+    #[test]
+    fn mean_is_average() {
+        let mut w = LatencyWindow::new(ms(1_000));
+        w.record(ms(1), ms(10));
+        w.record(ms(2), ms(30));
+        assert_eq!(w.mean(ms(3)), Some(ms(20)));
+    }
+}

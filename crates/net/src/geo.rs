@@ -1,0 +1,99 @@
+//! Geographic coordinates and great-circle distance.
+
+use std::f64::consts::PI;
+
+/// Mean Earth radius in kilometres.
+pub const EARTH_RADIUS_KM: f64 = 6_371.0;
+
+/// A point on the Earth's surface.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeoPoint {
+    /// Latitude in degrees, [-90, 90].
+    pub lat_deg: f64,
+    /// Longitude in degrees, [-180, 180].
+    pub lon_deg: f64,
+}
+
+impl GeoPoint {
+    /// Construct a point; inputs are clamped/wrapped to valid ranges.
+    pub fn new(lat_deg: f64, lon_deg: f64) -> Self {
+        let lat = lat_deg.clamp(-90.0, 90.0);
+        let mut lon = lon_deg % 360.0;
+        if lon > 180.0 {
+            lon -= 360.0;
+        } else if lon < -180.0 {
+            lon += 360.0;
+        }
+        GeoPoint {
+            lat_deg: lat,
+            lon_deg: lon,
+        }
+    }
+
+    /// Great-circle distance to another point, in kilometres (haversine).
+    pub fn distance_km(&self, other: &GeoPoint) -> f64 {
+        let to_rad = |d: f64| d * PI / 180.0;
+        let (lat1, lon1) = (to_rad(self.lat_deg), to_rad(self.lon_deg));
+        let (lat2, lon2) = (to_rad(other.lat_deg), to_rad(other.lon_deg));
+        let dlat = lat2 - lat1;
+        let dlon = lon2 - lon1;
+        let a = (dlat / 2.0).sin().powi(2)
+            + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_KM * a.sqrt().asin()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_distance_to_self() {
+        let p = GeoPoint::new(39.1, 117.2); // Tianjin
+        assert!(p.distance_km(&p) < 1e-9);
+    }
+
+    #[test]
+    fn known_distance_tianjin_beijing() {
+        // Tianjin (39.12, 117.20) to Beijing (39.90, 116.40): ~110-115 km
+        let tj = GeoPoint::new(39.12, 117.20);
+        let bj = GeoPoint::new(39.90, 116.40);
+        let d = tj.distance_km(&bj);
+        assert!((100.0..130.0).contains(&d), "d = {d}");
+    }
+
+    #[test]
+    fn known_distance_shanghai_shenzhen() {
+        // Shanghai (31.23, 121.47) to Shenzhen (22.54, 114.06): ~1,200 km
+        let sh = GeoPoint::new(31.23, 121.47);
+        let sz = GeoPoint::new(22.54, 114.06);
+        let d = sh.distance_km(&sz);
+        assert!((1_100.0..1_300.0).contains(&d), "d = {d}");
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = GeoPoint::new(10.0, 20.0);
+        let b = GeoPoint::new(-30.0, 150.0);
+        assert!((a.distance_km(&b) - b.distance_km(&a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coordinates_clamp_and_wrap() {
+        let p = GeoPoint::new(95.0, 190.0);
+        assert_eq!(p.lat_deg, 90.0);
+        assert_eq!(p.lon_deg, -170.0);
+        let q = GeoPoint::new(-95.0, -190.0);
+        assert_eq!(q.lat_deg, -90.0);
+        assert_eq!(q.lon_deg, 170.0);
+    }
+
+    #[test]
+    fn antipodal_distance_near_half_circumference() {
+        let a = GeoPoint::new(0.0, 0.0);
+        let b = GeoPoint::new(0.0, 180.0);
+        let d = a.distance_km(&b);
+        let half = PI * EARTH_RADIUS_KM;
+        assert!((d - half).abs() < 1.0, "d = {d}, half = {half}");
+    }
+}

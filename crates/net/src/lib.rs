@@ -1,0 +1,18 @@
+//! The edge-cloud network model.
+//!
+//! Clusters are placed on a geographic map; nodes inside a cluster talk
+//! over a LAN (sub-millisecond), clusters talk over a WAN whose latency is
+//! derived from great-circle distance — the paper's production measurements
+//! report round-trips to the central cluster exceeding 97 ms, and restrict
+//! LC dispatch to clusters within 500 km (§5.2 footnote 4). The paper shapes
+//! its physical testbed with Linux `tc`; this crate plays the same role for
+//! the simulation.
+//!
+//! Transmission time of a request = one-way propagation latency + payload
+//! serialization over the link's bandwidth.
+
+pub mod geo;
+pub mod topology;
+
+pub use geo::GeoPoint;
+pub use topology::{LinkClass, NetworkTopology, TopologyConfig};

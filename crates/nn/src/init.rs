@@ -1,0 +1,54 @@
+//! Weight initialization.
+
+use crate::tensor::Matrix;
+use tango_simcore::SimRng;
+
+/// He (Kaiming) normal initialization for a `fan_in × fan_out` weight
+/// matrix — the right scaling for ReLU networks.
+pub fn he_normal(fan_in: usize, fan_out: usize, rng: &mut SimRng) -> Matrix {
+    let std = (2.0 / fan_in.max(1) as f64).sqrt();
+    let data: Vec<f32> = (0..fan_in * fan_out)
+        .map(|_| (rng.standard_normal() * std) as f32)
+        .collect();
+    Matrix::from_vec(fan_in, fan_out, data).expect("shape by construction")
+}
+
+/// Xavier/Glorot uniform initialization, for tanh/linear output layers.
+pub fn xavier_uniform(fan_in: usize, fan_out: usize, rng: &mut SimRng) -> Matrix {
+    let limit = (6.0 / (fan_in + fan_out).max(1) as f64).sqrt();
+    let data: Vec<f32> = (0..fan_in * fan_out)
+        .map(|_| rng.range_f64(-limit, limit) as f32)
+        .collect();
+    Matrix::from_vec(fan_in, fan_out, data).expect("shape by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn he_variance_roughly_two_over_fan_in() {
+        let mut rng = SimRng::new(1);
+        let w = he_normal(100, 200, &mut rng);
+        let n = (w.rows * w.cols) as f32;
+        let mean: f32 = w.as_slice().iter().sum::<f32>() / n;
+        let var: f32 = w.as_slice().iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / n;
+        assert!(mean.abs() < 0.01, "mean={mean}");
+        assert!((var - 0.02).abs() < 0.005, "var={var}");
+    }
+
+    #[test]
+    fn xavier_respects_limit() {
+        let mut rng = SimRng::new(2);
+        let w = xavier_uniform(50, 50, &mut rng);
+        let limit = (6.0f32 / 100.0).sqrt();
+        assert!(w.as_slice().iter().all(|v| v.abs() <= limit));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = he_normal(10, 10, &mut SimRng::new(5));
+        let b = he_normal(10, 10, &mut SimRng::new(5));
+        assert_eq!(a, b);
+    }
+}

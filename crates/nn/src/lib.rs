@@ -1,0 +1,19 @@
+//! A minimal dense neural-network library.
+//!
+//! DCG-BE's networks are tiny — a two-hop GraphSAGE encoder and 3-layer
+//! ReLU MLPs of 256/128/32 hidden units trained with Adam at lr = 2 × 10⁻⁴
+//! (§5.3.2) — so rather than binding a framework we implement exactly what
+//! the paper needs: row-major `f32` matrices, linear layers with manual
+//! backprop, ReLU/tanh/softmax, and Adam. Gradient correctness is pinned by
+//! finite-difference tests.
+
+pub mod adam;
+pub mod init;
+pub mod linear;
+pub mod mlp;
+pub mod tensor;
+
+pub use adam::Adam;
+pub use linear::Linear;
+pub use mlp::Mlp;
+pub use tensor::Matrix;

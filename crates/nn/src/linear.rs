@@ -1,0 +1,206 @@
+//! A fully-connected layer with manual backprop.
+
+use crate::init::he_normal;
+use crate::tensor::Matrix;
+use tango_simcore::SimRng;
+
+/// `y = x·W + b` with cached activations for the backward pass.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    /// Weights, `in_dim × out_dim`.
+    pub w: Matrix,
+    /// Bias, length `out_dim`.
+    pub b: Vec<f32>,
+    /// ∂L/∂W accumulated by `backward`.
+    pub grad_w: Matrix,
+    /// ∂L/∂b accumulated by `backward`.
+    pub grad_b: Vec<f32>,
+    cached_input: Option<Matrix>,
+}
+
+impl Linear {
+    /// He-initialized layer.
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut SimRng) -> Self {
+        Linear {
+            w: he_normal(in_dim, out_dim, rng),
+            b: vec![0.0; out_dim],
+            grad_w: Matrix::zeros(in_dim, out_dim),
+            grad_b: vec![0.0; out_dim],
+            cached_input: None,
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.w.rows
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.w.cols
+    }
+
+    /// Forward pass on a batch (`batch × in_dim`), caching the input.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols, self.w.rows, "linear forward dim mismatch");
+        let mut y = x.matmul(&self.w);
+        y.add_row_broadcast(&self.b);
+        self.cached_input = Some(x.clone());
+        y
+    }
+
+    /// Forward without caching (inference only).
+    pub fn forward_inference(&self, x: &Matrix) -> Matrix {
+        let mut y = x.matmul(&self.w);
+        y.add_row_broadcast(&self.b);
+        y
+    }
+
+    /// Backward pass: given ∂L/∂y, accumulate ∂L/∂W and ∂L/∂b and return
+    /// ∂L/∂x. Must follow a `forward` call.
+    pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let x = self
+            .cached_input
+            .as_ref()
+            .expect("backward called before forward");
+        assert_eq!(grad_out.rows, x.rows, "batch size mismatch in backward");
+        // dW = xᵀ · dY
+        self.grad_w.add_assign(&x.t_matmul(grad_out));
+        // db = column sums of dY
+        for r in 0..grad_out.rows {
+            for (c, &g) in grad_out.row(r).iter().enumerate() {
+                self.grad_b[c] += g;
+            }
+        }
+        // dX = dY · Wᵀ
+        grad_out.matmul_t(&self.w)
+    }
+
+    /// Clear accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.grad_w = Matrix::zeros(self.w.rows, self.w.cols);
+        self.grad_b.iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    /// (parameter, gradient) slices for the optimizer: weights then bias.
+    pub fn params_and_grads(&mut self) -> [(&mut [f32], &[f32]); 2] {
+        let Linear {
+            w, b, grad_w, grad_b, ..
+        } = self;
+        [
+            (w.as_mut_slice(), grad_w.as_slice()),
+            (b.as_mut_slice(), grad_b.as_slice()),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Finite-difference check of dW, db and dX.
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = SimRng::new(11);
+        let mut layer = Linear::new(4, 3, &mut rng);
+        let x = Matrix::from_vec(
+            2,
+            4,
+            vec![0.5, -1.0, 2.0, 0.1, 1.5, 0.3, -0.7, 0.9],
+        )
+        .unwrap();
+
+        // loss = sum(y^2)/2 so dL/dy = y
+        let loss = |layer: &Linear, x: &Matrix| -> f64 {
+            let y = layer.forward_inference(x);
+            y.as_slice().iter().map(|&v| (v as f64).powi(2)).sum::<f64>() / 2.0
+        };
+
+        let y = layer.forward(&x);
+        let grad_in = layer.backward(&y);
+
+        let eps = 1e-3f32;
+        // check dW entries
+        for idx in [0usize, 5, 11] {
+            let orig = layer.w.as_slice()[idx];
+            layer.w.as_mut_slice()[idx] = orig + eps;
+            let lp = loss(&layer, &x);
+            layer.w.as_mut_slice()[idx] = orig - eps;
+            let lm = loss(&layer, &x);
+            layer.w.as_mut_slice()[idx] = orig;
+            let num = (lp - lm) / (2.0 * eps as f64);
+            let ana = layer.grad_w.as_slice()[idx] as f64;
+            assert!(
+                (num - ana).abs() < 1e-2 * (1.0 + ana.abs()),
+                "dW[{idx}]: num {num} vs ana {ana}"
+            );
+        }
+        // check db entries
+        for idx in 0..3 {
+            let orig = layer.b[idx];
+            layer.b[idx] = orig + eps;
+            let lp = loss(&layer, &x);
+            layer.b[idx] = orig - eps;
+            let lm = loss(&layer, &x);
+            layer.b[idx] = orig;
+            let num = (lp - lm) / (2.0 * eps as f64);
+            let ana = layer.grad_b[idx] as f64;
+            assert!(
+                (num - ana).abs() < 1e-2 * (1.0 + ana.abs()),
+                "db[{idx}]: num {num} vs ana {ana}"
+            );
+        }
+        // check dX entries
+        let mut x2 = x.clone();
+        for idx in [0usize, 3, 7] {
+            let orig = x2.as_slice()[idx];
+            x2.as_mut_slice()[idx] = orig + eps;
+            let lp = loss(&layer, &x2);
+            x2.as_mut_slice()[idx] = orig - eps;
+            let lm = loss(&layer, &x2);
+            x2.as_mut_slice()[idx] = orig;
+            let num = (lp - lm) / (2.0 * eps as f64);
+            let ana = grad_in.as_slice()[idx] as f64;
+            assert!(
+                (num - ana).abs() < 1e-2 * (1.0 + ana.abs()),
+                "dX[{idx}]: num {num} vs ana {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn forward_inference_matches_forward() {
+        let mut rng = SimRng::new(3);
+        let mut layer = Linear::new(5, 2, &mut rng);
+        let x = Matrix::from_vec(1, 5, vec![1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(layer.forward(&x), layer.forward_inference(&x));
+    }
+
+    #[test]
+    fn gradients_accumulate_until_zeroed() {
+        let mut rng = SimRng::new(7);
+        let mut layer = Linear::new(2, 2, &mut rng);
+        let x = Matrix::from_vec(1, 2, vec![1.0, 1.0]).unwrap();
+        let g = Matrix::from_vec(1, 2, vec![1.0, 1.0]).unwrap();
+        layer.forward(&x);
+        layer.backward(&g);
+        let once = layer.grad_w.as_slice().to_vec();
+        layer.forward(&x);
+        layer.backward(&g);
+        for (a, b) in layer.grad_w.as_slice().iter().zip(&once) {
+            assert!((a - 2.0 * b).abs() < 1e-6);
+        }
+        layer.zero_grad();
+        assert!(layer.grad_w.as_slice().iter().all(|&v| v == 0.0));
+        assert!(layer.grad_b.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "backward called before forward")]
+    fn backward_without_forward_panics() {
+        let mut rng = SimRng::new(1);
+        let mut layer = Linear::new(2, 2, &mut rng);
+        let g = Matrix::zeros(1, 2);
+        layer.backward(&g);
+    }
+}

@@ -1,0 +1,270 @@
+//! Multi-layer perceptron: Linear→ReLU stacks with a linear output layer.
+//!
+//! The paper's actor and critic are "three-layer ReLU NN with 256, 128 and
+//! 32 hidden units per layer" (§5.3.2); [`Mlp::paper_head`] builds exactly
+//! that shape.
+
+use crate::adam::Adam;
+use crate::linear::Linear;
+use crate::tensor::Matrix;
+use tango_simcore::SimRng;
+
+/// An MLP with ReLU hidden activations, a linear output, and an embedded
+/// Adam optimizer.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    /// ReLU masks cached per hidden layer during `forward`.
+    masks: Vec<Matrix>,
+    adam: Adam,
+    /// (weight slot, bias slot) per layer.
+    slots: Vec<(usize, usize)>,
+}
+
+impl Mlp {
+    /// Build an MLP with the given layer dimensions, e.g. `[in, 256, 128,
+    /// 32, out]`, and an Adam optimizer at `lr`.
+    pub fn new(dims: &[usize], lr: f32, rng: &mut SimRng) -> Self {
+        assert!(dims.len() >= 2, "need at least input and output dims");
+        let mut layers = Vec::with_capacity(dims.len() - 1);
+        let mut adam = Adam::new(lr);
+        let mut slots = Vec::new();
+        for w in dims.windows(2) {
+            let layer = Linear::new(w[0], w[1], rng);
+            let ws = adam.register(w[0] * w[1]);
+            let bs = adam.register(w[1]);
+            slots.push((ws, bs));
+            layers.push(layer);
+        }
+        Mlp {
+            layers,
+            masks: Vec::new(),
+            adam,
+            slots,
+        }
+    }
+
+    /// The paper's 256/128/32 head with the paper's learning rate.
+    pub fn paper_head(in_dim: usize, out_dim: usize, rng: &mut SimRng) -> Self {
+        Mlp::new(&[in_dim, 256, 128, 32, out_dim], 2e-4, rng)
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.layers[0].in_dim()
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("nonempty").out_dim()
+    }
+
+    /// Total trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.w.rows * l.w.cols + l.b.len())
+            .sum()
+    }
+
+    /// Training forward pass (caches activations for backward).
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        self.masks.clear();
+        let n = self.layers.len();
+        let mut h = x.clone();
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            h = layer.forward(&h);
+            if i + 1 < n {
+                let mask = h.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+                h = h.map(|v| v.max(0.0));
+                self.masks.push(mask);
+            }
+        }
+        h
+    }
+
+    /// Inference forward pass (no caches touched).
+    pub fn forward_inference(&self, x: &Matrix) -> Matrix {
+        let n = self.layers.len();
+        let mut h = x.clone();
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward_inference(&h);
+            if i + 1 < n {
+                h = h.map(|v| v.max(0.0));
+            }
+        }
+        h
+    }
+
+    /// Backward pass from ∂L/∂output; accumulates layer gradients and
+    /// returns ∂L/∂input.
+    pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let n = self.layers.len();
+        let mut g = grad_out.clone();
+        for i in (0..n).rev() {
+            if i + 1 < n {
+                g = g.hadamard(&self.masks[i]);
+            }
+            g = self.layers[i].backward(&g);
+        }
+        g
+    }
+
+    /// Apply one Adam step from the accumulated gradients, then zero them.
+    pub fn step(&mut self) {
+        self.adam.begin_step();
+        for (layer, &(ws, bs)) in self.layers.iter_mut().zip(&self.slots) {
+            let [(w, gw), (b, gb)] = layer.params_and_grads();
+            // split borrows: copy grads out (they're small)
+            let gw = gw.to_vec();
+            let gb = gb.to_vec();
+            self.adam.update(ws, w, &gw);
+            self.adam.update(bs, b, &gb);
+        }
+        for layer in &mut self.layers {
+            layer.zero_grad();
+        }
+    }
+
+    /// Zero gradients without stepping.
+    pub fn zero_grad(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grad();
+        }
+    }
+
+    /// Copy all parameters from another identically-shaped MLP (target
+    /// network sync in SAC).
+    pub fn copy_params_from(&mut self, other: &Mlp) {
+        assert_eq!(self.layers.len(), other.layers.len());
+        for (a, b) in self.layers.iter_mut().zip(&other.layers) {
+            a.w = b.w.clone();
+            a.b = b.b.clone();
+        }
+    }
+
+    /// Soft-update parameters: θ ← τ·θ_src + (1−τ)·θ (Polyak averaging).
+    pub fn polyak_from(&mut self, other: &Mlp, tau: f32) {
+        assert_eq!(self.layers.len(), other.layers.len());
+        for (a, b) in self.layers.iter_mut().zip(&other.layers) {
+            for (x, &y) in a.w.as_mut_slice().iter_mut().zip(b.w.as_slice()) {
+                *x = tau * y + (1.0 - tau) * *x;
+            }
+            for (x, &y) in a.b.iter_mut().zip(&b.b) {
+                *x = tau * y + (1.0 - tau) * *x;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_head_shape() {
+        let mut rng = SimRng::new(1);
+        let mlp = Mlp::paper_head(16, 4, &mut rng);
+        assert_eq!(mlp.in_dim(), 16);
+        assert_eq!(mlp.out_dim(), 4);
+        // params: 16*256+256 + 256*128+128 + 128*32+32 + 32*4+4
+        assert_eq!(
+            mlp.param_count(),
+            16 * 256 + 256 + 256 * 128 + 128 + 128 * 32 + 32 + 32 * 4 + 4
+        );
+    }
+
+    #[test]
+    fn inference_matches_training_forward() {
+        let mut rng = SimRng::new(2);
+        let mut mlp = Mlp::new(&[3, 8, 2], 1e-3, &mut rng);
+        let x = Matrix::from_vec(2, 3, vec![0.1, -0.5, 2.0, 1.0, 1.0, -1.0]).unwrap();
+        let a = mlp.forward(&x);
+        let b = mlp.forward_inference(&x);
+        assert_eq!(a, b);
+    }
+
+    /// End-to-end gradient check through ReLU layers.
+    #[test]
+    fn mlp_gradient_matches_finite_differences() {
+        let mut rng = SimRng::new(9);
+        let mut mlp = Mlp::new(&[4, 6, 3], 1e-3, &mut rng);
+        let x = Matrix::from_vec(2, 4, vec![0.3, -0.2, 0.8, 1.1, -0.6, 0.4, 0.9, -1.2]).unwrap();
+        let loss = |m: &Mlp, x: &Matrix| -> f64 {
+            let y = m.forward_inference(x);
+            y.as_slice().iter().map(|&v| (v as f64).powi(2)).sum::<f64>() / 2.0
+        };
+        let y = mlp.forward(&x);
+        mlp.backward(&y);
+        let eps = 1e-3f32;
+        // probe a few weights in each layer
+        for li in 0..2 {
+            for idx in [0usize, 3, 7] {
+                let orig = mlp.layers[li].w.as_slice()[idx];
+                mlp.layers[li].w.as_mut_slice()[idx] = orig + eps;
+                let lp = loss(&mlp, &x);
+                mlp.layers[li].w.as_mut_slice()[idx] = orig - eps;
+                let lm = loss(&mlp, &x);
+                mlp.layers[li].w.as_mut_slice()[idx] = orig;
+                let num = (lp - lm) / (2.0 * eps as f64);
+                let ana = mlp.layers[li].grad_w.as_slice()[idx] as f64;
+                assert!(
+                    (num - ana).abs() < 2e-2 * (1.0 + ana.abs()),
+                    "layer {li} w[{idx}]: num {num} ana {ana}"
+                );
+            }
+        }
+    }
+
+    /// Train a tiny MLP to fit XOR — exercises forward/backward/step
+    /// together.
+    #[test]
+    fn learns_xor() {
+        let mut rng = SimRng::new(77);
+        let mut mlp = Mlp::new(&[2, 16, 1], 0.02, &mut rng);
+        let x = Matrix::from_vec(4, 2, vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0]).unwrap();
+        let t = [0.0f32, 1.0, 1.0, 0.0];
+        for _ in 0..800 {
+            let y = mlp.forward(&x);
+            // MSE grad
+            let mut g = Matrix::zeros(4, 1);
+            for (r, &want) in t.iter().enumerate() {
+                g.set(r, 0, (y.get(r, 0) - want) / 4.0);
+            }
+            mlp.backward(&g);
+            mlp.step();
+        }
+        let y = mlp.forward_inference(&x);
+        for (r, &want) in t.iter().enumerate() {
+            assert!(
+                (y.get(r, 0) - want).abs() < 0.25,
+                "xor[{r}] = {} want {want}",
+                y.get(r, 0)
+            );
+        }
+    }
+
+    #[test]
+    fn copy_and_polyak_sync_parameters() {
+        let mut rng = SimRng::new(5);
+        let src = Mlp::new(&[2, 4, 1], 1e-3, &mut rng);
+        let mut dst = Mlp::new(&[2, 4, 1], 1e-3, &mut rng);
+        dst.copy_params_from(&src);
+        assert_eq!(dst.layers[0].w, src.layers[0].w);
+        // polyak with tau=1 equals copy
+        let mut dst2 = Mlp::new(&[2, 4, 1], 1e-3, &mut rng);
+        dst2.polyak_from(&src, 1.0);
+        assert_eq!(dst2.layers[1].w, src.layers[1].w);
+        // tau=0 is a no-op
+        let before = dst.layers[0].w.clone();
+        dst.polyak_from(&dst2, 0.0);
+        assert_eq!(dst.layers[0].w, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least input and output")]
+    fn degenerate_dims_panic() {
+        let mut rng = SimRng::new(1);
+        let _ = Mlp::new(&[4], 1e-3, &mut rng);
+    }
+}

@@ -1,0 +1,368 @@
+//! Row-major `f32` matrices with the operations the NN stack needs.
+
+use tango_types::TangoError;
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// All-zeros matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Build from a flat row-major vector. Errors on length mismatch.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self, TangoError> {
+        if data.len() != rows * cols {
+            return Err(TangoError::NnShape(format!(
+                "from_vec: {}x{} needs {} values, got {}",
+                rows,
+                cols,
+                rows * cols,
+                data.len()
+            )));
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// A 1×n row vector.
+    pub fn row_vector(data: Vec<f32>) -> Self {
+        let cols = data.len();
+        Matrix {
+            rows: 1,
+            cols,
+            data,
+        }
+    }
+
+    /// Element at (r, c).
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Set element at (r, c).
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Flat row-major view.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Flat mutable row-major view.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// One row as a slice.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// One row, mutable.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// `self · other` (rows×cols · cols×k). Panics on shape mismatch.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} · {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        // i-k-j loop order for cache-friendly access to `other`
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = other.row(k);
+                let out_row = out.row_mut(i);
+                for (j, &b) in orow.iter().enumerate() {
+                    out_row[j] += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · other` without materializing the transpose.
+    pub fn t_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, other.rows,
+            "t_matmul shape mismatch: {}x{} ᵀ· {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for r in 0..self.rows {
+            let arow = self.row(r);
+            let brow = other.row(r);
+            for (i, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = out.row_mut(i);
+                for (j, &b) in brow.iter().enumerate() {
+                    out_row[j] += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · otherᵀ` without materializing the transpose.
+    pub fn matmul_t(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_t shape mismatch: {}x{} · {}x{}ᵀ",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let arow = self.row(i);
+            for j in 0..other.rows {
+                let brow = other.row(j);
+                let dot: f32 = arow.iter().zip(brow).map(|(&a, &b)| a * b).sum();
+                out.set(i, j, dot);
+            }
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(c, r, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Element-wise sum; panics on shape mismatch.
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| a + b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// In-place element-wise add.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Add a row vector to every row (bias broadcast).
+    pub fn add_row_broadcast(&mut self, bias: &[f32]) {
+        assert_eq!(self.cols, bias.len());
+        for r in 0..self.rows {
+            for (v, &b) in self.row_mut(r).iter_mut().zip(bias) {
+                *v += b;
+            }
+        }
+    }
+
+    /// Element-wise (Hadamard) product.
+    pub fn hadamard(&self, other: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| a * b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Scale all elements.
+    pub fn scale(&self, s: f32) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&a| a * s).collect(),
+        }
+    }
+
+    /// Apply a function element-wise.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&a| f(a)).collect(),
+        }
+    }
+
+    /// Mean of each column → 1×cols row vector.
+    pub fn mean_rows(&self) -> Matrix {
+        let mut out = Matrix::zeros(1, self.cols);
+        if self.rows == 0 {
+            return out;
+        }
+        for r in 0..self.rows {
+            for (c, &v) in self.row(r).iter().enumerate() {
+                out.data[c] += v;
+            }
+        }
+        let inv = 1.0 / self.rows as f32;
+        for v in &mut out.data {
+            *v *= inv;
+        }
+        out
+    }
+
+    /// Row-wise numerically stable softmax.
+    pub fn softmax_rows(&self) -> Matrix {
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            let row = out.row_mut(r);
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            if sum > 0.0 {
+                for v in row.iter_mut() {
+                    *v /= sum;
+                }
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|&v| v * v).sum::<f32>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: usize, cols: usize, v: &[f32]) -> Matrix {
+        Matrix::from_vec(rows, cols, v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn from_vec_validates_shape() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 4]).is_ok());
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 3]).is_err());
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn transpose_variants_agree() {
+        let a = m(2, 3, &[1.0, -2.0, 3.0, 0.5, 4.0, -1.0]);
+        let b = m(2, 4, &[2.0, 0.0, 1.0, -1.0, 3.0, 1.0, 0.0, 2.0]);
+        // aᵀ·b  via t_matmul vs explicit transpose
+        let t1 = a.t_matmul(&b);
+        let t2 = a.transpose().matmul(&b);
+        assert_eq!(t1, t2);
+        // a·cᵀ via matmul_t vs explicit
+        let c = m(4, 3, &[1.0, 0.0, 2.0, 0.0, 1.0, 0.0, 2.0, 2.0, 2.0, -1.0, 0.0, 1.0]);
+        let u1 = a.matmul_t(&c);
+        let u2 = a.matmul(&c.transpose());
+        assert_eq!(u1, u2);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = m(1, 3, &[1.0, 2.0, 3.0]);
+        let b = m(1, 3, &[4.0, 5.0, 6.0]);
+        assert_eq!(a.add(&b).as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(a.hadamard(&b).as_slice(), &[4.0, 10.0, 18.0]);
+        assert_eq!(a.scale(2.0).as_slice(), &[2.0, 4.0, 6.0]);
+        assert_eq!(a.map(|x| x * x).as_slice(), &[1.0, 4.0, 9.0]);
+        let mut c = a.clone();
+        c.add_assign(&b);
+        assert_eq!(c.as_slice(), &[5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn bias_broadcast_adds_to_each_row() {
+        let mut a = Matrix::zeros(2, 2);
+        a.add_row_broadcast(&[1.0, 2.0]);
+        assert_eq!(a.as_slice(), &[1.0, 2.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn mean_rows_averages() {
+        let a = m(2, 2, &[1.0, 10.0, 3.0, 20.0]);
+        let mu = a.mean_rows();
+        assert_eq!(mu.as_slice(), &[2.0, 15.0]);
+        // empty matrix -> zeros
+        let e = Matrix::zeros(0, 3);
+        assert_eq!(e.mean_rows().as_slice(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn softmax_rows_is_a_distribution_and_stable() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 1000.0, 1000.0, 1000.0]);
+        let s = a.softmax_rows();
+        for r in 0..2 {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+        // big logits don't overflow
+        assert!((s.get(1, 0) - 1.0 / 3.0).abs() < 1e-5);
+        // ordering preserved
+        assert!(s.get(0, 2) > s.get(0, 1));
+    }
+
+    #[test]
+    fn norm_is_frobenius() {
+        let a = m(1, 2, &[3.0, 4.0]);
+        assert!((a.norm() - 5.0).abs() < 1e-6);
+    }
+}

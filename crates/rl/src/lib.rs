@@ -1,0 +1,92 @@
+//! Deep-reinforcement-learning agents for BE request scheduling.
+//!
+//! * [`a2c`] — the Advantage Actor-Critic learner DCG-BE uses (§5.3.2):
+//!   a GNN encoder feeds a per-node actor head (shared MLP producing one
+//!   logit per candidate node, masked by the policy-context filter c_t)
+//!   and a pooled critic head. Trained on-policy with n-step returns.
+//! * [`sac`] — a discrete Soft Actor-Critic agent, the "GNN-SAC" baseline
+//!   of Fig. 11(c): twin Q heads, target networks with Polyak averaging,
+//!   entropy-regularized policy updates from a replay buffer.
+//!
+//! Both agents share the same action interface: given a [`FeatureGraph`]
+//! over candidate nodes and a validity mask, return the node to schedule
+//! the request on. Gradients flow through the actor/critic/Q heads *and*
+//! the graph encoder.
+
+pub mod a2c;
+pub mod replay;
+pub mod sac;
+
+pub use a2c::{A2cAgent, A2cConfig};
+pub use replay::ReplayBuffer;
+pub use sac::{SacAgent, SacConfig};
+
+use tango_gnn::FeatureGraph;
+
+/// Sample (graph, mask) → action interface shared by the agents, so the
+/// scheduler can swap learners.
+pub trait Agent {
+    /// Choose a node for the current request. `None` when the mask has no
+    /// valid entry.
+    fn act(&mut self, graph: &FeatureGraph, mask: &[bool]) -> Option<usize>;
+
+    /// Report the reward for the *previous* `act` and the state that
+    /// followed it; the agent trains itself when it has enough samples.
+    fn observe(&mut self, reward: f32, next_graph: &FeatureGraph, next_mask: &[bool], done: bool);
+}
+
+/// Masked, numerically-stable softmax over logits; invalid entries get
+/// probability zero. Returns `None` when no entry is valid.
+pub(crate) fn masked_softmax(logits: &[f32], mask: &[bool]) -> Option<Vec<f32>> {
+    debug_assert_eq!(logits.len(), mask.len());
+    let mut max = f32::NEG_INFINITY;
+    for (i, &l) in logits.iter().enumerate() {
+        if mask[i] && l > max {
+            max = l;
+        }
+    }
+    if max == f32::NEG_INFINITY {
+        return None;
+    }
+    let mut probs = vec![0.0f32; logits.len()];
+    let mut sum = 0.0f32;
+    for i in 0..logits.len() {
+        if mask[i] {
+            let e = (logits[i] - max).exp();
+            probs[i] = e;
+            sum += e;
+        }
+    }
+    if sum <= 0.0 {
+        return None;
+    }
+    for p in &mut probs {
+        *p /= sum;
+    }
+    Some(probs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masked_softmax_zeroes_invalid() {
+        let p = masked_softmax(&[1.0, 2.0, 3.0], &[true, false, true]).unwrap();
+        assert_eq!(p[1], 0.0);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(p[2] > p[0]);
+    }
+
+    #[test]
+    fn masked_softmax_all_invalid_is_none() {
+        assert_eq!(masked_softmax(&[1.0, 2.0], &[false, false]), None);
+    }
+
+    #[test]
+    fn masked_softmax_handles_extreme_logits() {
+        let p = masked_softmax(&[1e30, -1e30, 0.0], &[true, true, true]).unwrap();
+        assert!((p[0] - 1.0).abs() < 1e-6);
+        assert_eq!(p[1], 0.0);
+    }
+}

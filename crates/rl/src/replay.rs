@@ -1,0 +1,125 @@
+//! A bounded uniform replay buffer for off-policy learners (SAC).
+
+use tango_gnn::FeatureGraph;
+use tango_simcore::SimRng;
+
+/// One stored transition.
+#[derive(Clone)]
+pub struct Stored {
+    /// State at decision time.
+    pub graph: FeatureGraph,
+    /// Validity mask at decision time.
+    pub mask: Vec<bool>,
+    /// Action taken.
+    pub action: usize,
+    /// Reward received.
+    pub reward: f32,
+    /// Next state.
+    pub next_graph: FeatureGraph,
+    /// Next validity mask.
+    pub next_mask: Vec<bool>,
+    /// Episode terminated after this transition.
+    pub done: bool,
+}
+
+/// Fixed-capacity ring buffer with uniform sampling.
+pub struct ReplayBuffer {
+    items: Vec<Stored>,
+    capacity: usize,
+    write: usize,
+}
+
+impl ReplayBuffer {
+    /// Buffer holding up to `capacity` transitions.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        ReplayBuffer {
+            items: Vec::with_capacity(capacity.min(4096)),
+            capacity,
+            write: 0,
+        }
+    }
+
+    /// Current number of stored transitions.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Append, overwriting the oldest entry when full.
+    pub fn push(&mut self, t: Stored) {
+        if self.items.len() < self.capacity {
+            self.items.push(t);
+        } else {
+            self.items[self.write] = t;
+            self.write = (self.write + 1) % self.capacity;
+        }
+    }
+
+    /// Sample `n` transitions uniformly with replacement (clones).
+    pub fn sample(&self, n: usize, rng: &mut SimRng) -> Vec<Stored> {
+        (0..n)
+            .filter_map(|_| {
+                if self.items.is_empty() {
+                    None
+                } else {
+                    let i = rng.next_below(self.items.len() as u64) as usize;
+                    Some(self.items[i].clone())
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tango_nn::Matrix;
+
+    fn t(r: f32) -> Stored {
+        let g = FeatureGraph::new(Matrix::zeros(2, 2));
+        Stored {
+            graph: g.clone(),
+            mask: vec![true, true],
+            action: 0,
+            reward: r,
+            next_graph: g,
+            next_mask: vec![true, true],
+            done: false,
+        }
+    }
+
+    #[test]
+    fn push_caps_at_capacity_and_overwrites_oldest() {
+        let mut b = ReplayBuffer::new(3);
+        for i in 0..5 {
+            b.push(t(i as f32));
+        }
+        assert_eq!(b.len(), 3);
+        let rewards: Vec<f32> = b.items.iter().map(|s| s.reward).collect();
+        // ring: slots overwritten in order; 0 and 1 replaced by 3 and 4
+        assert_eq!(rewards, vec![3.0, 4.0, 2.0]);
+    }
+
+    #[test]
+    fn sampling_returns_requested_count() {
+        let mut b = ReplayBuffer::new(10);
+        for i in 0..4 {
+            b.push(t(i as f32));
+        }
+        let mut rng = SimRng::new(1);
+        assert_eq!(b.sample(7, &mut rng).len(), 7);
+        let empty = ReplayBuffer::new(5);
+        assert!(empty.sample(3, &mut rng).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = ReplayBuffer::new(0);
+    }
+}

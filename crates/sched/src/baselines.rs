@@ -1,0 +1,221 @@
+//! Baseline LC schedulers from §7.2.
+//!
+//! * **load-greedy** — always the least-loaded feasible node;
+//! * **K8s-native** — the default K8s round-robin dispatch;
+//! * **scoring** — a weighted-score policy in the spirit of
+//!   history-based harvesting \[42\]: balances free capacity against
+//!   dispatch delay.
+
+use crate::view::{CandidateNode, LcScheduler, TypeBatch};
+use tango_types::{NodeId, RequestId};
+
+/// Greedy: requests go one at a time to the node with the most remaining
+/// per-type capacity.
+#[derive(Debug, Default)]
+pub struct LoadGreedy;
+
+impl LcScheduler for LoadGreedy {
+    fn assign(&mut self, batch: &TypeBatch) -> Vec<(RequestId, NodeId)> {
+        let mut remaining: Vec<u64> = batch.nodes.iter().map(|n| n.capacity_now(true)).collect();
+        let mut out = Vec::with_capacity(batch.requests.len());
+        for &req in &batch.requests {
+            // lowest load == largest remaining capacity fraction
+            let best = (0..batch.nodes.len())
+                .filter(|&i| remaining[i] > 0)
+                .max_by(|&a, &b| {
+                    let fa = remaining[a] as f64 / batch.nodes[a].capacity_total().max(1) as f64;
+                    let fb = remaining[b] as f64 / batch.nodes[b].capacity_total().max(1) as f64;
+                    fa.partial_cmp(&fb).unwrap_or(std::cmp::Ordering::Equal)
+                });
+            match best {
+                Some(i) => {
+                    remaining[i] -= 1;
+                    out.push((req, batch.nodes[i].node));
+                }
+                None => break, // nothing feasible; rest stay queued
+            }
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "load-greedy"
+    }
+}
+
+/// The K8s-native baseline: round-robin over feasible candidates.
+#[derive(Debug, Default)]
+pub struct KsNative {
+    cursor: usize,
+}
+
+impl LcScheduler for KsNative {
+    fn assign(&mut self, batch: &TypeBatch) -> Vec<(RequestId, NodeId)> {
+        let n = batch.nodes.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut remaining: Vec<u64> = batch.nodes.iter().map(|c| c.capacity_now(true)).collect();
+        let mut out = Vec::with_capacity(batch.requests.len());
+        for &req in &batch.requests {
+            let mut placed = false;
+            for off in 0..n {
+                let i = (self.cursor + off) % n;
+                if remaining[i] > 0 {
+                    remaining[i] -= 1;
+                    out.push((req, batch.nodes[i].node));
+                    self.cursor = (i + 1) % n;
+                    placed = true;
+                    break;
+                }
+            }
+            if !placed {
+                break;
+            }
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "k8s-native"
+    }
+}
+
+/// Weighted-score policy: score = w_cap · free-fraction − w_delay ·
+/// normalized-delay − w_slack · QoS pressure; highest score wins.
+#[derive(Debug)]
+pub struct Scoring {
+    /// Weight on free capacity fraction.
+    pub w_capacity: f64,
+    /// Weight on normalized dispatch delay.
+    pub w_delay: f64,
+    /// Weight on (1 − slack): prefer nodes currently meeting QoS.
+    pub w_slack: f64,
+}
+
+impl Default for Scoring {
+    fn default() -> Self {
+        Scoring {
+            w_capacity: 0.5,
+            w_delay: 0.35,
+            w_slack: 0.15,
+        }
+    }
+}
+
+impl Scoring {
+    fn score(&self, c: &CandidateNode, remaining: u64, max_delay_us: f64) -> f64 {
+        let cap_frac = remaining as f64 / c.capacity_total().max(1) as f64;
+        let delay_frac = if max_delay_us > 0.0 {
+            c.delay.as_micros() as f64 / max_delay_us
+        } else {
+            0.0
+        };
+        let qos_pressure = (1.0 - c.slack).clamp(0.0, 2.0);
+        self.w_capacity * cap_frac - self.w_delay * delay_frac - self.w_slack * qos_pressure
+    }
+}
+
+impl LcScheduler for Scoring {
+    fn assign(&mut self, batch: &TypeBatch) -> Vec<(RequestId, NodeId)> {
+        let mut remaining: Vec<u64> = batch.nodes.iter().map(|n| n.capacity_now(true)).collect();
+        let max_delay = batch
+            .nodes
+            .iter()
+            .map(|n| n.delay.as_micros() as f64)
+            .fold(0.0, f64::max);
+        let mut out = Vec::with_capacity(batch.requests.len());
+        for &req in &batch.requests {
+            let best = (0..batch.nodes.len())
+                .filter(|&i| remaining[i] > 0)
+                .max_by(|&a, &b| {
+                    let sa = self.score(&batch.nodes[a], remaining[a], max_delay);
+                    let sb = self.score(&batch.nodes[b], remaining[b], max_delay);
+                    sa.partial_cmp(&sb).unwrap_or(std::cmp::Ordering::Equal)
+                });
+            match best {
+                Some(i) => {
+                    remaining[i] -= 1;
+                    out.push((req, batch.nodes[i].node));
+                }
+                None => break,
+            }
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "scoring"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::test_support::{batch, cand};
+
+    #[test]
+    fn load_greedy_picks_emptiest() {
+        let mut s = LoadGreedy;
+        let b = batch(1, vec![cand(1, 1, 5), cand(2, 8, 5)]);
+        let out = s.assign(&b);
+        assert_eq!(out, vec![(tango_types::RequestId(0), NodeId(2))]);
+    }
+
+    #[test]
+    fn load_greedy_stops_when_everything_full() {
+        let mut s = LoadGreedy;
+        let b = batch(5, vec![cand(1, 2, 5)]);
+        let out = s.assign(&b);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn k8s_native_round_robins() {
+        let mut s = KsNative::default();
+        let b = batch(4, vec![cand(1, 10, 5), cand(2, 10, 5)]);
+        let out = s.assign(&b);
+        let targets: Vec<u32> = out.iter().map(|&(_, n)| n.raw()).collect();
+        assert_eq!(targets, vec![1, 2, 1, 2]);
+    }
+
+    #[test]
+    fn k8s_native_skips_full_nodes() {
+        let mut s = KsNative::default();
+        let b = batch(3, vec![cand(1, 0, 5), cand(2, 10, 5)]);
+        let out = s.assign(&b);
+        assert!(out.iter().all(|&(_, n)| n == NodeId(2)));
+    }
+
+    #[test]
+    fn scoring_trades_capacity_against_delay() {
+        let mut s = Scoring::default();
+        // huge capacity but very far vs modest capacity nearby
+        let near = cand(1, 6, 1);
+        let far = cand(2, 8, 100);
+        let b = batch(1, vec![near, far]);
+        let out = s.assign(&b);
+        assert_eq!(out[0].1, NodeId(1), "nearby node should win");
+    }
+
+    #[test]
+    fn scoring_penalizes_qos_pressure() {
+        let mut s = Scoring::default();
+        let mut strained = cand(1, 5, 10);
+        strained.slack = -0.5; // violating QoS
+        let healthy = cand(2, 5, 10);
+        let b = batch(1, vec![strained, healthy]);
+        let out = s.assign(&b);
+        assert_eq!(out[0].1, NodeId(2));
+    }
+
+    #[test]
+    fn all_policies_handle_empty_inputs() {
+        let b0 = batch(0, vec![cand(1, 5, 5)]);
+        let bn = batch(3, vec![]);
+        assert!(LoadGreedy.assign(&b0).is_empty());
+        assert!(LoadGreedy.assign(&bn).is_empty());
+        assert!(KsNative::default().assign(&bn).is_empty());
+        assert!(Scoring::default().assign(&bn).is_empty());
+    }
+}

@@ -1,0 +1,351 @@
+//! DSS-LC: distributed LC request scheduling as min-cost flow (Alg. 2).
+//!
+//! Per type k the dispatcher builds the graph G_k of §5.2.1: a source
+//! (this master's pending queue), one split node per candidate worker
+//! (the internal edge carries the Eq. 2 capacity |t_i^k|), link edges
+//! carrying the Eq. 4 transmission capacity c_{i,j} with cost t^delay,
+//! and a sink. The min-cost max-flow optimum of Eq. 3 yields the routing
+//! paths; flow decomposition turns them back into per-request targets.
+//!
+//! Overload (Σ pending > Σ capacity) follows the paper exactly: ρ(·)
+//! shuffles the requests, the first Σcap go through G_k, and the rest —
+//! R′_k — are routed over Ĝ′_k whose node capacities are the *total*-
+//! resource ratios scaled by the augmentation factor λ (Eq. 7–8), so the
+//! backlog spreads across heterogeneous nodes proportionally to their
+//! size. Queued-set requests still get dispatched; they simply wait at
+//! their target node.
+
+use crate::view::{LcScheduler, TypeBatch};
+use tango_flow::{FlowGraph, MinCostMaxFlow};
+use tango_simcore::SimRng;
+use tango_types::{NodeId, RequestId};
+
+/// The DSS-LC scheduler.
+#[derive(Debug)]
+pub struct DssLc {
+    rng: SimRng,
+    /// Route the overload set R′_k over the λ-augmented total-resource
+    /// graph Ĝ′_k (Eq. 7–8). Disabling this leaves overflow requests
+    /// queued at the master — the ablation that shows why the paper
+    /// dispatches them proactively.
+    pub overflow_routing: bool,
+}
+
+/// A per-type plan with immediate and queued-at-target placements kept
+/// distinguishable for diagnostics.
+#[derive(Debug, Clone, Default)]
+pub struct LcPlan {
+    /// Placements for requests the targets can execute immediately (R_k).
+    pub immediate: Vec<(RequestId, NodeId)>,
+    /// Placements for requests that will queue at their target (R′_k).
+    pub queued: Vec<(RequestId, NodeId)>,
+    /// Requests that could not be routed at all (no capacity anywhere).
+    pub unrouted: Vec<RequestId>,
+}
+
+impl LcPlan {
+    /// All placements, immediate first.
+    pub fn all(&self) -> impl Iterator<Item = (RequestId, NodeId)> + '_ {
+        self.immediate.iter().chain(self.queued.iter()).copied()
+    }
+}
+
+impl DssLc {
+    /// Create a DSS-LC instance; `seed` drives the ρ(·) shuffle.
+    pub fn new(seed: u64) -> Self {
+        DssLc {
+            rng: SimRng::new(seed),
+            overflow_routing: true,
+        }
+    }
+
+    /// Variant without the Eq. 7–8 overflow routing (ablation).
+    pub fn without_overflow_routing(seed: u64) -> Self {
+        DssLc {
+            rng: SimRng::new(seed),
+            overflow_routing: false,
+        }
+    }
+
+    /// Route `demand` unit requests over the candidates with the given
+    /// per-node capacities; returns per-node assigned counts.
+    ///
+    /// The dispatch graph is bipartite (source → link edge → split node →
+    /// sink) with all cost on the link edges, so the min-cost max-flow
+    /// optimum has a closed form: saturate nodes in ascending delay
+    /// order, each up to min(link capacity, node capacity). This is what
+    /// the production solver reduces to on these instances;
+    /// [`DssLc::route_mcmf`] keeps the general solver and the test suite
+    /// pins their equality.
+    fn route(batch: &TypeBatch, capacities: &[u64], demand: u64) -> Vec<(usize, u64)> {
+        if demand == 0 || batch.nodes.is_empty() {
+            return Vec::new();
+        }
+        let mut order: Vec<usize> = (0..batch.nodes.len()).collect();
+        order.sort_by_key(|&i| (batch.nodes[i].delay, batch.nodes[i].node));
+        let mut remaining = demand;
+        let mut out = Vec::new();
+        for i in order {
+            if remaining == 0 {
+                break;
+            }
+            let cap = capacities[i].min(batch.nodes[i].link_capacity as u64);
+            let take = cap.min(remaining);
+            if take > 0 {
+                out.push((i, take));
+                remaining -= take;
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// The same routing via the general min-cost max-flow solver —
+    /// retained for cross-validation and for extended formulations
+    /// (inter-node relay edges, MPLS/OSPF-style constraints, §5.2.2).
+    pub fn route_mcmf(batch: &TypeBatch, capacities: &[u64], demand: u64) -> Vec<(usize, u64)> {
+        if demand == 0 || batch.nodes.is_empty() {
+            return Vec::new();
+        }
+        // graph: 0 = source, 1 = sink, then split nodes per candidate
+        let mut g = FlowGraph::new(2);
+        let mut node_edges = Vec::with_capacity(batch.nodes.len());
+        for (i, cand) in batch.nodes.iter().enumerate() {
+            let (inn, out, _e) = g.add_split_node(capacities[i] as i64);
+            // cost: microseconds of dispatch delay (Eq. 3 objective)
+            let cost = cand.delay.as_micros() as i64;
+            g.add_edge(0, inn, cand.link_capacity as i64, cost);
+            let e_out = g.add_edge(out, 1, i64::MAX / 8, 0);
+            node_edges.push(e_out);
+        }
+        let mut solver = MinCostMaxFlow::new(&mut g);
+        solver.solve(0, 1, demand as i64);
+        node_edges
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &e)| {
+                let f = g.flow(e);
+                (f > 0).then_some((i, f as u64))
+            })
+            .collect()
+    }
+
+    /// Expand per-node counts into per-request placements, consuming from
+    /// `requests` in order.
+    fn materialize(
+        batch: &TypeBatch,
+        counts: &[(usize, u64)],
+        requests: &mut Vec<RequestId>,
+        out: &mut Vec<(RequestId, NodeId)>,
+    ) {
+        for &(node_idx, count) in counts {
+            for _ in 0..count {
+                let Some(req) = requests.pop() else {
+                    return;
+                };
+                out.push((req, batch.nodes[node_idx].node));
+            }
+        }
+    }
+
+    /// Run Alg. 2 on one type batch.
+    pub fn plan(&mut self, batch: &TypeBatch) -> LcPlan {
+        let mut plan = LcPlan::default();
+        if batch.requests.is_empty() {
+            return plan;
+        }
+        let caps: Vec<u64> = batch.nodes.iter().map(|n| n.capacity_now(true)).collect();
+        let total_cap: u64 = caps.iter().sum();
+        let demand = batch.requests.len() as u64;
+
+        // ρ(·): random sorting function; LC requests share one priority.
+        let mut order = batch.requests.clone();
+        self.rng.shuffle(&mut order);
+
+        if demand <= total_cap {
+            // Case 1: capacity suffices — single graph G_k.
+            let counts = Self::route(batch, &caps, demand);
+            Self::materialize(batch, &counts, &mut order, &mut plan.immediate);
+        } else {
+            // Case 2: overload — split into R_k (first total_cap after ρ)
+            // and R'_k.
+            let counts = Self::route(batch, &caps, total_cap);
+            Self::materialize(batch, &counts, &mut order, &mut plan.immediate);
+
+            // Ĝ'_k: capacities from *total* resources × λ (Eq. 7–8).
+            let overflow = order.len() as u64;
+            let total_basis: Vec<u64> =
+                batch.nodes.iter().map(|n| n.capacity_total()).collect();
+            let basis_sum: u64 = total_basis.iter().sum();
+            if self.overflow_routing && basis_sum > 0 {
+                let lambda = overflow as f64 / basis_sum as f64;
+                let caps2: Vec<u64> = total_basis
+                    .iter()
+                    .map(|&b| ((b as f64) * lambda).ceil() as u64)
+                    .collect();
+                let counts2 = Self::route(batch, &caps2, overflow);
+                Self::materialize(batch, &counts2, &mut order, &mut plan.queued);
+            }
+        }
+        plan.unrouted = order;
+        plan
+    }
+}
+
+impl LcScheduler for DssLc {
+    fn assign(&mut self, batch: &TypeBatch) -> Vec<(RequestId, NodeId)> {
+        self.plan(batch).all().collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "dss-lc"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::test_support::{batch, cand};
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let mut s = DssLc::new(1);
+        let b = batch(0, vec![cand(1, 5, 10)]);
+        let p = s.plan(&b);
+        assert!(p.immediate.is_empty() && p.queued.is_empty() && p.unrouted.is_empty());
+    }
+
+    #[test]
+    fn under_capacity_all_requests_place_immediately() {
+        let mut s = DssLc::new(1);
+        let b = batch(6, vec![cand(1, 4, 5), cand(2, 4, 15)]);
+        let p = s.plan(&b);
+        assert_eq!(p.immediate.len(), 6);
+        assert!(p.queued.is_empty());
+        assert!(p.unrouted.is_empty());
+    }
+
+    #[test]
+    fn min_cost_prefers_low_delay_nodes() {
+        let mut s = DssLc::new(2);
+        // node 1: near (1ms), cap 3; node 2: far (50ms), cap 10
+        let b = batch(3, vec![cand(1, 3, 1), cand(2, 10, 50)]);
+        let p = s.plan(&b);
+        assert_eq!(p.immediate.len(), 3);
+        assert!(
+            p.immediate.iter().all(|&(_, n)| n == NodeId(1)),
+            "all should go near: {:?}",
+            p.immediate
+        );
+    }
+
+    #[test]
+    fn spills_to_far_node_when_near_is_full() {
+        let mut s = DssLc::new(3);
+        let b = batch(5, vec![cand(1, 3, 1), cand(2, 10, 50)]);
+        let p = s.plan(&b);
+        assert_eq!(p.immediate.len(), 5);
+        let near = p.immediate.iter().filter(|&&(_, n)| n == NodeId(1)).count();
+        let far = p.immediate.iter().filter(|&&(_, n)| n == NodeId(2)).count();
+        assert_eq!(near, 3);
+        assert_eq!(far, 2);
+    }
+
+    #[test]
+    fn overload_splits_into_immediate_and_queued() {
+        let mut s = DssLc::new(4);
+        // capacity 4 total, 10 requests -> 4 immediate, 6 queued
+        let b = batch(10, vec![cand(1, 2, 5), cand(2, 2, 10)]);
+        let p = s.plan(&b);
+        assert_eq!(p.immediate.len(), 4);
+        assert_eq!(p.queued.len(), 6);
+        assert!(p.unrouted.is_empty());
+    }
+
+    #[test]
+    fn lambda_spreads_overflow_by_total_resources() {
+        let mut s = DssLc::new(5);
+        // zero current capacity everywhere: pure overflow routing.
+        let mut small = cand(1, 0, 5);
+        small.total = tango_types::Resources::cpu_mem(4_000, 8_192); // basis 8
+        let mut large = cand(2, 0, 5);
+        large.total = tango_types::Resources::cpu_mem(16_000, 32_768); // basis 32
+        let b = batch(20, vec![small, large]);
+        let p = s.plan(&b);
+        assert_eq!(p.queued.len(), 20);
+        let to_small = p.queued.iter().filter(|&&(_, n)| n == NodeId(1)).count();
+        let to_large = p.queued.iter().filter(|&&(_, n)| n == NodeId(2)).count();
+        // 1:4 resource ratio -> roughly 4 and 16 (ceil rounding allows ±2)
+        assert!(to_large > to_small, "large {to_large} vs small {to_small}");
+        assert!((3..=6).contains(&to_small), "small got {to_small}");
+    }
+
+    #[test]
+    fn link_capacity_constrains_dispatch() {
+        let mut s = DssLc::new(6);
+        let mut c1 = cand(1, 10, 5);
+        c1.link_capacity = 2; // Eq. 4: at most 2 requests over this link
+        let b = batch(5, vec![c1, cand(2, 10, 9)]);
+        let p = s.plan(&b);
+        let via_1 = p.all().filter(|&(_, n)| n == NodeId(1)).count();
+        assert!(via_1 <= 2, "link cap violated: {via_1}");
+        assert_eq!(p.all().count(), 5);
+    }
+
+    #[test]
+    fn no_nodes_leaves_requests_unrouted() {
+        let mut s = DssLc::new(7);
+        let b = batch(3, vec![]);
+        let p = s.plan(&b);
+        assert_eq!(p.unrouted.len(), 3);
+    }
+
+    #[test]
+    fn zero_capacity_and_zero_totals_leave_unrouted() {
+        let mut s = DssLc::new(8);
+        let mut c = cand(1, 0, 5);
+        c.total = tango_types::Resources::ZERO;
+        let b = batch(4, vec![c]);
+        let p = s.plan(&b);
+        assert_eq!(p.unrouted.len(), 4);
+    }
+
+    /// The greedy closed form and the general MCMF solver agree on total
+    /// cost and per-node counts across assorted instances.
+    #[test]
+    fn greedy_route_matches_mcmf() {
+        for seed in 0..20u64 {
+            let mut rng = tango_simcore::SimRng::new(seed);
+            let n = 1 + rng.next_below(12) as usize;
+            let nodes: Vec<_> = (0..n)
+                .map(|i| {
+                    let mut c = cand(i as u32, rng.next_below(6), 1 + rng.next_below(40));
+                    c.link_capacity = 1 + rng.next_below(8) as u32;
+                    c
+                })
+                .collect();
+            let caps: Vec<u64> = nodes.iter().map(|c| c.capacity_now(true)).collect();
+            let demand = rng.next_below(30);
+            let b = batch(0, nodes);
+            let fast = DssLc::route(&b, &caps, demand);
+            let slow = DssLc::route_mcmf(&b, &caps, demand);
+            let total = |v: &[(usize, u64)]| -> u64 { v.iter().map(|&(_, k)| k).sum() };
+            let cost = |v: &[(usize, u64)]| -> u64 {
+                v.iter()
+                    .map(|&(i, k)| k * b.nodes[i].delay.as_micros())
+                    .sum()
+            };
+            assert_eq!(total(&fast), total(&slow), "flow mismatch seed {seed}");
+            assert_eq!(cost(&fast), cost(&slow), "cost mismatch seed {seed}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let b = batch(9, vec![cand(1, 3, 5), cand(2, 3, 7), cand(3, 10, 20)]);
+        let p1 = DssLc::new(42).plan(&b);
+        let p2 = DssLc::new(42).plan(&b);
+        assert_eq!(p1.immediate, p2.immediate);
+        assert_eq!(p1.queued, p2.queued);
+    }
+}

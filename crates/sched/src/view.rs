@@ -1,0 +1,123 @@
+//! Scheduler-facing views of system state.
+//!
+//! The LC dispatcher reads the state storage and builds, per request type
+//! k, a batch of pending requests plus the candidate nodes of the local
+//! and geo-nearby clusters, each annotated with the attributes of §5.2.1
+//! (X_i^k node attributes, Y_{i,j} edge attributes). The schedulers only
+//! ever see these views.
+
+use tango_types::{ClusterId, NodeId, RequestId, Resources, ServiceId, SimTime};
+
+/// One candidate worker node as the dispatcher sees it.
+#[derive(Debug, Clone)]
+pub struct CandidateNode {
+    /// Node id.
+    pub node: NodeId,
+    /// Its cluster.
+    pub cluster: ClusterId,
+    /// Total resources r_total (CPU/memory are what Eq. 2/7 read).
+    pub total: Resources,
+    /// Resources available to an LC request (idle + preemptible BE,
+    /// per the §4.1 regulations).
+    pub available_lc: Resources,
+    /// Resources available to a BE request (idle only).
+    pub available_be: Resources,
+    /// The per-type minimum request (r^{c,k}, r^{m,k}) — already adjusted
+    /// by the QoS re-assurance factor for this node.
+    pub min_request: Resources,
+    /// One-way dispatch delay from the deciding master to this node
+    /// (t^delay of Y_{i,j}).
+    pub delay: SimTime,
+    /// Link transmission capacity from the master toward this node, in
+    /// requests per dispatch round (c_{i,j} of Eq. 4).
+    pub link_capacity: u32,
+    /// Current QoS slack δ on this node for the type (1.0 when unknown).
+    pub slack: f64,
+}
+
+impl CandidateNode {
+    /// Eq. 2 capacity: how many requests of this type the node can host
+    /// right now, `min(r_ava^c / r^c, r_ava^m / r^m)`, using the LC or BE
+    /// availability view.
+    pub fn capacity_now(&self, lc_view: bool) -> u64 {
+        let avail = if lc_view {
+            self.available_lc
+        } else {
+            self.available_be
+        };
+        avail.capacity_for(&self.min_request)
+    }
+
+    /// Eq. 7 capacity basis: the same ratio against *total* resources.
+    pub fn capacity_total(&self) -> u64 {
+        self.total.capacity_for(&self.min_request)
+    }
+}
+
+/// The pending requests of one type at one master, with their candidates.
+#[derive(Debug, Clone)]
+pub struct TypeBatch {
+    /// The request type k.
+    pub service: ServiceId,
+    /// Pending request ids (t_i^k at this master).
+    pub requests: Vec<RequestId>,
+    /// Candidate nodes (local + geo-nearby clusters' workers).
+    pub nodes: Vec<CandidateNode>,
+}
+
+/// An LC scheduling policy: map a type batch to (request → node)
+/// placements. Requests left unplaced stay in the master's queue.
+pub trait LcScheduler {
+    /// Decide placements for one batch.
+    fn assign(&mut self, batch: &TypeBatch) -> Vec<(RequestId, NodeId)>;
+
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+
+    /// A candidate with `cap` request-slots of capacity and given delay.
+    pub fn cand(id: u32, cap: u64, delay_ms: u64) -> CandidateNode {
+        CandidateNode {
+            node: NodeId(id),
+            cluster: ClusterId(id / 8),
+            total: Resources::cpu_mem(8_000, 16_384),
+            available_lc: Resources::cpu_mem(cap * 500, cap * 256),
+            available_be: Resources::cpu_mem(cap * 500, cap * 256),
+            min_request: Resources::cpu_mem(500, 256),
+            delay: SimTime::from_millis(delay_ms),
+            link_capacity: 1_000,
+            slack: 1.0,
+        }
+    }
+
+    pub fn batch(n_requests: u64, nodes: Vec<CandidateNode>) -> TypeBatch {
+        TypeBatch {
+            service: ServiceId(0),
+            requests: (0..n_requests).map(RequestId).collect(),
+            nodes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::cand;
+
+    #[test]
+    fn capacity_now_follows_eq2() {
+        let c = cand(1, 4, 10);
+        assert_eq!(c.capacity_now(true), 4);
+        assert_eq!(c.capacity_now(false), 4);
+    }
+
+    #[test]
+    fn capacity_total_uses_total_resources() {
+        let c = cand(1, 2, 10);
+        // total 8000m/16384Mi over 500m/256Mi -> min(16, 64) = 16
+        assert_eq!(c.capacity_total(), 16);
+    }
+}

@@ -1,0 +1,196 @@
+//! Service requests and their lifecycle.
+//!
+//! A request is born at a master node (the edge access point), waits in the
+//! LC or BE scheduling queue, is dispatched to a worker node (possibly in a
+//! different cluster, paying WAN latency), executes inside a container, and
+//! completes — or is abandoned if it cannot be placed. The timestamps
+//! recorded here are what the QoS detector and all evaluation metrics are
+//! computed from.
+
+use crate::ids::{ClusterId, NodeId, RequestId};
+use crate::resources::Resources;
+use crate::service::{ServiceClass, ServiceId};
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Where a request currently is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RequestState {
+    /// Waiting in a master node's scheduling queue.
+    Queued,
+    /// Dispatched; in flight to (or queued at) the target worker node.
+    Dispatched {
+        /// The worker chosen by the scheduler.
+        target: NodeId,
+    },
+    /// Executing inside a container on the target node.
+    Running {
+        /// The worker executing the request.
+        target: NodeId,
+    },
+    /// Finished; see [`RequestOutcome`].
+    Done(RequestOutcome),
+}
+
+/// Terminal status of a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RequestOutcome {
+    /// Completed successfully; latency = completion − arrival.
+    Completed,
+    /// Dropped: the scheduler could not place it before its patience/
+    /// queueing bound expired (the "abandoned requests" metric of §7.2).
+    Abandoned,
+    /// Evicted mid-run by an LC preemption (§4.1) and re-queued too many
+    /// times; counted as failed.
+    Failed,
+}
+
+/// One service request flowing through the system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Unique id.
+    pub id: RequestId,
+    /// Service type k.
+    pub service: ServiceId,
+    /// LC or BE (denormalized from the service spec for cheap access).
+    pub class: ServiceClass,
+    /// Cluster whose master received the request.
+    pub origin: ClusterId,
+    /// Time the master received the request.
+    pub arrival: SimTime,
+    /// Per-request resource demand (the γ^f of Eq. 4; usually the service's
+    /// current minimum request, possibly adjusted by re-assurance).
+    pub demand: Resources,
+    /// Current lifecycle state.
+    pub state: RequestState,
+    /// When the request started executing (set on admission to a container).
+    pub started: Option<SimTime>,
+    /// When the request reached a terminal state.
+    pub finished: Option<SimTime>,
+    /// Number of times this request was evicted/requeued.
+    pub requeues: u32,
+}
+
+impl Request {
+    /// Create a fresh queued request.
+    pub fn new(
+        id: RequestId,
+        service: ServiceId,
+        class: ServiceClass,
+        origin: ClusterId,
+        arrival: SimTime,
+        demand: Resources,
+    ) -> Self {
+        Request {
+            id,
+            service,
+            class,
+            origin,
+            arrival,
+            demand,
+            state: RequestState::Queued,
+            started: None,
+            finished: None,
+            requeues: 0,
+        }
+    }
+
+    /// End-to-end latency if the request completed.
+    pub fn latency(&self) -> Option<SimTime> {
+        match (self.state, self.finished) {
+            (RequestState::Done(RequestOutcome::Completed), Some(fin)) => {
+                Some(fin.saturating_since(self.arrival))
+            }
+            _ => None,
+        }
+    }
+
+    /// `true` once the request is in a terminal state.
+    pub fn is_done(&self) -> bool {
+        matches!(self.state, RequestState::Done(_))
+    }
+
+    /// Terminal outcome, if any.
+    pub fn outcome(&self) -> Option<RequestOutcome> {
+        match self.state {
+            RequestState::Done(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Mark the request dispatched to `target`.
+    pub fn mark_dispatched(&mut self, target: NodeId) {
+        self.state = RequestState::Dispatched { target };
+    }
+
+    /// Mark the request running on `target` at time `now`.
+    pub fn mark_running(&mut self, target: NodeId, now: SimTime) {
+        self.state = RequestState::Running { target };
+        self.started = Some(now);
+    }
+
+    /// Mark the request finished with `outcome` at time `now`.
+    pub fn mark_done(&mut self, outcome: RequestOutcome, now: SimTime) {
+        self.state = RequestState::Done(outcome);
+        self.finished = Some(now);
+    }
+
+    /// Return the request to the queued state after an eviction.
+    pub fn mark_requeued(&mut self) {
+        self.state = RequestState::Queued;
+        self.started = None;
+        self.requeues += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req() -> Request {
+        Request::new(
+            RequestId(1),
+            ServiceId(2),
+            ServiceClass::Lc,
+            ClusterId(0),
+            SimTime::from_millis(10),
+            Resources::cpu_mem(100, 64),
+        )
+    }
+
+    #[test]
+    fn lifecycle_happy_path() {
+        let mut r = req();
+        assert_eq!(r.state, RequestState::Queued);
+        assert!(!r.is_done());
+
+        r.mark_dispatched(NodeId(5));
+        assert_eq!(r.state, RequestState::Dispatched { target: NodeId(5) });
+
+        r.mark_running(NodeId(5), SimTime::from_millis(12));
+        assert_eq!(r.started, Some(SimTime::from_millis(12)));
+
+        r.mark_done(RequestOutcome::Completed, SimTime::from_millis(42));
+        assert!(r.is_done());
+        assert_eq!(r.outcome(), Some(RequestOutcome::Completed));
+        assert_eq!(r.latency(), Some(SimTime::from_millis(32)));
+    }
+
+    #[test]
+    fn abandoned_requests_have_no_latency() {
+        let mut r = req();
+        r.mark_done(RequestOutcome::Abandoned, SimTime::from_millis(50));
+        assert_eq!(r.latency(), None);
+        assert_eq!(r.outcome(), Some(RequestOutcome::Abandoned));
+    }
+
+    #[test]
+    fn requeue_resets_execution_state() {
+        let mut r = req();
+        r.mark_running(NodeId(3), SimTime::from_millis(20));
+        r.mark_requeued();
+        assert_eq!(r.state, RequestState::Queued);
+        assert_eq!(r.started, None);
+        assert_eq!(r.requeues, 1);
+    }
+}

@@ -1,0 +1,403 @@
+//! Resource vectors.
+//!
+//! Tango's regulations (§4.1) distinguish **compressible** resources (CPU,
+//! network bandwidth — can be throttled/shared away from a running BE
+//! container without killing it) from **incompressible** resources (memory,
+//! disk — reclaiming them requires evicting the container). The
+//! [`Resources`] vector carries all four dimensions in integer units so the
+//! accounting in the cgroup/kube substrates is exact.
+//!
+//! Units: CPU in **millicores**, memory in **MiB**, bandwidth in **Mbps**,
+//! disk in **MiB**.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// One dimension of a [`Resources`] vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ResourceKind {
+    /// CPU time, in millicores. Compressible.
+    Cpu,
+    /// Memory, in MiB. Incompressible.
+    Memory,
+    /// Network bandwidth, in Mbps. Compressible.
+    Bandwidth,
+    /// Disk, in MiB. Incompressible.
+    Disk,
+}
+
+impl ResourceKind {
+    /// All four dimensions, in canonical order.
+    pub const ALL: [ResourceKind; 4] = [
+        ResourceKind::Cpu,
+        ResourceKind::Memory,
+        ResourceKind::Bandwidth,
+        ResourceKind::Disk,
+    ];
+
+    /// Whether a running container can give this resource up without being
+    /// evicted (§4.1: CPU and bandwidth are reclaimed by share transfer;
+    /// memory and disk require eviction).
+    #[inline]
+    pub const fn is_compressible(self) -> bool {
+        matches!(self, ResourceKind::Cpu | ResourceKind::Bandwidth)
+    }
+}
+
+/// A four-dimensional resource vector.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Resources {
+    /// CPU in millicores (1000 = one core).
+    pub cpu_milli: u64,
+    /// Memory in MiB.
+    pub memory_mib: u64,
+    /// Network bandwidth in Mbps.
+    pub bandwidth_mbps: u64,
+    /// Disk in MiB.
+    pub disk_mib: u64,
+}
+
+impl Resources {
+    /// The zero vector.
+    pub const ZERO: Resources = Resources {
+        cpu_milli: 0,
+        memory_mib: 0,
+        bandwidth_mbps: 0,
+        disk_mib: 0,
+    };
+
+    /// Construct a full vector.
+    pub const fn new(cpu_milli: u64, memory_mib: u64, bandwidth_mbps: u64, disk_mib: u64) -> Self {
+        Resources {
+            cpu_milli,
+            memory_mib,
+            bandwidth_mbps,
+            disk_mib,
+        }
+    }
+
+    /// Construct a CPU+memory vector (the two dimensions the schedulers'
+    /// graphs track, §5.2.1), leaving bandwidth/disk at zero.
+    pub const fn cpu_mem(cpu_milli: u64, memory_mib: u64) -> Self {
+        Resources {
+            cpu_milli,
+            memory_mib,
+            bandwidth_mbps: 0,
+            disk_mib: 0,
+        }
+    }
+
+    /// Read one dimension.
+    #[inline]
+    pub const fn get(&self, kind: ResourceKind) -> u64 {
+        match kind {
+            ResourceKind::Cpu => self.cpu_milli,
+            ResourceKind::Memory => self.memory_mib,
+            ResourceKind::Bandwidth => self.bandwidth_mbps,
+            ResourceKind::Disk => self.disk_mib,
+        }
+    }
+
+    /// Write one dimension.
+    #[inline]
+    pub fn set(&mut self, kind: ResourceKind, value: u64) {
+        match kind {
+            ResourceKind::Cpu => self.cpu_milli = value,
+            ResourceKind::Memory => self.memory_mib = value,
+            ResourceKind::Bandwidth => self.bandwidth_mbps = value,
+            ResourceKind::Disk => self.disk_mib = value,
+        }
+    }
+
+    /// `true` if every dimension of `self` fits inside `capacity`.
+    #[inline]
+    pub fn fits_within(&self, capacity: &Resources) -> bool {
+        self.cpu_milli <= capacity.cpu_milli
+            && self.memory_mib <= capacity.memory_mib
+            && self.bandwidth_mbps <= capacity.bandwidth_mbps
+            && self.disk_mib <= capacity.disk_mib
+    }
+
+    /// `true` on the all-zero vector.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        *self == Resources::ZERO
+    }
+
+    /// Element-wise saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(&self, rhs: &Resources) -> Resources {
+        Resources {
+            cpu_milli: self.cpu_milli.saturating_sub(rhs.cpu_milli),
+            memory_mib: self.memory_mib.saturating_sub(rhs.memory_mib),
+            bandwidth_mbps: self.bandwidth_mbps.saturating_sub(rhs.bandwidth_mbps),
+            disk_mib: self.disk_mib.saturating_sub(rhs.disk_mib),
+        }
+    }
+
+    /// Element-wise checked subtraction; `None` if any dimension underflows.
+    #[inline]
+    pub fn checked_sub(&self, rhs: &Resources) -> Option<Resources> {
+        Some(Resources {
+            cpu_milli: self.cpu_milli.checked_sub(rhs.cpu_milli)?,
+            memory_mib: self.memory_mib.checked_sub(rhs.memory_mib)?,
+            bandwidth_mbps: self.bandwidth_mbps.checked_sub(rhs.bandwidth_mbps)?,
+            disk_mib: self.disk_mib.checked_sub(rhs.disk_mib)?,
+        })
+    }
+
+    /// Element-wise minimum.
+    #[inline]
+    pub fn min(&self, rhs: &Resources) -> Resources {
+        Resources {
+            cpu_milli: self.cpu_milli.min(rhs.cpu_milli),
+            memory_mib: self.memory_mib.min(rhs.memory_mib),
+            bandwidth_mbps: self.bandwidth_mbps.min(rhs.bandwidth_mbps),
+            disk_mib: self.disk_mib.min(rhs.disk_mib),
+        }
+    }
+
+    /// Element-wise maximum.
+    #[inline]
+    pub fn max(&self, rhs: &Resources) -> Resources {
+        Resources {
+            cpu_milli: self.cpu_milli.max(rhs.cpu_milli),
+            memory_mib: self.memory_mib.max(rhs.memory_mib),
+            bandwidth_mbps: self.bandwidth_mbps.max(rhs.bandwidth_mbps),
+            disk_mib: self.disk_mib.max(rhs.disk_mib),
+        }
+    }
+
+    /// Scale every dimension by an integer factor, saturating.
+    #[inline]
+    pub fn scale(&self, factor: u64) -> Resources {
+        Resources {
+            cpu_milli: self.cpu_milli.saturating_mul(factor),
+            memory_mib: self.memory_mib.saturating_mul(factor),
+            bandwidth_mbps: self.bandwidth_mbps.saturating_mul(factor),
+            disk_mib: self.disk_mib.saturating_mul(factor),
+        }
+    }
+
+    /// Scale by a non-negative float, rounding each dimension.
+    pub fn scale_f64(&self, factor: f64) -> Resources {
+        let f = factor.max(0.0);
+        let s = |v: u64| ((v as f64) * f).round() as u64;
+        Resources {
+            cpu_milli: s(self.cpu_milli),
+            memory_mib: s(self.memory_mib),
+            bandwidth_mbps: s(self.bandwidth_mbps),
+            disk_mib: s(self.disk_mib),
+        }
+    }
+
+    /// How many copies of `unit` fit into `self` — the capacity term
+    /// `min(r_ava^c / r^c, r_ava^m / r^m)` of Eq. 2, extended to all four
+    /// dimensions. Dimensions where `unit` is zero are unconstrained.
+    pub fn capacity_for(&self, unit: &Resources) -> u64 {
+        let mut cap = u64::MAX;
+        for kind in ResourceKind::ALL {
+            if let Some(k) = self.get(kind).checked_div(unit.get(kind)) {
+                cap = cap.min(k);
+            }
+        }
+        if cap == u64::MAX {
+            0 // a zero-demand unit "fits" zero times: avoids infinite capacity
+        } else {
+            cap
+        }
+    }
+
+    /// Fractional utilization of `self` against `capacity`, averaged over
+    /// the dimensions where `capacity` is nonzero. Returns a value in \[0,1\]
+    /// if `self <= capacity` element-wise.
+    pub fn utilization_against(&self, capacity: &Resources) -> f64 {
+        let mut total = 0.0;
+        let mut dims = 0u32;
+        for kind in ResourceKind::ALL {
+            let cap = capacity.get(kind);
+            if cap > 0 {
+                total += self.get(kind) as f64 / cap as f64;
+                dims += 1;
+            }
+        }
+        if dims == 0 {
+            0.0
+        } else {
+            total / dims as f64
+        }
+    }
+
+    /// The largest single-dimension fraction of `capacity` used (the
+    /// bottleneck dimension); used by the DCG-BE short-term reward.
+    pub fn max_fraction_of(&self, capacity: &Resources) -> f64 {
+        let mut worst: f64 = 0.0;
+        for kind in ResourceKind::ALL {
+            let cap = capacity.get(kind);
+            if cap > 0 {
+                worst = worst.max(self.get(kind) as f64 / cap as f64);
+            }
+        }
+        worst
+    }
+
+    /// Split into the compressible part (cpu, bandwidth) and the
+    /// incompressible part (memory, disk).
+    pub fn split_compressible(&self) -> (Resources, Resources) {
+        (
+            Resources {
+                cpu_milli: self.cpu_milli,
+                bandwidth_mbps: self.bandwidth_mbps,
+                ..Resources::ZERO
+            },
+            Resources {
+                memory_mib: self.memory_mib,
+                disk_mib: self.disk_mib,
+                ..Resources::ZERO
+            },
+        )
+    }
+}
+
+impl Add for Resources {
+    type Output = Resources;
+    #[inline]
+    fn add(self, rhs: Resources) -> Resources {
+        Resources {
+            cpu_milli: self.cpu_milli + rhs.cpu_milli,
+            memory_mib: self.memory_mib + rhs.memory_mib,
+            bandwidth_mbps: self.bandwidth_mbps + rhs.bandwidth_mbps,
+            disk_mib: self.disk_mib + rhs.disk_mib,
+        }
+    }
+}
+
+impl AddAssign for Resources {
+    #[inline]
+    fn add_assign(&mut self, rhs: Resources) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Resources {
+    type Output = Resources;
+    /// Panics on underflow in debug builds; use [`Resources::saturating_sub`]
+    /// or [`Resources::checked_sub`] where underflow is expected.
+    #[inline]
+    fn sub(self, rhs: Resources) -> Resources {
+        Resources {
+            cpu_milli: self.cpu_milli - rhs.cpu_milli,
+            memory_mib: self.memory_mib - rhs.memory_mib,
+            bandwidth_mbps: self.bandwidth_mbps - rhs.bandwidth_mbps,
+            disk_mib: self.disk_mib - rhs.disk_mib,
+        }
+    }
+}
+
+impl SubAssign for Resources {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Resources) {
+        *self = *self - rhs;
+    }
+}
+
+impl fmt::Display for Resources {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cpu={}m mem={}Mi bw={}Mbps disk={}Mi",
+            self.cpu_milli, self.memory_mib, self.bandwidth_mbps, self.disk_mib
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(c: u64, m: u64) -> Resources {
+        Resources::cpu_mem(c, m)
+    }
+
+    #[test]
+    fn compressibility_classification_matches_paper() {
+        assert!(ResourceKind::Cpu.is_compressible());
+        assert!(ResourceKind::Bandwidth.is_compressible());
+        assert!(!ResourceKind::Memory.is_compressible());
+        assert!(!ResourceKind::Disk.is_compressible());
+    }
+
+    #[test]
+    fn fits_within_is_elementwise() {
+        assert!(r(100, 200).fits_within(&r(100, 200)));
+        assert!(!r(101, 200).fits_within(&r(100, 200)));
+        assert!(!r(100, 201).fits_within(&r(100, 200)));
+    }
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let a = Resources::new(100, 200, 30, 40);
+        let b = Resources::new(10, 20, 3, 4);
+        assert_eq!(a + b - b, a);
+        let mut c = a;
+        c += b;
+        c -= b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn saturating_sub_clamps() {
+        assert_eq!(r(5, 5).saturating_sub(&r(10, 2)), r(0, 3));
+    }
+
+    #[test]
+    fn checked_sub_detects_underflow() {
+        assert_eq!(r(5, 5).checked_sub(&r(5, 5)), Some(Resources::ZERO));
+        assert_eq!(r(5, 5).checked_sub(&r(6, 0)), None);
+    }
+
+    #[test]
+    fn capacity_for_takes_bottleneck_dimension() {
+        // 10 cpu-units, 3 mem-units available -> min is 3.
+        assert_eq!(r(1000, 300).capacity_for(&r(100, 100)), 3);
+        // zero-demand dims are unconstrained
+        assert_eq!(r(1000, 300).capacity_for(&r(100, 0)), 10);
+    }
+
+    #[test]
+    fn capacity_for_zero_unit_is_zero() {
+        assert_eq!(r(1000, 300).capacity_for(&Resources::ZERO), 0);
+    }
+
+    #[test]
+    fn utilization_averages_nonzero_dims() {
+        let used = r(500, 100);
+        let cap = r(1000, 200);
+        assert!((used.utilization_against(&cap) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_fraction_picks_bottleneck() {
+        let used = r(900, 100);
+        let cap = r(1000, 1000);
+        assert!((used.max_fraction_of(&cap) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_compressible_partitions_dimensions() {
+        let a = Resources::new(100, 200, 30, 40);
+        let (comp, incomp) = a.split_compressible();
+        assert_eq!(comp, Resources::new(100, 0, 30, 0));
+        assert_eq!(incomp, Resources::new(0, 200, 0, 40));
+        assert_eq!(comp + incomp, a);
+    }
+
+    #[test]
+    fn scale_f64_rounds() {
+        assert_eq!(r(100, 201).scale_f64(0.5), r(50, 101)); // 100.5 rounds to 101
+        assert_eq!(r(100, 200).scale_f64(-1.0), Resources::ZERO);
+    }
+}

@@ -1,0 +1,169 @@
+//! Service classes and specifications.
+//!
+//! Tango co-locates two classes of services (§1): **Latency-Critical** (LC)
+//! services with a tail-latency QoS target γ, and **Best-Effort** (BE)
+//! services optimized for long-term throughput. The workload crate
+//! instantiates ten concrete [`ServiceSpec`]s (five per class) mirroring the
+//! 2019 Google cluster-data categorization used in §6.2.
+
+use crate::resources::Resources;
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The co-location class of a service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ServiceClass {
+    /// Latency-Critical: has a QoS target on p95 tail latency, scheduled by
+    /// the distributed DSS-LC dispatcher, highest K8s QoS priority.
+    Lc,
+    /// Best-Effort: no latency target, scheduled centrally by DCG-BE,
+    /// preemptible by LC services under the §4.1 regulations.
+    Be,
+}
+
+impl ServiceClass {
+    /// `true` for Latency-Critical services.
+    #[inline]
+    pub const fn is_lc(self) -> bool {
+        matches!(self, ServiceClass::Lc)
+    }
+
+    /// `true` for Best-Effort services.
+    #[inline]
+    pub const fn is_be(self) -> bool {
+        matches!(self, ServiceClass::Be)
+    }
+}
+
+impl fmt::Display for ServiceClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceClass::Lc => write!(f, "LC"),
+            ServiceClass::Be => write!(f, "BE"),
+        }
+    }
+}
+
+/// Identifies a service *type* k ∈ K (§5.2.1). Small and dense: the
+/// schedulers index per-type tables with it.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ServiceId(pub u16);
+
+impl ServiceId {
+    /// Value as a `usize`, for indexing into dense per-type tables.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ServiceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "svc-{}", self.0)
+    }
+}
+
+/// Static description of one service type.
+///
+/// `min_request` is the *initial* minimum resource request (r^{c,k}, r^{m,k}
+/// in §5.2.1); at run time the QoS re-assurance mechanism adjusts a per-node
+/// copy of it. `work_milli_ms` is the nominal amount of CPU work one request
+/// carries, expressed in millicore-milliseconds: a request running alone in
+/// a container with exactly `min_request.cpu_milli` of CPU finishes its
+/// compute phase in `base_service_ms` = work_milli_ms / min_request.cpu_milli
+/// milliseconds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceSpec {
+    /// Dense id of this service type.
+    pub id: ServiceId,
+    /// Human-readable name ("cloud-render", "model-training", …).
+    pub name: String,
+    /// LC or BE.
+    pub class: ServiceClass,
+    /// Initial minimum per-request resource requirement.
+    pub min_request: Resources,
+    /// Nominal CPU work per request, in millicore-milliseconds.
+    pub work_milli_ms: u64,
+    /// QoS target γ_k on p95 latency. `SimTime::MAX` for BE services
+    /// (no target).
+    pub qos_target: SimTime,
+    /// Request payload size in KiB (drives network transfer time).
+    pub payload_kib: u64,
+}
+
+impl ServiceSpec {
+    /// Compute time for one request given an effective CPU allocation in
+    /// millicores (perfectly compressible: halving CPU doubles time).
+    /// Returns `SimTime::MAX` when the allocation is zero.
+    pub fn compute_time(&self, effective_cpu_milli: u64) -> SimTime {
+        if effective_cpu_milli == 0 {
+            return SimTime::MAX;
+        }
+        // work [mcore·ms] / cpu [mcore] = ms; keep µs precision.
+        SimTime::from_micros(self.work_milli_ms.saturating_mul(1_000) / effective_cpu_milli)
+    }
+
+    /// Nominal service time when granted exactly the minimum request.
+    pub fn base_service_time(&self) -> SimTime {
+        self.compute_time(self.min_request.cpu_milli)
+    }
+
+    /// Whether a measured latency meets this service's QoS target.
+    #[inline]
+    pub fn meets_qos(&self, latency: SimTime) -> bool {
+        latency <= self.qos_target
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ServiceSpec {
+        ServiceSpec {
+            id: ServiceId(0),
+            name: "test".into(),
+            class: ServiceClass::Lc,
+            min_request: Resources::cpu_mem(500, 256),
+            work_milli_ms: 50_000, // 100ms at 500 mcores
+            qos_target: SimTime::from_millis(300),
+            payload_kib: 64,
+        }
+    }
+
+    #[test]
+    fn compute_time_is_inverse_in_cpu() {
+        let s = spec();
+        assert_eq!(s.compute_time(500), SimTime::from_millis(100));
+        assert_eq!(s.compute_time(1000), SimTime::from_millis(50));
+        assert_eq!(s.compute_time(250), SimTime::from_millis(200));
+    }
+
+    #[test]
+    fn zero_cpu_never_finishes() {
+        assert_eq!(spec().compute_time(0), SimTime::MAX);
+    }
+
+    #[test]
+    fn base_service_time_uses_min_request() {
+        assert_eq!(spec().base_service_time(), SimTime::from_millis(100));
+    }
+
+    #[test]
+    fn qos_check_is_inclusive() {
+        let s = spec();
+        assert!(s.meets_qos(SimTime::from_millis(300)));
+        assert!(!s.meets_qos(SimTime::from_micros(300_001)));
+    }
+
+    #[test]
+    fn class_predicates() {
+        assert!(ServiceClass::Lc.is_lc());
+        assert!(!ServiceClass::Lc.is_be());
+        assert!(ServiceClass::Be.is_be());
+        assert_eq!(ServiceClass::Lc.to_string(), "LC");
+    }
+}

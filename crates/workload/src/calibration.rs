@@ -1,0 +1,113 @@
+//! PARTIES-style QoS target calibration (§6.2).
+//!
+//! The paper determines each service's expected resource allocation and QoS
+//! target "based on network transfer latency and service pressure
+//! measurement, leveraging methods mentioned in PARTIES". We reproduce the
+//! procedure against the simulator's processing model: press a service at
+//! increasing concurrency under its minimum allocation, read the latency
+//! curve, and set the target at `headroom × knee-latency + RTT allowance`.
+
+use crate::catalog::ServiceCatalog;
+use tango_types::{ServiceSpec, SimTime};
+
+/// Latency of one request of `spec` when `concurrency` requests share an
+/// allocation of `cpu_milli` — the simulator's processor-sharing model,
+/// exposed here so the calibration measures exactly what execution will do.
+pub fn pressure_latency(spec: &ServiceSpec, cpu_milli: u64, concurrency: u64) -> SimTime {
+    if cpu_milli == 0 || concurrency == 0 {
+        return SimTime::MAX;
+    }
+    let per_request = cpu_milli / concurrency.max(1);
+    spec.compute_time(per_request.max(1))
+}
+
+/// Sweep concurrency 1..=max and return (concurrency, latency) points —
+/// the pressure curve a PARTIES-style controller would measure.
+pub fn pressure_curve(spec: &ServiceSpec, cpu_milli: u64, max_concurrency: u64) -> Vec<(u64, SimTime)> {
+    (1..=max_concurrency.max(1))
+        .map(|m| (m, pressure_latency(spec, cpu_milli, m)))
+        .collect()
+}
+
+/// Re-derive every LC service's QoS target from pressure measurement:
+/// `γ = headroom × latency(min_request, nominal_concurrency) + rtt_allowance`.
+/// BE services keep their "no target" sentinel. Returns the calibrated
+/// catalog.
+pub fn calibrate_qos_targets(
+    mut catalog: ServiceCatalog,
+    headroom: f64,
+    nominal_concurrency: u64,
+    rtt_allowance: SimTime,
+) -> ServiceCatalog {
+    for spec in catalog.specs_mut() {
+        if spec.class.is_lc() {
+            let knee = pressure_latency(spec, spec.min_request.cpu_milli, nominal_concurrency);
+            let target_ms = knee.as_millis_f64() * headroom.max(1.0) + rtt_allowance.as_millis_f64();
+            spec.qos_target = SimTime::from_millis_f64(target_ms);
+        }
+    }
+    catalog
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tango_types::ServiceId;
+
+    #[test]
+    fn pressure_latency_grows_linearly_with_concurrency() {
+        let c = ServiceCatalog::standard();
+        let s = c.get(ServiceId(0)); // cloud-render: 60ms base at 500m
+        let l1 = pressure_latency(s, 500, 1);
+        let l2 = pressure_latency(s, 500, 2);
+        let l4 = pressure_latency(s, 500, 4);
+        assert_eq!(l1, SimTime::from_millis(60));
+        assert_eq!(l2, SimTime::from_millis(120));
+        assert_eq!(l4, SimTime::from_millis(240));
+    }
+
+    #[test]
+    fn degenerate_inputs_yield_never_finishing() {
+        let c = ServiceCatalog::standard();
+        let s = c.get(ServiceId(0));
+        assert_eq!(pressure_latency(s, 0, 1), SimTime::MAX);
+        assert_eq!(pressure_latency(s, 500, 0), SimTime::MAX);
+    }
+
+    #[test]
+    fn pressure_curve_is_monotonic() {
+        let c = ServiceCatalog::standard();
+        let s = c.get(ServiceId(2));
+        let curve = pressure_curve(s, s.min_request.cpu_milli, 8);
+        assert_eq!(curve.len(), 8);
+        for w in curve.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn calibration_sets_lc_targets_above_knee_and_keeps_be_unbounded() {
+        let base = ServiceCatalog::standard();
+        let rtt = SimTime::from_millis(20);
+        let cal = calibrate_qos_targets(base.clone(), 1.5, 2, rtt);
+        for (orig, new) in base.specs().iter().zip(cal.specs()) {
+            if orig.class.is_lc() {
+                let knee = pressure_latency(orig, orig.min_request.cpu_milli, 2);
+                assert!(new.qos_target > knee);
+                assert!(new.qos_target < SimTime::from_secs(10));
+            } else {
+                assert_eq!(new.qos_target, SimTime::MAX);
+            }
+        }
+    }
+
+    #[test]
+    fn headroom_below_one_is_clamped() {
+        let base = ServiceCatalog::standard();
+        let a = calibrate_qos_targets(base.clone(), 0.1, 1, SimTime::ZERO);
+        let b = calibrate_qos_targets(base, 1.0, 1, SimTime::ZERO);
+        for (x, y) in a.specs().iter().zip(b.specs()) {
+            assert_eq!(x.qos_target, y.qos_target);
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! The diurnal load shape of Fig. 1.
+//!
+//! The paper's production measurement shows edge-cloud load bottoming out
+//! in the small hours and peaking in the afternoon and again in the
+//! evening. We model the multiplier as a mixture of two Gaussian bumps
+//! (afternoon ~15:00, evening ~21:00) over a night-time floor, normalized
+//! so the peak multiplier is 1.0.
+
+/// A 24-hour load-rate profile.
+#[derive(Debug, Clone)]
+pub struct DiurnalProfile {
+    floor: f64,
+    afternoon_peak_h: f64,
+    evening_peak_h: f64,
+    afternoon_weight: f64,
+    evening_weight: f64,
+    width_h: f64,
+}
+
+impl Default for DiurnalProfile {
+    fn default() -> Self {
+        DiurnalProfile {
+            floor: 0.30,
+            afternoon_peak_h: 15.0,
+            evening_peak_h: 21.0,
+            afternoon_weight: 1.0,
+            evening_weight: 0.9,
+            width_h: 3.0,
+        }
+    }
+}
+
+impl DiurnalProfile {
+    /// A flat profile (multiplier 1.0 always) — used when an experiment
+    /// wants pattern-driven rates only.
+    pub fn flat() -> Self {
+        DiurnalProfile {
+            floor: 1.0,
+            afternoon_weight: 0.0,
+            evening_weight: 0.0,
+            ..DiurnalProfile::default()
+        }
+    }
+
+    /// Load multiplier in (0, 1] at an hour-of-day (fractional, wraps
+    /// modulo 24).
+    pub fn multiplier(&self, hour: f64) -> f64 {
+        let h = hour.rem_euclid(24.0);
+        // circular distance in hours
+        let dist = |peak: f64| -> f64 {
+            let d = (h - peak).abs();
+            d.min(24.0 - d)
+        };
+        let bump = |peak: f64, w: f64| -> f64 {
+            let d = dist(peak);
+            w * (-d * d / (2.0 * self.width_h * self.width_h)).exp()
+        };
+        let raw = self.floor
+            + (1.0 - self.floor)
+                * (bump(self.afternoon_peak_h, self.afternoon_weight)
+                    + bump(self.evening_peak_h, self.evening_weight))
+                .min(1.0);
+        raw.min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_is_in_the_afternoon_and_trough_at_night() {
+        let p = DiurnalProfile::default();
+        let at = |h: f64| p.multiplier(h);
+        assert!(at(15.0) > 0.95);
+        assert!(at(4.0) < 0.45);
+        assert!(at(15.0) > at(4.0));
+        // evening secondary peak beats late night
+        assert!(at(21.0) > at(1.0));
+    }
+
+    #[test]
+    fn multiplier_bounded_in_unit_interval() {
+        let p = DiurnalProfile::default();
+        for i in 0..240 {
+            let m = p.multiplier(i as f64 / 10.0);
+            assert!(m > 0.0 && m <= 1.0, "m({}) = {m}", i as f64 / 10.0);
+        }
+    }
+
+    #[test]
+    fn wraps_modulo_24() {
+        let p = DiurnalProfile::default();
+        assert!((p.multiplier(15.0) - p.multiplier(39.0)).abs() < 1e-12);
+        assert!((p.multiplier(-9.0) - p.multiplier(15.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flat_profile_is_constant_one() {
+        let p = DiurnalProfile::flat();
+        for h in [0.0, 6.5, 12.0, 23.9] {
+            assert!((p.multiplier(h) - 1.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Trace persistence: save a synthesized trace to disk and replay it
+//! later — the moral equivalent of the paper's recorded Google-trace
+//! replay, and the hook for plugging a *real* trace (converted to the
+//! same CSV) into the harness.
+//!
+//! Format: a header line, then one CSV row per request, sorted by arrival
+//! time:
+//!
+//! ```text
+//! at_us,service,class,origin,cpu_milli,memory_mib,bandwidth_mbps,disk_mib
+//! 1042,3,LC,0,512,260,20,64
+//! ```
+
+use crate::trace::TraceEvent;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+use tango_types::{ClusterId, Resources, ServiceClass, ServiceId, SimTime};
+
+/// The CSV header written and expected by this module.
+pub const TRACE_HEADER: &str =
+    "at_us,service,class,origin,cpu_milli,memory_mib,bandwidth_mbps,disk_mib";
+
+fn format_event(e: &TraceEvent) -> String {
+    format!(
+        "{},{},{},{},{},{},{},{}",
+        e.at.as_micros(),
+        e.service.0,
+        e.class,
+        e.origin.raw(),
+        e.demand.cpu_milli,
+        e.demand.memory_mib,
+        e.demand.bandwidth_mbps,
+        e.demand.disk_mib
+    )
+}
+
+fn parse_event(line: &str, lineno: usize) -> std::io::Result<TraceEvent> {
+    let bad = |msg: &str| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("trace line {lineno}: {msg}: {line}"),
+        )
+    };
+    let fields: Vec<&str> = line.split(',').collect();
+    if fields.len() != 8 {
+        return Err(bad("expected 8 fields"));
+    }
+    let num = |i: usize| -> std::io::Result<u64> {
+        fields[i]
+            .trim()
+            .parse::<u64>()
+            .map_err(|_| bad("non-numeric field"))
+    };
+    let class = match fields[2].trim() {
+        "LC" => ServiceClass::Lc,
+        "BE" => ServiceClass::Be,
+        _ => return Err(bad("class must be LC or BE")),
+    };
+    Ok(TraceEvent {
+        at: SimTime::from_micros(num(0)?),
+        service: ServiceId(num(1)? as u16),
+        class,
+        origin: ClusterId(num(3)? as u32),
+        demand: Resources::new(num(4)?, num(5)?, num(6)?, num(7)?),
+    })
+}
+
+/// Write a trace as CSV with header.
+pub fn save_trace(path: &Path, events: &[TraceEvent]) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    writeln!(w, "{TRACE_HEADER}")?;
+    for e in events {
+        writeln!(w, "{}", format_event(e))?;
+    }
+    w.flush()
+}
+
+/// Read a trace back, re-sorting by arrival time (imported traces may be
+/// unsorted). The header line is required; blank lines are skipped.
+pub fn load_trace(path: &Path) -> std::io::Result<Vec<TraceEvent>> {
+    let file = std::fs::File::open(path)?;
+    let reader = BufReader::new(file);
+    let mut events = Vec::new();
+    let mut lines = reader.lines().enumerate();
+    match lines.next() {
+        Some((_, Ok(header))) if header.trim() == TRACE_HEADER => {}
+        _ => {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "missing or malformed trace header",
+            ))
+        }
+    }
+    for (i, line) in lines {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        events.push(parse_event(&line, i + 1)?);
+    }
+    events.sort_by_key(|e| e.at);
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::ServiceCatalog;
+    use crate::patterns::{Pattern, PatternKind};
+    use crate::trace::{TraceGenerator, TraceSpec};
+
+    fn sample_trace() -> Vec<TraceEvent> {
+        let catalog = ServiceCatalog::standard();
+        let spec = TraceSpec::new(
+            Pattern::new(PatternKind::P3, 50.0, 10.0),
+            3,
+            SimTime::from_secs(5),
+            9,
+        );
+        TraceGenerator::new(&catalog, spec).collect_events()
+    }
+
+    #[test]
+    fn save_load_roundtrips_exactly() {
+        let events = sample_trace();
+        assert!(!events.is_empty());
+        let path = std::env::temp_dir().join("tango_trace_roundtrip.csv");
+        save_trace(&path, &events).unwrap();
+        let loaded = load_trace(&path).unwrap();
+        assert_eq!(events, loaded);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_resorts_unsorted_input() {
+        let events = sample_trace();
+        let path = std::env::temp_dir().join("tango_trace_unsorted.csv");
+        let mut reversed = events.clone();
+        reversed.reverse();
+        save_trace(&path, &reversed).unwrap();
+        let loaded = load_trace(&path).unwrap();
+        assert_eq!(events, loaded);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn format_parse_roundtrip_single_line() {
+        let e = &sample_trace()[0];
+        let parsed = parse_event(&format_event(e), 1).unwrap();
+        assert_eq!(&parsed, e);
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(parse_event("1,2,3", 1).is_err()); // too few fields
+        assert!(parse_event("x,1,LC,0,1,1,1,1", 1).is_err()); // non-numeric
+        assert!(parse_event("1,1,XX,0,1,1,1,1", 1).is_err()); // bad class
+    }
+
+    #[test]
+    fn missing_header_is_rejected() {
+        let path = std::env::temp_dir().join("tango_trace_noheader.csv");
+        std::fs::write(&path, "1,1,LC,0,1,1,1,1\n").unwrap();
+        assert!(load_trace(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        assert!(load_trace(Path::new("/nonexistent/definitely/not.csv")).is_err());
+    }
+}

@@ -1,0 +1,81 @@
+//! HRM vs K8s-native co-location (the §7.1 experiment, Fig. 9 in
+//! miniature): run the three request patterns P1/P2/P3 with and without
+//! HRM and compare resource utilization and QoS.
+//!
+//! ```sh
+//! cargo run --release --example hrm_colocation
+//! ```
+
+use tango_repro::tango::runtime::{run_parallel, RunSpec};
+use tango_repro::tango::{AllocatorKind, BePolicy, LcPolicy, TangoConfig};
+use tango_repro::types::SimTime;
+use tango_repro::workload::PatternKind;
+
+fn main() {
+    let duration = SimTime::from_secs(20);
+    let mut specs = Vec::new();
+    for pattern in PatternKind::ALL {
+        for hrm in [true, false] {
+            let mut cfg = TangoConfig::physical_testbed();
+            cfg.workload.pattern = pattern;
+            cfg.workload.lc_rps = 80.0;
+            cfg.workload.be_rps = 16.0;
+            // isolate the allocator: both sides use the default K8s
+            // dispatch, as §7.1 does
+            cfg.lc_policy = LcPolicy::KsNative;
+            cfg.be_policy = BePolicy::KsNative;
+            if hrm {
+                cfg.allocator = AllocatorKind::Hrm;
+            } else {
+                cfg.allocator = AllocatorKind::Static;
+                cfg.reassurance = None;
+            }
+            specs.push(RunSpec {
+                label: format!("{pattern:?}/{}", if hrm { "HRM" } else { "native" }),
+                config: cfg,
+                duration,
+            });
+        }
+    }
+
+    println!("running {} configurations in parallel ...", specs.len());
+    let reports = run_parallel(specs);
+
+    println!("\npattern  allocator  util    lc_util  be_util  qos    throughput");
+    for r in &reports {
+        let (util_lc, util_be) = r
+            .periods
+            .iter()
+            .fold((0.0, 0.0), |(a, b), p| (a + p.util_lc, b + p.util_be));
+        let n = r.periods.len().max(1) as f64;
+        println!(
+            "{:<22}  {:>5.3}  {:>7.3}  {:>7.3}  {:>5.3}  {:>6}",
+            r.label,
+            r.mean_utilization,
+            util_lc / n,
+            util_be / n,
+            r.qos_satisfaction,
+            r.be_throughput
+        );
+    }
+
+    // headline: HRM should beat native on overall utilization
+    let hrm_util: f64 = reports
+        .iter()
+        .filter(|r| r.label.ends_with("HRM"))
+        .map(|r| r.mean_utilization)
+        .sum::<f64>()
+        / 3.0;
+    let native_util: f64 = reports
+        .iter()
+        .filter(|r| r.label.ends_with("native"))
+        .map(|r| r.mean_utilization)
+        .sum::<f64>()
+        / 3.0;
+    println!(
+        "\nmean overall utilization: HRM {:.3} vs native {:.3} ({:+.1}%)",
+        hrm_util,
+        native_util,
+        (hrm_util / native_util.max(1e-9) - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,66 @@
+//! Large-scale hybrid-cluster comparison (Fig. 13 in miniature): Tango vs
+//! CERES (elastic local allocation, no cross-cluster scheduling) vs DSACO
+//! (intelligent distributed offloading, no mixed-workload allocation) on
+//! a dual-space deployment.
+//!
+//! The paper runs 104 clusters for many minutes; this example defaults to
+//! 12 clusters × 20 s so it completes in seconds. Pass a cluster count to
+//! scale it up:
+//!
+//! ```sh
+//! cargo run --release --example large_scale -- 30
+//! ```
+
+use tango_repro::tango::runtime::{run_parallel, RunSpec};
+use tango_repro::tango::TangoConfig;
+use tango_repro::types::SimTime;
+
+fn main() {
+    let clusters: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(12);
+    let duration = SimTime::from_secs(20);
+    let base = TangoConfig::dual_space(clusters);
+
+    println!("comparing on {clusters} clusters, {duration} simulated ...");
+    let specs = vec![
+        RunSpec {
+            label: "Tango".into(),
+            config: base.clone().as_tango(),
+            duration,
+        },
+        RunSpec {
+            label: "CERES".into(),
+            config: base.clone().as_ceres(),
+            duration,
+        },
+        RunSpec {
+            label: "DSACO".into(),
+            config: base.as_dsaco(),
+            duration,
+        },
+    ];
+    let reports = run_parallel(specs);
+
+    println!("\nsystem  utilization  qos-satisfaction  be-throughput  abandoned");
+    for r in &reports {
+        println!(
+            "{:<6}  {:>11.3}  {:>16.3}  {:>13}  {:>9}",
+            r.label, r.mean_utilization, r.qos_satisfaction, r.be_throughput, r.abandoned
+        );
+    }
+
+    let tango = &reports[0];
+    let ceres = &reports[1];
+    let dsaco = &reports[2];
+    println!(
+        "\nTango vs CERES:  utilization {:+.1}%,  throughput {:+.1}%",
+        (tango.mean_utilization / ceres.mean_utilization.max(1e-9) - 1.0) * 100.0,
+        (tango.be_throughput as f64 / ceres.be_throughput.max(1) as f64 - 1.0) * 100.0,
+    );
+    println!(
+        "Tango vs DSACO:  QoS satisfaction {:+.1}%",
+        (tango.qos_satisfaction / dsaco.qos_satisfaction.max(1e-9) - 1.0) * 100.0,
+    );
+}

@@ -1,0 +1,46 @@
+//! Quickstart: build a small edge-cloud system, run Tango on a mixed
+//! LC/BE trace for 20 simulated seconds, and print the per-period report.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use tango_repro::tango::{EdgeCloudSystem, TangoConfig};
+use tango_repro::types::SimTime;
+
+fn main() {
+    // The paper's physical testbed: 4 clusters × (1 master + 4 workers),
+    // DSS-LC + DCG-BE + HRM + QoS re-assurance.
+    let cfg = TangoConfig::physical_testbed();
+    println!(
+        "building {} clusters of {:?} workers, LC policy {}, BE policy {} ...",
+        cfg.clusters,
+        cfg.workers_per_cluster,
+        cfg.lc_policy.name(),
+        cfg.be_policy.name()
+    );
+
+    let system = EdgeCloudSystem::new(cfg);
+    println!(
+        "system up: {} nodes ({} workers), 10 services deployed per worker",
+        system.node_count(),
+        system.worker_count()
+    );
+
+    let report = system.run(SimTime::from_secs(20), "tango-quickstart");
+
+    println!("\n== run summary ==");
+    println!("{}", report.summary());
+    println!("D-VPA scaling operations: {}", report.dvpa_ops);
+    println!("BE evictions by LC preemption: {}", report.be_evictions);
+
+    println!("\n== per-period series (800 ms periods, first 10) ==");
+    println!("period  lc_arr  lc_done  lc_ok  be_done  util   p95ms");
+    for p in report.periods.iter().take(10) {
+        println!(
+            "{:>6}  {:>6}  {:>7}  {:>5}  {:>7}  {:>5.2}  {:>6.1}",
+            p.index, p.lc_arrived, p.lc_completed, p.lc_satisfied, p.be_completed,
+            p.util_overall, p.lc_p95_ms
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! Sweep the QoS re-assurance thresholds (α, β) of Algorithm 1 and watch
+//! the QoS-satisfaction / BE-throughput trade-off move — the sensitivity
+//! study behind the paper's "empirically establish two thresholds".
+//!
+//! ```sh
+//! cargo run --release --example reassurance_tuning
+//! ```
+
+use tango_repro::tango::runtime::{run_parallel, RunSpec};
+use tango_repro::tango::{BePolicy, LcPolicy, TangoConfig};
+use tango_repro::types::SimTime;
+use tango_repro::workload::PatternKind;
+
+fn main() {
+    let duration = SimTime::from_secs(20);
+    let grid = [
+        (0.01, 0.9), // aggressive growth, almost never shrink
+        (0.05, 0.7), // the repository default
+        (0.10, 0.5), // the band the paper's examples suggest
+        (0.20, 0.3), // hair-trigger both ways
+    ];
+    let mut specs = Vec::new();
+    for &(alpha, beta) in &grid {
+        let mut cfg = TangoConfig::physical_testbed();
+        cfg.workload.pattern = PatternKind::P1;
+        cfg.workload.lc_rps = 1_300.0;
+        cfg.workload.be_rps = 20.0;
+        cfg.lc_policy = LcPolicy::DssLc;
+        cfg.be_policy = BePolicy::LoadGreedy;
+        if let Some(r) = cfg.reassurance.as_mut() {
+            r.alpha = alpha;
+            r.beta = beta;
+        }
+        specs.push(RunSpec {
+            label: format!("a={alpha:.2} b={beta:.2}"),
+            config: cfg,
+            duration,
+        });
+    }
+    // control: mechanism off
+    let mut off = TangoConfig::physical_testbed();
+    off.workload.pattern = PatternKind::P1;
+    off.workload.lc_rps = 1_300.0;
+    off.workload.be_rps = 20.0;
+    off.lc_policy = LcPolicy::DssLc;
+    off.be_policy = BePolicy::LoadGreedy;
+    off.reassurance = None;
+    specs.push(RunSpec {
+        label: "off".into(),
+        config: off,
+        duration,
+    });
+
+    println!("sweeping {} (α, β) settings under bursty overload ...", specs.len());
+    let reports = run_parallel(specs);
+    println!("\nthresholds      qos     p95(ms)  throughput  abandoned");
+    for r in &reports {
+        println!(
+            "{:<14}  {:>5.3}  {:>8.1}  {:>10}  {:>9}",
+            r.label, r.qos_satisfaction, r.lc_p95_ms, r.be_throughput, r.abandoned
+        );
+    }
+    println!("\nα grows resources when slack < α; β shrinks when slack > β.");
+    println!("Wider bands adjust less (stable but slow to react); narrow bands");
+    println!("churn limits every window. Compare each row against 'off'.");
+}

@@ -1,0 +1,19 @@
+//! Umbrella crate for the Tango reproduction workspace.
+//!
+//! Re-exports the public API of every member crate so the examples and
+//! integration tests can `use tango_repro::...` uniformly.
+
+pub use tango;
+pub use tango_cgroup as cgroup;
+pub use tango_flow as flow;
+pub use tango_gnn as gnn;
+pub use tango_hrm as hrm;
+pub use tango_kube as kube;
+pub use tango_metrics as metrics;
+pub use tango_net as net;
+pub use tango_nn as nn;
+pub use tango_rl as rl;
+pub use tango_sched as sched;
+pub use tango_simcore as simcore;
+pub use tango_types as types;
+pub use tango_workload as workload;

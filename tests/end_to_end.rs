@@ -1,0 +1,154 @@
+//! End-to-end integration tests: the full Tango stack (trace → dispatch →
+//! HRM allocation → execution → QoS detection → re-assurance) across
+//! crates.
+
+use tango_repro::tango::{
+    AllocatorKind, BePolicy, EdgeCloudSystem, LcPolicy, TangoConfig,
+};
+use tango_repro::types::SimTime;
+use tango_repro::workload::PatternKind;
+
+fn base_cfg() -> TangoConfig {
+    let mut cfg = TangoConfig::physical_testbed();
+    cfg.clusters = 2;
+    cfg.topology.clusters = 2;
+    cfg.workload.lc_rps = 40.0;
+    cfg.workload.be_rps = 8.0;
+    cfg.be_policy = BePolicy::LoadGreedy; // cheap BE side for CI speed
+    cfg
+}
+
+#[test]
+fn tango_meets_most_qos_targets_under_moderate_load() {
+    let report = EdgeCloudSystem::new(base_cfg()).run(SimTime::from_secs(15), "e2e");
+    assert!(report.lc_arrived > 300);
+    assert!(
+        report.qos_satisfaction > 0.8,
+        "qos = {}",
+        report.qos_satisfaction
+    );
+    assert!(report.be_throughput > 20);
+    // resources were actually used and reclaimed
+    assert!(report.mean_utilization > 0.02);
+    assert!(report.dvpa_ops > 0, "HRM must be exercising D-VPA");
+}
+
+#[test]
+fn hrm_beats_static_allocation_on_utilization_and_qos() {
+    // the Fig. 9 headline as an assertion, pattern P3
+    let mut hrm_cfg = base_cfg();
+    hrm_cfg.workload.pattern = PatternKind::P3;
+    hrm_cfg.workload.lc_rps = 80.0;
+    hrm_cfg.workload.be_rps = 16.0;
+    hrm_cfg.lc_policy = LcPolicy::KsNative;
+    hrm_cfg.be_policy = BePolicy::KsNative;
+
+    let mut static_cfg = hrm_cfg.clone();
+    static_cfg.allocator = AllocatorKind::Static;
+    static_cfg.reassurance = None;
+
+    let hrm = EdgeCloudSystem::new(hrm_cfg).run(SimTime::from_secs(15), "hrm");
+    let stat = EdgeCloudSystem::new(static_cfg).run(SimTime::from_secs(15), "static");
+
+    assert!(
+        hrm.mean_utilization > stat.mean_utilization,
+        "HRM util {} vs static {}",
+        hrm.mean_utilization,
+        stat.mean_utilization
+    );
+    assert!(
+        hrm.qos_satisfaction > stat.qos_satisfaction,
+        "HRM qos {} vs static {}",
+        hrm.qos_satisfaction,
+        stat.qos_satisfaction
+    );
+}
+
+#[test]
+fn dss_lc_beats_round_robin_under_pressure() {
+    // the Fig. 11(a) ordering as an assertion: scheduling quality only
+    // differentiates when bursts overload the preferred nodes, so drive
+    // the full 4-cluster testbed with a P1 spike train around its
+    // ~1.3k req/s capacity.
+    let mut dss_cfg = TangoConfig::physical_testbed();
+    dss_cfg.workload.pattern = PatternKind::P1;
+    dss_cfg.workload.lc_rps = 1_200.0;
+    dss_cfg.workload.be_rps = 20.0;
+    dss_cfg.be_policy = BePolicy::LoadGreedy;
+    dss_cfg.lc_policy = LcPolicy::DssLc;
+    let mut rr_cfg = dss_cfg.clone();
+    rr_cfg.lc_policy = LcPolicy::KsNative;
+
+    let dss = EdgeCloudSystem::new(dss_cfg).run(SimTime::from_secs(15), "dss");
+    let rr = EdgeCloudSystem::new(rr_cfg).run(SimTime::from_secs(15), "rr");
+
+    assert!(
+        dss.qos_satisfaction > rr.qos_satisfaction,
+        "dss {} vs rr {}",
+        dss.qos_satisfaction,
+        rr.qos_satisfaction
+    );
+    assert!(
+        dss.abandoned < rr.abandoned,
+        "dss abandoned {} vs rr {}",
+        dss.abandoned,
+        rr.abandoned
+    );
+}
+
+#[test]
+fn reassurance_does_not_hurt_qos() {
+    let mut with = base_cfg();
+    with.workload.lc_rps = 100.0;
+    let mut without = with.clone();
+    without.reassurance = None;
+
+    let w = EdgeCloudSystem::new(with).run(SimTime::from_secs(15), "with");
+    let wo = EdgeCloudSystem::new(without).run(SimTime::from_secs(15), "without");
+    assert!(
+        w.qos_satisfaction >= wo.qos_satisfaction - 0.05,
+        "with {} vs without {}",
+        w.qos_satisfaction,
+        wo.qos_satisfaction
+    );
+}
+
+#[test]
+fn be_work_is_conserved_not_lost() {
+    // every BE request is completed, abandoned, failed, or still queued /
+    // running at the horizon — never silently dropped.
+    let mut cfg = base_cfg();
+    cfg.workload.lc_rps = 60.0;
+    cfg.workload.be_rps = 20.0;
+    let report = EdgeCloudSystem::new(cfg).run(SimTime::from_secs(10), "conserve");
+    let be_arrived: u64 = report.periods.iter().map(|p| p.be_completed).sum::<u64>();
+    assert_eq!(be_arrived, report.be_throughput);
+    // LC accounting is consistent
+    let lc_done: u64 = report.periods.iter().map(|p| p.lc_completed).sum();
+    let lc_ok: u64 = report.periods.iter().map(|p| p.lc_satisfied).sum();
+    assert!(lc_ok <= lc_done);
+    assert!(lc_done <= report.lc_arrived);
+}
+
+#[test]
+fn learning_be_policy_runs_end_to_end() {
+    let mut cfg = base_cfg();
+    cfg.be_policy = BePolicy::DcgBe(tango_repro::gnn::EncoderKind::Sage { p: 3 });
+    cfg.workload.be_rps = 16.0;
+    let report = EdgeCloudSystem::new(cfg).run(SimTime::from_secs(10), "dcg");
+    assert!(report.be_throughput > 10, "thpt {}", report.be_throughput);
+}
+
+#[test]
+fn dual_space_heterogeneous_layout_runs() {
+    let mut cfg = TangoConfig::dual_space(6);
+    cfg.workload.lc_rps = 60.0;
+    cfg.workload.be_rps = 10.0;
+    cfg.be_policy = BePolicy::LoadGreedy;
+    let sys = EdgeCloudSystem::new(cfg);
+    let workers = sys.worker_count();
+    assert!((18..=120).contains(&workers), "workers = {workers}");
+    let report = sys.run(SimTime::from_secs(8), "dual");
+    assert!(report.lc_completed > 0);
+    assert!(report.be_throughput > 0);
+}

@@ -1,0 +1,180 @@
+//! Property tests over the schedulers and the execution model.
+
+use proptest::prelude::*;
+use tango_repro::kube::Node;
+use tango_repro::metrics::P2Quantile;
+use tango_repro::sched::{CandidateNode, DssLc, KsNative, LcScheduler, LoadGreedy, Scoring, TypeBatch};
+use tango_repro::types::{
+    ClusterId, NodeId, RequestId, Resources, ServiceClass, ServiceId, ServiceSpec, SimTime,
+};
+
+fn arb_candidates() -> impl Strategy<Value = Vec<CandidateNode>> {
+    proptest::collection::vec(
+        (0u64..8, 1u64..50, 1u32..20),
+        1..12,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (cap, delay_ms, link))| CandidateNode {
+                node: NodeId(i as u32),
+                cluster: ClusterId((i / 4) as u32),
+                total: Resources::cpu_mem(8_000, 16_384),
+                available_lc: Resources::cpu_mem(cap * 500, cap * 256),
+                available_be: Resources::cpu_mem(cap * 500, cap * 256),
+                min_request: Resources::cpu_mem(500, 256),
+                delay: SimTime::from_millis(delay_ms),
+                link_capacity: link,
+                slack: 1.0,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// Every LC policy: (1) never assigns one request twice, (2) never
+    /// assigns more requests to a node than its Eq. 2 capacity + the
+    /// λ-overflow allotment permits for DSS-LC, and never more than
+    /// capacity for the baselines, (3) never invents request ids.
+    #[test]
+    fn lc_policies_respect_capacity_and_uniqueness(
+        nodes in arb_candidates(),
+        n_requests in 0u64..60,
+        seed in any::<u64>(),
+    ) {
+        let batch = TypeBatch {
+            service: ServiceId(0),
+            requests: (0..n_requests).map(RequestId).collect(),
+            nodes,
+        };
+        let caps: Vec<u64> = batch.nodes.iter().map(|n| n.capacity_now(true)).collect();
+
+        // baselines: hard capacity bound
+        let mut baselines: Vec<Box<dyn LcScheduler>> = vec![
+            Box::new(LoadGreedy),
+            Box::new(KsNative::default()),
+            Box::new(Scoring::default()),
+        ];
+        for sched in &mut baselines {
+            let out = sched.assign(&batch);
+            let mut seen = std::collections::HashSet::new();
+            let mut per_node = vec![0u64; batch.nodes.len()];
+            for &(rid, node) in &out {
+                prop_assert!(seen.insert(rid), "{}: duplicate {rid}", sched.name());
+                prop_assert!(batch.requests.contains(&rid));
+                let idx = batch.nodes.iter().position(|c| c.node == node).unwrap();
+                per_node[idx] += 1;
+            }
+            for (i, &count) in per_node.iter().enumerate() {
+                prop_assert!(count <= caps[i], "{}: node {i} over capacity", sched.name());
+            }
+        }
+
+        // DSS-LC: uniqueness + totality (assigned + unrouted = all)
+        let mut dss = DssLc::new(seed);
+        let plan = dss.plan(&batch);
+        let mut seen = std::collections::HashSet::new();
+        for (rid, _) in plan.all() {
+            prop_assert!(seen.insert(rid), "dss-lc duplicate {rid}");
+        }
+        for rid in &plan.unrouted {
+            prop_assert!(seen.insert(*rid), "unrouted overlaps assigned");
+        }
+        prop_assert_eq!(seen.len() as u64, n_requests);
+        // immediate set respects instantaneous capacity and link caps
+        let mut per_node = vec![0u64; batch.nodes.len()];
+        for &(_, node) in &plan.immediate {
+            let idx = batch.nodes.iter().position(|c| c.node == node).unwrap();
+            per_node[idx] += 1;
+        }
+        for (i, &count) in per_node.iter().enumerate() {
+            prop_assert!(count <= caps[i].min(batch.nodes[i].link_capacity as u64));
+        }
+    }
+
+    /// Work conservation in the execution model: total completed work
+    /// equals what was admitted, regardless of when limits change.
+    #[test]
+    fn node_conserves_work_across_limit_changes(
+        demands in proptest::collection::vec(100u64..800, 1..6),
+        limit_changes in proptest::collection::vec(200u64..4_000, 0..4),
+    ) {
+        let spec = ServiceSpec {
+            id: ServiceId(0),
+            name: "w".into(),
+            class: ServiceClass::Lc,
+            min_request: Resources::cpu_mem(500, 64),
+            work_milli_ms: 20_000,
+            qos_target: SimTime::from_millis(300),
+            payload_kib: 64,
+        };
+        let mut node = Node::new(
+            NodeId(0),
+            ClusterId(0),
+            false,
+            Resources::new(8_000, 16_384, 1_000, 100_000),
+        );
+        node.deploy_service(&spec, Resources::new(4_000, 8_192, 500, 1_000), SimTime::ZERO)
+            .unwrap();
+        for (i, &cpu) in demands.iter().enumerate() {
+            node.admit(
+                RequestId(i as u64),
+                spec.id,
+                Resources::cpu_mem(cpu, 64),
+                spec.work_milli_ms,
+                SimTime::ZERO,
+            )
+            .unwrap();
+        }
+        // change the container limit mid-flight a few times
+        let (pod_cg, ctr_cg) = node.scaling_cgroups(spec.id).unwrap();
+        let mut t = SimTime::from_millis(5);
+        for &cpu in &limit_changes {
+            node.advance(t);
+            let lim = Resources::new(cpu, 8_192, 500, 1_000);
+            let cur = node.cgroups.limit(pod_cg);
+            let tmp = cur.max(&lim);
+            if tmp != cur {
+                node.cgroups.set_limit(t, pod_cg, tmp).unwrap();
+            }
+            node.cgroups.set_limit(t, ctr_cg, lim).unwrap();
+            if tmp != lim {
+                node.cgroups.set_limit(t, pod_cg, lim).unwrap();
+            }
+            node.touch();
+            t = t + SimTime::from_millis(7);
+        }
+        // run long enough for everything to finish at ≥ the 10m/sliver floor
+        node.advance(SimTime::from_secs(3_000));
+        let done = node.take_completions();
+        prop_assert_eq!(done.len(), demands.len(), "all admitted work completes");
+        prop_assert_eq!(node.running_count(), 0);
+        let (lc, be) = node.demand_usage();
+        prop_assert!(lc.is_zero() && be.is_zero(), "all demand released");
+    }
+
+    /// P² estimator stays within a tolerance band of the exact p95 on
+    /// smooth distributions (its contract — the parabolic interpolation
+    /// assumes a locally smooth density; discontinuous mixtures with a
+    /// jump at the tracked quantile can bias it, which is why the QoS
+    /// detector's small windows use the exact percentile instead).
+    #[test]
+    fn p2_tracks_exact_p95(seed in any::<u64>(), mean in 10.0f64..500.0) {
+        use tango_repro::simcore::SimRng;
+        let mut rng = SimRng::new(seed);
+        let mut p2 = P2Quantile::p95();
+        let mut xs = Vec::with_capacity(5_000);
+        for _ in 0..5_000 {
+            let x = rng.exponential(mean);
+            p2.observe(x);
+            xs.push(x);
+        }
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let exact = xs[(0.95 * xs.len() as f64) as usize];
+        let est = p2.estimate().unwrap();
+        prop_assert!(
+            (est - exact).abs() / exact < 0.15,
+            "est {est} vs exact {exact} (mean {mean})"
+        );
+    }
+}
