@@ -1,8 +1,8 @@
 //! DSS-LC decision-time bench (§7.2 text: "1.99 ms for a node size of 500
 //! and 3.98 ms for a node size of 1000").
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use tango_bench::microbench;
 use tango_sched::{CandidateNode, DssLc, TypeBatch};
 use tango_types::{ClusterId, NodeId, RequestId, Resources, ServiceId, SimTime};
 
@@ -27,19 +27,15 @@ fn make_batch(n_nodes: usize, n_requests: u64) -> TypeBatch {
     }
 }
 
-fn bench_dss(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dss_lc_decision");
+fn main() {
     for &n in &[100usize, 500, 1000] {
         // paper-like regime: pending ≈ 2× instantaneous capacity, so both
         // the immediate and the λ-augmented overflow graphs are solved
         let batch = make_batch(n, n as u64 * 2);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &batch, |b, batch| {
-            let mut sched = DssLc::new(7);
-            b.iter(|| black_box(sched.plan(black_box(batch))))
+        let mut sched = DssLc::new(7);
+        let s = microbench::run(&format!("dss_lc_decision/{n}"), 300, || {
+            black_box(sched.plan(black_box(&batch)))
         });
+        microbench::report(&s);
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_dss);
-criterion_main!(benches);

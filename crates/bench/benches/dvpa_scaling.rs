@@ -6,13 +6,11 @@
 //! paths in the in-memory substrate (ordered cgroup writes vs kill +
 //! recreate), which is what an adopter pays per call.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use tango_bench::microbench;
 use tango_hrm::Dvpa;
 use tango_kube::{NativeVpa, Node};
-use tango_types::{
-    ClusterId, NodeId, Resources, ServiceClass, ServiceId, ServiceSpec, SimTime,
-};
+use tango_types::{ClusterId, NodeId, Resources, ServiceClass, ServiceId, ServiceSpec, SimTime};
 
 fn spec() -> ServiceSpec {
     ServiceSpec {
@@ -33,39 +31,36 @@ fn fresh_node() -> Node {
         false,
         Resources::new(8_000, 16_384, 1_000, 100_000),
     );
-    n.deploy_service(&spec(), Resources::new(1_000, 1_024, 100, 1_000), SimTime::ZERO)
-        .unwrap();
+    n.deploy_service(
+        &spec(),
+        Resources::new(1_000, 1_024, 100, 1_000),
+        SimTime::ZERO,
+    )
+    .unwrap();
     n
 }
 
-fn bench_dvpa(c: &mut Criterion) {
-    let mut group = c.benchmark_group("vpa_scaling");
+fn main() {
     let small = Resources::new(1_000, 1_024, 100, 1_000);
     let big = Resources::new(2_000, 2_048, 200, 2_000);
 
-    group.bench_function("dvpa_expand_shrink_pair", |b| {
-        let mut node = fresh_node();
-        let mut dvpa = Dvpa::default();
-        b.iter(|| {
-            dvpa.scale(&mut node, ServiceId(0), black_box(big), SimTime::ZERO)
-                .unwrap();
-            dvpa.scale(&mut node, ServiceId(0), black_box(small), SimTime::ZERO)
-                .unwrap();
-        })
+    let mut node = fresh_node();
+    let mut dvpa = Dvpa::default();
+    let s = microbench::run("vpa_scaling/dvpa_expand_shrink_pair", 200, || {
+        dvpa.scale(&mut node, ServiceId(0), black_box(big), SimTime::ZERO)
+            .unwrap();
+        dvpa.scale(&mut node, ServiceId(0), black_box(small), SimTime::ZERO)
+            .unwrap();
     });
+    microbench::report(&s);
 
-    group.bench_function("native_vpa_rebuild_pair", |b| {
-        let mut node = fresh_node();
-        let vpa = NativeVpa::default();
-        b.iter(|| {
-            vpa.scale(&mut node, ServiceId(0), black_box(big), SimTime::ZERO)
-                .unwrap();
-            vpa.scale(&mut node, ServiceId(0), black_box(small), SimTime::ZERO)
-                .unwrap();
-        })
+    let mut node = fresh_node();
+    let vpa = NativeVpa::default();
+    let s = microbench::run("vpa_scaling/native_vpa_rebuild_pair", 200, || {
+        vpa.scale(&mut node, ServiceId(0), black_box(big), SimTime::ZERO)
+            .unwrap();
+        vpa.scale(&mut node, ServiceId(0), black_box(small), SimTime::ZERO)
+            .unwrap();
     });
-    group.finish();
+    microbench::report(&s);
 }
-
-criterion_group!(benches, bench_dvpa);
-criterion_main!(benches);

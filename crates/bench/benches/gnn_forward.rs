@@ -2,13 +2,15 @@
 //! scheduling decision, so this bounds the central dispatcher's decision
 //! rate (Fig. 11(d)'s structures compared head-to-head).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use tango_bench::microbench;
 use tango_gnn::{Encoder, EncoderKind, FeatureGraph, GnnEncoder};
 use tango_nn::Matrix;
 
 fn make_graph(n: usize, f: usize) -> FeatureGraph {
-    let data: Vec<f32> = (0..n * f).map(|i| ((i * 37) % 101) as f32 / 101.0).collect();
+    let data: Vec<f32> = (0..n * f)
+        .map(|i| ((i * 37) % 101) as f32 / 101.0)
+        .collect();
     let mut g = FeatureGraph::new(Matrix::from_vec(n, f, data).unwrap());
     // star clusters of 10 + chain of heads (the dispatcher's topology)
     for head in (0..n).step_by(10) {
@@ -22,8 +24,7 @@ fn make_graph(n: usize, f: usize) -> FeatureGraph {
     g
 }
 
-fn bench_gnn(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gnn_encode");
+fn main() {
     for &n in &[100usize, 1000] {
         let graph = make_graph(n, 8);
         for (name, kind) in [
@@ -32,30 +33,20 @@ fn bench_gnn(c: &mut Criterion) {
             ("gat", EncoderKind::Gat),
             ("native", EncoderKind::Native),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(name, n),
-                &graph,
-                |b, graph| {
-                    let mut enc = GnnEncoder::paper_shape(kind, 8, 32, 16, 5);
-                    b.iter(|| black_box(enc.forward(black_box(graph))))
-                },
-            );
+            let mut enc = GnnEncoder::paper_shape(kind, 8, 32, 16, 5);
+            let s = microbench::run(&format!("gnn_encode/{name}/{n}"), 200, || {
+                black_box(enc.forward(black_box(&graph)))
+            });
+            microbench::report(&s);
         }
     }
-    group.finish();
-}
 
-fn bench_gnn_train_step(c: &mut Criterion) {
     let graph = make_graph(200, 8);
-    c.bench_function("gnn_sage_forward_backward_step", |b| {
-        let mut enc = GnnEncoder::paper_shape(EncoderKind::Sage { p: 3 }, 8, 32, 16, 5);
-        b.iter(|| {
-            let h = enc.forward(&graph);
-            enc.backward(&h);
-            enc.step(1e-3);
-        })
+    let mut enc = GnnEncoder::paper_shape(EncoderKind::Sage { p: 3 }, 8, 32, 16, 5);
+    let s = microbench::run("gnn_sage_forward_backward_step", 200, || {
+        let h = enc.forward(&graph);
+        enc.backward(&h);
+        enc.step(1e-3);
     });
+    microbench::report(&s);
 }
-
-criterion_group!(benches, bench_gnn, bench_gnn_train_step);
-criterion_main!(benches);

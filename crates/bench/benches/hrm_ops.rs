@@ -2,15 +2,14 @@
 //! and the QoS re-assurance tick — these run on every request and every
 //! 100 ms window respectively.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::collections::HashMap;
 use std::hint::black_box;
-use tango_hrm::{HrmAllocator, Reassurer, ReassuranceConfig};
+use tango_bench::microbench;
+use tango_hrm::{HrmAllocator, ReassuranceConfig, Reassurer};
 use tango_kube::Node;
 use tango_metrics::QosDetector;
 use tango_types::{
-    ClusterId, NodeId, Request, RequestId, Resources, ServiceClass, ServiceId, ServiceSpec,
-    SimTime,
+    ClusterId, NodeId, Request, RequestId, Resources, ServiceClass, ServiceId, ServiceSpec, SimTime,
 };
 
 fn specs() -> Vec<ServiceSpec> {
@@ -40,60 +39,56 @@ fn node_with_services() -> (Node, HrmAllocator) {
     );
     let mut floors = HashMap::new();
     for s in specs() {
-        node.deploy_service(&s, s.min_request, SimTime::ZERO).unwrap();
+        node.deploy_service(&s, s.min_request, SimTime::ZERO)
+            .unwrap();
         floors.insert(s.id, s.min_request);
     }
     (node, HrmAllocator::new(floors))
 }
 
-fn bench_admit_cycle(c: &mut Criterion) {
-    c.bench_function("hrm_admit_complete_reclaim_cycle", |b| {
-        let (mut node, mut alloc) = node_with_services();
-        let spec_list = specs();
-        let mut t = 0u64;
-        let mut rid = 0u64;
-        b.iter(|| {
-            let s = &spec_list[(rid % 10) as usize];
-            let req = Request::new(
-                RequestId(rid),
-                s.id,
-                s.class,
-                ClusterId(0),
-                SimTime::from_millis(t),
-                s.min_request,
-            );
-            let now = SimTime::from_millis(t);
-            let _ = black_box(alloc.try_admit(&mut node, &req, s.work_milli_ms, now));
-            t += 500; // everything drains between iterations
-            node.advance(SimTime::from_millis(t));
-            node.take_completions();
-            alloc.rebalance(&mut node, SimTime::from_millis(t));
-            rid += 1;
-        })
+fn main() {
+    let (mut node, mut alloc) = node_with_services();
+    let spec_list = specs();
+    let mut t = 0u64;
+    let mut rid = 0u64;
+    let s = microbench::run("hrm_admit_complete_reclaim_cycle", 200, || {
+        let sp = &spec_list[(rid % 10) as usize];
+        let req = Request::new(
+            RequestId(rid),
+            sp.id,
+            sp.class,
+            ClusterId(0),
+            SimTime::from_millis(t),
+            sp.min_request,
+        );
+        let now = SimTime::from_millis(t);
+        let _ = black_box(alloc.try_admit(&mut node, &req, sp.work_milli_ms, now));
+        t += 500; // everything drains between iterations
+        node.advance(SimTime::from_millis(t));
+        node.take_completions();
+        alloc.rebalance(&mut node, SimTime::from_millis(t));
+        rid += 1;
     });
-}
+    microbench::report(&s);
 
-fn bench_reassure_tick(c: &mut Criterion) {
-    c.bench_function("reassurance_tick_100_pairs", |b| {
-        let mut detector = QosDetector::paper_default();
-        let now = SimTime::from_millis(1_000);
-        for node in 0..20u32 {
-            for svc in 0..5u16 {
-                for k in 0..10u64 {
-                    detector.record(
-                        NodeId(node),
-                        ServiceId(svc),
-                        now.saturating_since(SimTime::from_millis(k)),
-                        SimTime::from_millis(250 + k * 10),
-                    );
-                }
+    let mut detector = QosDetector::paper_default();
+    let now = SimTime::from_millis(1_000);
+    for node in 0..20u32 {
+        for svc in 0..5u16 {
+            for k in 0..10u64 {
+                detector.record(
+                    NodeId(node),
+                    ServiceId(svc),
+                    now.saturating_since(SimTime::from_millis(k)),
+                    SimTime::from_millis(250 + k * 10),
+                );
             }
         }
-        let mut reassurer = Reassurer::new(ReassuranceConfig::default());
-        let targets = |_: ServiceId| SimTime::from_millis(300);
-        b.iter(|| black_box(reassurer.tick(&mut detector, &targets, now)))
+    }
+    let mut reassurer = Reassurer::new(ReassuranceConfig::default());
+    let targets = |_: ServiceId| SimTime::from_millis(300);
+    let s = microbench::run("reassurance_tick_100_pairs", 200, || {
+        black_box(reassurer.tick(&mut detector, &targets, now))
     });
+    microbench::report(&s);
 }
-
-criterion_group!(benches, bench_admit_cycle, bench_reassure_tick);
-criterion_main!(benches);

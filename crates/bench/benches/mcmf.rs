@@ -1,7 +1,7 @@
 //! Min-cost max-flow solver benchmark: the inner engine of DSS-LC.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use tango_bench::microbench;
 use tango_flow::{FlowGraph, MinCostMaxFlow};
 
 /// Deterministic layered graph: `layers × width` interior nodes.
@@ -18,34 +18,39 @@ fn layered(width: usize, layers: usize) -> FlowGraph {
     };
     for w in 0..width {
         g.add_edge(0, node(0, w), (rnd() % 8 + 1) as i64, (rnd() % 50) as i64);
-        g.add_edge(node(layers - 1, w), 1, (rnd() % 8 + 1) as i64, (rnd() % 50) as i64);
+        g.add_edge(
+            node(layers - 1, w),
+            1,
+            (rnd() % 8 + 1) as i64,
+            (rnd() % 50) as i64,
+        );
     }
     for l in 0..layers - 1 {
         for w in 0..width {
             for _ in 0..3 {
                 let t = (rnd() % width as u64) as usize;
-                g.add_edge(node(l, w), node(l + 1, t), (rnd() % 6 + 1) as i64, (rnd() % 100) as i64);
+                g.add_edge(
+                    node(l, w),
+                    node(l + 1, t),
+                    (rnd() % 6 + 1) as i64,
+                    (rnd() % 100) as i64,
+                );
             }
         }
     }
     g
 }
 
-fn bench_mcmf(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mcmf_solve");
+fn main() {
     for &(width, layers) in &[(8usize, 4usize), (32, 6), (128, 8)] {
         let template = layered(width, layers);
-        let label = format!("{}x{}", width, layers);
-        group.bench_with_input(BenchmarkId::from_parameter(label), &template, |b, t| {
-            b.iter(|| {
-                let mut g = t.clone();
-                let r = MinCostMaxFlow::new(&mut g).solve(0, 1, i64::MAX);
-                black_box(r)
-            })
+        let label = format!("mcmf_solve/{}x{}", width, layers);
+        let mut g = template.clone();
+        let s = microbench::run(&label, 300, || {
+            g.clone_from(&template);
+            let r = MinCostMaxFlow::new(&mut g).solve(0, 1, i64::MAX);
+            black_box(r)
         });
+        microbench::report(&s);
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_mcmf);
-criterion_main!(benches);

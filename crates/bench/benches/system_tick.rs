@@ -3,31 +3,23 @@
 //! determines how far past the paper's 104-cluster scale the harness can
 //! push.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use tango::{BePolicy, EdgeCloudSystem, TangoConfig};
+use tango_bench::microbench;
 use tango_types::SimTime;
 
-fn bench_system(c: &mut Criterion) {
-    let mut group = c.benchmark_group("system_simulated_second");
-    group.sample_size(10);
+fn main() {
     for &clusters in &[4usize, 16] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(clusters),
-            &clusters,
-            |b, &clusters| {
-                b.iter(|| {
-                    let mut cfg = TangoConfig::dual_space(clusters);
-                    cfg.be_policy = BePolicy::LoadGreedy; // isolate system cost
-                    let report =
-                        EdgeCloudSystem::new(cfg).run(SimTime::from_secs(1), "bench");
-                    black_box(report.lc_arrived)
-                })
+        let s = microbench::run(
+            &format!("system_simulated_second/{clusters}"),
+            1_000,
+            || {
+                let mut cfg = TangoConfig::dual_space(clusters);
+                cfg.be_policy = BePolicy::LoadGreedy; // isolate system cost
+                let report = EdgeCloudSystem::new(cfg).run(SimTime::from_secs(1), "bench");
+                black_box(report.lc_arrived)
             },
         );
+        microbench::report(&s);
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_system);
-criterion_main!(benches);

@@ -1,0 +1,174 @@
+//! Fixed-seed baseline benchmark: the four scenarios the performance
+//! work is judged against (MCMF solve, DSS-LC decision, GNN forward,
+//! whole-system tick), measured with the microbench harness and written
+//! as JSON so before/after numbers can be committed next to the code.
+//!
+//! Usage: `bench_baseline [out.json]` — defaults to stdout-only when no
+//! path is given. Every scenario is deterministic in work (fixed seeds,
+//! fixed workloads); only wall time varies between machines.
+
+use std::hint::black_box;
+use std::io::Write as _;
+use tango::{BePolicy, EdgeCloudSystem, TangoConfig};
+use tango_bench::microbench::{self, Sample};
+use tango_flow::{FlowGraph, MinCostMaxFlow};
+use tango_gnn::{Encoder, EncoderKind, FeatureGraph, GnnEncoder};
+use tango_nn::Matrix;
+use tango_sched::{CandidateNode, DssLc, TypeBatch};
+use tango_types::{ClusterId, NodeId, RequestId, Resources, ServiceId, SimTime};
+
+/// Deterministic layered flow graph (same generator as the mcmf bench).
+fn layered(width: usize, layers: usize) -> FlowGraph {
+    let n = 2 + layers * width;
+    let mut g = FlowGraph::new(n);
+    let node = |l: usize, w: usize| 2 + l * width + w;
+    let mut x: u64 = 0x9E3779B97F4A7C15;
+    let mut rnd = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    for w in 0..width {
+        g.add_edge(0, node(0, w), (rnd() % 8 + 1) as i64, (rnd() % 50) as i64);
+        g.add_edge(
+            node(layers - 1, w),
+            1,
+            (rnd() % 8 + 1) as i64,
+            (rnd() % 50) as i64,
+        );
+    }
+    for l in 0..layers - 1 {
+        for w in 0..width {
+            for _ in 0..3 {
+                let t = (rnd() % width as u64) as usize;
+                g.add_edge(
+                    node(l, w),
+                    node(l + 1, t),
+                    (rnd() % 6 + 1) as i64,
+                    (rnd() % 100) as i64,
+                );
+            }
+        }
+    }
+    g
+}
+
+/// Paper-like DSS-LC batch (same generator as the dss_latency bench).
+fn make_batch(n_nodes: usize, n_requests: u64) -> TypeBatch {
+    let nodes: Vec<CandidateNode> = (0..n_nodes)
+        .map(|i| CandidateNode {
+            node: NodeId(i as u32),
+            cluster: ClusterId((i / 10) as u32),
+            total: Resources::cpu_mem(8_000, 16_384),
+            available_lc: Resources::cpu_mem(2_000 + (i as u64 % 7) * 500, 4_096),
+            available_be: Resources::cpu_mem(2_000, 4_096),
+            min_request: Resources::cpu_mem(500, 256),
+            delay: SimTime::from_micros(300 + (i as u64 % 50) * 997),
+            link_capacity: 64,
+            slack: 1.0,
+        })
+        .collect();
+    TypeBatch {
+        service: ServiceId(0),
+        requests: (0..n_requests).map(RequestId).collect(),
+        nodes,
+    }
+}
+
+/// Star-cluster feature graph (same generator as the gnn_forward bench).
+fn make_graph(n: usize, f: usize) -> FeatureGraph {
+    let data: Vec<f32> = (0..n * f)
+        .map(|i| ((i * 37) % 101) as f32 / 101.0)
+        .collect();
+    let mut g = FeatureGraph::new(Matrix::from_vec(n, f, data).unwrap());
+    for head in (0..n).step_by(10) {
+        for i in head + 1..(head + 10).min(n) {
+            g.add_edge(head, i);
+        }
+        if head + 10 < n {
+            g.add_edge(head, head + 10);
+        }
+    }
+    g
+}
+
+fn scenarios() -> Vec<Sample> {
+    let mut out = Vec::new();
+
+    // 1. MCMF: rebuild-from-template + solve, the DSS-LC inner engine.
+    let template = layered(32, 6);
+    let mut g = template.clone();
+    out.push(microbench::run("mcmf_solve/32x6", 300, || {
+        g.clone_from(&template);
+        let r = MinCostMaxFlow::new(&mut g).solve(0, 1, i64::MAX);
+        black_box(r)
+    }));
+
+    // 2. DSS-LC decision at the paper's 500-node scale, overloaded 2×
+    //    so both the G_k and λ-augmented Ĝ′_k phases run.
+    let batch = make_batch(500, 1000);
+    let mut sched = DssLc::new(7);
+    out.push(microbench::run("dss_lc_decision/500", 300, || {
+        black_box(sched.plan(black_box(&batch)))
+    }));
+
+    // 3. GNN forward at 1000 nodes: the DCG-BE per-decision cost.
+    let graph = make_graph(1000, 8);
+    for (name, kind) in [
+        ("sage", EncoderKind::Sage { p: 3 }),
+        ("gcn", EncoderKind::Gcn),
+    ] {
+        let mut enc = GnnEncoder::paper_shape(kind, 8, 32, 16, 5);
+        out.push(microbench::run(
+            &format!("gnn_forward/{name}/1000"),
+            300,
+            || black_box(enc.forward(black_box(&graph))),
+        ));
+    }
+
+    // 4. Whole-system tick: one simulated second of the dual-space
+    //    system at 4 clusters.
+    out.push(microbench::run("system_tick/4", 1_000, || {
+        let mut cfg = TangoConfig::dual_space(4);
+        cfg.be_policy = BePolicy::LoadGreedy;
+        let report = EdgeCloudSystem::new(cfg).run(SimTime::from_secs(1), "bench");
+        black_box(report.lc_arrived)
+    }));
+
+    out
+}
+
+/// Render samples as a JSON array (serde is unavailable offline; the
+/// schema is flat so hand-rolled emission is adequate).
+fn to_json(samples: &[Sample]) -> String {
+    let mut s = String::from("[\n");
+    for (i, smp) in samples.iter().enumerate() {
+        s.push_str(&format!(
+            "  {{\"scenario\": \"{}\", \"wall_ns\": {:.0}, \"ticks_per_sec\": {:.2}}}{}\n",
+            smp.name,
+            smp.ns_per_iter,
+            smp.iters_per_sec(),
+            if i + 1 < samples.len() { "," } else { "" }
+        ));
+    }
+    s.push(']');
+    s
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1);
+    let samples = scenarios();
+    for s in &samples {
+        microbench::report(s);
+    }
+    let json = to_json(&samples);
+    match out_path {
+        Some(p) => {
+            let mut f = std::fs::File::create(&p).expect("create output file");
+            writeln!(f, "{json}").expect("write output file");
+            eprintln!("wrote {p}");
+        }
+        None => println!("{json}"),
+    }
+}

@@ -154,8 +154,12 @@ fn dvpa() {
     };
     let cap = Resources::new(8_000, 16_384, 1_000, 100_000);
     let mut node = Node::new(NodeId(1), ClusterId(0), false, cap);
-    node.deploy_service(&spec, Resources::new(1_000, 1_024, 100, 1_000), SimTime::ZERO)
-        .unwrap();
+    node.deploy_service(
+        &spec,
+        Resources::new(1_000, 1_024, 100, 1_000),
+        SimTime::ZERO,
+    )
+    .unwrap();
 
     // modeled latencies
     let mut dvpa = Dvpa::default();
@@ -185,7 +189,8 @@ fn dvpa() {
         } else {
             up
         };
-        dvpa.scale(&mut node, spec.id, target, SimTime::ZERO).unwrap();
+        dvpa.scale(&mut node, spec.id, target, SimTime::ZERO)
+            .unwrap();
     }
     println!(
         "in-memory control-flow cost: {:.2} µs/op over {iters} ops",
@@ -215,10 +220,7 @@ fn fig10() {
     for pattern in PatternKind::ALL {
         for reassure in [true, false] {
             specs.push(RunSpec {
-                label: format!(
-                    "{pattern:?}+{}",
-                    if reassure { "reassure" } else { "off" }
-                ),
+                label: format!("{pattern:?}+{}", if reassure { "reassure" } else { "off" }),
                 config: pattern_cfg(pattern, reassure),
                 duration,
             });
@@ -295,8 +297,7 @@ fn fig11ab() {
         let mut agg = runs[0].clone();
         agg.label = p.name().to_string();
         agg.qos_satisfaction = runs.iter().map(|r| r.qos_satisfaction).sum::<f64>() / n;
-        agg.be_throughput =
-            (runs.iter().map(|r| r.be_throughput).sum::<u64>() as f64 / n) as u64;
+        agg.be_throughput = (runs.iter().map(|r| r.be_throughput).sum::<u64>() as f64 / n) as u64;
         agg.mean_utilization = runs.iter().map(|r| r.mean_utilization).sum::<f64>() / n;
         agg.lc_p95_ms = runs.iter().map(|r| r.lc_p95_ms).sum::<f64>() / n;
         agg.abandoned = (runs.iter().map(|r| r.abandoned).sum::<u64>() as f64 / n) as u64;
@@ -405,8 +406,7 @@ fn fig11c() {
         let mut agg = runs[0].clone();
         agg.label = p.name().to_string();
         agg.qos_satisfaction = runs.iter().map(|r| r.qos_satisfaction).sum::<f64>() / n;
-        agg.be_throughput =
-            (runs.iter().map(|r| r.be_throughput).sum::<u64>() as f64 / n) as u64;
+        agg.be_throughput = (runs.iter().map(|r| r.be_throughput).sum::<u64>() as f64 / n) as u64;
         agg.mean_utilization = runs.iter().map(|r| r.mean_utilization).sum::<f64>() / n;
         reports.push(agg);
     }
@@ -472,7 +472,10 @@ fn fig12() {
     }
     let reports = run_parallel(specs);
     println!("\n(a) QoS-guarantee satisfaction rate:");
-    println!("{:<12} {:>8} {:>8} {:>8} {:>8}", "LC \\ BE", "dcg-be", "gnn-sac", "greedy", "k8s");
+    println!(
+        "{:<12} {:>8} {:>8} {:>8} {:>8}",
+        "LC \\ BE", "dcg-be", "gnn-sac", "greedy", "k8s"
+    );
     for (i, &lc) in lc_policies.iter().enumerate() {
         print!("{:<12}", lc.name());
         for j in 0..4 {
@@ -481,7 +484,10 @@ fn fig12() {
         println!();
     }
     println!("\n(b) BE throughput:");
-    println!("{:<12} {:>8} {:>8} {:>8} {:>8}", "LC \\ BE", "dcg-be", "gnn-sac", "greedy", "k8s");
+    println!(
+        "{:<12} {:>8} {:>8} {:>8} {:>8}",
+        "LC \\ BE", "dcg-be", "gnn-sac", "greedy", "k8s"
+    );
     for (i, &lc) in lc_policies.iter().enumerate() {
         print!("{:<12}", lc.name());
         for j in 0..4 {

@@ -1,7 +1,9 @@
 //! Shared harness code for the figure-regeneration binary and the
-//! criterion benches.
+//! benchmark binaries.
 
 use tango::RunReport;
+
+pub mod microbench;
 
 /// Scale factor for experiment sizes, read from `TANGO_SCALE` (default 1).
 /// The paper-scale runs (104 clusters, minutes of trace) set it higher.

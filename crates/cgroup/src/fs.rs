@@ -256,7 +256,8 @@ impl CgroupFs {
         }
         let path = g.path.clone();
         self.groups[id.0].limit = new_limit;
-        self.journal.record(at, WriteKind::SetLimit, path, new_limit);
+        self.journal
+            .record(at, WriteKind::SetLimit, path, new_limit);
         Ok(())
     }
 
@@ -284,7 +285,8 @@ impl CgroupFs {
 
     /// Headroom = effective limit − usage (saturating).
     pub fn headroom(&self, id: CgroupId) -> Resources {
-        self.effective_limit(id).saturating_sub(&self.groups[id.0].usage)
+        self.effective_limit(id)
+            .saturating_sub(&self.groups[id.0].usage)
     }
 
     /// Charge `amount` of usage to a cgroup and every ancestor. Fails (with
@@ -488,7 +490,12 @@ mod tests {
         fs.remove(SimTime::ZERO, pod).unwrap();
         let burst = fs.qos_group(QosLevel::Burstable);
         let pod2 = fs
-            .create(SimTime::ZERO, burst, "pod67f7df", Resources::cpu_mem(100, 100))
+            .create(
+                SimTime::ZERO,
+                burst,
+                "pod67f7df",
+                Resources::cpu_mem(100, 100),
+            )
             .unwrap();
         assert_eq!(fs.path(pod2), "kubepods/burstable/pod67f7df");
     }

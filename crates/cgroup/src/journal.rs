@@ -105,9 +105,24 @@ mod tests {
     #[test]
     fn for_path_filters() {
         let mut j = Journal::new();
-        j.record(SimTime::ZERO, WriteKind::Create, "a".into(), Resources::ZERO);
-        j.record(SimTime::ZERO, WriteKind::SetLimit, "b".into(), Resources::ZERO);
-        j.record(SimTime::ZERO, WriteKind::SetLimit, "a".into(), Resources::ZERO);
+        j.record(
+            SimTime::ZERO,
+            WriteKind::Create,
+            "a".into(),
+            Resources::ZERO,
+        );
+        j.record(
+            SimTime::ZERO,
+            WriteKind::SetLimit,
+            "b".into(),
+            Resources::ZERO,
+        );
+        j.record(
+            SimTime::ZERO,
+            WriteKind::SetLimit,
+            "a".into(),
+            Resources::ZERO,
+        );
         assert_eq!(j.for_path("a").count(), 2);
         assert_eq!(j.limit_writes(), 2);
         j.clear();

@@ -311,9 +311,6 @@ mod tests {
     fn policy_names_are_stable() {
         assert_eq!(LcPolicy::DssLc.name(), "dss-lc");
         assert_eq!(BePolicy::GnnSac.name(), "gnn-sac");
-        assert_eq!(
-            BePolicy::DcgBe(EncoderKind::Gcn).name(),
-            "dcg-be"
-        );
+        assert_eq!(BePolicy::DcgBe(EncoderKind::Gcn).name(), "dcg-be");
     }
 }

@@ -4,7 +4,7 @@
 //! pools); the simulation keeps each *run* single-threaded for exact
 //! determinism and instead parallelizes across runs — which is what the
 //! evaluation needs: Fig. 12 alone is a 4×4 grid of policy pairings.
-//! `run_parallel` fans runs out over OS threads with crossbeam's scoped
+//! `run_parallel` fans runs out over OS threads with std's scoped
 //! threads and returns reports in input order.
 
 use crate::config::TangoConfig;
@@ -31,25 +31,26 @@ pub fn run_parallel(specs: Vec<RunSpec>) -> Vec<RunReport> {
         .unwrap_or(4);
     let mut reports: Vec<Option<RunReport>> = (0..specs.len()).map(|_| None).collect();
     // chunked fan-out so we never oversubscribe wildly
-    for chunk in specs.chunks(max_threads) {
-        let base = chunk.as_ptr() as usize;
-        let offset = (base - specs.as_ptr() as usize) / std::mem::size_of::<RunSpec>();
-        let results: Vec<(usize, RunReport)> = crossbeam::thread::scope(|scope| {
+    for (chunk_idx, chunk) in specs.chunks(max_threads).enumerate() {
+        let offset = chunk_idx * max_threads;
+        let results: Vec<(usize, RunReport)> = std::thread::scope(|scope| {
             let handles: Vec<_> = chunk
                 .iter()
                 .enumerate()
                 .map(|(i, spec)| {
                     let spec = spec.clone();
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let report =
                             EdgeCloudSystem::new(spec.config).run(spec.duration, &spec.label);
                         (offset + i, report)
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("run panicked")).collect()
-        })
-        .expect("scope");
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("run panicked"))
+                .collect()
+        });
         for (i, r) in results {
             reports[i] = Some(r);
         }

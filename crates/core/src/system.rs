@@ -140,9 +140,10 @@ impl EdgeCloudSystem {
             let cid = ClusterId(c as u32);
             let master_id = NodeId(nodes.len() as u32);
             nodes.push(Node::new(master_id, cid, true, cfg.master_capacity));
-            let n_workers =
-                rng.range_u64(cfg.workers_per_cluster.0 as u64, cfg.workers_per_cluster.1 as u64)
-                    as usize;
+            let n_workers = rng.range_u64(
+                cfg.workers_per_cluster.0 as u64,
+                cfg.workers_per_cluster.1 as u64,
+            ) as usize;
             let mut workers = Vec::with_capacity(n_workers);
             for _ in 0..n_workers {
                 let wid = NodeId(nodes.len() as u32);
@@ -307,7 +308,8 @@ impl EdgeCloudSystem {
         let mut cluster_set = if self.cfg.local_only {
             Vec::new()
         } else {
-            self.topology.clusters_within(origin, self.cfg.geo_radius_km)
+            self.topology
+                .clusters_within(origin, self.cfg.geo_radius_km)
         };
         cluster_set.push(origin);
         let snaps = self.store.in_clusters(&cluster_set);
@@ -439,7 +441,11 @@ impl EdgeCloudSystem {
         expired
     }
 
-    fn on_dispatch(&mut self, cluster: ClusterId, sched: &mut tango_simcore::engine::Scheduler<'_, Event>) {
+    fn on_dispatch(
+        &mut self,
+        cluster: ClusterId,
+        sched: &mut tango_simcore::engine::Scheduler<'_, Event>,
+    ) {
         let now = sched.now();
         let ci = cluster.index();
 
@@ -551,7 +557,12 @@ impl EdgeCloudSystem {
     }
 
     /// Pay the §5.3.1 reward for the previous BE decision.
-    fn pay_be_feedback(&mut self, next_demand: &Resources, next_nodes: &[CandidateNode], _now: SimTime) {
+    fn pay_be_feedback(
+        &mut self,
+        next_demand: &Resources,
+        next_nodes: &[CandidateNode],
+        _now: SimTime,
+    ) {
         if let Some(prev_node) = self.be_pending_feedback.take() {
             let node = &self.nodes[prev_node.index()];
             let (_, be_held) = node.demand_usage();
@@ -974,7 +985,10 @@ impl EdgeCloudSystem {
         // periodic drivers
         engine.schedule_at(SimTime::ZERO, Event::Sync);
         for c in 0..self.cfg.clusters {
-            engine.schedule_at(self.cfg.dispatch_interval, Event::Dispatch(ClusterId(c as u32)));
+            engine.schedule_at(
+                self.cfg.dispatch_interval,
+                Event::Dispatch(ClusterId(c as u32)),
+            );
         }
         engine.schedule_at(self.cfg.dispatch_interval, Event::BeDispatch);
         engine.schedule_at(self.cfg.reassure_interval, Event::Reassure);
@@ -995,18 +1009,8 @@ impl EdgeCloudSystem {
             abandoned: self.counters.total_abandoned(),
             mean_utilization: self.counters.mean_utilization(),
             lc_p95_ms: self.counters.overall_lc_p95_ms(),
-            lc_arrived: self
-                .counters
-                .periods()
-                .iter()
-                .map(|p| p.lc_arrived)
-                .sum(),
-            lc_completed: self
-                .counters
-                .periods()
-                .iter()
-                .map(|p| p.lc_completed)
-                .sum(),
+            lc_arrived: self.counters.periods().iter().map(|p| p.lc_arrived).sum(),
+            lc_completed: self.counters.periods().iter().map(|p| p.lc_completed).sum(),
             periods: self.counters.periods(),
             dvpa_ops,
             be_evictions: self.be_evictions,
@@ -1058,7 +1062,7 @@ mod tests {
         assert_eq!(sys.clusters.len(), 2);
         assert_eq!(sys.worker_count(), 8); // 4 per cluster
         assert_eq!(sys.node_count(), 10); // + 2 masters
-        // every worker has all ten services deployed
+                                          // every worker has all ten services deployed
         for c in &sys.clusters {
             for &w in &c.workers {
                 let node = &sys.nodes[w.index()];

@@ -144,7 +144,12 @@ mod tests {
         let mut dvpa = Dvpa::default();
         n.cgroups.clear_journal();
         let out = dvpa
-            .scale(&mut n, s.id, Resources::new(2_000, 2_048, 200, 2_000), SimTime::ZERO)
+            .scale(
+                &mut n,
+                s.id,
+                Resources::new(2_000, 2_048, 200, 2_000),
+                SimTime::ZERO,
+            )
             .unwrap();
         assert_eq!(out.writes, 2);
         assert_eq!(out.completed_at, SimTime::from_millis(23));
@@ -159,7 +164,12 @@ mod tests {
         let mut dvpa = Dvpa::default();
         n.cgroups.clear_journal();
         let out = dvpa
-            .scale(&mut n, s.id, Resources::new(400, 512, 50, 500), SimTime::ZERO)
+            .scale(
+                &mut n,
+                s.id,
+                Resources::new(400, 512, 50, 500),
+                SimTime::ZERO,
+            )
             .unwrap();
         assert_eq!(out.writes, 2);
         let j = n.cgroups.journal();
@@ -173,7 +183,12 @@ mod tests {
         let mut dvpa = Dvpa::default();
         // grow CPU, shrink memory
         let out = dvpa
-            .scale(&mut n, s.id, Resources::new(2_000, 512, 100, 1_000), SimTime::ZERO)
+            .scale(
+                &mut n,
+                s.id,
+                Resources::new(2_000, 512, 100, 1_000),
+                SimTime::ZERO,
+            )
             .unwrap();
         assert_eq!(out.writes, 3);
         let ctr = n.container_for(s.id).unwrap();
@@ -184,10 +199,21 @@ mod tests {
     fn scaling_does_not_interrupt_running_requests() {
         let (mut n, s) = setup();
         let mut dvpa = Dvpa::default();
-        n.admit(RequestId(1), s.id, s.min_request, s.work_milli_ms, SimTime::ZERO)
-            .unwrap();
-        dvpa.scale(&mut n, s.id, Resources::new(2_000, 2_048, 200, 2_000), SimTime::from_millis(10))
-            .unwrap();
+        n.admit(
+            RequestId(1),
+            s.id,
+            s.min_request,
+            s.work_milli_ms,
+            SimTime::ZERO,
+        )
+        .unwrap();
+        dvpa.scale(
+            &mut n,
+            s.id,
+            Resources::new(2_000, 2_048, 200, 2_000),
+            SimTime::from_millis(10),
+        )
+        .unwrap();
         // request still running, container still available
         assert_eq!(n.running_count(), 1);
         let ctr = n.container_for(s.id).unwrap();
@@ -201,10 +227,21 @@ mod tests {
     fn incompressible_shrink_clamps_to_usage() {
         let (mut n, s) = setup();
         let mut dvpa = Dvpa::default();
-        n.admit(RequestId(1), s.id, s.min_request, s.work_milli_ms, SimTime::ZERO)
-            .unwrap(); // charges 256 MiB
+        n.admit(
+            RequestId(1),
+            s.id,
+            s.min_request,
+            s.work_milli_ms,
+            SimTime::ZERO,
+        )
+        .unwrap(); // charges 256 MiB
         let out = dvpa
-            .scale(&mut n, s.id, Resources::new(500, 100, 50, 500), SimTime::ZERO)
+            .scale(
+                &mut n,
+                s.id,
+                Resources::new(500, 100, 50, 500),
+                SimTime::ZERO,
+            )
             .unwrap();
         // memory clamped to the 256 MiB in use; disk clamped to charged 64
         assert_eq!(out.applied.memory_mib, 256);
@@ -216,7 +253,9 @@ mod tests {
         let (mut n, s) = setup();
         let mut dvpa = Dvpa::default();
         let cur = Resources::new(1_000, 1_024, 100, 1_000);
-        let out = dvpa.scale(&mut n, s.id, cur, SimTime::from_millis(5)).unwrap();
+        let out = dvpa
+            .scale(&mut n, s.id, cur, SimTime::from_millis(5))
+            .unwrap();
         assert_eq!(out.writes, 0);
         assert_eq!(out.completed_at, SimTime::from_millis(5));
         assert_eq!(dvpa.ops, 0, "a no-op is not a scaling operation");
@@ -227,10 +266,20 @@ mod tests {
     fn op_accounting_accumulates() {
         let (mut n, s) = setup();
         let mut dvpa = Dvpa::default();
-        dvpa.scale(&mut n, s.id, Resources::new(2_000, 2_048, 200, 2_000), SimTime::ZERO)
-            .unwrap();
-        dvpa.scale(&mut n, s.id, Resources::new(500, 512, 50, 500), SimTime::ZERO)
-            .unwrap();
+        dvpa.scale(
+            &mut n,
+            s.id,
+            Resources::new(2_000, 2_048, 200, 2_000),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        dvpa.scale(
+            &mut n,
+            s.id,
+            Resources::new(500, 512, 50, 500),
+            SimTime::ZERO,
+        )
+        .unwrap();
         assert_eq!(dvpa.ops, 2);
         assert_eq!(dvpa.total_writes, 4);
     }

@@ -24,5 +24,5 @@ pub mod reassurance;
 pub mod regulations;
 
 pub use dvpa::{Dvpa, ScaleOutcome};
-pub use reassurance::{Reassurer, ReassuranceConfig};
+pub use reassurance::{ReassuranceConfig, Reassurer};
 pub use regulations::{AdmitOutcome, HrmAllocator, StaticAllocator};

@@ -70,11 +70,7 @@ impl Hpa {
     /// Replicas currently serving traffic at `now` (promotes finished
     /// pending starts).
     pub fn ready_replicas(&mut self, now: SimTime) -> u32 {
-        let newly_ready = self
-            .pending
-            .iter()
-            .filter(|p| p.ready_at <= now)
-            .count() as u32;
+        let newly_ready = self.pending.iter().filter(|p| p.ready_at <= now).count() as u32;
         self.pending.retain(|p| p.ready_at > now);
         self.ready = (self.ready + newly_ready).min(self.cfg.max_replicas);
         self.ready

@@ -141,9 +141,12 @@ impl Node {
         let qos = qos_level_for(spec.class);
         let (pod_id, ctr_id) = self.alloc_ids();
         let qos_group = self.cgroups.qos_group(qos);
-        let pod_cg = self
-            .cgroups
-            .create(now, qos_group, &format!("pod{:x}", pod_id.raw()), initial_limit)?;
+        let pod_cg = self.cgroups.create(
+            now,
+            qos_group,
+            &format!("pod{:x}", pod_id.raw()),
+            initial_limit,
+        )?;
         let ctr_cg = self.cgroups.create(
             now,
             pod_cg,
@@ -314,11 +317,9 @@ impl Node {
         now: SimTime,
     ) -> Result<(), TangoError> {
         self.advance(now);
-        let ctr = self
-            .by_service
-            .get(&service)
-            .copied()
-            .ok_or_else(|| TangoError::Unschedulable(format!("{service} not deployed on {}", self.id)))?;
+        let ctr = self.by_service.get(&service).copied().ok_or_else(|| {
+            TangoError::Unschedulable(format!("{service} not deployed on {}", self.id))
+        })?;
         let state = self.containers.get_mut(&ctr).expect("indexed");
         if state.unavailable_until > now {
             return Err(TangoError::Unschedulable(format!(
@@ -498,7 +499,12 @@ mod tests {
     }
 
     fn node_with_service() -> (Node, ContainerId, ServiceSpec) {
-        let mut n = Node::new(NodeId(1), ClusterId(0), false, Resources::new(4_000, 8_192, 1_000, 50_000));
+        let mut n = Node::new(
+            NodeId(1),
+            ClusterId(0),
+            false,
+            Resources::new(4_000, 8_192, 1_000, 50_000),
+        );
         let s = spec(0, ServiceClass::Lc, 500, 256, 50_000); // 100ms at 500m
         let ctr = n
             .deploy_service(&s, Resources::new(1_000, 1_024, 100, 1_000), SimTime::ZERO)
@@ -528,8 +534,14 @@ mod tests {
     fn single_request_completes_at_nominal_time() {
         let (mut n, _ctr, s) = node_with_service();
         // demand 500m; container limit 1000m; share=1000 capped at 500
-        n.admit(RequestId(1), s.id, s.min_request, s.work_milli_ms, SimTime::ZERO)
-            .unwrap();
+        n.admit(
+            RequestId(1),
+            s.id,
+            s.min_request,
+            s.work_milli_ms,
+            SimTime::ZERO,
+        )
+        .unwrap();
         let proj = n.next_completion(SimTime::ZERO).unwrap();
         assert_eq!(proj, SimTime::from_millis(100));
         n.advance(SimTime::from_millis(100));
@@ -546,10 +558,22 @@ mod tests {
         let lim = Resources::new(500, 1_024, 100, 1_000);
         n.cgroups.set_limit(SimTime::ZERO, ctr_cg, lim).unwrap();
         n.cgroups.set_limit(SimTime::ZERO, pod_cg, lim).unwrap();
-        n.admit(RequestId(1), s.id, s.min_request, s.work_milli_ms, SimTime::ZERO)
-            .unwrap();
-        n.admit(RequestId(2), s.id, s.min_request, s.work_milli_ms, SimTime::ZERO)
-            .unwrap();
+        n.admit(
+            RequestId(1),
+            s.id,
+            s.min_request,
+            s.work_milli_ms,
+            SimTime::ZERO,
+        )
+        .unwrap();
+        n.admit(
+            RequestId(2),
+            s.id,
+            s.min_request,
+            s.work_milli_ms,
+            SimTime::ZERO,
+        )
+        .unwrap();
         // each gets 250m -> 200ms
         assert_eq!(
             n.next_completion(SimTime::ZERO).unwrap(),
@@ -562,8 +586,14 @@ mod tests {
     fn rate_is_capped_by_demand() {
         let (mut n, _ctr, s) = node_with_service();
         // limit 1000m, single request demanding 500m: rate stays 500m
-        n.admit(RequestId(1), s.id, s.min_request, s.work_milli_ms, SimTime::ZERO)
-            .unwrap();
+        n.admit(
+            RequestId(1),
+            s.id,
+            s.min_request,
+            s.work_milli_ms,
+            SimTime::ZERO,
+        )
+        .unwrap();
         assert_eq!(
             n.next_completion(SimTime::ZERO).unwrap(),
             SimTime::from_millis(100)
@@ -577,17 +607,33 @@ mod tests {
         let (pod_cg, ctr_cg) = n.scaling_cgroups(s.id).unwrap();
         n.cgroups.set_limit(SimTime::ZERO, ctr_cg, lim).unwrap();
         n.cgroups.set_limit(SimTime::ZERO, pod_cg, lim).unwrap();
-        n.admit(RequestId(1), s.id, s.min_request, s.work_milli_ms, SimTime::ZERO)
-            .unwrap();
-        n.admit(RequestId(2), s.id, s.min_request, s.work_milli_ms, SimTime::ZERO)
-            .unwrap();
+        n.admit(
+            RequestId(1),
+            s.id,
+            s.min_request,
+            s.work_milli_ms,
+            SimTime::ZERO,
+        )
+        .unwrap();
+        n.admit(
+            RequestId(2),
+            s.id,
+            s.min_request,
+            s.work_milli_ms,
+            SimTime::ZERO,
+        )
+        .unwrap();
         // run 100ms at 250m each: half the work left
         n.advance(SimTime::from_millis(100));
         assert!(n.take_completions().is_empty());
         // expand pod then container to 1000m (ordered like D-VPA)
         let big = Resources::new(1_000, 1_024, 100, 1_000);
-        n.cgroups.set_limit(SimTime::from_millis(100), pod_cg, big).unwrap();
-        n.cgroups.set_limit(SimTime::from_millis(100), ctr_cg, big).unwrap();
+        n.cgroups
+            .set_limit(SimTime::from_millis(100), pod_cg, big)
+            .unwrap();
+        n.cgroups
+            .set_limit(SimTime::from_millis(100), ctr_cg, big)
+            .unwrap();
         n.touch();
         // each now runs at 500m: remaining 25_000 mcore·ms -> 50ms
         assert_eq!(
@@ -603,11 +649,23 @@ mod tests {
         let (mut n, _ctr, s) = node_with_service();
         // container mem limit 1024 MiB; each request charges 256 MiB
         for i in 0..4 {
-            n.admit(RequestId(i), s.id, s.min_request, s.work_milli_ms, SimTime::ZERO)
-                .unwrap();
+            n.admit(
+                RequestId(i),
+                s.id,
+                s.min_request,
+                s.work_milli_ms,
+                SimTime::ZERO,
+            )
+            .unwrap();
         }
         let err = n
-            .admit(RequestId(9), s.id, s.min_request, s.work_milli_ms, SimTime::ZERO)
+            .admit(
+                RequestId(9),
+                s.id,
+                s.min_request,
+                s.work_milli_ms,
+                SimTime::ZERO,
+            )
             .unwrap_err();
         assert!(matches!(err, TangoError::InsufficientResources { .. }));
     }
@@ -615,15 +673,29 @@ mod tests {
     #[test]
     fn kill_container_interrupts_and_blocks_admission() {
         let (mut n, ctr, s) = node_with_service();
-        n.admit(RequestId(1), s.id, s.min_request, s.work_milli_ms, SimTime::ZERO)
-            .unwrap();
+        n.admit(
+            RequestId(1),
+            s.id,
+            s.min_request,
+            s.work_milli_ms,
+            SimTime::ZERO,
+        )
+        .unwrap();
         let ready = SimTime::from_millis(2_300);
-        let interrupted = n.kill_container(ctr, SimTime::from_millis(10), ready).unwrap();
+        let interrupted = n
+            .kill_container(ctr, SimTime::from_millis(10), ready)
+            .unwrap();
         assert_eq!(interrupted.len(), 1);
         assert_eq!(n.running_count(), 0);
         assert!(!n.is_available(ctr, SimTime::from_millis(100)));
         assert!(n
-            .admit(RequestId(2), s.id, s.min_request, s.work_milli_ms, SimTime::from_millis(100))
+            .admit(
+                RequestId(2),
+                s.id,
+                s.min_request,
+                s.work_milli_ms,
+                SimTime::from_millis(100)
+            )
             .is_err());
         // after rebuild completes, admission works again
         assert!(n.is_available(ctr, ready));
@@ -638,12 +710,28 @@ mod tests {
     fn demand_usage_splits_classes_and_idle_subtracts() {
         let (mut n, _ctr, s) = node_with_service();
         let be = spec(1, ServiceClass::Be, 400, 512, 1_000_000);
-        n.deploy_service(&be, Resources::new(2_000, 4_096, 100, 10_000), SimTime::ZERO)
-            .unwrap();
-        n.admit(RequestId(1), s.id, s.min_request, s.work_milli_ms, SimTime::ZERO)
-            .unwrap();
-        n.admit(RequestId(2), be.id, be.min_request, be.work_milli_ms, SimTime::ZERO)
-            .unwrap();
+        n.deploy_service(
+            &be,
+            Resources::new(2_000, 4_096, 100, 10_000),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        n.admit(
+            RequestId(1),
+            s.id,
+            s.min_request,
+            s.work_milli_ms,
+            SimTime::ZERO,
+        )
+        .unwrap();
+        n.admit(
+            RequestId(2),
+            be.id,
+            be.min_request,
+            be.work_milli_ms,
+            SimTime::ZERO,
+        )
+        .unwrap();
         let (lc, beu) = n.demand_usage();
         assert_eq!(lc.cpu_milli, 500);
         assert_eq!(beu.cpu_milli, 400);
@@ -655,7 +743,13 @@ mod tests {
     fn unknown_service_admission_fails() {
         let (mut n, _ctr, _s) = node_with_service();
         assert!(matches!(
-            n.admit(RequestId(1), ServiceId(42), Resources::cpu_mem(1, 1), 10, SimTime::ZERO),
+            n.admit(
+                RequestId(1),
+                ServiceId(42),
+                Resources::cpu_mem(1, 1),
+                10,
+                SimTime::ZERO
+            ),
             Err(TangoError::Unschedulable(_))
         ));
     }
@@ -664,8 +758,14 @@ mod tests {
     fn generation_bumps_on_changes() {
         let (mut n, _ctr, s) = node_with_service();
         let g0 = n.generation();
-        n.admit(RequestId(1), s.id, s.min_request, s.work_milli_ms, SimTime::ZERO)
-            .unwrap();
+        n.admit(
+            RequestId(1),
+            s.id,
+            s.min_request,
+            s.work_milli_ms,
+            SimTime::ZERO,
+        )
+        .unwrap();
         assert!(n.generation() > g0);
         let g1 = n.generation();
         n.advance(SimTime::from_millis(100)); // completion occurs
@@ -676,8 +776,14 @@ mod tests {
     fn zero_cpu_limit_stalls_but_does_not_panic() {
         let (mut n, _ctr, s) = node_with_service();
         let (pod_cg, ctr_cg) = n.scaling_cgroups(s.id).unwrap();
-        n.admit(RequestId(1), s.id, s.min_request, s.work_milli_ms, SimTime::ZERO)
-            .unwrap();
+        n.admit(
+            RequestId(1),
+            s.id,
+            s.min_request,
+            s.work_milli_ms,
+            SimTime::ZERO,
+        )
+        .unwrap();
         let zero = Resources::new(0, 1_024, 100, 1_000);
         n.cgroups.set_limit(SimTime::ZERO, ctr_cg, zero).unwrap();
         n.cgroups.set_limit(SimTime::ZERO, pod_cg, zero).unwrap();

@@ -102,11 +102,22 @@ mod tests {
     #[test]
     fn scaling_interrupts_and_delays() {
         let (mut n, s) = setup();
-        n.admit(RequestId(1), s.id, s.min_request, s.work_milli_ms, SimTime::ZERO)
-            .unwrap();
+        n.admit(
+            RequestId(1),
+            s.id,
+            s.min_request,
+            s.work_milli_ms,
+            SimTime::ZERO,
+        )
+        .unwrap();
         let vpa = NativeVpa::default();
         let out = vpa
-            .scale(&mut n, s.id, Resources::new(2_000, 2_048, 200, 2_000), SimTime::from_millis(10))
+            .scale(
+                &mut n,
+                s.id,
+                Resources::new(2_000, 2_048, 200, 2_000),
+                SimTime::from_millis(10),
+            )
             .unwrap();
         assert_eq!(out.interrupted.len(), 1);
         assert_eq!(out.ready_at, SimTime::from_millis(2_310));
@@ -123,7 +134,12 @@ mod tests {
         let (mut n, s) = setup();
         let vpa = NativeVpa::default();
         let out = vpa
-            .scale(&mut n, s.id, Resources::new(250, 512, 50, 500), SimTime::ZERO)
+            .scale(
+                &mut n,
+                s.id,
+                Resources::new(250, 512, 50, 500),
+                SimTime::ZERO,
+            )
             .unwrap();
         assert!(out.interrupted.is_empty());
         let ctr = n.container_for(s.id).unwrap();
@@ -135,7 +151,12 @@ mod tests {
         let (mut n, _s) = setup();
         let vpa = NativeVpa::default();
         assert!(vpa
-            .scale(&mut n, tango_types::ServiceId(9), Resources::ZERO, SimTime::ZERO)
+            .scale(
+                &mut n,
+                tango_types::ServiceId(9),
+                Resources::ZERO,
+                SimTime::ZERO
+            )
             .is_err());
     }
 }

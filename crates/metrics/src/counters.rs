@@ -145,10 +145,9 @@ impl ExperimentCounters {
 
     /// Mean overall utilization across all samples.
     pub fn mean_utilization(&self) -> f64 {
-        let (sum, n) = self
-            .buckets
-            .iter()
-            .fold((0.0, 0u64), |(s, n), b| (s + b.util_sum.0, n + b.util_samples));
+        let (sum, n) = self.buckets.iter().fold((0.0, 0u64), |(s, n), b| {
+            (s + b.util_sum.0, n + b.util_samples)
+        });
         if n == 0 {
             0.0
         } else {

@@ -100,17 +100,16 @@ impl P2Quantile {
                             + (self.positions[i + 1] - self.positions[i] - d_sign)
                                 * (self.heights[i] - self.heights[i - 1])
                                 / -left);
-                let new_height = if self.heights[i - 1] < parabolic
-                    && parabolic < self.heights[i + 1]
-                {
-                    parabolic
-                } else {
-                    // linear fallback
-                    let j = if d_sign > 0.0 { i + 1 } else { i - 1 };
-                    self.heights[i]
-                        + d_sign * (self.heights[j] - self.heights[i])
-                            / (self.positions[j] - self.positions[i])
-                };
+                let new_height =
+                    if self.heights[i - 1] < parabolic && parabolic < self.heights[i + 1] {
+                        parabolic
+                    } else {
+                        // linear fallback
+                        let j = if d_sign > 0.0 { i + 1 } else { i - 1 };
+                        self.heights[i]
+                            + d_sign * (self.heights[j] - self.heights[i])
+                                / (self.positions[j] - self.positions[i])
+                    };
                 self.heights[i] = new_height;
                 self.positions[i] += d_sign;
             }

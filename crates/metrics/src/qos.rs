@@ -17,7 +17,11 @@ pub fn slack_score(tail: SimTime, target: SimTime) -> f64 {
     }
     if target == SimTime::ZERO {
         // degenerate target: any latency is a violation
-        return if tail == SimTime::ZERO { 1.0 } else { f64::NEG_INFINITY };
+        return if tail == SimTime::ZERO {
+            1.0
+        } else {
+            f64::NEG_INFINITY
+        };
     }
     1.0 - tail.as_micros() as f64 / target.as_micros() as f64
 }

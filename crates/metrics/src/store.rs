@@ -5,10 +5,10 @@
 //! Prometheus-style scraper, plus the QoS slack pushed by the QoS detector.
 //! The LC traffic dispatcher reads it to build its per-type graphs; the BE
 //! traffic dispatcher reads the global one. It is shared between cluster
-//! control threads, so access is guarded by a `parking_lot::RwLock`.
+//! control threads, so access is guarded by a `std::sync::RwLock`.
 
-use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::RwLock;
 use tango_types::{ClusterId, NodeId, Resources, ServiceId, SimTime};
 
 /// Master or worker (§5.1.1).
@@ -74,18 +74,31 @@ impl StateStorage {
 
     /// Insert or replace a node's snapshot.
     pub fn push(&self, snap: NodeSnapshot) {
-        self.inner.write().insert(snap.node, snap);
+        self.inner
+            .write()
+            .expect("store lock poisoned")
+            .insert(snap.node, snap);
     }
 
     /// Copy of one node's snapshot.
     pub fn get(&self, node: NodeId) -> Option<NodeSnapshot> {
-        self.inner.read().get(&node).cloned()
+        self.inner
+            .read()
+            .expect("store lock poisoned")
+            .get(&node)
+            .cloned()
     }
 
     /// Copies of all snapshots, sorted by node id (deterministic order for
     /// the schedulers).
     pub fn all(&self) -> Vec<NodeSnapshot> {
-        let mut v: Vec<NodeSnapshot> = self.inner.read().values().cloned().collect();
+        let mut v: Vec<NodeSnapshot> = self
+            .inner
+            .read()
+            .expect("store lock poisoned")
+            .values()
+            .cloned()
+            .collect();
         v.sort_by_key(|s| s.node);
         v
     }
@@ -95,6 +108,7 @@ impl StateStorage {
         let mut v: Vec<NodeSnapshot> = self
             .inner
             .read()
+            .expect("store lock poisoned")
             .values()
             .filter(|s| s.cluster == cluster)
             .cloned()
@@ -109,6 +123,7 @@ impl StateStorage {
         let mut v: Vec<NodeSnapshot> = self
             .inner
             .read()
+            .expect("store lock poisoned")
             .values()
             .filter(|s| clusters.contains(&s.cluster))
             .cloned()
@@ -119,12 +134,12 @@ impl StateStorage {
 
     /// Number of nodes known.
     pub fn len(&self) -> usize {
-        self.inner.read().len()
+        self.inner.read().expect("store lock poisoned").len()
     }
 
     /// `true` if no snapshots have been pushed yet.
     pub fn is_empty(&self) -> bool {
-        self.inner.read().is_empty()
+        self.inner.read().expect("store lock poisoned").is_empty()
     }
 }
 

@@ -92,8 +92,8 @@ impl NetworkTopology {
         for i in 0..n {
             for j in (i + 1)..n {
                 let dist = positions[i].distance_km(&positions[j]);
-                let lat = cfg.wan_base
-                    + SimTime::from_micros((dist * cfg.wan_us_per_km).round() as u64);
+                let lat =
+                    cfg.wan_base + SimTime::from_micros((dist * cfg.wan_us_per_km).round() as u64);
                 let bw = rng.range_u64(cfg.wan_bandwidth_mbps.0, cfg.wan_bandwidth_mbps.1);
                 one_way[i][j] = lat;
                 one_way[j][i] = lat;
@@ -255,8 +255,7 @@ mod tests {
         let dist = far.distance_km(&near);
         assert!(dist > 2_000.0, "dist = {dist}");
         let cfg = TopologyConfig::default();
-        let one_way_ms =
-            cfg.wan_base.as_millis_f64() + dist * cfg.wan_us_per_km / 1_000.0;
+        let one_way_ms = cfg.wan_base.as_millis_f64() + dist * cfg.wan_us_per_km / 1_000.0;
         let rtt_ms = 2.0 * one_way_ms;
         assert!((80.0..130.0).contains(&rtt_ms), "rtt = {rtt_ms}ms");
     }
@@ -281,10 +280,7 @@ mod tests {
         assert!(with_payload > prop_only);
         // 1 MiB over bw Mbps: serialization = 1024*8192/bw µs
         let expect_us = 1_024u64 * 8_192 / t.bandwidth_mbps(a, b);
-        assert_eq!(
-            with_payload.as_micros() - prop_only.as_micros(),
-            expect_us
-        );
+        assert_eq!(with_payload.as_micros() - prop_only.as_micros(), expect_us);
     }
 
     #[test]
@@ -304,11 +300,7 @@ mod tests {
     fn most_central_minimizes_distance_sum() {
         let t = topo(9, 11);
         let central = t.most_central();
-        let sum = |c: ClusterId| -> f64 {
-            (0..9)
-                .map(|j| t.distance_km(c, ClusterId(j)))
-                .sum()
-        };
+        let sum = |c: ClusterId| -> f64 { (0..9).map(|j| t.distance_km(c, ClusterId(j))).sum() };
         let central_sum = sum(central);
         for i in 0..9u32 {
             assert!(central_sum <= sum(ClusterId(i)) + 1e-9);

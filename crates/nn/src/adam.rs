@@ -97,11 +97,7 @@ mod tests {
             let mut x = [0.0f32];
             opt.begin_step();
             opt.update(slot, &mut x, &[g]);
-            assert!(
-                (x[0].abs() - 0.01).abs() < 1e-3,
-                "grad {g}: step {}",
-                x[0]
-            );
+            assert!((x[0].abs() - 0.01).abs() < 1e-3, "grad {g}: step {}", x[0]);
         }
     }
 

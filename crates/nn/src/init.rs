@@ -32,7 +32,12 @@ mod tests {
         let w = he_normal(100, 200, &mut rng);
         let n = (w.rows * w.cols) as f32;
         let mean: f32 = w.as_slice().iter().sum::<f32>() / n;
-        let var: f32 = w.as_slice().iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / n;
+        let var: f32 = w
+            .as_slice()
+            .iter()
+            .map(|&v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / n;
         assert!(mean.abs() < 0.01, "mean={mean}");
         assert!((var - 0.02).abs() < 0.005, "var={var}");
     }

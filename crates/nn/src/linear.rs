@@ -85,7 +85,11 @@ impl Linear {
     /// (parameter, gradient) slices for the optimizer: weights then bias.
     pub fn params_and_grads(&mut self) -> [(&mut [f32], &[f32]); 2] {
         let Linear {
-            w, b, grad_w, grad_b, ..
+            w,
+            b,
+            grad_w,
+            grad_b,
+            ..
         } = self;
         [
             (w.as_mut_slice(), grad_w.as_slice()),
@@ -103,17 +107,16 @@ mod tests {
     fn gradients_match_finite_differences() {
         let mut rng = SimRng::new(11);
         let mut layer = Linear::new(4, 3, &mut rng);
-        let x = Matrix::from_vec(
-            2,
-            4,
-            vec![0.5, -1.0, 2.0, 0.1, 1.5, 0.3, -0.7, 0.9],
-        )
-        .unwrap();
+        let x = Matrix::from_vec(2, 4, vec![0.5, -1.0, 2.0, 0.1, 1.5, 0.3, -0.7, 0.9]).unwrap();
 
         // loss = sum(y^2)/2 so dL/dy = y
         let loss = |layer: &Linear, x: &Matrix| -> f64 {
             let y = layer.forward_inference(x);
-            y.as_slice().iter().map(|&v| (v as f64).powi(2)).sum::<f64>() / 2.0
+            y.as_slice()
+                .iter()
+                .map(|&v| (v as f64).powi(2))
+                .sum::<f64>()
+                / 2.0
         };
 
         let y = layer.forward(&x);

@@ -192,7 +192,11 @@ mod tests {
         let x = Matrix::from_vec(2, 4, vec![0.3, -0.2, 0.8, 1.1, -0.6, 0.4, 0.9, -1.2]).unwrap();
         let loss = |m: &Mlp, x: &Matrix| -> f64 {
             let y = m.forward_inference(x);
-            y.as_slice().iter().map(|&v| (v as f64).powi(2)).sum::<f64>() / 2.0
+            y.as_slice()
+                .iter()
+                .map(|&v| (v as f64).powi(2))
+                .sum::<f64>()
+                / 2.0
         };
         let y = mlp.forward(&x);
         mlp.backward(&y);

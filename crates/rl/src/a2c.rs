@@ -205,7 +205,13 @@ impl Agent for A2cAgent {
         Some(action)
     }
 
-    fn observe(&mut self, reward: f32, _next_graph: &FeatureGraph, _next_mask: &[bool], done: bool) {
+    fn observe(
+        &mut self,
+        reward: f32,
+        _next_graph: &FeatureGraph,
+        _next_mask: &[bool],
+        done: bool,
+    ) {
         if let Some((graph, mask, action)) = self.pending.take() {
             self.buffer.push(Transition {
                 graph,

@@ -42,8 +42,18 @@ pub const FEATURE_DIM: usize = 8;
 /// between cluster heads.
 pub fn build_graph(demand: &Resources, nodes: &[CandidateNode]) -> FeatureGraph {
     let n = nodes.len();
-    let max_cpu = nodes.iter().map(|c| c.total.cpu_milli).max().unwrap_or(1).max(1);
-    let max_mem = nodes.iter().map(|c| c.total.memory_mib).max().unwrap_or(1).max(1);
+    let max_cpu = nodes
+        .iter()
+        .map(|c| c.total.cpu_milli)
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let max_mem = nodes
+        .iter()
+        .map(|c| c.total.memory_mib)
+        .max()
+        .unwrap_or(1)
+        .max(1);
     let mut feats = Matrix::zeros(n, FEATURE_DIM);
     for (i, c) in nodes.iter().enumerate() {
         let tc = c.total.cpu_milli.max(1) as f32;

@@ -5,7 +5,6 @@
 //! are identified *globally* (not per-cluster) because the schedulers build
 //! system-wide graphs over them.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 macro_rules! id_type {
@@ -13,7 +12,7 @@ macro_rules! id_type {
         $(#[$meta])*
         #[derive(
             Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-            Serialize, Deserialize,
+
         )]
         pub struct $name(pub $inner);
 

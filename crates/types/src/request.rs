@@ -11,10 +11,9 @@ use crate::ids::{ClusterId, NodeId, RequestId};
 use crate::resources::Resources;
 use crate::service::{ServiceClass, ServiceId};
 use crate::time::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Where a request currently is in its lifecycle.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RequestState {
     /// Waiting in a master node's scheduling queue.
     Queued,
@@ -33,7 +32,7 @@ pub enum RequestState {
 }
 
 /// Terminal status of a request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RequestOutcome {
     /// Completed successfully; latency = completion − arrival.
     Completed,
@@ -46,7 +45,7 @@ pub enum RequestOutcome {
 }
 
 /// One service request flowing through the system.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Request {
     /// Unique id.
     pub id: RequestId,

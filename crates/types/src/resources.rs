@@ -10,12 +10,11 @@
 //! Units: CPU in **millicores**, memory in **MiB**, bandwidth in **Mbps**,
 //! disk in **MiB**.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub, SubAssign};
 
 /// One dimension of a [`Resources`] vector.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ResourceKind {
     /// CPU time, in millicores. Compressible.
     Cpu,
@@ -46,9 +45,7 @@ impl ResourceKind {
 }
 
 /// A four-dimensional resource vector.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct Resources {
     /// CPU in millicores (1000 = one core).
     pub cpu_milli: u64,

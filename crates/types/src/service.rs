@@ -8,11 +8,10 @@
 
 use crate::resources::Resources;
 use crate::time::SimTime;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The co-location class of a service.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ServiceClass {
     /// Latency-Critical: has a QoS target on p95 tail latency, scheduled by
     /// the distributed DSS-LC dispatcher, highest K8s QoS priority.
@@ -47,9 +46,7 @@ impl fmt::Display for ServiceClass {
 
 /// Identifies a service *type* k ∈ K (§5.2.1). Small and dense: the
 /// schedulers index per-type tables with it.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ServiceId(pub u16);
 
 impl ServiceId {
@@ -75,7 +72,7 @@ impl fmt::Display for ServiceId {
 /// a container with exactly `min_request.cpu_milli` of CPU finishes its
 /// compute phase in `base_service_ms` = work_milli_ms / min_request.cpu_milli
 /// milliseconds.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServiceSpec {
     /// Dense id of this service type.
     pub id: ServiceId,

@@ -23,7 +23,11 @@ pub fn pressure_latency(spec: &ServiceSpec, cpu_milli: u64, concurrency: u64) ->
 
 /// Sweep concurrency 1..=max and return (concurrency, latency) points —
 /// the pressure curve a PARTIES-style controller would measure.
-pub fn pressure_curve(spec: &ServiceSpec, cpu_milli: u64, max_concurrency: u64) -> Vec<(u64, SimTime)> {
+pub fn pressure_curve(
+    spec: &ServiceSpec,
+    cpu_milli: u64,
+    max_concurrency: u64,
+) -> Vec<(u64, SimTime)> {
     (1..=max_concurrency.max(1))
         .map(|m| (m, pressure_latency(spec, cpu_milli, m)))
         .collect()
@@ -42,7 +46,8 @@ pub fn calibrate_qos_targets(
     for spec in catalog.specs_mut() {
         if spec.class.is_lc() {
             let knee = pressure_latency(spec, spec.min_request.cpu_milli, nominal_concurrency);
-            let target_ms = knee.as_millis_f64() * headroom.max(1.0) + rtt_allowance.as_millis_f64();
+            let target_ms =
+                knee.as_millis_f64() * headroom.max(1.0) + rtt_allowance.as_millis_f64();
             spec.qos_target = SimTime::from_millis_f64(target_ms);
         }
     }

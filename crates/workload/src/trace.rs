@@ -128,7 +128,8 @@ impl<'a> TraceGenerator<'a> {
     }
 
     fn accept(&mut self, class: ServiceClass, at: SimTime) -> bool {
-        let rate = self.spec.pattern.rate(class, at) * self.spec.diurnal.multiplier(self.hour_at(at));
+        let rate =
+            self.spec.pattern.rate(class, at) * self.spec.diurnal.multiplier(self.hour_at(at));
         self.rng.chance(rate / self.envelope(class))
     }
 
@@ -151,11 +152,7 @@ impl<'a> TraceGenerator<'a> {
             return None;
         }
         let service = ids[self.rng.next_below(ids.len() as u64) as usize];
-        let origin = ClusterId(
-            self.rng
-                .weighted_index(&self.cluster_weights)
-                .unwrap_or(0) as u32,
-        );
+        let origin = ClusterId(self.rng.weighted_index(&self.cluster_weights).unwrap_or(0) as u32);
         let demand = self.jitter_demand(self.catalog.get(service).min_request);
         Some(TraceEvent {
             at,
@@ -353,10 +350,7 @@ mod tests {
                 low += 1;
             }
         }
-        assert!(
-            high as f64 > 2.0 * low as f64,
-            "high={high} low={low}"
-        );
+        assert!(high as f64 > 2.0 * low as f64, "high={high} low={low}");
     }
 
     #[test]

@@ -31,16 +31,31 @@ fn main() {
 
     // ---- D-VPA path -------------------------------------------------
     let mut node = Node::new(NodeId(1), ClusterId(0), false, capacity);
-    node.deploy_service(&svc, Resources::new(1_000, 1_024, 100, 1_000), SimTime::ZERO)
-        .unwrap();
-    node.admit(RequestId(1), svc.id, svc.min_request, svc.work_milli_ms, SimTime::ZERO)
-        .unwrap();
+    node.deploy_service(
+        &svc,
+        Resources::new(1_000, 1_024, 100, 1_000),
+        SimTime::ZERO,
+    )
+    .unwrap();
+    node.admit(
+        RequestId(1),
+        svc.id,
+        svc.min_request,
+        svc.work_milli_ms,
+        SimTime::ZERO,
+    )
+    .unwrap();
     node.cgroups.clear_journal();
 
     let mut dvpa = Dvpa::default();
     println!("== D-VPA: expand 1000m -> 2000m while a request is running ==");
     let out = dvpa
-        .scale(&mut node, svc.id, Resources::new(2_000, 2_048, 200, 2_000), SimTime::from_millis(10))
+        .scale(
+            &mut node,
+            svc.id,
+            Resources::new(2_000, 2_048, 200, 2_000),
+            SimTime::from_millis(10),
+        )
         .unwrap();
     for e in node.cgroups.journal() {
         println!("  write {:?} {} -> [{}]", e.kind, e.path, e.limit);
@@ -54,8 +69,13 @@ fn main() {
 
     node.cgroups.clear_journal();
     println!("\n== D-VPA: shrink back to 600m (container before pod) ==");
-    dvpa.scale(&mut node, svc.id, Resources::new(600, 1_024, 100, 1_000), SimTime::from_millis(40))
-        .unwrap();
+    dvpa.scale(
+        &mut node,
+        svc.id,
+        Resources::new(600, 1_024, 100, 1_000),
+        SimTime::from_millis(40),
+    )
+    .unwrap();
     for e in node.cgroups.journal() {
         println!("  write {:?} {} -> [{}]", e.kind, e.path, e.limit);
     }
@@ -71,14 +91,29 @@ fn main() {
     println!("\n== stock K8s VPA: same expansion, delete-and-rebuild ==");
     let mut node2 = Node::new(NodeId(2), ClusterId(0), false, capacity);
     node2
-        .deploy_service(&svc, Resources::new(1_000, 1_024, 100, 1_000), SimTime::ZERO)
+        .deploy_service(
+            &svc,
+            Resources::new(1_000, 1_024, 100, 1_000),
+            SimTime::ZERO,
+        )
         .unwrap();
     node2
-        .admit(RequestId(2), svc.id, svc.min_request, svc.work_milli_ms, SimTime::ZERO)
+        .admit(
+            RequestId(2),
+            svc.id,
+            svc.min_request,
+            svc.work_milli_ms,
+            SimTime::ZERO,
+        )
         .unwrap();
     let vpa = NativeVpa::default();
     let outcome = vpa
-        .scale(&mut node2, svc.id, Resources::new(2_000, 2_048, 200, 2_000), SimTime::from_millis(10))
+        .scale(
+            &mut node2,
+            svc.id,
+            Resources::new(2_000, 2_048, 200, 2_000),
+            SimTime::from_millis(10),
+        )
         .unwrap();
     println!(
         "  interrupted {} running request(s); pod dark until {}",

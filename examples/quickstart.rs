@@ -39,8 +39,13 @@ fn main() {
     for p in report.periods.iter().take(10) {
         println!(
             "{:>6}  {:>6}  {:>7}  {:>5}  {:>7}  {:>5.2}  {:>6.1}",
-            p.index, p.lc_arrived, p.lc_completed, p.lc_satisfied, p.be_completed,
-            p.util_overall, p.lc_p95_ms
+            p.index,
+            p.lc_arrived,
+            p.lc_completed,
+            p.lc_satisfied,
+            p.be_completed,
+            p.util_overall,
+            p.lc_p95_ms
         );
     }
 }

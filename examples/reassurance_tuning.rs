@@ -51,7 +51,10 @@ fn main() {
         duration,
     });
 
-    println!("sweeping {} (α, β) settings under bursty overload ...", specs.len());
+    println!(
+        "sweeping {} (α, β) settings under bursty overload ...",
+        specs.len()
+    );
     let reports = run_parallel(specs);
     println!("\nthresholds      qos     p95(ms)  throughput  abandoned");
     for r in &reports {

@@ -14,13 +14,19 @@ use tango_repro::workload::{Pattern, PatternKind, ServiceCatalog, TraceGenerator
 fn main() {
     let catalog = ServiceCatalog::standard();
     println!("service catalog ({} services):", catalog.len());
-    println!("{:<18} class  min-request              base    γ target", "name");
+    println!(
+        "{:<18} class  min-request              base    γ target",
+        "name"
+    );
     for s in catalog.specs() {
         println!(
             "{:<18} {:<5}  {:<24} {:>5}ms  {}",
             s.name,
             s.class.to_string(),
-            format!("{}m / {}Mi", s.min_request.cpu_milli, s.min_request.memory_mib),
+            format!(
+                "{}m / {}Mi",
+                s.min_request.cpu_milli, s.min_request.memory_mib
+            ),
             s.base_service_time().as_millis(),
             if s.qos_target == SimTime::MAX {
                 "-".to_string()
@@ -38,7 +44,10 @@ fn main() {
             7,
         );
         let events = TraceGenerator::new(&catalog, spec).collect_events();
-        let lc = events.iter().filter(|e| e.class == ServiceClass::Lc).count();
+        let lc = events
+            .iter()
+            .filter(|e| e.class == ServiceClass::Lc)
+            .count();
         let be = events.len() - lc;
         // arrivals per 5s bucket for the LC class (shows the periodicity)
         let mut buckets = [0u32; 8];
@@ -52,7 +61,10 @@ fn main() {
         for e in &events {
             origins[e.origin.index()] += 1;
         }
-        println!("\npattern {kind:?}: {} events ({lc} LC / {be} BE)", events.len());
+        println!(
+            "\npattern {kind:?}: {} events ({lc} LC / {be} BE)",
+            events.len()
+        );
         println!("  LC arrivals per 5s: {buckets:?}");
         println!("  origin distribution (Zipf-skewed): {origins:?}");
     }

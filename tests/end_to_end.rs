@@ -2,9 +2,7 @@
 //! HRM allocation → execution → QoS detection → re-assurance) across
 //! crates.
 
-use tango_repro::tango::{
-    AllocatorKind, BePolicy, EdgeCloudSystem, LcPolicy, TangoConfig,
-};
+use tango_repro::tango::{AllocatorKind, BePolicy, EdgeCloudSystem, LcPolicy, TangoConfig};
 use tango_repro::types::SimTime;
 use tango_repro::workload::PatternKind;
 

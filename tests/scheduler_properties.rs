@@ -1,22 +1,26 @@
 //! Property tests over the schedulers and the execution model.
+//!
+//! Expressed as deterministic seeded sweeps (see `tests/properties.rs`
+//! for why `proptest` itself is not available in this build environment).
 
-use proptest::prelude::*;
 use tango_repro::kube::Node;
 use tango_repro::metrics::P2Quantile;
-use tango_repro::sched::{CandidateNode, DssLc, KsNative, LcScheduler, LoadGreedy, Scoring, TypeBatch};
+use tango_repro::sched::{
+    CandidateNode, DssLc, KsNative, LcScheduler, LoadGreedy, Scoring, TypeBatch,
+};
+use tango_repro::simcore::SimRng;
 use tango_repro::types::{
     ClusterId, NodeId, RequestId, Resources, ServiceClass, ServiceId, ServiceSpec, SimTime,
 };
 
-fn arb_candidates() -> impl Strategy<Value = Vec<CandidateNode>> {
-    proptest::collection::vec(
-        (0u64..8, 1u64..50, 1u32..20),
-        1..12,
-    )
-    .prop_map(|raw| {
-        raw.into_iter()
-            .enumerate()
-            .map(|(i, (cap, delay_ms, link))| CandidateNode {
+fn arb_candidates(rng: &mut SimRng) -> Vec<CandidateNode> {
+    let n = 1 + rng.next_below(11) as usize;
+    (0..n)
+        .map(|i| {
+            let cap = rng.next_below(8);
+            let delay_ms = 1 + rng.next_below(49);
+            let link = 1 + rng.next_below(19) as u32;
+            CandidateNode {
                 node: NodeId(i as u32),
                 cluster: ClusterId((i / 4) as u32),
                 total: Resources::cpu_mem(8_000, 16_384),
@@ -26,22 +30,22 @@ fn arb_candidates() -> impl Strategy<Value = Vec<CandidateNode>> {
                 delay: SimTime::from_millis(delay_ms),
                 link_capacity: link,
                 slack: 1.0,
-            })
-            .collect()
-    })
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    /// Every LC policy: (1) never assigns one request twice, (2) never
-    /// assigns more requests to a node than its Eq. 2 capacity + the
-    /// λ-overflow allotment permits for DSS-LC, and never more than
-    /// capacity for the baselines, (3) never invents request ids.
-    #[test]
-    fn lc_policies_respect_capacity_and_uniqueness(
-        nodes in arb_candidates(),
-        n_requests in 0u64..60,
-        seed in any::<u64>(),
-    ) {
+/// Every LC policy: (1) never assigns one request twice, (2) never
+/// assigns more requests to a node than its Eq. 2 capacity + the
+/// λ-overflow allotment permits for DSS-LC, and never more than
+/// capacity for the baselines, (3) never invents request ids.
+#[test]
+fn lc_policies_respect_capacity_and_uniqueness() {
+    let mut rng = SimRng::new(0x1C1C);
+    for _ in 0..128 {
+        let nodes = arb_candidates(&mut rng);
+        let n_requests = rng.next_below(60);
+        let seed = rng.next_u64();
         let batch = TypeBatch {
             service: ServiceId(0),
             requests: (0..n_requests).map(RequestId).collect(),
@@ -60,13 +64,13 @@ proptest! {
             let mut seen = std::collections::HashSet::new();
             let mut per_node = vec![0u64; batch.nodes.len()];
             for &(rid, node) in &out {
-                prop_assert!(seen.insert(rid), "{}: duplicate {rid}", sched.name());
-                prop_assert!(batch.requests.contains(&rid));
+                assert!(seen.insert(rid), "{}: duplicate {rid}", sched.name());
+                assert!(batch.requests.contains(&rid));
                 let idx = batch.nodes.iter().position(|c| c.node == node).unwrap();
                 per_node[idx] += 1;
             }
             for (i, &count) in per_node.iter().enumerate() {
-                prop_assert!(count <= caps[i], "{}: node {i} over capacity", sched.name());
+                assert!(count <= caps[i], "{}: node {i} over capacity", sched.name());
             }
         }
 
@@ -75,12 +79,12 @@ proptest! {
         let plan = dss.plan(&batch);
         let mut seen = std::collections::HashSet::new();
         for (rid, _) in plan.all() {
-            prop_assert!(seen.insert(rid), "dss-lc duplicate {rid}");
+            assert!(seen.insert(rid), "dss-lc duplicate {rid}");
         }
         for rid in &plan.unrouted {
-            prop_assert!(seen.insert(*rid), "unrouted overlaps assigned");
+            assert!(seen.insert(*rid), "unrouted overlaps assigned");
         }
-        prop_assert_eq!(seen.len() as u64, n_requests);
+        assert_eq!(seen.len() as u64, n_requests);
         // immediate set respects instantaneous capacity and link caps
         let mut per_node = vec![0u64; batch.nodes.len()];
         for &(_, node) in &plan.immediate {
@@ -88,17 +92,23 @@ proptest! {
             per_node[idx] += 1;
         }
         for (i, &count) in per_node.iter().enumerate() {
-            prop_assert!(count <= caps[i].min(batch.nodes[i].link_capacity as u64));
+            assert!(count <= caps[i].min(batch.nodes[i].link_capacity as u64));
         }
     }
+}
 
-    /// Work conservation in the execution model: total completed work
-    /// equals what was admitted, regardless of when limits change.
-    #[test]
-    fn node_conserves_work_across_limit_changes(
-        demands in proptest::collection::vec(100u64..800, 1..6),
-        limit_changes in proptest::collection::vec(200u64..4_000, 0..4),
-    ) {
+/// Work conservation in the execution model: total completed work
+/// equals what was admitted, regardless of when limits change.
+#[test]
+fn node_conserves_work_across_limit_changes() {
+    let mut rng = SimRng::new(0xC0517);
+    for _ in 0..48 {
+        let n_demands = 1 + rng.next_below(5) as usize;
+        let demands: Vec<u64> = (0..n_demands).map(|_| 100 + rng.next_below(700)).collect();
+        let n_changes = rng.next_below(4) as usize;
+        let limit_changes: Vec<u64> = (0..n_changes)
+            .map(|_| 200 + rng.next_below(3_800))
+            .collect();
         let spec = ServiceSpec {
             id: ServiceId(0),
             name: "w".into(),
@@ -114,8 +124,12 @@ proptest! {
             false,
             Resources::new(8_000, 16_384, 1_000, 100_000),
         );
-        node.deploy_service(&spec, Resources::new(4_000, 8_192, 500, 1_000), SimTime::ZERO)
-            .unwrap();
+        node.deploy_service(
+            &spec,
+            Resources::new(4_000, 8_192, 500, 1_000),
+            SimTime::ZERO,
+        )
+        .unwrap();
         for (i, &cpu) in demands.iter().enumerate() {
             node.admit(
                 RequestId(i as u64),
@@ -142,25 +156,29 @@ proptest! {
                 node.cgroups.set_limit(t, pod_cg, lim).unwrap();
             }
             node.touch();
-            t = t + SimTime::from_millis(7);
+            t += SimTime::from_millis(7);
         }
         // run long enough for everything to finish at ≥ the 10m/sliver floor
         node.advance(SimTime::from_secs(3_000));
         let done = node.take_completions();
-        prop_assert_eq!(done.len(), demands.len(), "all admitted work completes");
-        prop_assert_eq!(node.running_count(), 0);
+        assert_eq!(done.len(), demands.len(), "all admitted work completes");
+        assert_eq!(node.running_count(), 0);
         let (lc, be) = node.demand_usage();
-        prop_assert!(lc.is_zero() && be.is_zero(), "all demand released");
+        assert!(lc.is_zero() && be.is_zero(), "all demand released");
     }
+}
 
-    /// P² estimator stays within a tolerance band of the exact p95 on
-    /// smooth distributions (its contract — the parabolic interpolation
-    /// assumes a locally smooth density; discontinuous mixtures with a
-    /// jump at the tracked quantile can bias it, which is why the QoS
-    /// detector's small windows use the exact percentile instead).
-    #[test]
-    fn p2_tracks_exact_p95(seed in any::<u64>(), mean in 10.0f64..500.0) {
-        use tango_repro::simcore::SimRng;
+/// P² estimator stays within a tolerance band of the exact p95 on
+/// smooth distributions (its contract — the parabolic interpolation
+/// assumes a locally smooth density; discontinuous mixtures with a
+/// jump at the tracked quantile can bias it, which is why the QoS
+/// detector's small windows use the exact percentile instead).
+#[test]
+fn p2_tracks_exact_p95() {
+    let mut seeder = SimRng::new(0x9595);
+    for _ in 0..24 {
+        let seed = seeder.next_u64();
+        let mean = seeder.range_f64(10.0, 500.0);
         let mut rng = SimRng::new(seed);
         let mut p2 = P2Quantile::p95();
         let mut xs = Vec::with_capacity(5_000);
@@ -172,7 +190,7 @@ proptest! {
         xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let exact = xs[(0.95 * xs.len() as f64) as usize];
         let est = p2.estimate().unwrap();
-        prop_assert!(
+        assert!(
             (est - exact).abs() / exact < 0.15,
             "est {est} vs exact {exact} (mean {mean})"
         );

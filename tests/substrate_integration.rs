@@ -8,8 +8,7 @@ use tango_repro::hrm::HrmAllocator;
 use tango_repro::kube::Node;
 use tango_repro::sched::{CandidateNode, DssLc, LcScheduler, TypeBatch};
 use tango_repro::types::{
-    ClusterId, NodeId, Request, RequestId, Resources, ServiceClass, ServiceId, ServiceSpec,
-    SimTime,
+    ClusterId, NodeId, Request, RequestId, Resources, ServiceClass, ServiceId, ServiceSpec, SimTime,
 };
 
 fn lc_spec() -> ServiceSpec {
@@ -76,8 +75,9 @@ fn dss_lc_plan_executes_on_real_nodes() {
     let placements = sched.assign(&batch);
     assert_eq!(placements.len(), n_requests as usize);
 
-    let floors: HashMap<ServiceId, Resources> =
-        [(ServiceId(0), lc_spec().min_request)].into_iter().collect();
+    let floors: HashMap<ServiceId, Resources> = [(ServiceId(0), lc_spec().min_request)]
+        .into_iter()
+        .collect();
     let mut alloc = HrmAllocator::new(floors);
     let t0 = SimTime::from_millis(5);
     for (rid, node_id) in &placements {
@@ -126,15 +126,15 @@ fn dss_lc_overload_spreads_and_everything_completes() {
     assert!(plan.unrouted.is_empty(), "unrouted: {:?}", plan.unrouted);
     assert!(!plan.queued.is_empty());
 
-    let floors: HashMap<ServiceId, Resources> =
-        [(ServiceId(0), lc_spec().min_request)].into_iter().collect();
+    let floors: HashMap<ServiceId, Resources> = [(ServiceId(0), lc_spec().min_request)]
+        .into_iter()
+        .collect();
     let mut alloc = HrmAllocator::new(floors);
 
     // The regulations never oversubscribe LC CPU: each 2000m node takes at
     // most 4 concurrent 500m requests; the rest wait (the system layer's
     // per-node wait queues). Emulate the drain loop here.
-    let mut waiting: Vec<(RequestId, usize)> =
-        plan.all().map(|(r, n)| (r, n.index())).collect();
+    let mut waiting: Vec<(RequestId, usize)> = plan.all().map(|(r, n)| (r, n.index())).collect();
     let mut done = 0usize;
     let mut now = SimTime::ZERO;
     let mut rounds = 0;
