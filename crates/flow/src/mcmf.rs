@@ -18,34 +18,42 @@ pub struct FlowResult {
     pub cost: i64,
 }
 
-/// Solver state bound to a graph.
-pub struct MinCostMaxFlow<'g> {
-    g: &'g mut FlowGraph,
+const INF: i64 = i64::MAX / 4;
+
+/// Reusable solver scratch: potentials, distances, predecessor edges and
+/// the Dijkstra heap. Holding one of these across solves makes every
+/// [`McmfWorkspace::solve`] call allocation-free in steady state — the
+/// per-dispatch pattern DSS-LC runs (one solve per request type per
+/// tick) never touches the heap allocator once the buffers are warm.
+#[derive(Debug, Clone, Default)]
+pub struct McmfWorkspace {
     potential: Vec<i64>,
     dist: Vec<i64>,
     prev_edge: Vec<usize>,
+    heap: BinaryHeap<Reverse<(i64, usize)>>,
 }
 
-const INF: i64 = i64::MAX / 4;
-
-impl<'g> MinCostMaxFlow<'g> {
-    /// Bind a solver to `graph`. Existing flow is preserved (so a second
-    /// solve continues on the residual network).
-    pub fn new(graph: &'g mut FlowGraph) -> Self {
-        let n = graph.node_count();
-        MinCostMaxFlow {
-            g: graph,
-            potential: vec![0; n],
-            dist: vec![INF; n],
-            prev_edge: vec![usize::MAX; n],
-        }
+impl McmfWorkspace {
+    /// Fresh workspace with no retained buffers.
+    pub fn new() -> Self {
+        McmfWorkspace::default()
     }
 
     /// Initialize potentials with Bellman–Ford so that negative edge costs
     /// are handled. Called automatically by [`Self::solve`] when needed.
-    fn bellman_ford(&mut self, source: usize) {
-        let n = self.g.node_count();
-        self.potential = vec![INF; n];
+    ///
+    /// Nodes unreachable from `source` keep an `INF` potential, which
+    /// doubles as a reachability mask read by `dijkstra`. (The previous
+    /// implementation clamped them to 0, which fabricates a finite
+    /// potential for nodes Bellman–Ford never relaxed; a negative-cost
+    /// edge between two such nodes then shows a negative reduced cost.
+    /// Unreachable nodes can never join an augmenting path — residual
+    /// capacity only ever appears along augmented paths, whose nodes were
+    /// already reachable — so masking them out is exact.)
+    fn bellman_ford(&mut self, g: &FlowGraph, source: usize) {
+        let n = g.node_count();
+        self.potential.clear();
+        self.potential.resize(n, INF);
         self.potential[source] = 0;
         // standard |V|-1 rounds over residual edges
         for _ in 0..n.saturating_sub(1) {
@@ -54,8 +62,8 @@ impl<'g> MinCostMaxFlow<'g> {
                 if self.potential[u] >= INF {
                     continue;
                 }
-                for &eid in &self.g.adj[u] {
-                    let e = &self.g.edges[eid];
+                for &eid in &g.adj[u] {
+                    let e = &g.edges[eid];
                     if e.cap - e.flow > 0 && self.potential[u] + e.cost < self.potential[e.to] {
                         self.potential[e.to] = self.potential[u] + e.cost;
                         changed = true;
@@ -66,45 +74,41 @@ impl<'g> MinCostMaxFlow<'g> {
                 break;
             }
         }
-        // Unreachable nodes keep INF on purpose: the potential doubles as
-        // an exact reachability mask. Clamping them to 0 (the previous
-        // behaviour) fabricates a finite potential for nodes the source
-        // cannot reach, which lets a negative-cost edge hanging off such a
-        // node produce a negative reduced cost and corrupt Dijkstra.
-        // Residual edges only ever appear along augmenting paths between
-        // already-reachable nodes, so a node that is unreachable now stays
-        // unreachable for the whole solve and can simply be skipped.
     }
 
     /// Dijkstra on reduced costs; returns whether `sink` is reachable.
-    fn dijkstra(&mut self, source: usize, sink: usize) -> bool {
-        let n = self.g.node_count();
-        self.dist = vec![INF; n];
-        self.prev_edge = vec![usize::MAX; n];
+    fn dijkstra(&mut self, g: &FlowGraph, source: usize, sink: usize) -> bool {
+        let n = g.node_count();
+        self.dist.clear();
+        self.dist.resize(n, INF);
+        self.prev_edge.clear();
+        self.prev_edge.resize(n, usize::MAX);
         self.dist[source] = 0;
-        let mut heap: BinaryHeap<Reverse<(i64, usize)>> = BinaryHeap::new();
-        heap.push(Reverse((0, source)));
-        while let Some(Reverse((d, u))) = heap.pop() {
+        self.heap.clear();
+        self.heap.push(Reverse((0, source)));
+        while let Some(Reverse((d, u))) = self.heap.pop() {
             if d > self.dist[u] {
                 continue;
             }
-            for &eid in &self.g.adj[u] {
-                let e = &self.g.edges[eid];
+            let pot_u = self.potential[u];
+            for &eid in &g.adj[u] {
+                let e = &g.edges[eid];
                 if e.cap - e.flow <= 0 {
                     continue;
                 }
-                // Masked (never-reachable) target: no augmenting path can
-                // use it, and its INF potential would wrap the arithmetic.
-                if self.potential[e.to] >= INF {
+                let pot_v = self.potential[e.to];
+                if pot_v >= INF {
+                    // unreachable under the initial residual graph: can
+                    // never lie on an augmenting path (see bellman_ford)
                     continue;
                 }
-                let reduced = e.cost + self.potential[u] - self.potential[e.to];
+                let reduced = e.cost + pot_u - pot_v;
                 debug_assert!(reduced >= 0, "negative reduced cost after potentials");
                 let nd = d + reduced;
                 if nd < self.dist[e.to] {
                     self.dist[e.to] = nd;
                     self.prev_edge[e.to] = eid;
-                    heap.push(Reverse((nd, e.to)));
+                    self.heap.push(Reverse((nd, e.to)));
                 }
             }
         }
@@ -112,24 +116,29 @@ impl<'g> MinCostMaxFlow<'g> {
     }
 
     /// Route up to `limit` units of flow from `source` to `sink` at
-    /// minimum cost. Use `i64::MAX` for a true max-flow.
-    pub fn solve(&mut self, source: usize, sink: usize, limit: i64) -> FlowResult {
-        let has_negative = self
-            .g
-            .edges
-            .iter()
-            .any(|e| e.cap - e.flow > 0 && e.cost < 0);
+    /// minimum cost over `g`'s residual network. Use `i64::MAX` for a
+    /// true max-flow. Allocation-free once the workspace buffers are warm.
+    pub fn solve(
+        &mut self,
+        g: &mut FlowGraph,
+        source: usize,
+        sink: usize,
+        limit: i64,
+    ) -> FlowResult {
+        let has_negative = g.edges.iter().any(|e| e.cap - e.flow > 0 && e.cost < 0);
         if has_negative {
-            self.bellman_ford(source);
+            self.bellman_ford(g, source);
         } else {
-            self.potential = vec![0; self.g.node_count()];
+            let n = g.node_count();
+            self.potential.clear();
+            self.potential.resize(n, 0);
         }
 
         let mut total_flow = 0i64;
         let mut total_cost = 0i64;
-        while total_flow < limit && self.dijkstra(source, sink) {
+        while total_flow < limit && self.dijkstra(g, source, sink) {
             // update potentials
-            for v in 0..self.g.node_count() {
+            for v in 0..g.node_count() {
                 if self.dist[v] < INF {
                     self.potential[v] += self.dist[v];
                 }
@@ -139,18 +148,18 @@ impl<'g> MinCostMaxFlow<'g> {
             let mut v = sink;
             while v != source {
                 let eid = self.prev_edge[v];
-                let e = &self.g.edges[eid];
+                let e = &g.edges[eid];
                 push = push.min(e.cap - e.flow);
-                v = self.g.edges[eid ^ 1].to;
+                v = g.edges[eid ^ 1].to;
             }
             // apply
             let mut v = sink;
             while v != source {
                 let eid = self.prev_edge[v];
-                self.g.edges[eid].flow += push;
-                self.g.edges[eid ^ 1].flow -= push;
-                total_cost += push * self.g.edges[eid].cost;
-                v = self.g.edges[eid ^ 1].to;
+                g.edges[eid].flow += push;
+                g.edges[eid ^ 1].flow -= push;
+                total_cost += push * g.edges[eid].cost;
+                v = g.edges[eid ^ 1].to;
             }
             total_flow += push;
         }
@@ -158,6 +167,31 @@ impl<'g> MinCostMaxFlow<'g> {
             flow: total_flow,
             cost: total_cost,
         }
+    }
+}
+
+/// Solver state bound to a graph. Thin convenience wrapper over
+/// [`McmfWorkspace`] for one-shot solves; callers on a hot path should
+/// hold a `McmfWorkspace` themselves and reuse it across graphs.
+pub struct MinCostMaxFlow<'g> {
+    g: &'g mut FlowGraph,
+    ws: McmfWorkspace,
+}
+
+impl<'g> MinCostMaxFlow<'g> {
+    /// Bind a solver to `graph`. Existing flow is preserved (so a second
+    /// solve continues on the residual network).
+    pub fn new(graph: &'g mut FlowGraph) -> Self {
+        MinCostMaxFlow {
+            g: graph,
+            ws: McmfWorkspace::new(),
+        }
+    }
+
+    /// Route up to `limit` units of flow from `source` to `sink` at
+    /// minimum cost. Use `i64::MAX` for a true max-flow.
+    pub fn solve(&mut self, source: usize, sink: usize, limit: i64) -> FlowResult {
+        self.ws.solve(self.g, source, sink, limit)
     }
 
     /// Decompose the current flow leaving `source` into unit paths
@@ -263,6 +297,52 @@ mod tests {
         assert_eq!(r.cost, 20);
     }
 
+    /// Regression: a negative-cost edge hanging off a node unreachable
+    /// from the source. The old clamp-to-0 fabricated finite potentials
+    /// for nodes 2 and 3, making the 2→3 edge's reduced cost −7; the
+    /// reachability mask keeps them at INF and out of Dijkstra entirely.
+    #[test]
+    fn negative_edge_off_unreachable_node_is_masked() {
+        let mut g = FlowGraph::new(4);
+        g.add_edge(0, 1, 3, 2);
+        // appendage: 2 → 3 at cost −7, not reachable from node 0; the
+        // −1-cost edge 3 → 1 forces has_negative and the Bellman–Ford path
+        g.add_edge(2, 3, 5, -7);
+        g.add_edge(3, 1, 5, -1);
+        let r = MinCostMaxFlow::new(&mut g).solve(0, 1, i64::MAX);
+        assert_eq!(r, FlowResult { flow: 3, cost: 6 });
+    }
+
+    /// A workspace reused across separate graphs (different sizes, one
+    /// with negative costs) produces the same answers as fresh solvers.
+    #[test]
+    fn workspace_reuse_across_graphs_matches_fresh_solves() {
+        let mut ws = McmfWorkspace::new();
+
+        let mut g1 = FlowGraph::new(4);
+        g1.add_edge(0, 1, 2, 1);
+        g1.add_edge(0, 2, 2, 4);
+        g1.add_edge(1, 2, 1, 1);
+        g1.add_edge(1, 3, 1, 6);
+        g1.add_edge(2, 3, 3, 1);
+        let r1 = ws.solve(&mut g1, 0, 3, i64::MAX);
+        assert_eq!(r1, FlowResult { flow: 4, cost: 20 });
+
+        // smaller graph with negative costs — buffers shrink in place
+        let mut g2 = FlowGraph::new(3);
+        g2.add_edge(0, 1, 2, -3);
+        g2.add_edge(1, 2, 2, 1);
+        g2.add_edge(0, 2, 2, 0);
+        let r2 = ws.solve(&mut g2, 0, 2, i64::MAX);
+        assert_eq!(r2, FlowResult { flow: 4, cost: -4 });
+
+        // and a pooled-graph rebuild via reset()
+        g2.reset(2);
+        g2.add_edge(0, 1, 7, 2);
+        let r3 = ws.solve(&mut g2, 0, 1, i64::MAX);
+        assert_eq!(r3, FlowResult { flow: 7, cost: 14 });
+    }
+
     #[test]
     fn negative_costs_are_handled_via_bellman_ford() {
         let mut g = FlowGraph::new(3);
@@ -366,22 +446,5 @@ mod tests {
         }
         assert_eq!(balance[0], -r.flow);
         assert_eq!(balance[1], r.flow);
-    }
-
-    /// Regression: a negative-cost edge hanging off a node the source
-    /// cannot reach must not poison the potentials. With the old
-    /// clamp-to-zero behaviour the −7-cost edge below produced a negative
-    /// reduced cost on a masked node and tripped the Dijkstra
-    /// debug_assert; the INF mask skips it entirely.
-    #[test]
-    fn negative_edge_off_unreachable_node_is_masked() {
-        let mut g = FlowGraph::new(4);
-        g.add_edge(0, 1, 3, 2);
-        // appendage: 2 → 3 at cost −7, not reachable from node 0; the
-        // −1-cost edge 3 → 1 forces has_negative and the Bellman–Ford path
-        g.add_edge(2, 3, 5, -7);
-        g.add_edge(3, 1, 5, -1);
-        let r = MinCostMaxFlow::new(&mut g).solve(0, 1, i64::MAX);
-        assert_eq!(r, FlowResult { flow: 3, cost: 6 });
     }
 }
