@@ -16,9 +16,34 @@
 //! their target node.
 
 use crate::view::{LcScheduler, TypeBatch};
-use tango_flow::{FlowGraph, MinCostMaxFlow};
+use tango_flow::{EdgeRef, FlowGraph, McmfWorkspace, MinCostMaxFlow};
 use tango_simcore::SimRng;
 use tango_types::{NodeId, RequestId};
+
+/// Pooled buffers reused across `plan()` calls and across the G_k /
+/// λ-augmented Ĝ′_k phases within one call. A master dispatches every
+/// request type every tick, so in steady state planning performs no heap
+/// allocation beyond the placements handed back to the caller.
+#[derive(Debug, Default)]
+struct DispatchScratch {
+    /// Retained dispatch graph for the pooled MCMF route (rebuilt in
+    /// place with [`FlowGraph::reset`]).
+    graph: FlowGraph,
+    /// Retained MCMF solver scratch.
+    ws: McmfWorkspace,
+    /// Per-candidate sink-side edges of the pooled graph.
+    node_edges: Vec<EdgeRef>,
+    /// Eq. 2 instantaneous capacities (G_k phase).
+    caps: Vec<u64>,
+    /// Eq. 7 λ-augmented capacities (Ĝ′_k phase).
+    caps_aug: Vec<u64>,
+    /// Candidate order for the greedy closed form.
+    order_idx: Vec<usize>,
+    /// Per-node assignment counts from the last route.
+    counts: Vec<(usize, u64)>,
+    /// ρ-shuffled request queue being consumed this call.
+    order: Vec<RequestId>,
+}
 
 /// The DSS-LC scheduler.
 #[derive(Debug)]
@@ -29,6 +54,7 @@ pub struct DssLc {
     /// queued at the master — the ablation that shows why the paper
     /// dispatches them proactively.
     pub overflow_routing: bool,
+    scratch: DispatchScratch,
 }
 
 /// A per-type plan with immediate and queued-at-target placements kept
@@ -56,6 +82,7 @@ impl DssLc {
         DssLc {
             rng: SimRng::new(seed),
             overflow_routing: true,
+            scratch: DispatchScratch::default(),
         }
     }
 
@@ -64,6 +91,7 @@ impl DssLc {
         DssLc {
             rng: SimRng::new(seed),
             overflow_routing: false,
+            scratch: DispatchScratch::default(),
         }
     }
 
@@ -77,15 +105,31 @@ impl DssLc {
     /// the production solver reduces to on these instances;
     /// [`DssLc::route_mcmf`] keeps the general solver and the test suite
     /// pins their equality.
-    fn route(batch: &TypeBatch, capacities: &[u64], demand: u64) -> Vec<(usize, u64)> {
-        if demand == 0 || batch.nodes.is_empty() {
-            return Vec::new();
-        }
-        let mut order: Vec<usize> = (0..batch.nodes.len()).collect();
-        order.sort_by_key(|&i| (batch.nodes[i].delay, batch.nodes[i].node));
-        let mut remaining = demand;
+    pub fn route(batch: &TypeBatch, capacities: &[u64], demand: u64) -> Vec<(usize, u64)> {
+        let mut order_idx = Vec::new();
         let mut out = Vec::new();
-        for i in order {
+        Self::route_into(batch, capacities, demand, &mut order_idx, &mut out);
+        out
+    }
+
+    /// [`Self::route`] writing into caller-provided buffers (cleared
+    /// first), so the per-dispatch hot path can reuse its scratch.
+    fn route_into(
+        batch: &TypeBatch,
+        capacities: &[u64],
+        demand: u64,
+        order_idx: &mut Vec<usize>,
+        out: &mut Vec<(usize, u64)>,
+    ) {
+        out.clear();
+        if demand == 0 || batch.nodes.is_empty() {
+            return;
+        }
+        order_idx.clear();
+        order_idx.extend(0..batch.nodes.len());
+        order_idx.sort_by_key(|&i| (batch.nodes[i].delay, batch.nodes[i].node));
+        let mut remaining = demand;
+        for &i in order_idx.iter() {
             if remaining == 0 {
                 break;
             }
@@ -97,12 +141,12 @@ impl DssLc {
             }
         }
         out.sort_unstable();
-        out
     }
 
     /// The same routing via the general min-cost max-flow solver —
     /// retained for cross-validation and for extended formulations
     /// (inter-node relay edges, MPLS/OSPF-style constraints, §5.2.2).
+    /// One-shot form; the hot path is [`Self::route_mcmf_pooled`].
     pub fn route_mcmf(batch: &TypeBatch, capacities: &[u64], demand: u64) -> Vec<(usize, u64)> {
         if demand == 0 || batch.nodes.is_empty() {
             return Vec::new();
@@ -110,6 +154,42 @@ impl DssLc {
         // graph: 0 = source, 1 = sink, then split nodes per candidate
         let mut g = FlowGraph::new(2);
         let mut node_edges = Vec::with_capacity(batch.nodes.len());
+        Self::build_dispatch_graph(batch, capacities, &mut g, &mut node_edges);
+        let mut solver = MinCostMaxFlow::new(&mut g);
+        solver.solve(0, 1, demand as i64);
+        Self::collect_counts(&g, &node_edges)
+    }
+
+    /// MCMF routing over this scheduler's retained dispatch graph and
+    /// solver workspace: the graph is rebuilt in place (no allocation
+    /// once warm) instead of constructed fresh per request type.
+    pub fn route_mcmf_pooled(
+        &mut self,
+        batch: &TypeBatch,
+        capacities: &[u64],
+        demand: u64,
+    ) -> Vec<(usize, u64)> {
+        if demand == 0 || batch.nodes.is_empty() {
+            return Vec::new();
+        }
+        let g = &mut self.scratch.graph;
+        g.reset(2);
+        Self::build_dispatch_graph(batch, capacities, g, &mut self.scratch.node_edges);
+        self.scratch.ws.solve(g, 0, 1, demand as i64);
+        Self::collect_counts(g, &self.scratch.node_edges)
+    }
+
+    /// Build the §5.2.1 dispatch graph into `g` (source 0 and sink 1
+    /// already present): one split node per candidate carrying the Eq. 2
+    /// capacity, link edges carrying Eq. 4 capacity at t^delay cost.
+    fn build_dispatch_graph(
+        batch: &TypeBatch,
+        capacities: &[u64],
+        g: &mut FlowGraph,
+        node_edges: &mut Vec<EdgeRef>,
+    ) {
+        node_edges.clear();
+        node_edges.reserve(batch.nodes.len());
         for (i, cand) in batch.nodes.iter().enumerate() {
             let (inn, out, _e) = g.add_split_node(capacities[i] as i64);
             // cost: microseconds of dispatch delay (Eq. 3 objective)
@@ -118,8 +198,10 @@ impl DssLc {
             let e_out = g.add_edge(out, 1, i64::MAX / 8, 0);
             node_edges.push(e_out);
         }
-        let mut solver = MinCostMaxFlow::new(&mut g);
-        solver.solve(0, 1, demand as i64);
+    }
+
+    /// Read per-candidate assigned counts off the solved graph.
+    fn collect_counts(g: &FlowGraph, node_edges: &[EdgeRef]) -> Vec<(usize, u64)> {
         node_edges
             .iter()
             .enumerate()
@@ -131,18 +213,25 @@ impl DssLc {
     }
 
     /// Expand per-node counts into per-request placements, consuming from
-    /// `requests` in order.
+    /// `requests[*cursor..]` front to back — FIFO with respect to the
+    /// ρ-sorted queue, so the R_k prefix (Alg. 2) really is the *first*
+    /// Σcap requests of the shuffled order. (An earlier version popped
+    /// from the back, silently reversing the queue.)
     fn materialize(
         batch: &TypeBatch,
         counts: &[(usize, u64)],
-        requests: &mut Vec<RequestId>,
+        requests: &[RequestId],
+        cursor: &mut usize,
         out: &mut Vec<(RequestId, NodeId)>,
     ) {
+        let total: u64 = counts.iter().map(|&(_, c)| c).sum();
+        out.reserve(total.min((requests.len() - *cursor) as u64) as usize);
         for &(node_idx, count) in counts {
             for _ in 0..count {
-                let Some(req) = requests.pop() else {
+                let Some(&req) = requests.get(*cursor) else {
                     return;
                 };
+                *cursor += 1;
                 out.push((req, batch.nodes[node_idx].node));
             }
         }
@@ -154,40 +243,83 @@ impl DssLc {
         if batch.requests.is_empty() {
             return plan;
         }
-        let caps: Vec<u64> = batch.nodes.iter().map(|n| n.capacity_now(true)).collect();
-        let total_cap: u64 = caps.iter().sum();
+        let scratch = &mut self.scratch;
+        scratch.caps.clear();
+        scratch
+            .caps
+            .extend(batch.nodes.iter().map(|n| n.capacity_now(true)));
+        let total_cap: u64 = scratch.caps.iter().sum();
         let demand = batch.requests.len() as u64;
 
         // ρ(·): random sorting function; LC requests share one priority.
-        let mut order = batch.requests.clone();
-        self.rng.shuffle(&mut order);
+        scratch.order.clear();
+        scratch.order.extend_from_slice(&batch.requests);
+        self.rng.shuffle(&mut scratch.order);
+        let mut cursor = 0usize;
 
         if demand <= total_cap {
             // Case 1: capacity suffices — single graph G_k.
-            let counts = Self::route(batch, &caps, demand);
-            Self::materialize(batch, &counts, &mut order, &mut plan.immediate);
+            Self::route_into(
+                batch,
+                &scratch.caps,
+                demand,
+                &mut scratch.order_idx,
+                &mut scratch.counts,
+            );
+            Self::materialize(
+                batch,
+                &scratch.counts,
+                &scratch.order,
+                &mut cursor,
+                &mut plan.immediate,
+            );
         } else {
             // Case 2: overload — split into R_k (first total_cap after ρ)
             // and R'_k.
-            let counts = Self::route(batch, &caps, total_cap);
-            Self::materialize(batch, &counts, &mut order, &mut plan.immediate);
+            Self::route_into(
+                batch,
+                &scratch.caps,
+                total_cap,
+                &mut scratch.order_idx,
+                &mut scratch.counts,
+            );
+            Self::materialize(
+                batch,
+                &scratch.counts,
+                &scratch.order,
+                &mut cursor,
+                &mut plan.immediate,
+            );
 
             // Ĝ'_k: capacities from *total* resources × λ (Eq. 7–8).
-            let overflow = order.len() as u64;
-            let total_basis: Vec<u64> =
-                batch.nodes.iter().map(|n| n.capacity_total()).collect();
-            let basis_sum: u64 = total_basis.iter().sum();
+            let overflow = (scratch.order.len() - cursor) as u64;
+            scratch.caps_aug.clear();
+            scratch
+                .caps_aug
+                .extend(batch.nodes.iter().map(|n| n.capacity_total()));
+            let basis_sum: u64 = scratch.caps_aug.iter().sum();
             if self.overflow_routing && basis_sum > 0 {
                 let lambda = overflow as f64 / basis_sum as f64;
-                let caps2: Vec<u64> = total_basis
-                    .iter()
-                    .map(|&b| ((b as f64) * lambda).ceil() as u64)
-                    .collect();
-                let counts2 = Self::route(batch, &caps2, overflow);
-                Self::materialize(batch, &counts2, &mut order, &mut plan.queued);
+                for b in &mut scratch.caps_aug {
+                    *b = ((*b as f64) * lambda).ceil() as u64;
+                }
+                Self::route_into(
+                    batch,
+                    &scratch.caps_aug,
+                    overflow,
+                    &mut scratch.order_idx,
+                    &mut scratch.counts,
+                );
+                Self::materialize(
+                    batch,
+                    &scratch.counts,
+                    &scratch.order,
+                    &mut cursor,
+                    &mut plan.queued,
+                );
             }
         }
-        plan.unrouted = order;
+        plan.unrouted = scratch.order[cursor..].to_vec();
         plan
     }
 }
@@ -337,6 +469,62 @@ mod tests {
             };
             assert_eq!(total(&fast), total(&slow), "flow mismatch seed {seed}");
             assert_eq!(cost(&fast), cost(&slow), "cost mismatch seed {seed}");
+        }
+    }
+
+    /// `materialize` consumes the ρ-shuffled queue front to back: the
+    /// immediate set is exactly the first Σcap requests of the shuffled
+    /// order, the queued set the next slice, unrouted the tail. Guards
+    /// against the old `pop()`-based consumption that silently reversed
+    /// the FIFO order.
+    #[test]
+    fn materialize_consumes_rho_order_front_to_back() {
+        let seed = 11u64;
+        let b = batch(10, vec![cand(1, 3, 5)]); // cap 3, basis 16 -> all queue-routable
+        let mut s = DssLc::new(seed);
+        let p = s.plan(&b);
+
+        // replay the ρ shuffle: plan() is the constructor's first rng use
+        let mut expected = b.requests.clone();
+        tango_simcore::SimRng::new(seed).shuffle(&mut expected);
+
+        let consumed: Vec<RequestId> = p
+            .immediate
+            .iter()
+            .chain(p.queued.iter())
+            .map(|&(r, _)| r)
+            .collect();
+        assert_eq!(p.immediate.len(), 3);
+        assert_eq!(
+            consumed,
+            expected[..consumed.len()].to_vec(),
+            "placements must follow the shuffled queue in FIFO order"
+        );
+        assert_eq!(p.unrouted, expected[consumed.len()..].to_vec());
+    }
+
+    /// The pooled MCMF route (retained graph + workspace) matches the
+    /// one-shot solver across reuse, including after batches of different
+    /// shapes.
+    #[test]
+    fn pooled_mcmf_route_matches_one_shot() {
+        let mut s = DssLc::new(0);
+        for seed in 0..12u64 {
+            let mut rng = tango_simcore::SimRng::new(seed * 31 + 7);
+            let n = 1 + rng.next_below(9) as usize;
+            let nodes: Vec<_> = (0..n)
+                .map(|i| {
+                    let mut c = cand(i as u32, rng.next_below(7), 1 + rng.next_below(25));
+                    c.link_capacity = 1 + rng.next_below(6) as u32;
+                    c
+                })
+                .collect();
+            let caps: Vec<u64> = nodes.iter().map(|c| c.capacity_now(true)).collect();
+            let demand = rng.next_below(25);
+            let b = batch(0, nodes);
+            let fresh = DssLc::route_mcmf(&b, &caps, demand);
+            let pooled = s.route_mcmf_pooled(&b, &caps, demand);
+            assert_eq!(fresh, pooled, "pooled/one-shot divergence at seed {seed}");
         }
     }
 
