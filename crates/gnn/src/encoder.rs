@@ -1,13 +1,21 @@
 //! The three encoder variants behind one interface.
 //!
 //! Every variant is expressed as: per layer, an *aggregation operator* A
-//! (a sparse row-normalized matrix built fresh each forward pass) and a
-//! linear map W with ReLU. For SAGE and GCN the layer is
-//! `H' = ReLU((A·H)·W)`; for GAT the attention weights live in A but are
-//! computed from `H·W`, so the layer is `H' = ReLU(A·(H·W))`. Backward is
-//! uniform because Aᵀ routes gradients.
+//! (a sparse row-normalized matrix in CSR layout) and a linear map W with
+//! ReLU. For SAGE and GCN the layer is `H' = ReLU((A·H)·W)`; for GAT the
+//! attention weights live in A but are computed from `H·W`, so the layer
+//! is `H' = ReLU(A·(H·W))`. Backward is uniform because Aᵀ routes
+//! gradients.
+//!
+//! Topology-independent operators (GCN, Native, and SAGE when no node
+//! exceeds the sampling budget p) are cached keyed on
+//! [`FeatureGraph::topo_version`] and rebuilt only when the edge set
+//! actually changes — the encoder runs every decision round on a
+//! cluster graph that changes rarely, so in steady state the forward
+//! pass skips operator construction entirely.
 
 use crate::graph::FeatureGraph;
+use std::sync::Arc;
 use tango_nn::{Linear, Matrix};
 use tango_simcore::SimRng;
 
@@ -28,29 +36,63 @@ pub enum EncoderKind {
     Native,
 }
 
-/// A sparse row-normalized aggregation operator.
-#[derive(Debug, Clone)]
+/// A sparse row-normalized aggregation operator in CSR layout: one flat
+/// entry vector plus row offsets. Flat storage keeps the apply loops on
+/// contiguous memory (one allocation, no per-row pointer chasing).
+#[derive(Debug, Clone, Default)]
 struct AggOp {
-    /// rows[i] = list of (source node, weight).
-    rows: Vec<Vec<(usize, f32)>>,
+    /// `offsets[i]..offsets[i+1]` indexes row i's entries.
+    offsets: Vec<usize>,
+    /// Flat `(source node, weight)` entries, row-major.
+    entries: Vec<(usize, f32)>,
 }
 
 impl AggOp {
     fn identity(n: usize) -> Self {
         AggOp {
-            rows: (0..n).map(|i| vec![(i, 1.0)]).collect(),
+            offsets: (0..=n).collect(),
+            entries: (0..n).map(|i| (i, 1.0)).collect(),
         }
+    }
+
+    /// Start building with `n` rows expected.
+    fn builder(n: usize) -> Self {
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0);
+        AggOp {
+            offsets,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Append one entry to the row currently being built.
+    fn push_entry(&mut self, src: usize, w: f32) {
+        self.entries.push((src, w));
+    }
+
+    /// Seal the row currently being built.
+    fn finish_row(&mut self) {
+        self.offsets.push(self.entries.len());
+    }
+
+    /// Number of rows.
+    fn n_rows(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Row i's `(source, weight)` entries.
+    fn row(&self, i: usize) -> &[(usize, f32)] {
+        &self.entries[self.offsets[i]..self.offsets[i + 1]]
     }
 
     /// out = A · h
     fn apply(&self, h: &Matrix) -> Matrix {
-        let mut out = Matrix::zeros(self.rows.len(), h.cols);
-        for (i, row) in self.rows.iter().enumerate() {
-            for &(src, w) in row {
-                let src_row = h.row(src);
-                let out_row = out.row_mut(i);
-                for (c, &v) in src_row.iter().enumerate() {
-                    out_row[c] += w * v;
+        let mut out = Matrix::zeros(self.n_rows(), h.cols);
+        for i in 0..self.n_rows() {
+            let out_row = out.row_mut(i);
+            for &(src, w) in self.row(i) {
+                for (o, &v) in out_row.iter_mut().zip(h.row(src)) {
+                    *o += w * v;
                 }
             }
         }
@@ -59,13 +101,13 @@ impl AggOp {
 
     /// out = Aᵀ · g
     fn apply_transpose(&self, g: &Matrix) -> Matrix {
-        let mut out = Matrix::zeros(self.rows.len(), g.cols);
-        for (i, row) in self.rows.iter().enumerate() {
+        let mut out = Matrix::zeros(self.n_rows(), g.cols);
+        for i in 0..self.n_rows() {
             let g_row = g.row(i);
-            for &(src, w) in row {
+            for &(src, w) in self.row(i) {
                 let out_row = out.row_mut(src);
-                for (c, &v) in g_row.iter().enumerate() {
-                    out_row[c] += w * v;
+                for (o, &v) in out_row.iter_mut().zip(g_row) {
+                    *o += w * v;
                 }
             }
         }
@@ -87,8 +129,16 @@ pub trait Encoder {
 
 #[derive(Debug, Clone)]
 struct LayerCache {
-    agg: AggOp,
+    agg: Arc<AggOp>,
     relu_mask: Matrix,
+}
+
+/// A cached topology-independent aggregation operator, valid as long as
+/// the observed [`FeatureGraph::topo_version`] is unchanged.
+#[derive(Debug, Clone)]
+struct TopoCache {
+    version: u64,
+    op: Arc<AggOp>,
 }
 
 /// The concrete encoder.
@@ -100,6 +150,10 @@ pub struct GnnEncoder {
     attn: Vec<(Vec<f32>, Vec<f32>)>,
     rng: SimRng,
     caches: Vec<LayerCache>,
+    /// Cached operator for topology-independent kinds (GCN, Native, SAGE
+    /// below the sampling threshold). GAT operators depend on activations
+    /// and are never cached.
+    topo_cache: Option<TopoCache>,
 }
 
 const LEAKY_SLOPE: f32 = 0.2;
@@ -115,7 +169,9 @@ impl GnnEncoder {
         for w in dims.windows(2) {
             layers.push(Linear::new(w[0], w[1], &mut rng));
             let mk = |rng: &mut SimRng, d: usize| -> Vec<f32> {
-                (0..d).map(|_| (rng.standard_normal() * 0.1) as f32).collect()
+                (0..d)
+                    .map(|_| (rng.standard_normal() * 0.1) as f32)
+                    .collect()
             };
             attn.push((mk(&mut rng, w[1]), mk(&mut rng, w[1])));
         }
@@ -125,12 +181,19 @@ impl GnnEncoder {
             attn,
             rng,
             caches: Vec::new(),
+            topo_cache: None,
         }
     }
 
     /// The paper's shape: 2 aggregation layers from `in_dim` to `out_dim`
     /// through one hidden width.
-    pub fn paper_shape(kind: EncoderKind, in_dim: usize, hidden: usize, out_dim: usize, seed: u64) -> Self {
+    pub fn paper_shape(
+        kind: EncoderKind,
+        in_dim: usize,
+        hidden: usize,
+        out_dim: usize,
+        seed: u64,
+    ) -> Self {
         GnnEncoder::new(kind, &[in_dim, hidden, out_dim], seed)
     }
 
@@ -146,6 +209,38 @@ impl GnnEncoder {
         pool
     }
 
+    /// Whether this forward pass's operator is a pure function of the
+    /// topology (no randomness, no activations): GCN and Native always;
+    /// SAGE when no node exceeds the sampling budget p, since sampling
+    /// then keeps every neighbor and draws no randomness. GAT attention
+    /// depends on H·W, so it is never topology-determined.
+    fn topology_determined(&self, g: &FeatureGraph) -> bool {
+        match self.kind {
+            EncoderKind::Gcn | EncoderKind::Native => true,
+            EncoderKind::Sage { p } => g.max_degree() <= p,
+            EncoderKind::Gat => false,
+        }
+    }
+
+    /// The aggregation operator for the next layer, served from the
+    /// topology cache when valid.
+    fn agg_for_layer(&mut self, g: &FeatureGraph, h: &Matrix) -> Arc<AggOp> {
+        if !self.topology_determined(g) {
+            return Arc::new(self.build_agg(g, h));
+        }
+        if let Some(tc) = &self.topo_cache {
+            if tc.version == g.topo_version() {
+                return Arc::clone(&tc.op);
+            }
+        }
+        let op = Arc::new(self.build_agg(g, h));
+        self.topo_cache = Some(TopoCache {
+            version: g.topo_version(),
+            op: Arc::clone(&op),
+        });
+        op
+    }
+
     /// Build this layer's aggregation operator.
     fn build_agg(&mut self, g: &FeatureGraph, h: &Matrix) -> AggOp {
         let n = g.len();
@@ -153,62 +248,64 @@ impl GnnEncoder {
             EncoderKind::Native => AggOp::identity(n),
             EncoderKind::Sage { p } => {
                 // MEAN over self ∪ sampled neighbors (Eq. 9)
-                let mut rows = Vec::with_capacity(n);
+                let mut op = AggOp::builder(n);
                 for v in 0..n {
                     let sampled = self.sample_neighbors(g, v, p);
                     let k = (sampled.len() + 1) as f32;
-                    let mut row = Vec::with_capacity(sampled.len() + 1);
-                    row.push((v, 1.0 / k));
+                    op.push_entry(v, 1.0 / k);
                     for s in sampled {
-                        row.push((s, 1.0 / k));
+                        op.push_entry(s, 1.0 / k);
                     }
-                    rows.push(row);
+                    op.finish_row();
                 }
-                AggOp { rows }
+                op
             }
             EncoderKind::Gcn => {
                 // D^{-1/2}(A+I)D^{-1/2}
-                let mut rows = Vec::with_capacity(n);
+                let mut op = AggOp::builder(n);
                 let deg = |v: usize| (g.degree(v) + 1) as f32;
                 for v in 0..n {
                     let dv = deg(v).sqrt();
-                    let mut row = vec![(v, 1.0 / (dv * dv))];
+                    op.push_entry(v, 1.0 / (dv * dv));
                     for &u in g.neighbors(v) {
-                        row.push((u, 1.0 / (dv * deg(u).sqrt())));
+                        op.push_entry(u, 1.0 / (dv * deg(u).sqrt()));
                     }
-                    rows.push(row);
+                    op.finish_row();
                 }
-                AggOp { rows }
+                op
             }
             EncoderKind::Gat => {
                 // attention over self ∪ neighbors computed from h (which
                 // is already H·W for GAT ordering)
                 let li = self.caches.len();
                 let (al, ar) = &self.attn[li];
-                let score = |v: usize| -> f32 {
-                    h.row(v).iter().zip(al).map(|(&x, &a)| x * a).sum()
-                };
-                let score_r = |v: usize| -> f32 {
-                    h.row(v).iter().zip(ar).map(|(&x, &a)| x * a).sum()
-                };
+                let score =
+                    |v: usize| -> f32 { h.row(v).iter().zip(al).map(|(&x, &a)| x * a).sum() };
+                let score_r =
+                    |v: usize| -> f32 { h.row(v).iter().zip(ar).map(|(&x, &a)| x * a).sum() };
                 let leaky = |x: f32| if x > 0.0 { x } else { LEAKY_SLOPE * x };
-                let mut rows = Vec::with_capacity(n);
+                let mut op = AggOp::builder(n);
+                let mut cand: Vec<usize> = Vec::new();
+                let mut exps: Vec<f32> = Vec::new();
                 for v in 0..n {
-                    let mut cand: Vec<usize> = vec![v];
+                    cand.clear();
+                    cand.push(v);
                     cand.extend_from_slice(g.neighbors(v));
                     let sv = score(v);
-                    let es: Vec<f32> = cand.iter().map(|&u| leaky(sv + score_r(u))).collect();
-                    let max = es.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-                    let exps: Vec<f32> = es.iter().map(|&e| (e - max).exp()).collect();
-                    let sum: f32 = exps.iter().sum();
-                    rows.push(
-                        cand.iter()
-                            .zip(&exps)
-                            .map(|(&u, &e)| (u, e / sum.max(1e-12)))
-                            .collect(),
-                    );
+                    exps.clear();
+                    exps.extend(cand.iter().map(|&u| leaky(sv + score_r(u))));
+                    let max = exps.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                    let mut sum = 0.0;
+                    for e in exps.iter_mut() {
+                        *e = (*e - max).exp();
+                        sum += *e;
+                    }
+                    for (&u, &e) in cand.iter().zip(&exps) {
+                        op.push_entry(u, e / sum.max(1e-12));
+                    }
+                    op.finish_row();
                 }
-                AggOp { rows }
+                op
             }
         }
     }
@@ -238,11 +335,11 @@ impl Encoder for GnnEncoder {
             let (pre, agg) = if self.linear_first() {
                 // GAT: H·W then attention-aggregate
                 let hw = self.layers[li].forward(&h);
-                let agg = self.build_agg(g, &hw);
+                let agg = self.agg_for_layer(g, &hw);
                 (agg.apply(&hw), agg)
             } else {
                 // SAGE/GCN/Native: aggregate then W
-                let agg = self.build_agg(g, &h);
+                let agg = self.agg_for_layer(g, &h);
                 let ah = agg.apply(&h);
                 (self.layers[li].forward(&ah), agg)
             };
@@ -351,7 +448,10 @@ mod tests {
                 break;
             }
         }
-        assert!(distinguished, "no seed distinguished connected from isolated");
+        assert!(
+            distinguished,
+            "no seed distinguished connected from isolated"
+        );
     }
 
     #[test]
@@ -366,9 +466,9 @@ mod tests {
         let mut enc = GnnEncoder::new(EncoderKind::Sage { p: 2 }, &[2, 4], 5);
         enc.forward(&g);
         let agg = &enc.caches[0].agg;
-        assert_eq!(agg.rows[0].len(), 3); // self + 2 sampled
-        // leaf nodes: self + 1 neighbor
-        assert_eq!(agg.rows[1].len(), 2);
+        assert_eq!(agg.row(0).len(), 3); // self + 2 sampled
+                                         // leaf nodes: self + 1 neighbor
+        assert_eq!(agg.row(1).len(), 2);
     }
 
     #[test]
@@ -376,12 +476,12 @@ mod tests {
         let g = chain_graph(3, 2);
         let mut enc = GnnEncoder::new(EncoderKind::Gcn, &[2, 4], 7);
         enc.forward(&g);
-        let rows = &enc.caches[0].agg.rows;
+        let agg = &enc.caches[0].agg;
         // node 0: deg 1 -> self weight 1/2; edge to node 1 (deg 2):
         // 1/(sqrt2 * sqrt3)
-        let self_w = rows[0].iter().find(|&&(s, _)| s == 0).unwrap().1;
+        let self_w = agg.row(0).iter().find(|&&(s, _)| s == 0).unwrap().1;
         assert!((self_w - 0.5).abs() < 1e-6);
-        let edge_w = rows[0].iter().find(|&&(s, _)| s == 1).unwrap().1;
+        let edge_w = agg.row(0).iter().find(|&&(s, _)| s == 1).unwrap().1;
         assert!((edge_w - 1.0 / (2.0f32.sqrt() * 3.0f32.sqrt())).abs() < 1e-6);
     }
 
@@ -390,8 +490,9 @@ mod tests {
         let g = chain_graph(5, 3);
         let mut enc = GnnEncoder::new(EncoderKind::Gat, &[3, 6], 9);
         enc.forward(&g);
-        for row in &enc.caches[0].agg.rows {
-            let sum: f32 = row.iter().map(|&(_, w)| w).sum();
+        let agg = &enc.caches[0].agg;
+        for i in 0..agg.n_rows() {
+            let sum: f32 = agg.row(i).iter().map(|&(_, w)| w).sum();
             assert!((sum - 1.0).abs() < 1e-5);
         }
     }
@@ -404,7 +505,11 @@ mod tests {
         let mut enc = GnnEncoder::new(EncoderKind::Gcn, &[3, 5, 2], 13);
         let loss = |enc: &mut GnnEncoder, g: &FeatureGraph| -> f64 {
             let h = enc.forward(g);
-            h.as_slice().iter().map(|&v| (v as f64).powi(2)).sum::<f64>() / 2.0
+            h.as_slice()
+                .iter()
+                .map(|&v| (v as f64).powi(2))
+                .sum::<f64>()
+                / 2.0
         };
         let h = enc.forward(&g);
         enc.backward(&h);
@@ -444,5 +549,64 @@ mod tests {
         let g = chain_graph(3, 2);
         let mut enc = GnnEncoder::new(EncoderKind::Gcn, &[5, 4], 1);
         enc.forward(&g);
+    }
+
+    /// Topology-determined kinds share one cached operator across layers
+    /// and across forward passes on an unchanged graph.
+    #[test]
+    fn topology_cache_is_shared_and_reused() {
+        let g = chain_graph(5, 3);
+        let mut enc = GnnEncoder::new(EncoderKind::Gcn, &[3, 4, 2], 3);
+        enc.forward(&g);
+        assert!(
+            Arc::ptr_eq(&enc.caches[0].agg, &enc.caches[1].agg),
+            "both layers should share the cached operator"
+        );
+        let first = Arc::clone(&enc.caches[0].agg);
+        enc.forward(&g);
+        assert!(
+            Arc::ptr_eq(&first, &enc.caches[0].agg),
+            "second forward on the same topology should not rebuild"
+        );
+    }
+
+    /// Editing the graph invalidates the cache: a warm encoder matches a
+    /// cold one on the edited graph (GCN is deterministic).
+    #[test]
+    fn topology_cache_invalidates_on_edge_edit() {
+        let mut g = chain_graph(5, 3);
+        let mut warm = GnnEncoder::new(EncoderKind::Gcn, &[3, 4, 2], 17);
+        let mut cold = GnnEncoder::new(EncoderKind::Gcn, &[3, 4, 2], 17);
+        warm.forward(&g); // populate the cache on the old topology
+        g.add_edge(0, 4);
+        assert_eq!(warm.forward(&g), cold.forward(&g));
+    }
+
+    /// SAGE only uses the cache when no node exceeds the sampling budget;
+    /// its embeddings match the uncached (rebuild-every-pass) behavior
+    /// because sub-budget sampling draws no randomness.
+    #[test]
+    fn sage_cache_matches_uncached_below_budget() {
+        let g = chain_graph(6, 3); // max degree 2
+        let mut a = GnnEncoder::new(EncoderKind::Sage { p: 3 }, &[3, 4, 2], 29);
+        let mut b = GnnEncoder::new(EncoderKind::Sage { p: 3 }, &[3, 4, 2], 29);
+        let h1a = a.forward(&g);
+        let h2a = a.forward(&g); // cached
+        let h1b = b.forward(&g);
+        assert_eq!(h1a, h1b);
+        assert_eq!(h1a, h2a, "deterministic sub-budget SAGE is stable");
+        // over budget: operators are re-sampled, never cached
+        let mut dense = FeatureGraph::new(Matrix::zeros(5, 3));
+        for i in 1..5 {
+            dense.add_edge(0, i);
+        }
+        let mut enc = GnnEncoder::new(EncoderKind::Sage { p: 2 }, &[3, 4], 31);
+        enc.forward(&dense);
+        let first = Arc::clone(&enc.caches[0].agg);
+        enc.forward(&dense);
+        assert!(
+            !Arc::ptr_eq(&first, &enc.caches[0].agg),
+            "over-budget SAGE must re-sample per pass"
+        );
     }
 }

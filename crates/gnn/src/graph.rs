@@ -1,6 +1,17 @@
 //! Feature graphs: node feature matrix plus undirected adjacency.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use tango_nn::Matrix;
+
+/// Source of globally unique topology versions. Every structural change
+/// to any [`FeatureGraph`] draws a fresh value, so a version observed on
+/// one graph can never be reproduced by a different (or later-mutated)
+/// topology — the property encoder-side aggregation caches rely on.
+static TOPO_VERSION: AtomicU64 = AtomicU64::new(1);
+
+fn next_topo_version() -> u64 {
+    TOPO_VERSION.fetch_add(1, Ordering::Relaxed)
+}
 
 /// A graph with per-node feature vectors.
 #[derive(Debug, Clone)]
@@ -8,6 +19,9 @@ pub struct FeatureGraph {
     /// N×F node features.
     pub features: Matrix,
     adj: Vec<Vec<usize>>,
+    /// Globally unique id of the current topology. Feature edits leave it
+    /// unchanged; edge edits replace it.
+    topo_version: u64,
 }
 
 impl FeatureGraph {
@@ -17,6 +31,7 @@ impl FeatureGraph {
         FeatureGraph {
             features,
             adj: vec![Vec::new(); n],
+            topo_version: next_topo_version(),
         }
     }
 
@@ -36,7 +51,8 @@ impl FeatureGraph {
     }
 
     /// Add an undirected edge. Self-loops and duplicates are ignored
-    /// (aggregators add the self term themselves).
+    /// (aggregators add the self term themselves) and do not invalidate
+    /// the topology version.
     pub fn add_edge(&mut self, a: usize, b: usize) {
         assert!(a < self.len() && b < self.len(), "node out of range");
         if a == b || self.adj[a].contains(&b) {
@@ -44,6 +60,19 @@ impl FeatureGraph {
         }
         self.adj[a].push(b);
         self.adj[b].push(a);
+        self.topo_version = next_topo_version();
+    }
+
+    /// Globally unique id of this graph's current edge set. Two
+    /// observations with equal versions are guaranteed to refer to the
+    /// same topology; any structural edit replaces the version.
+    pub fn topo_version(&self) -> u64 {
+        self.topo_version
+    }
+
+    /// Largest node degree (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
     }
 
     /// Neighbors of a node.
@@ -90,5 +119,32 @@ mod tests {
         assert_eq!(g.len(), 3);
         assert!(!g.is_empty());
         assert_eq!(g.feature_dim(), 2);
+    }
+
+    #[test]
+    fn topo_version_changes_only_on_structural_edits() {
+        let mut g = g3();
+        let v0 = g.topo_version();
+        g.features.set(0, 0, 9.0); // feature edit: same topology
+        assert_eq!(g.topo_version(), v0);
+        g.add_edge(0, 1);
+        let v1 = g.topo_version();
+        assert_ne!(v1, v0);
+        g.add_edge(1, 0); // duplicate: ignored, no invalidation
+        g.add_edge(2, 2); // self-loop: ignored
+        assert_eq!(g.topo_version(), v1);
+        // versions are globally unique: a different graph never aliases
+        let g2 = g3();
+        assert_ne!(g2.topo_version(), v0);
+        assert_ne!(g2.topo_version(), v1);
+    }
+
+    #[test]
+    fn max_degree_tracks_adjacency() {
+        let mut g = g3();
+        assert_eq!(g.max_degree(), 0);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        assert_eq!(g.max_degree(), 2);
     }
 }

@@ -88,19 +88,30 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.rows, other.cols);
-        // i-k-j loop order for cache-friendly access to `other`
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.get(i, k);
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = other.row(k);
+        // Blocked i-k-j: a KB-row panel of `other` stays cache-resident
+        // while every row of `self` streams past it. For each output
+        // element the k's still accumulate in ascending order (panels
+        // ascend, k ascends within a panel), so results are bit-identical
+        // to the naive triple loop. The inner axpy is slice-zip form:
+        // independent lanes, no bounds checks, auto-vectorizable.
+        const KB: usize = 64;
+        let mut kb = 0;
+        while kb < self.cols {
+            let kend = (kb + KB).min(self.cols);
+            for i in 0..self.rows {
+                let arow = &self.row(i)[kb..kend];
                 let out_row = out.row_mut(i);
-                for (j, &b) in orow.iter().enumerate() {
-                    out_row[j] += a * b;
+                for (dk, &a) in arow.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let orow = other.row(kb + dk);
+                    for (o, &b) in out_row.iter_mut().zip(orow) {
+                        *o += a * b;
+                    }
                 }
             }
+            kb = kend;
         }
         out
     }
@@ -137,13 +148,22 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let arow = self.row(i);
-            for j in 0..other.rows {
-                let brow = other.row(j);
-                let dot: f32 = arow.iter().zip(brow).map(|(&a, &b)| a * b).sum();
-                out.set(i, j, dot);
+        // Blocked over `other`'s rows so a JB-row panel is reused across
+        // every row of `self`. Each dot product is the same strict
+        // left-to-right reduction as before, so results are bit-identical.
+        const JB: usize = 64;
+        let mut jb = 0;
+        while jb < other.rows {
+            let jend = (jb + JB).min(other.rows);
+            for i in 0..self.rows {
+                let arow = self.row(i);
+                let out_row = &mut out.row_mut(i)[jb..jend];
+                for (o, j) in out_row.iter_mut().zip(jb..jend) {
+                    let brow = other.row(j);
+                    *o = arow.iter().zip(brow).map(|(&a, &b)| a * b).sum();
+                }
             }
+            jb = jend;
         }
         out
     }
@@ -302,7 +322,11 @@ mod tests {
         let t2 = a.transpose().matmul(&b);
         assert_eq!(t1, t2);
         // a·cᵀ via matmul_t vs explicit
-        let c = m(4, 3, &[1.0, 0.0, 2.0, 0.0, 1.0, 0.0, 2.0, 2.0, 2.0, -1.0, 0.0, 1.0]);
+        let c = m(
+            4,
+            3,
+            &[1.0, 0.0, 2.0, 0.0, 1.0, 0.0, 2.0, 2.0, 2.0, -1.0, 0.0, 1.0],
+        );
         let u1 = a.matmul_t(&c);
         let u2 = a.matmul(&c.transpose());
         assert_eq!(u1, u2);
@@ -364,5 +388,56 @@ mod tests {
     fn norm_is_frobenius() {
         let a = m(1, 2, &[3.0, 4.0]);
         assert!((a.norm() - 5.0).abs() < 1e-6);
+    }
+
+    /// Reference triple-loop products for checking the blocked kernels.
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows, b.cols);
+        for i in 0..a.rows {
+            for j in 0..b.cols {
+                let mut acc = 0.0f32;
+                for k in 0..a.cols {
+                    acc += a.get(i, k) * b.get(k, j);
+                }
+                out.set(i, j, acc);
+            }
+        }
+        out
+    }
+
+    /// The blocked kernels preserve the naive kernels' per-element
+    /// accumulation order, so they must match bit-for-bit — including on
+    /// shapes larger than one block and on non-multiple-of-block sizes.
+    #[test]
+    fn blocked_matmul_matches_naive_reference() {
+        let mut state = 0x243F6A8885A308D3u64;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 40) as f32 / 16777216.0 - 0.5
+        };
+        for &(r, k, c) in &[
+            (3usize, 5usize, 4usize),
+            (17, 64, 9),
+            (33, 130, 70),
+            (1, 200, 1),
+        ] {
+            let a = Matrix::from_vec(r, k, (0..r * k).map(|_| rnd()).collect()).unwrap();
+            let b = Matrix::from_vec(k, c, (0..k * c).map(|_| rnd()).collect()).unwrap();
+            let blocked = a.matmul(&b);
+            let naive = naive_matmul(&a, &b);
+            assert_eq!(blocked, naive, "matmul {r}x{k}·{k}x{c}");
+            // matmul_t: a · (bᵀ)ᵀ, i.e. against a c×k matrix
+            let bt = b.transpose();
+            let blocked_t = a.matmul_t(&bt);
+            assert_eq!((blocked_t.rows, blocked_t.cols), (r, c));
+            for i in 0..r {
+                for j in 0..c {
+                    let d = (blocked_t.get(i, j) - naive.get(i, j)).abs();
+                    assert!(d < 1e-5, "matmul_t [{i},{j}] off by {d}");
+                }
+            }
+        }
     }
 }
