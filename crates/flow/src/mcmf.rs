@@ -20,7 +20,16 @@ pub struct FlowResult {
 
 const INF: i64 = i64::MAX / 4;
 
-/// Reusable solver scratch: potentials, distances, predecessor edges and
+/// Costs at or below this use Dial bucket queues in the Dijkstra phases;
+/// larger costs (e.g. µs-scale delays) fall back to the binary heap,
+/// where scanning one bucket per distance unit would dominate.
+const SMALL_COST_MAX: i64 = 4096;
+
+/// Hard ceiling on bucket-queue size; a tentative distance beyond this
+/// aborts the bucket attempt and re-runs the phase on the heap.
+const BUCKET_CAP: usize = 1 << 20;
+
+/// Reusable solver scratch: potentials, distances, DFS stacks and
 /// the Dijkstra heap. Holding one of these across solves makes every
 /// [`McmfWorkspace::solve`] call allocation-free in steady state — the
 /// per-dispatch pattern DSS-LC runs (one solve per request type per
@@ -29,8 +38,19 @@ const INF: i64 = i64::MAX / 4;
 pub struct McmfWorkspace {
     potential: Vec<i64>,
     dist: Vec<i64>,
-    prev_edge: Vec<usize>,
     heap: BinaryHeap<Reverse<(i64, usize)>>,
+    /// Dial bucket queue: `buckets[d]` holds nodes with tentative reduced
+    /// distance `d`. Only used when the graph's costs are small enough
+    /// for bucket scanning to beat the binary heap.
+    buckets: Vec<Vec<u32>>,
+    /// Bucket indices dirtied this phase (cleared lazily next phase).
+    touched: Vec<u32>,
+    /// Current-arc pointers for the blocking-flow DFS (one per node).
+    cur: Vec<usize>,
+    /// Edge-id stack holding the DFS path under construction.
+    path: Vec<usize>,
+    /// Nodes on the DFS path (cycle guard for zero-cost admissible cycles).
+    on_path: Vec<bool>,
 }
 
 impl McmfWorkspace {
@@ -76,19 +96,43 @@ impl McmfWorkspace {
         }
     }
 
-    /// Dijkstra on reduced costs; returns whether `sink` is reachable.
-    fn dijkstra(&mut self, g: &FlowGraph, source: usize, sink: usize) -> bool {
+    /// Dijkstra on reduced costs, stopping as soon as `sink` is settled
+    /// (its label is final once popped). Returns the reduced-cost distance
+    /// to `sink`, or `None` when it is unreachable. Tentative labels left
+    /// in `dist` for unsettled nodes are all ≥ the returned distance,
+    /// which is exactly what the clamped potential update relies on.
+    fn dijkstra(
+        &mut self,
+        g: &FlowGraph,
+        source: usize,
+        sink: usize,
+        small_costs: bool,
+    ) -> Option<i64> {
+        if small_costs {
+            if let Some(found) = self.dijkstra_buckets(g, source, sink) {
+                return found;
+            }
+            // bucket range overflowed (reduced costs drifted large);
+            // fall through to the heap, which handles any cost scale
+        }
+        self.dijkstra_heap(g, source, sink)
+    }
+
+    /// Binary-heap Dijkstra: the general-purpose implementation, correct
+    /// for any non-negative reduced costs.
+    fn dijkstra_heap(&mut self, g: &FlowGraph, source: usize, sink: usize) -> Option<i64> {
         let n = g.node_count();
         self.dist.clear();
         self.dist.resize(n, INF);
-        self.prev_edge.clear();
-        self.prev_edge.resize(n, usize::MAX);
         self.dist[source] = 0;
         self.heap.clear();
         self.heap.push(Reverse((0, source)));
         while let Some(Reverse((d, u))) = self.heap.pop() {
             if d > self.dist[u] {
                 continue;
+            }
+            if u == sink {
+                return Some(d);
             }
             let pot_u = self.potential[u];
             for &eid in &g.adj[u] {
@@ -107,12 +151,188 @@ impl McmfWorkspace {
                 let nd = d + reduced;
                 if nd < self.dist[e.to] {
                     self.dist[e.to] = nd;
-                    self.prev_edge[e.to] = eid;
                     self.heap.push(Reverse((nd, e.to)));
                 }
             }
         }
-        self.dist[sink] < INF
+        None
+    }
+
+    /// Dial's algorithm: a monotone bucket queue indexed by tentative
+    /// reduced distance. For the small integer costs dispatch graphs
+    /// carry, scanning buckets is far cheaper than binary-heap churn —
+    /// no comparisons, no sift-downs, and settled-order pops are free.
+    ///
+    /// Returns `None` if a tentative distance outgrows [`BUCKET_CAP`]
+    /// (reduced costs can drift upward across phases); the caller then
+    /// retries the phase with the heap. Returns `Some(result)` otherwise,
+    /// with the same contract as [`Self::dijkstra_heap`].
+    fn dijkstra_buckets(
+        &mut self,
+        g: &FlowGraph,
+        source: usize,
+        sink: usize,
+    ) -> Option<Option<i64>> {
+        let n = g.node_count();
+        self.dist.clear();
+        self.dist.resize(n, INF);
+        self.dist[source] = 0;
+        for &b in &self.touched {
+            self.buckets[b as usize].clear();
+        }
+        self.touched.clear();
+        if self.buckets.is_empty() {
+            self.buckets.push(Vec::new());
+        }
+        self.buckets[0].push(source as u32);
+        self.touched.push(0);
+        let mut d = 0usize;
+        let mut hi = 0usize;
+        while d <= hi {
+            while let Some(node) = self.buckets[d].pop() {
+                let u = node as usize;
+                if self.dist[u] != d as i64 {
+                    continue; // stale entry superseded by a shorter label
+                }
+                if u == sink {
+                    return Some(Some(d as i64));
+                }
+                let pot_u = self.potential[u];
+                for &eid in &g.adj[u] {
+                    let e = &g.edges[eid];
+                    if e.cap - e.flow <= 0 {
+                        continue;
+                    }
+                    let pot_v = self.potential[e.to];
+                    if pot_v >= INF {
+                        continue;
+                    }
+                    let reduced = e.cost + pot_u - pot_v;
+                    debug_assert!(reduced >= 0, "negative reduced cost after potentials");
+                    let nd = d as i64 + reduced;
+                    if nd < self.dist[e.to] {
+                        let ndu = nd as usize;
+                        if ndu >= BUCKET_CAP {
+                            return None; // too sparse for buckets; use the heap
+                        }
+                        self.dist[e.to] = nd;
+                        if ndu >= self.buckets.len() {
+                            self.buckets.resize_with(ndu + 1, Vec::new);
+                        }
+                        if self.buckets[ndu].is_empty() {
+                            self.touched.push(ndu as u32);
+                        }
+                        self.buckets[ndu].push(e.to as u32);
+                        hi = hi.max(ndu);
+                    }
+                }
+            }
+            d += 1;
+        }
+        Some(None)
+    }
+
+    /// Saturate the admissible subgraph: push flow along every residual
+    /// path whose edges all have zero reduced cost under the current
+    /// potentials (i.e. every shortest path found by the preceding
+    /// Dijkstra), via a current-arc DFS. Returns (flow, cost) pushed.
+    ///
+    /// This is the primal-dual refinement of successive shortest paths:
+    /// one Dijkstra prices a whole family of equal-length augmenting
+    /// paths, instead of one Dijkstra per path.
+    fn blocking_flow(
+        &mut self,
+        g: &mut FlowGraph,
+        source: usize,
+        sink: usize,
+        limit: i64,
+    ) -> (i64, i64) {
+        let n = g.node_count();
+        self.cur.clear();
+        self.cur.resize(n, 0);
+        self.on_path.clear();
+        self.on_path.resize(n, false);
+        self.path.clear();
+        let mut total = 0i64;
+        let mut cost = 0i64;
+        'paths: while total < limit {
+            // (re)start a DFS descent from wherever the path stack stands;
+            // after an augmentation the stack is rewound past the edge
+            // that saturated, so established prefixes are reused.
+            let mut u = match self.path.last() {
+                Some(&eid) => g.edges[eid].to,
+                None => source,
+            };
+            self.on_path[source] = true;
+            loop {
+                if u == sink {
+                    // bottleneck over the stacked edges, then apply
+                    let mut push = limit - total;
+                    for &eid in &self.path {
+                        let e = &g.edges[eid];
+                        push = push.min(e.cap - e.flow);
+                    }
+                    for &eid in &self.path {
+                        g.edges[eid].flow += push;
+                        g.edges[eid ^ 1].flow -= push;
+                        cost += push * g.edges[eid].cost;
+                    }
+                    total += push;
+                    // rewind to just before the first saturated edge
+                    let mut cut = self.path.len();
+                    for (i, &eid) in self.path.iter().enumerate() {
+                        let e = &g.edges[eid];
+                        if e.cap - e.flow == 0 {
+                            cut = i;
+                            break;
+                        }
+                    }
+                    for &eid in &self.path[cut..] {
+                        self.on_path[g.edges[eid].to] = false;
+                    }
+                    self.on_path[sink] = false;
+                    self.path.truncate(cut);
+                    continue 'paths;
+                }
+                // advance along the next admissible arc out of `u`
+                let mut advanced = false;
+                while self.cur[u] < g.adj[u].len() {
+                    let eid = g.adj[u][self.cur[u]];
+                    let e = &g.edges[eid];
+                    let v = e.to;
+                    if e.cap - e.flow > 0
+                        && !self.on_path[v]
+                        && self.potential[v] < INF
+                        && e.cost + self.potential[u] - self.potential[v] == 0
+                    {
+                        self.path.push(eid);
+                        self.on_path[v] = true;
+                        u = v;
+                        advanced = true;
+                        break;
+                    }
+                    self.cur[u] += 1;
+                }
+                if advanced {
+                    continue;
+                }
+                if u == source {
+                    break 'paths; // admissible graph exhausted
+                }
+                // retreat: drop the edge into `u`, move past it at its tail
+                let eid = self.path.pop().expect("non-source dead end has a path");
+                self.on_path[u] = false;
+                let tail = g.edges[eid ^ 1].to;
+                self.cur[tail] += 1;
+                u = tail;
+            }
+        }
+        self.on_path[source] = false;
+        for &eid in &self.path {
+            self.on_path[g.edges[eid].to] = false;
+        }
+        self.path.clear();
+        (total, cost)
     }
 
     /// Route up to `limit` units of flow from `source` to `sink` at
@@ -125,7 +345,15 @@ impl McmfWorkspace {
         sink: usize,
         limit: i64,
     ) -> FlowResult {
-        let has_negative = g.edges.iter().any(|e| e.cap - e.flow > 0 && e.cost < 0);
+        let mut has_negative = false;
+        let mut max_abs_cost = 0i64;
+        for e in &g.edges {
+            if e.cap - e.flow > 0 {
+                has_negative |= e.cost < 0;
+                max_abs_cost = max_abs_cost.max(e.cost.abs());
+            }
+        }
+        let small_costs = max_abs_cost <= SMALL_COST_MAX && g.node_count() <= u32::MAX as usize;
         if has_negative {
             self.bellman_ford(g, source);
         } else {
@@ -136,32 +364,26 @@ impl McmfWorkspace {
 
         let mut total_flow = 0i64;
         let mut total_cost = 0i64;
-        while total_flow < limit && self.dijkstra(g, source, sink) {
-            // update potentials
+        while total_flow < limit {
+            let Some(d_sink) = self.dijkstra(g, source, sink, small_costs) else {
+                break;
+            };
+            // Update potentials, clamping at the sink's distance: the
+            // early-exit Dijkstra leaves tentative labels ≥ d_sink on
+            // unsettled nodes, and min(dist, d_sink) keeps every residual
+            // reduced cost non-negative (nodes at or beyond the sink's
+            // distance all shift by the same d_sink). Edges on shortest
+            // paths end up with reduced cost exactly 0 — the admissible
+            // subgraph the blocking-flow pass saturates.
             for v in 0..g.node_count() {
-                if self.dist[v] < INF {
-                    self.potential[v] += self.dist[v];
+                if self.potential[v] < INF {
+                    self.potential[v] += self.dist[v].min(d_sink);
                 }
             }
-            // bottleneck along the augmenting path
-            let mut push = limit - total_flow;
-            let mut v = sink;
-            while v != source {
-                let eid = self.prev_edge[v];
-                let e = &g.edges[eid];
-                push = push.min(e.cap - e.flow);
-                v = g.edges[eid ^ 1].to;
-            }
-            // apply
-            let mut v = sink;
-            while v != source {
-                let eid = self.prev_edge[v];
-                g.edges[eid].flow += push;
-                g.edges[eid ^ 1].flow -= push;
-                total_cost += push * g.edges[eid].cost;
-                v = g.edges[eid ^ 1].to;
-            }
-            total_flow += push;
+            let (f, c) = self.blocking_flow(g, source, sink, limit - total_flow);
+            debug_assert!(f > 0, "reachable sink must admit flow");
+            total_flow += f;
+            total_cost += c;
         }
         FlowResult {
             flow: total_flow,
