@@ -1,7 +1,7 @@
 //! The cgroup filesystem model.
 
 use crate::journal::{Journal, JournalEntry, WriteKind};
-use std::collections::HashMap;
+use tango_types::FxHashMap;
 use tango_types::{ResourceKind, Resources, SimTime, TangoError};
 
 /// Index of a cgroup within a [`CgroupFs`].
@@ -59,7 +59,7 @@ struct Group {
 #[derive(Debug)]
 pub struct CgroupFs {
     groups: Vec<Group>,
-    by_path: HashMap<String, usize>,
+    by_path: FxHashMap<String, usize>,
     journal: Journal,
 }
 
@@ -74,7 +74,7 @@ impl CgroupFs {
     pub fn new(capacity: Resources) -> Self {
         let mut fs = CgroupFs {
             groups: Vec::with_capacity(8),
-            by_path: HashMap::new(),
+            by_path: FxHashMap::default(),
             journal: Journal::new(),
         };
         let root = fs.insert(ROOT.to_string(), None, capacity);

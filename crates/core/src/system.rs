@@ -26,7 +26,7 @@
 use crate::config::{AllocatorKind, TangoConfig};
 use crate::policy::{make_be_scheduler, make_lc_scheduler};
 use crate::report::RunReport;
-use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use tango_hrm::{HrmAllocator, Reassurer, StaticAllocator};
 use tango_kube::Node;
 use tango_metrics::{ExperimentCounters, NodeRole, NodeSnapshot, QosDetector, StateStorage};
@@ -37,6 +37,7 @@ use tango_types::{
     ClusterId, NodeId, Request, RequestId, RequestOutcome, Resources, ServiceClass, ServiceId,
     SimTime,
 };
+use tango_types::{FxHashMap, FxHashSet};
 use tango_workload::{DiurnalProfile, ServiceCatalog, TraceGenerator, TraceSpec};
 
 /// Simulation events.
@@ -96,7 +97,7 @@ pub struct EdgeCloudSystem {
     detector: QosDetector,
     reassurer: Option<Reassurer>,
     counters: ExperimentCounters,
-    requests: HashMap<RequestId, Request>,
+    requests: FxHashMap<RequestId, Request>,
     next_request_id: u64,
     central: ClusterId,
     central_q: VecDeque<RequestId>,
@@ -104,7 +105,7 @@ pub struct EdgeCloudSystem {
     /// the dispatcher's in-flight reservation table. Without it, the
     /// per-type graphs (and the 100 ms snapshot staleness) would
     /// double-book nodes within a dispatch round.
-    reserved: HashMap<NodeId, Resources>,
+    reserved: FxHashMap<NodeId, Resources>,
     /// Per-node LC wait queues: the R′_k requests that DSS-LC routes to a
     /// node beyond its instantaneous capacity wait *at the node* (§5.2.2)
     /// rather than bouncing back to the master.
@@ -203,7 +204,7 @@ impl EdgeCloudSystem {
             nodes,
             clusters,
             node_wait,
-            reserved: HashMap::new(),
+            reserved: FxHashMap::default(),
             store: StateStorage::new(),
             lc_scheds,
             be_sched,
@@ -211,7 +212,7 @@ impl EdgeCloudSystem {
             detector: QosDetector::paper_default(),
             reassurer,
             counters,
-            requests: HashMap::new(),
+            requests: FxHashMap::default(),
             next_request_id: 0,
             central,
             central_q: VecDeque::new(),
@@ -421,7 +422,7 @@ impl EdgeCloudSystem {
     fn expire_queue(
         catalog: &ServiceCatalog,
         queue: &mut VecDeque<RequestId>,
-        requests: &HashMap<RequestId, Request>,
+        requests: &FxHashMap<RequestId, Request>,
         patience: SimTime,
         now: SimTime,
     ) -> Vec<RequestId> {
@@ -468,7 +469,7 @@ impl EdgeCloudSystem {
                     by_type.entry(r.service).or_default().push(*rid);
                 }
             }
-            let mut assigned: HashSet<RequestId> = HashSet::new();
+            let mut assigned: FxHashSet<RequestId> = FxHashSet::default();
             for (service, requests) in by_type {
                 let nodes = self.lc_candidates(cluster, service);
                 let batch = TypeBatch {
@@ -892,14 +893,14 @@ impl EdgeCloudSystem {
                 .capacity()
                 .saturating_sub(&lc_held)
                 .saturating_sub(&be_held);
-            let mut slack = HashMap::new();
+            let mut slack = FxHashMap::default();
             for &svc in &lc_services {
                 let target = self.catalog.get(svc).qos_target;
                 if let Some(s) = self.detector.slack(node.id, svc, target, now) {
                     slack.insert(svc, s);
                 }
             }
-            let mut pending = HashMap::new();
+            let mut pending = FxHashMap::default();
             if node.is_master {
                 let cluster = &self.clusters[node.cluster.index()];
                 for rid in cluster.lc_q.iter().chain(cluster.be_q.iter()) {
@@ -1208,7 +1209,7 @@ mod tests {
         let catalog = ServiceCatalog::standard();
         let lc_svc = catalog.lc_ids()[0];
         let target = catalog.get(lc_svc).qos_target;
-        let mut requests = HashMap::new();
+        let mut requests = FxHashMap::default();
         let mut queue = VecDeque::new();
         for (i, arrival) in [(0u64, SimTime::ZERO), (1, target)].into_iter() {
             let spec = catalog.get(lc_svc);

@@ -14,8 +14,8 @@
 //! newly dispatched requests and the t_i^k capacity terms of DSS-LC's
 //! graphs (Eq. 2) read the adjusted value.
 
-use std::collections::HashMap;
 use tango_metrics::QosDetector;
+use tango_types::FxHashMap;
 use tango_types::{NodeId, Resources, ServiceId, SimTime};
 
 /// Thresholds and step size for Algorithm 1.
@@ -69,7 +69,7 @@ pub struct Adjustment {
 #[derive(Debug)]
 pub struct Reassurer {
     cfg: ReassuranceConfig,
-    factors: HashMap<(NodeId, ServiceId), f64>,
+    factors: FxHashMap<(NodeId, ServiceId), f64>,
 }
 
 impl Reassurer {
@@ -77,7 +77,7 @@ impl Reassurer {
     pub fn new(cfg: ReassuranceConfig) -> Self {
         Reassurer {
             cfg,
-            factors: HashMap::new(),
+            factors: FxHashMap::default(),
         }
     }
 

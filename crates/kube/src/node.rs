@@ -15,8 +15,8 @@
 //! the event loop discard stale completion projections.
 
 use crate::pod::{qos_level_for, Container, Pod};
-use std::collections::HashMap;
 use tango_cgroup::{CgroupFs, CgroupId, QosLevel};
+use tango_types::FxHashMap;
 use tango_types::{
     ClusterId, ContainerId, NodeId, PodId, RequestId, Resources, ServiceClass, ServiceId,
     ServiceSpec, SimTime, TangoError,
@@ -68,9 +68,9 @@ pub struct Node {
     capacity: Resources,
     /// The node's CGroup tree (public: D-VPA writes it directly).
     pub cgroups: CgroupFs,
-    pods: HashMap<PodId, Pod>,
-    containers: HashMap<ContainerId, ContainerState>,
-    by_service: HashMap<ServiceId, ContainerId>,
+    pods: FxHashMap<PodId, Pod>,
+    containers: FxHashMap<ContainerId, ContainerState>,
+    by_service: FxHashMap<ServiceId, ContainerId>,
     last_advance: SimTime,
     generation: u64,
     next_local_id: u64,
@@ -89,9 +89,9 @@ impl Node {
             is_master,
             capacity,
             cgroups: CgroupFs::new(capacity),
-            pods: HashMap::new(),
-            containers: HashMap::new(),
-            by_service: HashMap::new(),
+            pods: FxHashMap::default(),
+            containers: FxHashMap::default(),
+            by_service: FxHashMap::default(),
             last_advance: SimTime::ZERO,
             generation: 0,
             next_local_id: 0,

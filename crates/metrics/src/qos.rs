@@ -7,7 +7,7 @@
 //! whether to grow or shrink the service's minimum resource request.
 
 use crate::window::LatencyWindow;
-use std::collections::HashMap;
+use tango_types::FxHashMap;
 use tango_types::{NodeId, ServiceId, SimTime};
 
 /// δ = 1 − ξ/γ. BE services (γ = `SimTime::MAX`) always report full slack.
@@ -31,7 +31,7 @@ pub fn slack_score(tail: SimTime, target: SimTime) -> f64 {
 #[derive(Debug)]
 pub struct QosDetector {
     width: SimTime,
-    windows: HashMap<(NodeId, ServiceId), LatencyWindow>,
+    windows: FxHashMap<(NodeId, ServiceId), LatencyWindow>,
 }
 
 impl QosDetector {
@@ -39,7 +39,7 @@ impl QosDetector {
     pub fn new(width: SimTime) -> Self {
         QosDetector {
             width,
-            windows: HashMap::new(),
+            windows: FxHashMap::default(),
         }
     }
 

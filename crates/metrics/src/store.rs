@@ -7,8 +7,8 @@
 //! traffic dispatcher reads the global one. It is shared between cluster
 //! control threads, so access is guarded by a `std::sync::RwLock`.
 
-use std::collections::HashMap;
 use std::sync::RwLock;
+use tango_types::FxHashMap;
 use tango_types::{ClusterId, NodeId, Resources, ServiceId, SimTime};
 
 /// Master or worker (§5.1.1).
@@ -37,10 +37,10 @@ pub struct NodeSnapshot {
     /// the §4.1 regulations.
     pub be_held: Resources,
     /// Per-service QoS slack δ at the last detector push.
-    pub slack: HashMap<ServiceId, f64>,
+    pub slack: FxHashMap<ServiceId, f64>,
     /// Per-service pending request counts (masters only: the t_i^k > 0
     /// side of Eq. 2).
-    pub pending: HashMap<ServiceId, u32>,
+    pub pending: FxHashMap<ServiceId, u32>,
     /// When this snapshot was pushed.
     pub updated_at: SimTime,
 }
@@ -63,7 +63,7 @@ impl NodeSnapshot {
 /// Thread-safe snapshot store.
 #[derive(Debug, Default)]
 pub struct StateStorage {
-    inner: RwLock<HashMap<NodeId, NodeSnapshot>>,
+    inner: RwLock<FxHashMap<NodeId, NodeSnapshot>>,
 }
 
 impl StateStorage {
@@ -155,8 +155,8 @@ mod tests {
             total: Resources::cpu_mem(4_000, 8_192),
             available: Resources::cpu_mem(avail_cpu, 1_024),
             be_held: Resources::cpu_mem(be_cpu, 512),
-            slack: HashMap::new(),
-            pending: HashMap::new(),
+            slack: FxHashMap::default(),
+            pending: FxHashMap::default(),
             updated_at: SimTime::ZERO,
         }
     }

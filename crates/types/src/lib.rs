@@ -11,6 +11,7 @@
 //! other.
 
 pub mod error;
+pub mod fxhash;
 pub mod ids;
 pub mod request;
 pub mod resources;
@@ -18,6 +19,7 @@ pub mod service;
 pub mod time;
 
 pub use error::TangoError;
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use ids::{ClusterId, ContainerId, NodeId, PodId, RequestId};
 pub use request::{Request, RequestOutcome, RequestState};
 pub use resources::{ResourceKind, Resources};
