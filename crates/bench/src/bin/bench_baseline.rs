@@ -1,97 +1,23 @@
-//! Fixed-seed baseline benchmark: the four scenarios the performance
-//! work is judged against (MCMF solve, DSS-LC decision, GNN forward,
-//! whole-system tick), measured with the microbench harness and written
-//! as JSON so before/after numbers can be committed next to the code.
+//! Fixed-seed baseline benchmark: the scenarios the performance work is
+//! judged against (MCMF solve, batched MCMF, DSS-LC decision, GNN
+//! forward, whole-system tick), measured with the microbench harness and
+//! written as JSON so before/after numbers can be committed next to the
+//! code.
 //!
 //! Usage: `bench_baseline [out.json]` — defaults to stdout-only when no
 //! path is given. Every scenario is deterministic in work (fixed seeds,
-//! fixed workloads); only wall time varies between machines.
+//! fixed workloads); only wall time varies between machines. The output
+//! is stamped with the thread count and git revision it measured.
 
 use std::hint::black_box;
 use std::io::Write as _;
 use tango::{BePolicy, EdgeCloudSystem, TangoConfig};
 use tango_bench::microbench::{self, Sample};
+use tango_bench::scenarios::{layered, make_batch, make_graph, to_json};
 use tango_flow::{FlowGraph, MinCostMaxFlow};
-use tango_gnn::{Encoder, EncoderKind, FeatureGraph, GnnEncoder};
-use tango_nn::Matrix;
-use tango_sched::{CandidateNode, DssLc, TypeBatch};
-use tango_types::{ClusterId, NodeId, RequestId, Resources, ServiceId, SimTime};
-
-/// Deterministic layered flow graph (same generator as the mcmf bench).
-fn layered(width: usize, layers: usize) -> FlowGraph {
-    let n = 2 + layers * width;
-    let mut g = FlowGraph::new(n);
-    let node = |l: usize, w: usize| 2 + l * width + w;
-    let mut x: u64 = 0x9E3779B97F4A7C15;
-    let mut rnd = move || {
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        x
-    };
-    for w in 0..width {
-        g.add_edge(0, node(0, w), (rnd() % 8 + 1) as i64, (rnd() % 50) as i64);
-        g.add_edge(
-            node(layers - 1, w),
-            1,
-            (rnd() % 8 + 1) as i64,
-            (rnd() % 50) as i64,
-        );
-    }
-    for l in 0..layers - 1 {
-        for w in 0..width {
-            for _ in 0..3 {
-                let t = (rnd() % width as u64) as usize;
-                g.add_edge(
-                    node(l, w),
-                    node(l + 1, t),
-                    (rnd() % 6 + 1) as i64,
-                    (rnd() % 100) as i64,
-                );
-            }
-        }
-    }
-    g
-}
-
-/// Paper-like DSS-LC batch (same generator as the dss_latency bench).
-fn make_batch(n_nodes: usize, n_requests: u64) -> TypeBatch {
-    let nodes: Vec<CandidateNode> = (0..n_nodes)
-        .map(|i| CandidateNode {
-            node: NodeId(i as u32),
-            cluster: ClusterId((i / 10) as u32),
-            total: Resources::cpu_mem(8_000, 16_384),
-            available_lc: Resources::cpu_mem(2_000 + (i as u64 % 7) * 500, 4_096),
-            available_be: Resources::cpu_mem(2_000, 4_096),
-            min_request: Resources::cpu_mem(500, 256),
-            delay: SimTime::from_micros(300 + (i as u64 % 50) * 997),
-            link_capacity: 64,
-            slack: 1.0,
-        })
-        .collect();
-    TypeBatch {
-        service: ServiceId(0),
-        requests: (0..n_requests).map(RequestId).collect(),
-        nodes,
-    }
-}
-
-/// Star-cluster feature graph (same generator as the gnn_forward bench).
-fn make_graph(n: usize, f: usize) -> FeatureGraph {
-    let data: Vec<f32> = (0..n * f)
-        .map(|i| ((i * 37) % 101) as f32 / 101.0)
-        .collect();
-    let mut g = FeatureGraph::new(Matrix::from_vec(n, f, data).unwrap());
-    for head in (0..n).step_by(10) {
-        for i in head + 1..(head + 10).min(n) {
-            g.add_edge(head, i);
-        }
-        if head + 10 < n {
-            g.add_edge(head, head + 10);
-        }
-    }
-    g
-}
+use tango_gnn::{Encoder, EncoderKind, GnnEncoder};
+use tango_sched::DssLc;
+use tango_types::SimTime;
 
 fn scenarios() -> Vec<Sample> {
     let mut out = Vec::new();
@@ -105,7 +31,18 @@ fn scenarios() -> Vec<Sample> {
         black_box(r)
     }));
 
-    // 2. DSS-LC decision at the paper's 500-node scale, overloaded 2×
+    // 2. Batched MCMF: eight independent instances through the pooled
+    //    batch solver — the per-master fan-out shape of a dispatch round.
+    let mut graphs: Vec<FlowGraph> = (0..8).map(|_| template.clone()).collect();
+    let pool = tango_par::global();
+    out.push(microbench::run("mcmf_batch/8x32x6", 300, || {
+        for g in &mut graphs {
+            g.clone_from(&template);
+        }
+        black_box(tango_flow::solve_batch(&pool, &mut graphs, 0, 1, i64::MAX))
+    }));
+
+    // 3. DSS-LC decision at the paper's 500-node scale, overloaded 2×
     //    so both the G_k and λ-augmented Ĝ′_k phases run.
     let batch = make_batch(500, 1000);
     let mut sched = DssLc::new(7);
@@ -113,7 +50,8 @@ fn scenarios() -> Vec<Sample> {
         black_box(sched.plan(black_box(&batch)))
     }));
 
-    // 3. GNN forward at 1000 nodes: the DCG-BE per-decision cost.
+    // 4. GNN forward: the DCG-BE per-decision cost at 1000 nodes, plus
+    //    the 4000-node shape where the row-parallel aggregation pays off.
     let graph = make_graph(1000, 8);
     for (name, kind) in [
         ("sage", EncoderKind::Sage { p: 3 }),
@@ -126,34 +64,28 @@ fn scenarios() -> Vec<Sample> {
             || black_box(enc.forward(black_box(&graph))),
         ));
     }
-
-    // 4. Whole-system tick: one simulated second of the dual-space
-    //    system at 4 clusters.
-    out.push(microbench::run("system_tick/4", 1_000, || {
-        let mut cfg = TangoConfig::dual_space(4);
-        cfg.be_policy = BePolicy::LoadGreedy;
-        let report = EdgeCloudSystem::new(cfg).run(SimTime::from_secs(1), "bench");
-        black_box(report.lc_arrived)
+    let big_graph = make_graph(4000, 8);
+    let mut big_enc = GnnEncoder::paper_shape(EncoderKind::Sage { p: 3 }, 8, 32, 16, 5);
+    out.push(microbench::run("gnn_forward/sage/4000", 300, || {
+        black_box(big_enc.forward(black_box(&big_graph)))
     }));
 
-    out
-}
-
-/// Render samples as a JSON array (serde is unavailable offline; the
-/// schema is flat so hand-rolled emission is adequate).
-fn to_json(samples: &[Sample]) -> String {
-    let mut s = String::from("[\n");
-    for (i, smp) in samples.iter().enumerate() {
-        s.push_str(&format!(
-            "  {{\"scenario\": \"{}\", \"wall_ns\": {:.0}, \"ticks_per_sec\": {:.2}}}{}\n",
-            smp.name,
-            smp.ns_per_iter,
-            smp.iters_per_sec(),
-            if i + 1 < samples.len() { "," } else { "" }
+    // 5. Whole-system tick: one simulated second of the dual-space
+    //    system at 4 and 16 clusters.
+    for clusters in [4usize, 16] {
+        out.push(microbench::run(
+            &format!("system_tick/{clusters}"),
+            1_000,
+            || {
+                let mut cfg = TangoConfig::dual_space(clusters);
+                cfg.be_policy = BePolicy::LoadGreedy;
+                let report = EdgeCloudSystem::new(cfg).run(SimTime::from_secs(1), "bench");
+                black_box(report.lc_arrived)
+            },
         ));
     }
-    s.push(']');
-    s
+
+    out
 }
 
 fn main() {
@@ -162,7 +94,7 @@ fn main() {
     for s in &samples {
         microbench::report(s);
     }
-    let json = to_json(&samples);
+    let json = to_json(&samples, tango_par::threads());
     match out_path {
         Some(p) => {
             let mut f = std::fs::File::create(&p).expect("create output file");

@@ -1,0 +1,92 @@
+//! Thread-count sweep over the parallel-sensitive scenarios.
+//!
+//! Runs `mcmf_batch/8x32x6`, `gnn_forward/sage/4000` and
+//! `system_tick/16` at 1, 2, 4 and 8 worker threads and writes the whole
+//! sweep as one JSON document (`BENCH_parallel.json` in CI usage). The
+//! work is bit-identical at every thread count — the deterministic-
+//! parallelism contract of `tango-par` — so the sweep measures pure
+//! scheduling overhead and speedup.
+//!
+//! Usage: `bench_parallel [out.json]`. Note: setting `TANGO_THREADS`
+//! wins over the per-sweep thread count for the system scenario (env
+//! beats config in `tango_par::resolve`), so leave it unset when
+//! sweeping.
+
+use std::hint::black_box;
+use std::io::Write as _;
+use tango::{BePolicy, EdgeCloudSystem, TangoConfig};
+use tango_bench::microbench::{self, Sample};
+use tango_bench::scenarios::{git_rev, layered, make_graph, sample_json};
+use tango_flow::FlowGraph;
+use tango_gnn::{Encoder, EncoderKind, GnnEncoder};
+use tango_types::SimTime;
+
+fn sweep(threads: usize) -> Vec<Sample> {
+    tango_par::set_threads(threads);
+    let mut out = Vec::new();
+
+    let template = layered(32, 6);
+    let mut graphs: Vec<FlowGraph> = (0..8).map(|_| template.clone()).collect();
+    let pool = tango_par::Pool::new(threads);
+    out.push(microbench::run("mcmf_batch/8x32x6", 300, || {
+        for g in &mut graphs {
+            g.clone_from(&template);
+        }
+        black_box(tango_flow::solve_batch(&pool, &mut graphs, 0, 1, i64::MAX))
+    }));
+
+    let graph = make_graph(4000, 8);
+    let mut enc = GnnEncoder::paper_shape(EncoderKind::Sage { p: 3 }, 8, 32, 16, 5);
+    out.push(microbench::run("gnn_forward/sage/4000", 300, || {
+        black_box(enc.forward(black_box(&graph)))
+    }));
+
+    out.push(microbench::run("system_tick/16", 1_000, || {
+        let mut cfg = TangoConfig::dual_space(16);
+        cfg.be_policy = BePolicy::LoadGreedy;
+        cfg.parallelism = Some(threads);
+        let report = EdgeCloudSystem::new(cfg).run(SimTime::from_secs(1), "bench");
+        black_box(report.lc_arrived)
+    }));
+
+    out
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut json = format!(
+        "{{\n  \"git_rev\": \"{}\",\n  \"host_cores\": {cores},\n  \"note\": \"work is bit-identical at every thread count; speedup over threads=1 requires host_cores > 1, otherwise the sweep measures pure spawn/join overhead\",\n  \"sweeps\": [\n",
+        git_rev()
+    );
+    let counts = [1usize, 2, 4, 8];
+    for (i, &threads) in counts.iter().enumerate() {
+        eprintln!("-- threads = {threads} --");
+        let samples = sweep(threads);
+        for s in &samples {
+            microbench::report(s);
+        }
+        json.push_str(&format!("    {{\"threads\": {threads}, \"samples\": ["));
+        for (j, s) in samples.iter().enumerate() {
+            json.push_str(&sample_json(s));
+            if j + 1 < samples.len() {
+                json.push_str(", ");
+            }
+        }
+        json.push_str(&format!(
+            "]}}{}\n",
+            if i + 1 < counts.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}");
+    match out_path {
+        Some(p) => {
+            let mut f = std::fs::File::create(&p).expect("create output file");
+            writeln!(f, "{json}").expect("write output file");
+            eprintln!("wrote {p}");
+        }
+        None => println!("{json}"),
+    }
+}

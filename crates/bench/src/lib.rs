@@ -4,6 +4,7 @@
 use tango::RunReport;
 
 pub mod microbench;
+pub mod scenarios;
 
 /// Scale factor for experiment sizes, read from `TANGO_SCALE` (default 1).
 /// The paper-scale runs (104 clusters, minutes of trace) set it higher.

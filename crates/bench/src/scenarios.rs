@@ -1,0 +1,160 @@
+//! Shared fixed-seed scenario generators and the stamped JSON emitter
+//! used by the baseline and parallel-sweep bench binaries.
+//!
+//! Every generator is deterministic (fixed xorshift seeds, fixed
+//! shapes), so two runs of any bench binary measure identical work and
+//! the committed JSON files are comparable across revisions.
+
+use crate::microbench::Sample;
+use tango_flow::FlowGraph;
+use tango_gnn::FeatureGraph;
+use tango_nn::Matrix;
+use tango_sched::{CandidateNode, TypeBatch};
+use tango_types::{ClusterId, NodeId, RequestId, Resources, ServiceId, SimTime};
+
+/// Deterministic layered flow graph (same generator as the mcmf bench).
+pub fn layered(width: usize, layers: usize) -> FlowGraph {
+    let n = 2 + layers * width;
+    let mut g = FlowGraph::new(n);
+    let node = |l: usize, w: usize| 2 + l * width + w;
+    let mut x: u64 = 0x9E3779B97F4A7C15;
+    let mut rnd = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    for w in 0..width {
+        g.add_edge(0, node(0, w), (rnd() % 8 + 1) as i64, (rnd() % 50) as i64);
+        g.add_edge(
+            node(layers - 1, w),
+            1,
+            (rnd() % 8 + 1) as i64,
+            (rnd() % 50) as i64,
+        );
+    }
+    for l in 0..layers - 1 {
+        for w in 0..width {
+            for _ in 0..3 {
+                let t = (rnd() % width as u64) as usize;
+                g.add_edge(
+                    node(l, w),
+                    node(l + 1, t),
+                    (rnd() % 6 + 1) as i64,
+                    (rnd() % 100) as i64,
+                );
+            }
+        }
+    }
+    g
+}
+
+/// Paper-like DSS-LC batch (same generator as the dss_latency bench).
+pub fn make_batch(n_nodes: usize, n_requests: u64) -> TypeBatch {
+    let nodes: Vec<CandidateNode> = (0..n_nodes)
+        .map(|i| CandidateNode {
+            node: NodeId(i as u32),
+            cluster: ClusterId((i / 10) as u32),
+            total: Resources::cpu_mem(8_000, 16_384),
+            available_lc: Resources::cpu_mem(2_000 + (i as u64 % 7) * 500, 4_096),
+            available_be: Resources::cpu_mem(2_000, 4_096),
+            min_request: Resources::cpu_mem(500, 256),
+            delay: SimTime::from_micros(300 + (i as u64 % 50) * 997),
+            link_capacity: 64,
+            slack: 1.0,
+        })
+        .collect();
+    TypeBatch {
+        service: ServiceId(0),
+        requests: (0..n_requests).map(RequestId).collect(),
+        nodes,
+    }
+}
+
+/// Star-cluster feature graph (same generator as the gnn_forward bench).
+pub fn make_graph(n: usize, f: usize) -> FeatureGraph {
+    let data: Vec<f32> = (0..n * f)
+        .map(|i| ((i * 37) % 101) as f32 / 101.0)
+        .collect();
+    let mut g = FeatureGraph::new(Matrix::from_vec(n, f, data).unwrap());
+    for head in (0..n).step_by(10) {
+        for i in head + 1..(head + 10).min(n) {
+            g.add_edge(head, i);
+        }
+        if head + 10 < n {
+            g.add_edge(head, head + 10);
+        }
+    }
+    g
+}
+
+/// Short git revision of the working tree, or `"unknown"` outside a
+/// checkout (bench results are stamped so committed JSON says what it
+/// measured).
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Render one sample as a JSON object (no trailing delimiter).
+pub fn sample_json(s: &Sample) -> String {
+    format!(
+        "{{\"scenario\": \"{}\", \"wall_ns\": {:.0}, \"ticks_per_sec\": {:.2}}}",
+        s.name,
+        s.ns_per_iter,
+        s.iters_per_sec()
+    )
+}
+
+/// Render a stamped result set: `threads` + `git_rev` + the samples.
+/// (serde is unavailable offline; the schema is flat so hand-rolled
+/// emission is adequate.)
+pub fn to_json(samples: &[Sample], threads: usize) -> String {
+    let mut s = format!(
+        "{{\n  \"threads\": {threads},\n  \"git_rev\": \"{}\",\n  \"samples\": [\n",
+        git_rev()
+    );
+    for (i, smp) in samples.iter().enumerate() {
+        s.push_str(&format!(
+            "    {}{}\n",
+            sample_json(smp),
+            if i + 1 < samples.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::microbench;
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = layered(8, 3);
+        let b = layered(8, 3);
+        assert_eq!(a.node_count(), b.node_count());
+        assert_eq!(a.edge_count(), b.edge_count());
+        let ba = make_batch(10, 20);
+        assert_eq!(ba.nodes.len(), 10);
+        assert_eq!(ba.requests.len(), 20);
+        let g = make_graph(50, 4);
+        assert_eq!(g.features.rows, 50);
+    }
+
+    #[test]
+    fn json_is_stamped() {
+        let s = microbench::run("probe", 1, || 1 + 1);
+        let j = to_json(&[s], 4);
+        assert!(j.contains("\"threads\": 4"));
+        assert!(j.contains("\"git_rev\""));
+        assert!(j.contains("\"scenario\": \"probe\""));
+    }
+}

@@ -159,6 +159,12 @@ pub struct TangoConfig {
     pub ablations: Ablations,
     /// Master seed.
     pub seed: u64,
+    /// Worker threads for the deterministic parallel runtime
+    /// (`tango-par`). Resolution order: the `TANGO_THREADS` environment
+    /// variable, then this field, then `available_parallelism()`. Any
+    /// value produces bit-identical results — it only changes wall-clock
+    /// time.
+    pub parallelism: Option<usize>,
 }
 
 impl TangoConfig {
@@ -198,6 +204,7 @@ impl TangoConfig {
             local_only: false,
             ablations: Ablations::default(),
             seed: 42,
+            parallelism: None,
         }
     }
 

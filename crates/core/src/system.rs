@@ -115,6 +115,10 @@ pub struct EdgeCloudSystem {
     be_completed_frac: f64,
     be_evictions: u64,
     horizon: SimTime,
+    /// Deterministic worker pool for the embarrassingly-parallel phases
+    /// (per-type dispatch planning, per-node sync accounting). Thread
+    /// count never changes results, only wall-clock time.
+    pool: tango_par::Pool,
 }
 
 impl EdgeCloudSystem {
@@ -197,6 +201,7 @@ impl EdgeCloudSystem {
         let counters = ExperimentCounters::new(cfg.period);
 
         let node_wait = (0..nodes.len()).map(|_| VecDeque::new()).collect();
+        let pool = tango_par::Pool::new(tango_par::resolve(cfg.parallelism));
         EdgeCloudSystem {
             cfg,
             catalog,
@@ -220,6 +225,7 @@ impl EdgeCloudSystem {
             be_completed_frac: 0.0,
             be_evictions: 0,
             horizon: SimTime::MAX,
+            pool,
         }
     }
 
@@ -469,16 +475,22 @@ impl EdgeCloudSystem {
                     by_type.entry(r.service).or_default().push(*rid);
                 }
             }
-            let mut assigned: FxHashSet<RequestId> = FxHashSet::default();
-            for (service, requests) in by_type {
-                let nodes = self.lc_candidates(cluster, service);
-                let batch = TypeBatch {
+            // Per-type dispatch graphs are independent commodities: every
+            // batch reads the same start-of-round candidate snapshot
+            // (including the reservation table), so the per-type plans can
+            // run as one fan-out on the scheduler's pool.
+            let batches: Vec<TypeBatch> = by_type
+                .into_iter()
+                .map(|(service, requests)| TypeBatch {
                     service,
                     requests,
-                    nodes,
-                };
-                let placements = self.lc_scheds[ci].assign(&batch);
-                let payload = self.catalog.get(service).payload_kib;
+                    nodes: self.lc_candidates(cluster, service),
+                })
+                .collect();
+            let placements_per_type = self.lc_scheds[ci].assign_many(&batches, &self.pool);
+            let mut assigned: FxHashSet<RequestId> = FxHashSet::default();
+            for (batch, placements) in batches.iter().zip(placements_per_type) {
+                let payload = self.catalog.get(batch.service).payload_kib;
                 for (rid, node) in placements {
                     assigned.insert(rid);
                     if let Some(r) = self.requests.get_mut(&rid) {
@@ -882,17 +894,49 @@ impl EdgeCloudSystem {
 
     fn on_sync(&mut self, sched: &mut tango_simcore::engine::Scheduler<'_, Event>) {
         let now = sched.now();
-        // push snapshots
-        let lc_services = self.catalog.lc_ids();
-        for node in &mut self.nodes {
-            node.advance(now);
+        // Phase 1 (parallel): per-node state advance and usage accounting.
+        // Nodes are independent here, so the pool chunks them statically;
+        // drafts land in node order regardless of thread count. The QoS
+        // slack lookups, pending-queue summaries, storage pushes and the
+        // utilization sample stay sequential below — they touch cross-node
+        // state (detector windows prune on read, the store is shared).
+        #[derive(Clone)]
+        struct SyncDraft {
+            available: Resources,
+            be_held: Resources,
+            overall: f64,
+            lc_frac: f64,
+            be_frac: f64,
         }
-        for node in &self.nodes {
-            let (lc_held, be_held) = node.demand_usage();
-            let available = node
-                .capacity()
-                .saturating_sub(&lc_held)
-                .saturating_sub(&be_held);
+        let mut drafts = vec![
+            SyncDraft {
+                available: Resources::ZERO,
+                be_held: Resources::ZERO,
+                overall: 0.0,
+                lc_frac: 0.0,
+                be_frac: 0.0,
+            };
+            self.nodes.len()
+        ];
+        self.pool
+            .par_zip_chunks_mut(&mut self.nodes, &mut drafts, |_, nodes, drafts| {
+                for (node, draft) in nodes.iter_mut().zip(drafts.iter_mut()) {
+                    node.advance(now);
+                    let (lc_held, be_held) = node.demand_usage();
+                    let cap = node.capacity();
+                    draft.available = cap.saturating_sub(&lc_held).saturating_sub(&be_held);
+                    draft.be_held = be_held;
+                    if !node.is_master {
+                        let (lc, be) = node.actual_usage();
+                        draft.overall = (lc + be).utilization_against(&cap);
+                        draft.lc_frac = lc.utilization_against(&cap);
+                        draft.be_frac = be.utilization_against(&cap);
+                    }
+                }
+            });
+        // Phase 2 (sequential): snapshot pushes in node order.
+        let lc_services = self.catalog.lc_ids();
+        for (node, draft) in self.nodes.iter().zip(&drafts) {
             let mut slack = FxHashMap::default();
             for &svc in &lc_services {
                 let target = self.catalog.get(svc).qos_target;
@@ -918,31 +962,20 @@ impl EdgeCloudSystem {
                     NodeRole::Worker
                 },
                 total: node.capacity(),
-                available,
-                be_held,
+                available: draft.available,
+                be_held: draft.be_held,
                 slack,
                 pending,
                 updated_at: now,
             });
         }
-        // utilization sample over workers
-        let mut overall = 0.0;
-        let mut lc_frac = 0.0;
-        let mut be_frac = 0.0;
-        let mut n_workers = 0u32;
-        for node in &self.nodes {
-            if node.is_master {
-                continue;
-            }
-            let (lc, be) = node.actual_usage();
-            let cap = node.capacity();
-            overall += (lc + be).utilization_against(&cap);
-            lc_frac += lc.utilization_against(&cap);
-            be_frac += be.utilization_against(&cap);
-            n_workers += 1;
-        }
+        // utilization sample over workers (drafts are zero for masters)
+        let n_workers = self.nodes.iter().filter(|n| !n.is_master).count();
         if n_workers > 0 {
             let n = n_workers as f64;
+            let overall: f64 = drafts.iter().map(|d| d.overall).sum();
+            let lc_frac: f64 = drafts.iter().map(|d| d.lc_frac).sum();
+            let be_frac: f64 = drafts.iter().map(|d| d.be_frac).sum();
             self.counters
                 .sample_utilization(now, overall / n, lc_frac / n, be_frac / n);
         }

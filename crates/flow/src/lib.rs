@@ -20,5 +20,5 @@ pub mod mcmf;
 pub mod mcnf;
 
 pub use graph::{EdgeRef, FlowGraph};
-pub use mcmf::{FlowResult, McmfWorkspace, MinCostMaxFlow};
+pub use mcmf::{solve_batch, FlowResult, McmfWorkspace, MinCostMaxFlow};
 pub use mcnf::{Commodity, CommodityResult, McnfProblem};

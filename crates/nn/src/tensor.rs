@@ -94,25 +94,32 @@ impl Matrix {
         // ascend, k ascends within a panel), so results are bit-identical
         // to the naive triple loop. The inner axpy is slice-zip form:
         // independent lanes, no bounds checks, auto-vectorizable.
+        //
+        // Output rows are disjoint, so the row loop fans out over the
+        // global pool (statically chunked; each chunk keeps the same
+        // panel order), bit-identical at any thread count.
         const KB: usize = 64;
-        let mut kb = 0;
-        while kb < self.cols {
-            let kend = (kb + KB).min(self.cols);
-            for i in 0..self.rows {
-                let arow = &self.row(i)[kb..kend];
-                let out_row = out.row_mut(i);
-                for (dk, &a) in arow.iter().enumerate() {
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let orow = other.row(kb + dk);
-                    for (o, &b) in out_row.iter_mut().zip(orow) {
-                        *o += a * b;
+        let cols = other.cols;
+        let pool = tango_par::global().limit(self.rows * self.cols * cols, 1 << 17);
+        pool.par_chunks_mut(out.as_mut_slice(), cols.max(1), |first_row, out_rows| {
+            let mut kb = 0;
+            while kb < self.cols {
+                let kend = (kb + KB).min(self.cols);
+                for (r, out_row) in out_rows.chunks_mut(cols).enumerate() {
+                    let arow = &self.row(first_row + r)[kb..kend];
+                    for (dk, &a) in arow.iter().enumerate() {
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let orow = other.row(kb + dk);
+                        for (o, &b) in out_row.iter_mut().zip(orow) {
+                            *o += a * b;
+                        }
                     }
                 }
+                kb = kend;
             }
-            kb = kend;
-        }
+        });
         out
     }
 
@@ -150,21 +157,27 @@ impl Matrix {
         let mut out = Matrix::zeros(self.rows, other.rows);
         // Blocked over `other`'s rows so a JB-row panel is reused across
         // every row of `self`. Each dot product is the same strict
-        // left-to-right reduction as before, so results are bit-identical.
+        // left-to-right reduction as before, so results are bit-identical
+        // — and output rows are independent, so they fan out over the
+        // global pool like `matmul`.
         const JB: usize = 64;
-        let mut jb = 0;
-        while jb < other.rows {
-            let jend = (jb + JB).min(other.rows);
-            for i in 0..self.rows {
-                let arow = self.row(i);
-                let out_row = &mut out.row_mut(i)[jb..jend];
-                for (o, j) in out_row.iter_mut().zip(jb..jend) {
-                    let brow = other.row(j);
-                    *o = arow.iter().zip(brow).map(|(&a, &b)| a * b).sum();
+        let cols = other.rows;
+        let pool = tango_par::global().limit(self.rows * self.cols * cols, 1 << 17);
+        pool.par_chunks_mut(out.as_mut_slice(), cols.max(1), |first_row, out_rows| {
+            let mut jb = 0;
+            while jb < cols {
+                let jend = (jb + JB).min(cols);
+                for (r, out_row_full) in out_rows.chunks_mut(cols).enumerate() {
+                    let arow = self.row(first_row + r);
+                    let out_row = &mut out_row_full[jb..jend];
+                    for (o, j) in out_row.iter_mut().zip(jb..jend) {
+                        let brow = other.row(j);
+                        *o = arow.iter().zip(brow).map(|(&a, &b)| a * b).sum();
+                    }
                 }
+                jb = jend;
             }
-            jb = jend;
-        }
+        });
         out
     }
 
@@ -403,6 +416,26 @@ mod tests {
             }
         }
         out
+    }
+
+    /// The row-parallel kernels preserve the per-element accumulation
+    /// order, so any thread count must match the single-thread result
+    /// bit-for-bit (the tango-par determinism contract).
+    #[test]
+    fn matmul_is_thread_count_invariant() {
+        let a =
+            Matrix::from_vec(67, 130, (0..67 * 130).map(|i| (i as f32).sin()).collect()).unwrap();
+        let b =
+            Matrix::from_vec(130, 41, (0..130 * 41).map(|i| (i as f32).cos()).collect()).unwrap();
+        let saved = tango_par::threads();
+        tango_par::set_threads(1);
+        let (m1, t1) = (a.matmul(&b), a.matmul_t(&b.transpose()));
+        for t in [2usize, 4, 8] {
+            tango_par::set_threads(t);
+            assert_eq!(a.matmul(&b), m1, "matmul, threads = {t}");
+            assert_eq!(a.matmul_t(&b.transpose()), t1, "matmul_t, threads = {t}");
+        }
+        tango_par::set_threads(saved);
     }
 
     /// The blocked kernels preserve the naive kernels' per-element

@@ -1,0 +1,391 @@
+//! Deterministic data-parallel primitives over `std::thread::scope`.
+//!
+//! Tango's hot loops are data-parallel by construction: each master
+//! solves its own per-request-type dispatch graph (§5.2), the GNN
+//! encoder's aggregation and linear maps are independent per row (§5.3),
+//! and the per-node tick phase touches each node in isolation. This
+//! crate gives those loops a shared runtime with one hard guarantee:
+//!
+//! **Determinism contract.** Work is split into *statically chunked*
+//! contiguous ranges (`ceil(len / workers)` items each) and results are
+//! merged in *input order*. Every closure must be a pure function of
+//! `(index, item)` — worker-local scratch handed out by
+//! [`Pool::par_map_collect_with`] may only carry reusable buffers, never
+//! values that leak between items. Under that contract the output is
+//! bit-identical for every thread count, including `threads == 1`, which
+//! runs inline on the caller with zero synchronization overhead.
+//!
+//! There is deliberately **no work stealing**: dynamic scheduling would
+//! make which-worker-ran-what (and therefore any per-worker scratch
+//! reuse pattern) timing-dependent. Static chunking keeps the mapping a
+//! pure function of `(len, threads)`; the cost — imbalance when item
+//! costs vary — is bounded by the fan-outs we run (many small, similar
+//! items), and is the price of reproducible runs.
+//!
+//! Workers are scoped (`std::thread::scope`), so closures may borrow the
+//! caller's stack freely and no pool state outlives a call.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A parallelism budget: how many OS threads a fan-out may use.
+///
+/// `Pool` is a plain value (no worker handles); threads are spawned
+/// scoped per call and joined before the call returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        global()
+    }
+}
+
+impl Pool {
+    /// A pool using up to `threads` workers (clamped to ≥ 1).
+    pub fn new(threads: usize) -> Self {
+        Pool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The single-threaded pool: every primitive runs inline.
+    pub fn single() -> Self {
+        Pool { threads: 1 }
+    }
+
+    /// Worker budget.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// This pool, further limited so each worker gets at least
+    /// `min_per_worker` of `units` of work. Keeps tiny inputs inline —
+    /// spawning four threads for a 4×4 matmul costs more than the
+    /// matmul. Thresholding never affects results (the contract makes
+    /// every thread count bit-identical), only where time is spent.
+    pub fn limit(&self, units: usize, min_per_worker: usize) -> Pool {
+        let cap = units / min_per_worker.max(1);
+        Pool {
+            threads: self.threads.min(cap.max(1)),
+        }
+    }
+
+    /// How many workers a fan-out over `len` items actually uses.
+    fn workers_for(&self, len: usize) -> usize {
+        self.threads.min(len.max(1))
+    }
+
+    /// Run `f` over statically chunked row ranges of `data`, in
+    /// parallel. `data.len()` must be a multiple of `stride` (one row =
+    /// `stride` elements; chunk boundaries always fall on row
+    /// boundaries). `f(first_row, chunk)` receives the global index of
+    /// its first row. Chunk 0 runs on the calling thread.
+    pub fn par_chunks_mut<T: Send>(
+        &self,
+        data: &mut [T],
+        stride: usize,
+        f: impl Fn(usize, &mut [T]) + Sync,
+    ) {
+        if data.is_empty() {
+            return;
+        }
+        debug_assert!(
+            stride > 0 && data.len().is_multiple_of(stride),
+            "ragged rows"
+        );
+        let rows = data.len() / stride.max(1);
+        let workers = self.workers_for(rows);
+        if workers == 1 {
+            f(0, data);
+            return;
+        }
+        let rows_per = rows.div_ceil(workers);
+        let mut chunks = data.chunks_mut(rows_per * stride);
+        let first = chunks.next().expect("nonempty data has a first chunk");
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .enumerate()
+                .map(|(i, chunk)| {
+                    let f = &f;
+                    scope.spawn(move || f((i + 1) * rows_per, chunk))
+                })
+                .collect();
+            f(0, first);
+            for h in handles {
+                h.join().expect("tango-par worker panicked");
+            }
+        });
+    }
+
+    /// Like [`Pool::par_chunks_mut`] (stride 1) over two equal-length
+    /// slices chunked identically: `f(first_index, a_chunk, b_chunk)`.
+    /// The zip form lets a fan-out write results next to its inputs
+    /// (e.g. solve a batch of flow graphs into a result slice).
+    pub fn par_zip_chunks_mut<A: Send, B: Send>(
+        &self,
+        a: &mut [A],
+        b: &mut [B],
+        f: impl Fn(usize, &mut [A], &mut [B]) + Sync,
+    ) {
+        assert_eq!(a.len(), b.len(), "par_zip_chunks_mut length mismatch");
+        if a.is_empty() {
+            return;
+        }
+        let workers = self.workers_for(a.len());
+        if workers == 1 {
+            f(0, a, b);
+            return;
+        }
+        let per = a.len().div_ceil(workers);
+        let mut ca = a.chunks_mut(per);
+        let mut cb = b.chunks_mut(per);
+        let first = (ca.next().expect("nonempty"), cb.next().expect("nonempty"));
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = ca
+                .zip(cb)
+                .enumerate()
+                .map(|(i, (xa, xb))| {
+                    let f = &f;
+                    scope.spawn(move || f((i + 1) * per, xa, xb))
+                })
+                .collect();
+            f(0, first.0, first.1);
+            for h in handles {
+                h.join().expect("tango-par worker panicked");
+            }
+        });
+    }
+
+    /// Map every item through `f`, collecting results in input order.
+    pub fn par_map_collect<I: Sync, R: Send>(
+        &self,
+        items: &[I],
+        f: impl Fn(usize, &I) -> R + Sync,
+    ) -> Vec<R> {
+        self.par_map_collect_with(items, || (), |(), i, it| f(i, it))
+    }
+
+    /// Map every item through `f`, giving each worker its own scratch
+    /// state from `init`, collecting results in input order.
+    ///
+    /// The scratch exists so workers can reuse allocations (graphs,
+    /// solver workspaces) across the items of their chunk. Per the crate
+    /// contract, `f` must produce a result that depends only on
+    /// `(index, item)` — it must reset whatever scratch state it reads.
+    pub fn par_map_collect_with<S, I: Sync, R: Send>(
+        &self,
+        items: &[I],
+        init: impl Fn() -> S + Sync,
+        f: impl Fn(&mut S, usize, &I) -> R + Sync,
+    ) -> Vec<R> {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        let workers = self.workers_for(items.len());
+        if workers == 1 {
+            let mut scratch = init();
+            return items
+                .iter()
+                .enumerate()
+                .map(|(i, it)| f(&mut scratch, i, it))
+                .collect();
+        }
+        let per = items.len().div_ceil(workers);
+        let mut chunks = items.chunks(per);
+        let first = chunks.next().expect("nonempty items have a first chunk");
+        let run_chunk = |base: usize, chunk: &[I]| -> Vec<R> {
+            let mut scratch = init();
+            chunk
+                .iter()
+                .enumerate()
+                .map(|(j, it)| f(&mut scratch, base + j, it))
+                .collect()
+        };
+        let mut parts: Vec<Vec<R>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .enumerate()
+                .map(|(i, chunk)| {
+                    let run_chunk = &run_chunk;
+                    scope.spawn(move || run_chunk((i + 1) * per, chunk))
+                })
+                .collect();
+            let head = run_chunk(0, first);
+            let mut parts = vec![head];
+            for h in handles {
+                parts.push(h.join().expect("tango-par worker panicked"));
+            }
+            parts
+        });
+        // fixed merge order: chunk 0, chunk 1, ... regardless of finish order
+        let mut out = Vec::with_capacity(items.len());
+        for part in parts.iter_mut() {
+            out.append(part);
+        }
+        out
+    }
+}
+
+/// Global thread budget: 0 = not yet resolved.
+static THREADS: AtomicUsize = AtomicUsize::new(0);
+
+fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("TANGO_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The process-wide thread budget: `TANGO_THREADS` if set, else
+/// [`std::thread::available_parallelism`], else 1. Resolution is lazy and
+/// idempotent; [`set_threads`] overrides it at any time.
+pub fn threads() -> usize {
+    match THREADS.load(Ordering::Relaxed) {
+        0 => {
+            let t = default_threads();
+            THREADS.store(t, Ordering::Relaxed);
+            t
+        }
+        t => t,
+    }
+}
+
+/// Override the process-wide thread budget (clamped to ≥ 1). Intended
+/// for benches sweeping thread counts and tests pinning both sides of a
+/// determinism comparison; the simulation runtime carries its own
+/// per-system [`Pool`] resolved from its config instead.
+pub fn set_threads(threads: usize) {
+    THREADS.store(threads.max(1), Ordering::Relaxed);
+}
+
+/// The pool the compute kernels (matmul, CSR aggregation) share.
+pub fn global() -> Pool {
+    Pool::new(threads())
+}
+
+/// Resolve a config-level thread request: `TANGO_THREADS` wins, then the
+/// explicit config value, then [`std::thread::available_parallelism`].
+pub fn resolve(config: Option<usize>) -> usize {
+    if let Ok(v) = std::env::var("TANGO_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    match config {
+        Some(n) => n.max(1),
+        None => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_input_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        for t in [1, 2, 3, 4, 7, 64] {
+            let got = Pool::new(t).par_map_collect(&items, |i, &x| {
+                assert_eq!(i as u64, x);
+                x * x
+            });
+            let want: Vec<u64> = items.iter().map(|&x| x * x).collect();
+            assert_eq!(got, want, "threads = {t}");
+        }
+    }
+
+    #[test]
+    fn map_collect_with_reuses_worker_scratch() {
+        let items: Vec<usize> = (0..97).collect();
+        let got = Pool::new(4).par_map_collect_with(&items, Vec::<usize>::new, |scratch, i, &x| {
+            // scratch is reset per item, per the contract
+            scratch.clear();
+            scratch.extend(0..x);
+            scratch.len() + i - x // == i
+        });
+        assert_eq!(got, items);
+    }
+
+    #[test]
+    fn chunks_mut_covers_every_row_once() {
+        for t in [1, 2, 5, 16] {
+            let mut data = vec![0u32; 10 * 7]; // 10 rows of stride 7
+            Pool::new(t).par_chunks_mut(&mut data, 7, |first_row, chunk| {
+                for (r, row) in chunk.chunks_mut(7).enumerate() {
+                    for v in row.iter_mut() {
+                        *v += (first_row + r) as u32 + 1;
+                    }
+                }
+            });
+            let want: Vec<u32> = (0..10u32).flat_map(|r| [r + 1; 7]).collect();
+            assert_eq!(data, want, "threads = {t}");
+        }
+    }
+
+    #[test]
+    fn zip_chunks_align() {
+        let mut a: Vec<u64> = (0..33).collect();
+        let mut b = vec![0u64; 33];
+        Pool::new(4).par_zip_chunks_mut(&mut a, &mut b, |first, xa, xb| {
+            for (j, (x, y)) in xa.iter_mut().zip(xb.iter_mut()).enumerate() {
+                assert_eq!(*x as usize, first + j);
+                *y = *x * 2;
+            }
+        });
+        assert_eq!(b, (0..33).map(|x| x * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn empty_inputs_are_noops() {
+        let p = Pool::new(8);
+        assert!(p.par_map_collect(&Vec::<u8>::new(), |_, &x| x).is_empty());
+        p.par_chunks_mut(&mut Vec::<u8>::new(), 1, |_, _| panic!("no chunks"));
+        p.par_zip_chunks_mut(&mut [0u8; 0], &mut [0u8; 0], |_, _, _| panic!("no chunks"));
+    }
+
+    #[test]
+    fn limit_keeps_small_work_inline() {
+        let p = Pool::new(8);
+        assert_eq!(p.limit(10, 100).threads(), 1);
+        assert_eq!(p.limit(1000, 100).threads(), 8);
+        assert_eq!(p.limit(250, 100).threads(), 2);
+        assert_eq!(p.limit(0, 0).threads(), 1);
+    }
+
+    #[test]
+    fn pool_clamps_to_at_least_one_thread() {
+        assert_eq!(Pool::new(0).threads(), 1);
+        assert_eq!(Pool::single().threads(), 1);
+    }
+
+    /// The determinism contract, end to end: identical output at every
+    /// thread count for a float reduction whose result would differ if
+    /// chunking leaked into per-item evaluation.
+    #[test]
+    fn thread_count_never_changes_results() {
+        let items: Vec<f64> = (0..513).map(|i| (i as f64) * 0.123 + 1.0).collect();
+        let reference = Pool::single().par_map_collect(&items, |i, &x| {
+            (0..64).fold(x, |acc, k| acc + (acc * 1e-3) + (i + k) as f64 * 1e-6)
+        });
+        for t in [2, 3, 4, 8, 32] {
+            let got = Pool::new(t).par_map_collect(&items, |i, &x| {
+                (0..64).fold(x, |acc, k| acc + (acc * 1e-3) + (i + k) as f64 * 1e-6)
+            });
+            // bitwise, not approximate
+            for (a, b) in reference.iter().zip(&got) {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads = {t}");
+            }
+        }
+    }
+}

@@ -16,7 +16,8 @@
 //! their target node.
 
 use crate::view::{LcScheduler, TypeBatch};
-use tango_flow::{EdgeRef, FlowGraph, McmfWorkspace, MinCostMaxFlow};
+use tango_flow::{EdgeRef, FlowGraph, McmfWorkspace};
+use tango_par::Pool;
 use tango_simcore::SimRng;
 use tango_types::{NodeId, RequestId};
 
@@ -59,7 +60,7 @@ pub struct DssLc {
 
 /// A per-type plan with immediate and queued-at-target placements kept
 /// distinguishable for diagnostics.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LcPlan {
     /// Placements for requests the targets can execute immediately (R_k).
     pub immediate: Vec<(RequestId, NodeId)>,
@@ -146,18 +147,12 @@ impl DssLc {
     /// The same routing via the general min-cost max-flow solver —
     /// retained for cross-validation and for extended formulations
     /// (inter-node relay edges, MPLS/OSPF-style constraints, §5.2.2).
-    /// One-shot form; the hot path is [`Self::route_mcmf_pooled`].
+    /// One-shot form; the hot path is [`Self::route_mcmf_pooled`]. Both
+    /// entry points run [`Self::route_mcmf_into`] on a `DispatchScratch`
+    /// — the one-shot form simply pays for a cold one — so their graph
+    /// setup cannot drift apart.
     pub fn route_mcmf(batch: &TypeBatch, capacities: &[u64], demand: u64) -> Vec<(usize, u64)> {
-        if demand == 0 || batch.nodes.is_empty() {
-            return Vec::new();
-        }
-        // graph: 0 = source, 1 = sink, then split nodes per candidate
-        let mut g = FlowGraph::new(2);
-        let mut node_edges = Vec::with_capacity(batch.nodes.len());
-        Self::build_dispatch_graph(batch, capacities, &mut g, &mut node_edges);
-        let mut solver = MinCostMaxFlow::new(&mut g);
-        solver.solve(0, 1, demand as i64);
-        Self::collect_counts(&g, &node_edges)
+        Self::route_mcmf_into(&mut DispatchScratch::default(), batch, capacities, demand)
     }
 
     /// MCMF routing over this scheduler's retained dispatch graph and
@@ -169,14 +164,26 @@ impl DssLc {
         capacities: &[u64],
         demand: u64,
     ) -> Vec<(usize, u64)> {
+        Self::route_mcmf_into(&mut self.scratch, batch, capacities, demand)
+    }
+
+    /// Shared MCMF routing core: reset the retained dispatch graph in
+    /// `scratch`, rebuild it for this batch, solve, read off counts.
+    fn route_mcmf_into(
+        scratch: &mut DispatchScratch,
+        batch: &TypeBatch,
+        capacities: &[u64],
+        demand: u64,
+    ) -> Vec<(usize, u64)> {
         if demand == 0 || batch.nodes.is_empty() {
             return Vec::new();
         }
-        let g = &mut self.scratch.graph;
+        // graph: 0 = source, 1 = sink, then split nodes per candidate
+        let g = &mut scratch.graph;
         g.reset(2);
-        Self::build_dispatch_graph(batch, capacities, g, &mut self.scratch.node_edges);
-        self.scratch.ws.solve(g, 0, 1, demand as i64);
-        Self::collect_counts(g, &self.scratch.node_edges)
+        Self::build_dispatch_graph(batch, capacities, g, &mut scratch.node_edges);
+        scratch.ws.solve(g, 0, 1, demand as i64);
+        Self::collect_counts(g, &scratch.node_edges)
     }
 
     /// Build the §5.2.1 dispatch graph into `g` (source 0 and sink 1
@@ -239,11 +246,45 @@ impl DssLc {
 
     /// Run Alg. 2 on one type batch.
     pub fn plan(&mut self, batch: &TypeBatch) -> LcPlan {
+        Self::plan_with(
+            &mut self.scratch,
+            &mut self.rng,
+            self.overflow_routing,
+            batch,
+        )
+    }
+
+    /// Run Alg. 2 on each of a master's per-type batches — "for each
+    /// type k do in parallel" (§5.2) — fanned out over `pool`.
+    ///
+    /// Every batch's ρ(·) stream is forked from this scheduler's RNG
+    /// *sequentially, in batch order, before the fan-out*, and the plans
+    /// are merged back in batch order, so the result is bit-identical
+    /// for every thread count. Each worker carries one
+    /// [`DispatchScratch`], so a warm fan-out allocates only the forked
+    /// RNGs and the plans themselves.
+    pub fn plan_many(&mut self, batches: &[TypeBatch], pool: &Pool) -> Vec<LcPlan> {
+        let rngs: Vec<SimRng> = batches.iter().map(|_| self.rng.fork()).collect();
+        let overflow_routing = self.overflow_routing;
+        pool.par_map_collect_with(batches, DispatchScratch::default, |scratch, i, batch| {
+            let mut rng = rngs[i].clone();
+            Self::plan_with(scratch, &mut rng, overflow_routing, batch)
+        })
+    }
+
+    /// Alg. 2 with all state explicit, shared by the sequential
+    /// [`Self::plan`] and the parallel [`Self::plan_many`] /
+    /// [`plan_masters`] paths so they cannot drift.
+    fn plan_with(
+        scratch: &mut DispatchScratch,
+        rng: &mut SimRng,
+        overflow_routing: bool,
+        batch: &TypeBatch,
+    ) -> LcPlan {
         let mut plan = LcPlan::default();
         if batch.requests.is_empty() {
             return plan;
         }
-        let scratch = &mut self.scratch;
         scratch.caps.clear();
         scratch
             .caps
@@ -254,7 +295,7 @@ impl DssLc {
         // ρ(·): random sorting function; LC requests share one priority.
         scratch.order.clear();
         scratch.order.extend_from_slice(&batch.requests);
-        self.rng.shuffle(&mut scratch.order);
+        rng.shuffle(&mut scratch.order);
         let mut cursor = 0usize;
 
         if demand <= total_cap {
@@ -298,7 +339,7 @@ impl DssLc {
                 .caps_aug
                 .extend(batch.nodes.iter().map(|n| n.capacity_total()));
             let basis_sum: u64 = scratch.caps_aug.iter().sum();
-            if self.overflow_routing && basis_sum > 0 {
+            if overflow_routing && basis_sum > 0 {
                 let lambda = overflow as f64 / basis_sum as f64;
                 for b in &mut scratch.caps_aug {
                     *b = ((*b as f64) * lambda).ceil() as u64;
@@ -324,9 +365,55 @@ impl DssLc {
     }
 }
 
+/// The paper's full DSS-LC fan-out — "for each master node do in
+/// parallel / for each type k do in parallel" (§5.2) — over every
+/// (master, commodity) pair at once: `batches[m]` holds master `m`'s
+/// per-type batches, solved by `scheds[m]`.
+///
+/// Per-batch ρ(·) streams are forked sequentially in (master, type)
+/// order before the fan-out and plans are merged back in the same
+/// order, so the result is bit-identical for every thread count. Each
+/// worker reuses one [`DispatchScratch`] across its chunk.
+pub fn plan_masters(
+    scheds: &mut [DssLc],
+    batches: &[Vec<TypeBatch>],
+    pool: &Pool,
+) -> Vec<Vec<LcPlan>> {
+    assert_eq!(scheds.len(), batches.len(), "one scheduler per master");
+    let work: Vec<(SimRng, bool, &TypeBatch)> = scheds
+        .iter_mut()
+        .zip(batches)
+        .flat_map(|(s, bs)| {
+            bs.iter()
+                .map(|b| (s.rng.fork(), s.overflow_routing, b))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let flat = pool.par_map_collect_with(
+        &work,
+        DispatchScratch::default,
+        |scratch, _, (rng, overflow_routing, batch)| {
+            let mut rng = rng.clone();
+            DssLc::plan_with(scratch, &mut rng, *overflow_routing, batch)
+        },
+    );
+    let mut flat = flat.into_iter();
+    batches
+        .iter()
+        .map(|bs| (&mut flat).take(bs.len()).collect())
+        .collect()
+}
+
 impl LcScheduler for DssLc {
     fn assign(&mut self, batch: &TypeBatch) -> Vec<(RequestId, NodeId)> {
         self.plan(batch).all().collect()
+    }
+
+    fn assign_many(&mut self, batches: &[TypeBatch], pool: &Pool) -> Vec<Vec<(RequestId, NodeId)>> {
+        self.plan_many(batches, pool)
+            .iter()
+            .map(|p| p.all().collect())
+            .collect()
     }
 
     fn name(&self) -> &'static str {
@@ -525,6 +612,73 @@ mod tests {
             let fresh = DssLc::route_mcmf(&b, &caps, demand);
             let pooled = s.route_mcmf_pooled(&b, &caps, demand);
             assert_eq!(fresh, pooled, "pooled/one-shot divergence at seed {seed}");
+        }
+    }
+
+    /// A mixed bag of per-type batches (under-capacity, overloaded, and
+    /// empty-candidate) for the fan-out tests.
+    fn batch_bag(n: usize) -> Vec<TypeBatch> {
+        (0..n)
+            .map(|k| {
+                let nodes: Vec<_> = (0..1 + k % 5)
+                    .map(|i| {
+                        cand(
+                            (k * 8 + i) as u32,
+                            (i as u64 * 3) % 7,
+                            1 + (i as u64 * 13) % 40,
+                        )
+                    })
+                    .collect();
+                batch(3 + (k as u64 * 7) % 25, nodes)
+            })
+            .collect()
+    }
+
+    /// `plan_many` is bit-identical across thread counts: same plans,
+    /// same order, for 1, 2, 4, and 8 workers.
+    #[test]
+    fn plan_many_is_thread_count_invariant() {
+        let batches = batch_bag(17);
+        let reference = DssLc::new(99).plan_many(&batches, &Pool::single());
+        assert!(reference.iter().any(|p| !p.immediate.is_empty()));
+        assert!(reference.iter().any(|p| !p.queued.is_empty()));
+        for t in [2usize, 4, 8] {
+            let got = DssLc::new(99).plan_many(&batches, &Pool::new(t));
+            assert_eq!(got, reference, "threads = {t}");
+        }
+    }
+
+    /// `plan_many` leaves the scheduler's RNG in the same state as the
+    /// equivalent sequence of forks, so interleaving it with `plan` stays
+    /// deterministic.
+    #[test]
+    fn plan_many_advances_rng_like_sequential_forks() {
+        let batches = batch_bag(5);
+        let mut a = DssLc::new(3);
+        a.plan_many(&batches, &Pool::new(4));
+        let mut b = DssLc::new(3);
+        for _ in 0..batches.len() {
+            b.rng.fork();
+        }
+        let single = batch(4, vec![cand(1, 9, 2)]);
+        assert_eq!(a.plan(&single), b.plan(&single));
+    }
+
+    /// The full (master, commodity) fan-out matches the per-master
+    /// `plan_many` results at every thread count.
+    #[test]
+    fn plan_masters_is_thread_count_invariant() {
+        let per_master: Vec<Vec<TypeBatch>> =
+            vec![batch_bag(4), batch_bag(9), Vec::new(), batch_bag(1)];
+        let reference: Vec<Vec<LcPlan>> = per_master
+            .iter()
+            .enumerate()
+            .map(|(m, bs)| DssLc::new(m as u64).plan_many(bs, &Pool::single()))
+            .collect();
+        for t in [1usize, 2, 4, 8] {
+            let mut scheds: Vec<DssLc> = (0..per_master.len() as u64).map(DssLc::new).collect();
+            let got = plan_masters(&mut scheds, &per_master, &Pool::new(t));
+            assert_eq!(got, reference, "threads = {t}");
         }
     }
 

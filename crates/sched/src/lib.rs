@@ -27,5 +27,5 @@ pub mod view;
 
 pub use baselines::{KsNative, LoadGreedy, Scoring};
 pub use dcg_be::{BeScheduler, DcgBe, DcgBeConfig, GnnSacBe, GreedyBe, RoundRobinBe};
-pub use dss_lc::{DssLc, LcPlan};
+pub use dss_lc::{plan_masters, DssLc, LcPlan};
 pub use view::{CandidateNode, LcScheduler, TypeBatch};

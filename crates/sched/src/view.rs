@@ -71,6 +71,21 @@ pub trait LcScheduler {
     /// Decide placements for one batch.
     fn assign(&mut self, batch: &TypeBatch) -> Vec<(RequestId, NodeId)>;
 
+    /// Decide placements for all of one dispatch round's per-type
+    /// batches, one result per batch in batch order. Per-commodity
+    /// graphs are independent (§5.2), so policies may fan out over
+    /// `pool`; the default runs [`LcScheduler::assign`] sequentially and
+    /// ignores it. Implementations must return identical results at any
+    /// thread count.
+    fn assign_many(
+        &mut self,
+        batches: &[TypeBatch],
+        pool: &tango_par::Pool,
+    ) -> Vec<Vec<(RequestId, NodeId)>> {
+        let _ = pool;
+        batches.iter().map(|b| self.assign(b)).collect()
+    }
+
     /// Policy name for reports.
     fn name(&self) -> &'static str;
 }
