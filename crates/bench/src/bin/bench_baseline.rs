@@ -11,12 +11,13 @@
 
 use std::hint::black_box;
 use std::io::Write as _;
-use tango::{BePolicy, EdgeCloudSystem, TangoConfig};
+use tango::{BePolicy, EdgeCloudSystem, FaultPlan, NodeRef, TangoConfig};
 use tango_bench::microbench::{self, Sample};
 use tango_bench::scenarios::{layered, make_batch, make_graph, to_json};
 use tango_flow::{FlowGraph, MinCostMaxFlow};
 use tango_gnn::{Encoder, EncoderKind, GnnEncoder};
 use tango_sched::DssLc;
+use tango_types::ClusterId;
 use tango_types::SimTime;
 
 fn scenarios() -> Vec<Sample> {
@@ -84,6 +85,38 @@ fn scenarios() -> Vec<Sample> {
             },
         ));
     }
+
+    // 6. Whole-system tick under churn: same 16-cluster second, but with
+    //    timed crashes, a degraded link, and seeded MTTF/MTTR churn — the
+    //    cost of failure-aware scheduling and recovery on the hot path.
+    out.push(microbench::run("system_tick_churn/16", 1_000, || {
+        let mut cfg = TangoConfig::dual_space(16);
+        cfg.be_policy = BePolicy::LoadGreedy;
+        cfg.faults = FaultPlan::new()
+            .crash_for(
+                SimTime::from_millis(200),
+                NodeRef::Worker {
+                    cluster: ClusterId(0),
+                    index: 0,
+                },
+                SimTime::from_millis(300),
+            )
+            .degrade_link_for(
+                SimTime::from_millis(100),
+                ClusterId(1),
+                ClusterId(2),
+                4.0,
+                2.0,
+                SimTime::from_millis(500),
+            )
+            .node_churn(
+                SimTime::from_millis(400),
+                SimTime::from_millis(100),
+                0xC4012,
+            );
+        let report = EdgeCloudSystem::new(cfg).run(SimTime::from_secs(1), "bench-churn");
+        black_box(report.faults.node_crashes + report.lc_arrived)
+    }));
 
     out
 }

@@ -342,6 +342,7 @@ fn dss_scaling() {
                 delay: SimTime::from_micros(300 + (i as u64 % 50) * 997),
                 link_capacity: 64,
                 slack: 1.0,
+                alive: true,
             })
             .collect();
         let batch = TypeBatch {

@@ -62,6 +62,7 @@ pub fn make_batch(n_nodes: usize, n_requests: u64) -> TypeBatch {
             delay: SimTime::from_micros(300 + (i as u64 % 50) * 997),
             link_capacity: 64,
             slack: 1.0,
+            alive: true,
         })
         .collect();
     TypeBatch {

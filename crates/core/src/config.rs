@@ -1,5 +1,6 @@
 //! System configuration and the paper's experiment presets.
 
+use tango_faults::FaultPlan;
 use tango_gnn::EncoderKind;
 use tango_hrm::ReassuranceConfig;
 use tango_net::TopologyConfig;
@@ -157,6 +158,9 @@ pub struct TangoConfig {
     pub local_only: bool,
     /// Ablation switches (all on by default).
     pub ablations: Ablations,
+    /// Fault scenario (empty by default — a calm-weather run). Compiled
+    /// into timed crash/recover/degrade events when the run starts.
+    pub faults: FaultPlan,
     /// Master seed.
     pub seed: u64,
     /// Worker threads for the deterministic parallel runtime
@@ -203,6 +207,7 @@ impl TangoConfig {
             max_requeues: 3,
             local_only: false,
             ablations: Ablations::default(),
+            faults: FaultPlan::default(),
             seed: 42,
             parallelism: None,
         }

@@ -35,6 +35,7 @@ pub mod runtime;
 pub mod system;
 
 pub use config::{Ablations, AllocatorKind, BePolicy, LcPolicy, TangoConfig, WorkloadSpec};
-pub use report::RunReport;
+pub use report::{RunAudit, RunReport};
 pub use runtime::run_parallel;
 pub use system::{EdgeCloudSystem, Event};
+pub use tango_faults::{FaultEvent, FaultPlan, FaultSummary, NodeChurn, NodeRef};

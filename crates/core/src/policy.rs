@@ -125,6 +125,7 @@ mod tests {
             delay: SimTime::from_millis(5),
             link_capacity: 100,
             slack: 1.0,
+            alive: true,
         }
     }
 

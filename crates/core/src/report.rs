@@ -1,5 +1,6 @@
 //! Run reports: the numbers every §7 figure is drawn from.
 
+use tango_faults::FaultSummary;
 use tango_metrics::PeriodRecord;
 
 /// Summary of one simulation run.
@@ -27,6 +28,36 @@ pub struct RunReport {
     pub dvpa_ops: u64,
     /// BE containers evicted by LC preemption.
     pub be_evictions: u64,
+    /// Fault accounting: crashes, recoveries, downtime, rescheduled work,
+    /// fault-window QoS violations. All zero on a calm-weather run.
+    pub faults: FaultSummary,
+}
+
+/// Conservation audit over every request a run injected: each `Arrival`
+/// must land in exactly one bucket. Produced by
+/// `EdgeCloudSystem::run_audited`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunAudit {
+    /// Requests injected by the trace.
+    pub total: u64,
+    /// Terminal: completed.
+    pub completed: u64,
+    /// Terminal: abandoned (queue deadline / patience).
+    pub abandoned: u64,
+    /// Terminal: failed (requeue budget exhausted).
+    pub failed: u64,
+    /// Non-terminal at the horizon (still queued, in flight or running).
+    pub pending: u64,
+    /// Requests whose state says "running on node X" while X is down —
+    /// must be zero: crashes interrupt everything on the node.
+    pub running_on_down_nodes: u64,
+}
+
+impl RunAudit {
+    /// Every request is in exactly one bucket.
+    pub fn conserved(&self) -> bool {
+        self.total == self.completed + self.abandoned + self.failed + self.pending
+    }
 }
 
 impl RunReport {
@@ -34,11 +65,11 @@ impl RunReport {
     /// ready for external plotting.
     pub fn periods_csv(&self) -> String {
         let mut out = String::from(
-            "period,lc_arrived,lc_completed,lc_satisfied,be_completed,abandoned,util_overall,util_lc,util_be,lc_p95_ms\n",
+            "period,lc_arrived,lc_completed,lc_satisfied,be_completed,abandoned,util_overall,util_lc,util_be,lc_p95_ms,fault_qos_violations\n",
         );
         for p in &self.periods {
             out.push_str(&format!(
-                "{},{},{},{},{},{},{:.4},{:.4},{:.4},{:.2}\n",
+                "{},{},{},{},{},{},{:.4},{:.4},{:.4},{:.2},{}\n",
                 p.index,
                 p.lc_arrived,
                 p.lc_completed,
@@ -48,7 +79,8 @@ impl RunReport {
                 p.util_overall,
                 p.util_lc,
                 p.util_be,
-                p.lc_p95_ms
+                p.lc_p95_ms,
+                p.fault_qos_violations
             ));
         }
         out
@@ -59,9 +91,10 @@ impl RunReport {
         std::fs::write(path, self.periods_csv())
     }
 
-    /// Render a compact one-line summary.
+    /// Render a compact one-line summary. Fault metrics are appended only
+    /// when the run actually saw faults.
     pub fn summary(&self) -> String {
-        format!(
+        let mut s = format!(
             "{}: qos={:.3} thpt={} util={:.3} p95={:.1}ms abandoned={} (lc {}/{} done)",
             self.label,
             self.qos_satisfaction,
@@ -71,17 +104,28 @@ impl RunReport {
             self.abandoned,
             self.lc_completed,
             self.lc_arrived,
-        )
+        );
+        let f = &self.faults;
+        if f.node_crashes > 0 || f.links_degraded > 0 || f.partitions > 0 {
+            s.push_str(&format!(
+                " [faults: crashes={} downtime={:.0}ms rescheduled={} fault_qos_viol={}]",
+                f.node_crashes,
+                f.total_downtime.as_millis_f64(),
+                f.rescheduled,
+                f.fault_qos_violations,
+            ));
+        }
+        s
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tango_types::SimTime;
 
-    #[test]
-    fn summary_contains_key_fields() {
-        let r = RunReport {
+    fn base_report() -> RunReport {
+        RunReport {
             label: "tango".into(),
             periods: vec![],
             qos_satisfaction: 0.95,
@@ -93,11 +137,32 @@ mod tests {
             lc_completed: 990,
             dvpa_ops: 10,
             be_evictions: 2,
-        };
-        let s = r.summary();
+            faults: FaultSummary::default(),
+        }
+    }
+
+    #[test]
+    fn summary_contains_key_fields() {
+        let s = base_report().summary();
         assert!(s.contains("tango"));
         assert!(s.contains("0.950"));
         assert!(s.contains("1234"));
+        // calm-weather run: no fault block
+        assert!(!s.contains("faults:"));
+    }
+
+    #[test]
+    fn summary_surfaces_recovery_metrics_when_faults_happened() {
+        let mut r = base_report();
+        r.faults.node_crashes = 3;
+        r.faults.rescheduled = 17;
+        r.faults.total_downtime = SimTime::from_millis(2_500);
+        r.faults.fault_qos_violations = 4;
+        let s = r.summary();
+        assert!(s.contains("crashes=3"));
+        assert!(s.contains("downtime=2500ms"));
+        assert!(s.contains("rescheduled=17"));
+        assert!(s.contains("fault_qos_viol=4"));
     }
 
     #[test]
@@ -116,6 +181,7 @@ mod tests {
                     util_lc: 0.2,
                     util_be: 0.3,
                     lc_p95_ms: 123.45,
+                    fault_qos_violations: 2,
                 },
                 PeriodRecord::default(),
             ],
@@ -128,11 +194,29 @@ mod tests {
             lc_completed: 9,
             dvpa_ops: 0,
             be_evictions: 0,
+            faults: FaultSummary::default(),
         };
         let csv = r.periods_csv();
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 3);
         assert!(lines[0].starts_with("period,lc_arrived"));
+        assert!(lines[0].ends_with("fault_qos_violations"));
         assert!(lines[1].starts_with("0,10,9,8,3,1,0.5000"));
+        assert!(lines[1].ends_with(",2"));
+    }
+
+    #[test]
+    fn audit_conservation_accounts_every_bucket() {
+        let mut a = RunAudit {
+            total: 10,
+            completed: 6,
+            abandoned: 2,
+            failed: 1,
+            pending: 1,
+            running_on_down_nodes: 0,
+        };
+        assert!(a.conserved());
+        a.pending = 0;
+        assert!(!a.conserved());
     }
 }

@@ -25,8 +25,9 @@
 
 use crate::config::{AllocatorKind, TangoConfig};
 use crate::policy::{make_be_scheduler, make_lc_scheduler};
-use crate::report::RunReport;
+use crate::report::{RunAudit, RunReport};
 use std::collections::{BTreeMap, VecDeque};
+use tango_faults::{FaultEvent, FaultState, SystemLayout};
 use tango_hrm::{HrmAllocator, Reassurer, StaticAllocator};
 use tango_kube::Node;
 use tango_metrics::{ExperimentCounters, NodeRole, NodeSnapshot, QosDetector, StateStorage};
@@ -34,8 +35,8 @@ use tango_net::NetworkTopology;
 use tango_sched::{BeScheduler, CandidateNode, LcScheduler, TypeBatch};
 use tango_simcore::{Engine, EventHandler, SimRng};
 use tango_types::{
-    ClusterId, NodeId, Request, RequestId, RequestOutcome, Resources, ServiceClass, ServiceId,
-    SimTime,
+    ClusterId, NodeId, Request, RequestId, RequestOutcome, RequestState, Resources, ServiceClass,
+    ServiceId, SimTime,
 };
 use tango_types::{FxHashMap, FxHashSet};
 use tango_workload::{DiurnalProfile, ServiceCatalog, TraceGenerator, TraceSpec};
@@ -58,20 +59,24 @@ pub enum Event {
     CentralArrive(RequestId),
     /// Central BE dispatch round.
     BeDispatch,
-    /// Request payload reaches its target worker.
-    Deliver(RequestId, NodeId),
+    /// Request payload reaches its target worker. The third field is the
+    /// target's crash epoch at dispatch time: if the node crashed while
+    /// the payload was in flight, the epochs disagree and the delivery
+    /// bounces back to its scheduler instead of touching the (wiped)
+    /// reservation table.
+    Deliver(RequestId, NodeId, u64),
     /// Projected completion check (with the generation that scheduled it).
     NodeCheck(NodeId, u64),
     /// QoS re-assurance tick (Algorithm 1).
     Reassure,
     /// State-storage sync + metrics sampling.
     Sync,
+    /// A compiled fault-plan event fires (crash/recover/degrade/...).
+    Fault(FaultEvent),
 }
 
 struct ClusterRt {
-    #[allow(dead_code)]
     id: ClusterId,
-    #[allow(dead_code)]
     master: NodeId,
     workers: Vec<NodeId>,
     lc_q: VecDeque<RequestId>,
@@ -114,6 +119,8 @@ pub struct EdgeCloudSystem {
     be_pending_feedback: Option<NodeId>,
     be_completed_frac: f64,
     be_evictions: u64,
+    /// Which nodes are down, crash epochs, and fault accounting.
+    fault_state: FaultState,
     horizon: SimTime,
     /// Deterministic worker pool for the embarrassingly-parallel phases
     /// (per-type dispatch planning, per-node sync accounting). Thread
@@ -201,6 +208,7 @@ impl EdgeCloudSystem {
         let counters = ExperimentCounters::new(cfg.period);
 
         let node_wait = (0..nodes.len()).map(|_| VecDeque::new()).collect();
+        let fault_state = FaultState::new(nodes.len());
         let pool = tango_par::Pool::new(tango_par::resolve(cfg.parallelism));
         EdgeCloudSystem {
             cfg,
@@ -224,6 +232,7 @@ impl EdgeCloudSystem {
             be_pending_feedback: None,
             be_completed_frac: 0.0,
             be_evictions: 0,
+            fault_state,
             horizon: SimTime::MAX,
             pool,
         }
@@ -309,7 +318,10 @@ impl EdgeCloudSystem {
     }
 
     /// Build LC candidate views for (origin cluster, service) from the
-    /// state storage — exactly what the paper's dispatcher reads.
+    /// state storage — exactly what the paper's dispatcher reads. Down
+    /// nodes and nodes across an active partition never become
+    /// candidates; as a second line of defense the schedulers themselves
+    /// mask any `!alive` candidate out of their graphs.
     fn lc_candidates(&self, origin: ClusterId, service: ServiceId) -> Vec<CandidateNode> {
         let spec = self.catalog.get(service);
         let mut cluster_set = if self.cfg.local_only {
@@ -322,7 +334,11 @@ impl EdgeCloudSystem {
         let snaps = self.store.in_clusters(&cluster_set);
         snaps
             .into_iter()
-            .filter(|s| s.role == NodeRole::Worker)
+            .filter(|s| {
+                s.role == NodeRole::Worker
+                    && !self.fault_state.is_down(s.node)
+                    && self.topology.is_reachable(origin, s.cluster)
+            })
             .map(|s| {
                 let min_request = match &self.reassurer {
                     Some(r) => r.min_request(s.node, service, spec.min_request),
@@ -345,19 +361,25 @@ impl EdgeCloudSystem {
                         .transfer_time(origin, s.cluster, spec.payload_kib),
                     link_capacity: self.link_capacity(origin, s.cluster, spec.payload_kib),
                     slack: s.slack.get(&service).copied().unwrap_or(1.0),
+                    alive: true,
                 }
             })
             .collect()
     }
 
     /// Build BE candidate views over the whole system, from the central
-    /// cluster's vantage point.
+    /// cluster's vantage point. Down or partitioned-away nodes are
+    /// excluded before the GNN ever sees them.
     fn be_candidates(&self, service: ServiceId) -> Vec<CandidateNode> {
         let spec = self.catalog.get(service);
         self.store
             .all()
             .into_iter()
-            .filter(|s| s.role == NodeRole::Worker)
+            .filter(|s| {
+                s.role == NodeRole::Worker
+                    && !self.fault_state.is_down(s.node)
+                    && self.topology.is_reachable(self.central, s.cluster)
+            })
             .map(|s| {
                 let reserved = self
                     .reserved
@@ -378,8 +400,42 @@ impl EdgeCloudSystem {
                     .transfer_time(self.central, s.cluster, spec.payload_kib),
                 link_capacity: self.link_capacity(self.central, s.cluster, spec.payload_kib),
                 slack: s.slack.get(&service).copied().unwrap_or(1.0),
+                alive: true,
             })
             .collect()
+    }
+
+    /// Which master acts for `cluster` this dispatch round. Normally the
+    /// cluster's own; if that master is down, the nearest reachable
+    /// cluster with a live master steps in (deterministic tiebreak:
+    /// distance, then cluster id) and every delivery pays the extra
+    /// control hop back from the stand-in. `None` means no live master is
+    /// reachable — the round is skipped and queues age in place.
+    fn acting_master_for(&self, cluster: ClusterId) -> Option<(ClusterId, SimTime)> {
+        if !self
+            .fault_state
+            .is_down(self.clusters[cluster.index()].master)
+        {
+            return Some((cluster, SimTime::ZERO));
+        }
+        let mut best: Option<(f64, ClusterId)> = None;
+        for c in &self.clusters {
+            if c.id == cluster
+                || self.fault_state.is_down(c.master)
+                || !self.topology.is_reachable(cluster, c.id)
+            {
+                continue;
+            }
+            let d = self.topology.distance_km(cluster, c.id);
+            let better = match best {
+                None => true,
+                Some((bd, bid)) => d < bd || (d == bd && c.id.index() < bid.index()),
+            };
+            if better {
+                best = Some((d, c.id));
+            }
+        }
+        best.map(|(_, backup)| (backup, self.topology.one_way_latency(cluster, backup)))
     }
 
     // ------------------------------------------------------------------
@@ -456,7 +512,9 @@ impl EdgeCloudSystem {
         let now = sched.now();
         let ci = cluster.index();
 
-        // LC queue: expire, group by type, plan, dispatch.
+        // Expire hopeless entries in both queues regardless of master
+        // health — waiting requests age even while the control plane is
+        // down.
         let expired = Self::expire_queue(
             &self.catalog,
             &mut self.clusters[ci].lc_q,
@@ -467,6 +525,26 @@ impl EdgeCloudSystem {
         for rid in expired {
             self.abandon(rid, now);
         }
+        let expired = Self::expire_queue(
+            &self.catalog,
+            &mut self.clusters[ci].be_q,
+            &self.requests,
+            self.cfg.be_patience,
+            now,
+        );
+        for rid in expired {
+            self.abandon(rid, now);
+        }
+
+        // Master failover: a dead master's round is either taken over by
+        // the nearest live one (extra control hop on every delivery) or
+        // skipped entirely when none is reachable.
+        let Some((_acting, failover_delay)) = self.acting_master_for(cluster) else {
+            sched.schedule_in(self.cfg.dispatch_interval, Event::Dispatch(cluster));
+            return;
+        };
+
+        // LC queue: group by type, plan, dispatch.
         if !self.clusters[ci].lc_q.is_empty() {
             let drained: Vec<RequestId> = self.clusters[ci].lc_q.drain(..).collect();
             let mut by_type: BTreeMap<ServiceId, Vec<RequestId>> = BTreeMap::new();
@@ -492,16 +570,27 @@ impl EdgeCloudSystem {
             for (batch, placements) in batches.iter().zip(placements_per_type) {
                 let payload = self.catalog.get(batch.service).payload_kib;
                 for (rid, node) in placements {
+                    if self.fault_state.is_down(node) {
+                        // A dead node slipped through the masking layers;
+                        // count it (the invariant tests assert this stays
+                        // zero) and leave the request queued.
+                        self.fault_state.summary.down_node_dispatches += 1;
+                        continue;
+                    }
                     assigned.insert(rid);
                     if let Some(r) = self.requests.get_mut(&rid) {
                         r.mark_dispatched(node);
                         let slot = self.reserved.entry(node).or_insert(Resources::ZERO);
                         *slot += r.demand;
                     }
-                    let delay =
-                        self.topology
+                    let delay = failover_delay
+                        + self
+                            .topology
                             .transfer_time(cluster, self.cluster_of_node(node), payload);
-                    sched.schedule_in(delay, Event::Deliver(rid, node));
+                    sched.schedule_in(
+                        delay,
+                        Event::Deliver(rid, node, self.fault_state.epoch(node)),
+                    );
                 }
             }
             // unplaced requests stay queued, original order
@@ -514,16 +603,6 @@ impl EdgeCloudSystem {
 
         // BE queue: forward to the central dispatcher (or local round-
         // robin in CERES mode, where BE never leaves the cluster).
-        let expired = Self::expire_queue(
-            &self.catalog,
-            &mut self.clusters[ci].be_q,
-            &self.requests,
-            self.cfg.be_patience,
-            now,
-        );
-        for rid in expired {
-            self.abandon(rid, now);
-        }
         if self.cfg.local_only {
             // schedule BE within the cluster using the central policy but
             // with local candidates only
@@ -542,6 +621,10 @@ impl EdgeCloudSystem {
                     .collect();
                 self.pay_be_feedback(&demand, &local, now);
                 match self.be_sched.schedule(&demand, &local) {
+                    Some(node) if self.fault_state.is_down(node) => {
+                        self.fault_state.summary.down_node_dispatches += 1;
+                        self.clusters[ci].be_q.push_back(rid);
+                    }
                     Some(node) => {
                         if let Some(r) = self.requests.get_mut(&rid) {
                             r.mark_dispatched(node);
@@ -549,22 +632,29 @@ impl EdgeCloudSystem {
                             *slot += r.demand;
                         }
                         self.be_pending_feedback = Some(node);
-                        let delay = self.topology.transfer_time(
-                            cluster,
-                            self.cluster_of_node(node),
-                            payload,
+                        let delay = failover_delay
+                            + self.topology.transfer_time(
+                                cluster,
+                                self.cluster_of_node(node),
+                                payload,
+                            );
+                        sched.schedule_in(
+                            delay,
+                            Event::Deliver(rid, node, self.fault_state.epoch(node)),
                         );
-                        sched.schedule_in(delay, Event::Deliver(rid, node));
                     }
                     None => self.clusters[ci].be_q.push_back(rid),
                 }
             }
-        } else {
-            let forward_delay = self.topology.transfer_time(cluster, self.central, 64);
+        } else if self.topology.is_reachable(cluster, self.central) {
+            let forward_delay =
+                failover_delay + self.topology.transfer_time(cluster, self.central, 64);
             for rid in self.clusters[ci].be_q.drain(..) {
                 sched.schedule_in(forward_delay, Event::CentralArrive(rid));
             }
         }
+        // (partitioned away from the central cluster: BE stays queued
+        // locally until the partition heals)
 
         sched.schedule_in(self.cfg.dispatch_interval, Event::Dispatch(cluster));
     }
@@ -606,6 +696,11 @@ impl EdgeCloudSystem {
         for rid in expired {
             self.abandon(rid, now);
         }
+        // The central dispatcher itself can lose its master.
+        let Some((_acting, failover_delay)) = self.acting_master_for(self.central) else {
+            sched.schedule_in(self.cfg.dispatch_interval, Event::BeDispatch);
+            return;
+        };
         let mut deferred = VecDeque::new();
         // The central dispatcher has finite decision throughput per round
         // (each decision is a GNN forward); cap it so a bounce storm —
@@ -627,6 +722,10 @@ impl EdgeCloudSystem {
             let candidates = self.be_candidates(service);
             self.pay_be_feedback(&demand, &candidates, now);
             match self.be_sched.schedule(&demand, &candidates) {
+                Some(node) if self.fault_state.is_down(node) => {
+                    self.fault_state.summary.down_node_dispatches += 1;
+                    deferred.push_back(rid);
+                }
                 Some(node) => {
                     if let Some(r) = self.requests.get_mut(&rid) {
                         r.mark_dispatched(node);
@@ -634,12 +733,16 @@ impl EdgeCloudSystem {
                         *slot += r.demand;
                     }
                     self.be_pending_feedback = Some(node);
-                    let delay = self.topology.transfer_time(
-                        self.central,
-                        self.cluster_of_node(node),
-                        payload,
+                    let delay = failover_delay
+                        + self.topology.transfer_time(
+                            self.central,
+                            self.cluster_of_node(node),
+                            payload,
+                        );
+                    sched.schedule_in(
+                        delay,
+                        Event::Deliver(rid, node, self.fault_state.epoch(node)),
                     );
-                    sched.schedule_in(delay, Event::Deliver(rid, node));
                 }
                 None => {
                     // nothing feasible system-wide right now: try again
@@ -712,6 +815,9 @@ impl EdgeCloudSystem {
     /// requests", §3 ➎), runs the configured allocator, and on success
     /// updates the request state and processes evictions.
     fn try_admit_at(&mut self, rid: RequestId, node_id: NodeId, now: SimTime) -> bool {
+        if self.fault_state.is_down(node_id) {
+            return false; // callers guard this; last line of defense
+        }
         let Some(req) = self.requests.get(&rid) else {
             return true; // vanished: treat as handled
         };
@@ -769,6 +875,9 @@ impl EdgeCloudSystem {
         node_id: NodeId,
         sched: &mut tango_simcore::engine::Scheduler<'_, Event>,
     ) {
+        if self.fault_state.is_down(node_id) {
+            return; // the wait queue was drained back at crash time
+        }
         let now = sched.now();
         let mut admitted_any = false;
         while let Some(&rid) = self.node_wait[node_id.index()].front() {
@@ -803,6 +912,7 @@ impl EdgeCloudSystem {
         &mut self,
         rid: RequestId,
         node_id: NodeId,
+        epoch: u64,
         sched: &mut tango_simcore::engine::Scheduler<'_, Event>,
     ) {
         let now = sched.now();
@@ -810,6 +920,16 @@ impl EdgeCloudSystem {
             return;
         };
         if req.is_done() {
+            return;
+        }
+        if self.fault_state.is_down(node_id) || self.fault_state.epoch(node_id) != epoch {
+            // The target crashed while the payload was in flight (a stale
+            // epoch means it also already recovered). Its reservation
+            // entry was wiped wholesale at crash time, so do not release
+            // anything — just bounce the request back to its scheduler.
+            self.fault_state.summary.bounced_deliveries += 1;
+            self.fault_state.summary.rescheduled += 1;
+            self.requeue_or_abandon(rid, now);
             return;
         }
         let class = req.class;
@@ -842,6 +962,9 @@ impl EdgeCloudSystem {
         sched: &mut tango_simcore::engine::Scheduler<'_, Event>,
     ) {
         let now = sched.now();
+        if self.fault_state.is_down(node_id) {
+            return; // crash bumped the generation; this check is void
+        }
         {
             let node = &mut self.nodes[node_id.index()];
             if node.generation() != generation {
@@ -861,6 +984,10 @@ impl EdgeCloudSystem {
                 match done.class {
                     ServiceClass::Lc => {
                         let within = self.catalog.get(done.service).meets_qos(latency);
+                        if !within && self.fault_state.any_fault_active() {
+                            // attribute the miss to the open fault window
+                            self.counters.on_fault_qos_violation(now);
+                        }
                         self.counters.on_lc_complete(now, latency, within);
                         self.detector.record(node_id, done.service, now, latency);
                     }
@@ -918,9 +1045,18 @@ impl EdgeCloudSystem {
             };
             self.nodes.len()
         ];
+        let down: &[bool] = self.fault_state.down_slice();
         self.pool
             .par_zip_chunks_mut(&mut self.nodes, &mut drafts, |_, nodes, drafts| {
                 for (node, draft) in nodes.iter_mut().zip(drafts.iter_mut()) {
+                    if down[node.id.index()] {
+                        // Crashed node: it advertises zero capacity (the
+                        // snapshot keeps schedulers honest between the
+                        // crash and the next sync) and contributes zero
+                        // utilization — its containers are dead.
+                        draft.available = Resources::ZERO;
+                        continue;
+                    }
                     node.advance(now);
                     let (lc_held, be_held) = node.demand_usage();
                     let cap = node.capacity();
@@ -982,6 +1118,85 @@ impl EdgeCloudSystem {
         sched.schedule_in(self.cfg.sync_interval, Event::Sync);
     }
 
+    /// Apply one compiled fault-plan event. Crashes interrupt everything
+    /// on the node and hand the work back to the schedulers; recoveries
+    /// bring the node back *cold* — stale QoS history and re-assurance
+    /// factors are forgotten so the control loops re-learn it.
+    fn on_fault(
+        &mut self,
+        fault: FaultEvent,
+        sched: &mut tango_simcore::engine::Scheduler<'_, Event>,
+    ) {
+        let now = sched.now();
+        match fault {
+            FaultEvent::NodeCrash { node } => {
+                let is_master = self.nodes[node.index()].is_master;
+                if !self.fault_state.on_crash(node, now, is_master) {
+                    return; // already down (overlapping churn draw)
+                }
+                // Everything running on the node dies; interrupted work
+                // is re-queued at its origin master (LC) or the central
+                // dispatcher (BE).
+                let interrupted = self.nodes[node.index()].crash(now);
+                for (class, rr) in interrupted {
+                    match class {
+                        ServiceClass::Lc => self.fault_state.summary.lc_interrupted += 1,
+                        ServiceClass::Be => self.fault_state.summary.be_interrupted += 1,
+                    }
+                    self.fault_state.summary.rescheduled += 1;
+                    self.requeue_or_abandon(rr.request, now);
+                }
+                // Requests waiting *at* the node (§5.2.2 R′_k) drain back
+                // to their origin queues.
+                let waiting: Vec<RequestId> = self.node_wait[node.index()].drain(..).collect();
+                self.fault_state.summary.wait_drained += waiting.len() as u64;
+                self.fault_state.summary.rescheduled += waiting.len() as u64;
+                for rid in waiting {
+                    self.requeue_or_abandon(rid, now);
+                }
+                // Wipe the in-flight reservation entry wholesale;
+                // deliveries still in the air bounce on the epoch check
+                // instead of decrementing a table that no longer exists.
+                self.reserved.remove(&node);
+            }
+            FaultEvent::NodeRecover { node } => {
+                if !self.fault_state.on_recover(node, now) {
+                    return; // was not down
+                }
+                self.nodes[node.index()].recover(now, self.cfg.faults.restart_delay);
+                // The node comes back cold: pre-crash latency windows and
+                // re-assurance factors no longer describe it.
+                self.detector.forget_node(node);
+                if let Some(r) = &mut self.reassurer {
+                    r.reset_node(node);
+                }
+                self.schedule_node_check(node, sched);
+            }
+            FaultEvent::LinkDegrade {
+                a,
+                b,
+                latency_factor,
+                bandwidth_factor,
+            } => {
+                self.topology
+                    .degrade_link(a, b, latency_factor, bandwidth_factor);
+                self.fault_state.on_link_degrade();
+            }
+            FaultEvent::LinkRestore { a, b } => {
+                self.topology.restore_link(a, b);
+                self.fault_state.on_link_restore();
+            }
+            FaultEvent::Partition { side } => {
+                self.topology.set_partition(&side);
+                self.fault_state.on_partition();
+            }
+            FaultEvent::Heal => {
+                self.topology.heal_partition();
+                self.fault_state.on_heal();
+            }
+        }
+    }
+
     // ------------------------------------------------------------------
     // driving
     // ------------------------------------------------------------------
@@ -989,6 +1204,20 @@ impl EdgeCloudSystem {
     /// Run the system for `duration`, driven by a synthesized trace, and
     /// produce the report.
     pub fn run(mut self, duration: SimTime, label: &str) -> RunReport {
+        self.run_inner(duration);
+        self.finish(label)
+    }
+
+    /// Like [`run`](Self::run), but also produce the per-request
+    /// conservation audit — the fault tests use it to prove that churn
+    /// neither loses requests nor leaves them running on dead nodes.
+    pub fn run_audited(mut self, duration: SimTime, label: &str) -> (RunReport, RunAudit) {
+        self.run_inner(duration);
+        let audit = self.audit();
+        (self.finish(label), audit)
+    }
+
+    fn run_inner(&mut self, duration: SimTime) {
         self.horizon = duration;
         let mut engine: Engine<Event> = Engine::new();
         // trace
@@ -1016,6 +1245,18 @@ impl EdgeCloudSystem {
                 },
             );
         }
+        // fault plan: compiled once, sequentially, before the engine
+        // starts — the resulting schedule is thread-count-invariant by
+        // construction
+        if !self.cfg.faults.is_empty() {
+            let layout = SystemLayout {
+                masters: self.clusters.iter().map(|c| c.master).collect(),
+                workers: self.clusters.iter().map(|c| c.workers.clone()).collect(),
+            };
+            for (at, fe) in self.cfg.faults.compile(&layout, duration) {
+                engine.schedule_at(at, Event::Fault(fe));
+            }
+        }
         // periodic drivers
         engine.schedule_at(SimTime::ZERO, Event::Sync);
         for c in 0..self.cfg.clusters {
@@ -1027,11 +1268,36 @@ impl EdgeCloudSystem {
         engine.schedule_at(self.cfg.dispatch_interval, Event::BeDispatch);
         engine.schedule_at(self.cfg.reassure_interval, Event::Reassure);
 
-        engine.run_until(&mut self, duration);
-        self.finish(label)
+        engine.run_until(self, duration);
     }
 
-    fn finish(self, label: &str) -> RunReport {
+    /// Bucket every injected request by its terminal state.
+    fn audit(&self) -> RunAudit {
+        let mut a = RunAudit {
+            total: self.requests.len() as u64,
+            ..RunAudit::default()
+        };
+        for req in self.requests.values() {
+            match req.outcome() {
+                Some(RequestOutcome::Completed) => a.completed += 1,
+                Some(RequestOutcome::Abandoned) => a.abandoned += 1,
+                Some(RequestOutcome::Failed) => a.failed += 1,
+                None => {
+                    a.pending += 1;
+                    if let RequestState::Running { target } = req.state {
+                        if self.fault_state.is_down(target) {
+                            a.running_on_down_nodes += 1;
+                        }
+                    }
+                }
+            }
+        }
+        a
+    }
+
+    fn finish(mut self, label: &str) -> RunReport {
+        self.fault_state.settle(self.horizon);
+        self.fault_state.summary.fault_qos_violations = self.counters.total_fault_qos_violations();
         let dvpa_ops = match &self.allocator {
             Allocator::Hrm(h) => h.dvpa.ops,
             Allocator::Static(_) => 0,
@@ -1048,6 +1314,7 @@ impl EdgeCloudSystem {
             periods: self.counters.periods(),
             dvpa_ops,
             be_evictions: self.be_evictions,
+            faults: self.fault_state.summary.clone(),
         }
     }
 }
@@ -1065,10 +1332,11 @@ impl EventHandler for EdgeCloudSystem {
             Event::Dispatch(cluster) => self.on_dispatch(cluster, sched),
             Event::CentralArrive(rid) => self.on_central_arrive(rid),
             Event::BeDispatch => self.on_be_dispatch(sched),
-            Event::Deliver(rid, node) => self.on_deliver(rid, node, sched),
+            Event::Deliver(rid, node, epoch) => self.on_deliver(rid, node, epoch, sched),
             Event::NodeCheck(node, generation) => self.on_node_check(node, generation, sched),
             Event::Reassure => self.on_reassure(sched),
             Event::Sync => self.on_sync(sched),
+            Event::Fault(fault) => self.on_fault(fault, sched),
         }
     }
 }

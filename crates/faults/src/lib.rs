@@ -1,0 +1,24 @@
+//! Deterministic fault injection for the Tango simulation.
+//!
+//! The edge's defining property is that nodes crash, links degrade and
+//! masters disappear. This crate turns those misbehaviours into ordinary
+//! simulation events: a [`FaultPlan`] combines explicit timed faults
+//! (crash/recover, link degrade/restore, partition/heal, master failover)
+//! with seeded stochastic churn generators (exponential MTTF/MTTR over
+//! [`tango_simcore::SimRng`] streams) and compiles — sequentially, before
+//! the event loop starts — into a sorted schedule of [`FaultEvent`]s.
+//! Because compilation never touches the worker pool, any fault scenario
+//! replays bit-identically at any `TANGO_THREADS` setting.
+//!
+//! At run time [`FaultState`] tracks which nodes are down, stamps each
+//! crash with a new *epoch* (so in-flight deliveries addressed to the
+//! pre-crash node can be detected and bounced), and accumulates the
+//! [`FaultSummary`] that the run report surfaces: crashes, recoveries,
+//! interrupted/rescheduled requests, total downtime and the QoS
+//! violations that land inside a fault window.
+
+mod plan;
+mod state;
+
+pub use plan::{FaultEvent, FaultPlan, NodeChurn, NodeRef, SystemLayout};
+pub use state::{FaultState, FaultSummary};

@@ -1,0 +1,220 @@
+//! Runtime fault bookkeeping: which nodes are down, crash epochs, and the
+//! summary the run report surfaces.
+
+use tango_types::{NodeId, SimTime};
+
+/// Aggregated fault accounting for a run. All counters are cumulative;
+/// [`FaultState::settle`] folds still-open downtime in at the horizon.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultSummary {
+    /// Node crashes executed (idempotent duplicates not counted).
+    pub node_crashes: u64,
+    /// Node recoveries executed.
+    pub node_recoveries: u64,
+    /// Crashes that hit a cluster master (failover routing engaged).
+    pub master_failovers: u64,
+    /// Link degradations applied.
+    pub links_degraded: u64,
+    /// Link restorations applied.
+    pub links_restored: u64,
+    /// Partitions applied.
+    pub partitions: u64,
+    /// Partitions healed.
+    pub heals: u64,
+    /// LC requests interrupted mid-execution by a crash.
+    pub lc_interrupted: u64,
+    /// BE requests interrupted mid-execution by a crash.
+    pub be_interrupted: u64,
+    /// Requests drained out of a crashed node's wait queue.
+    pub wait_drained: u64,
+    /// In-flight deliveries that bounced off a crashed target.
+    pub bounced_deliveries: u64,
+    /// Total requests pushed back into scheduling queues because of a
+    /// fault (interrupted + drained + bounced); some of these may later
+    /// exhaust their requeue budget and fail.
+    pub rescheduled: u64,
+    /// Dispatch decisions that targeted a down node. The candidate
+    /// masking makes this impossible; it is counted (rather than assumed)
+    /// so the invariant tests can assert it stays zero.
+    pub down_node_dispatches: u64,
+    /// Sum of per-node downtime over the run.
+    pub total_downtime: SimTime,
+    /// LC completions that missed their QoS target while a fault (node
+    /// down, link degraded, or partition) was active.
+    pub fault_qos_violations: u64,
+}
+
+/// Live fault state, indexed by node.
+#[derive(Debug, Clone)]
+pub struct FaultState {
+    down: Vec<bool>,
+    down_since: Vec<SimTime>,
+    /// Bumped on every crash: deliveries scheduled before the crash carry
+    /// the old epoch and are bounced instead of touching post-recovery
+    /// reservations.
+    epochs: Vec<u64>,
+    down_count: u32,
+    active_link_faults: u32,
+    partition_active: bool,
+    /// Cumulative fault accounting.
+    pub summary: FaultSummary,
+}
+
+impl FaultState {
+    /// State for a system of `n_nodes` nodes, all up.
+    pub fn new(n_nodes: usize) -> Self {
+        FaultState {
+            down: vec![false; n_nodes],
+            down_since: vec![SimTime::ZERO; n_nodes],
+            epochs: vec![0; n_nodes],
+            down_count: 0,
+            active_link_faults: 0,
+            partition_active: false,
+            summary: FaultSummary::default(),
+        }
+    }
+
+    /// Whether a node is currently down.
+    pub fn is_down(&self, node: NodeId) -> bool {
+        self.down[node.index()]
+    }
+
+    /// The node's current crash epoch.
+    pub fn epoch(&self, node: NodeId) -> u64 {
+        self.epochs[node.index()]
+    }
+
+    /// Down flags in node order (for bulk masking).
+    pub fn down_slice(&self) -> &[bool] {
+        &self.down
+    }
+
+    /// Whether any fault (down node, degraded link, partition) is active —
+    /// the "fault window" that QoS violations are attributed to.
+    pub fn any_fault_active(&self) -> bool {
+        self.down_count > 0 || self.active_link_faults > 0 || self.partition_active
+    }
+
+    /// Register a crash. Returns `false` (no-op) if the node is already
+    /// down — churn and timed events may race benignly.
+    pub fn on_crash(&mut self, node: NodeId, now: SimTime, is_master: bool) -> bool {
+        let i = node.index();
+        if self.down[i] {
+            return false;
+        }
+        self.down[i] = true;
+        self.down_since[i] = now;
+        self.epochs[i] += 1;
+        self.down_count += 1;
+        self.summary.node_crashes += 1;
+        if is_master {
+            self.summary.master_failovers += 1;
+        }
+        true
+    }
+
+    /// Register a recovery. Returns `false` if the node was not down.
+    pub fn on_recover(&mut self, node: NodeId, now: SimTime) -> bool {
+        let i = node.index();
+        if !self.down[i] {
+            return false;
+        }
+        self.down[i] = false;
+        self.down_count -= 1;
+        self.summary.node_recoveries += 1;
+        self.summary.total_downtime += now.saturating_since(self.down_since[i]);
+        true
+    }
+
+    /// Register a link degradation.
+    pub fn on_link_degrade(&mut self) {
+        self.active_link_faults += 1;
+        self.summary.links_degraded += 1;
+    }
+
+    /// Register a link restoration.
+    pub fn on_link_restore(&mut self) {
+        self.active_link_faults = self.active_link_faults.saturating_sub(1);
+        self.summary.links_restored += 1;
+    }
+
+    /// Register a partition.
+    pub fn on_partition(&mut self) {
+        self.partition_active = true;
+        self.summary.partitions += 1;
+    }
+
+    /// Register a heal.
+    pub fn on_heal(&mut self) {
+        self.partition_active = false;
+        self.summary.heals += 1;
+    }
+
+    /// Fold downtime of nodes still down at the horizon into the summary.
+    pub fn settle(&mut self, horizon: SimTime) {
+        for i in 0..self.down.len() {
+            if self.down[i] {
+                self.summary.total_downtime += horizon.saturating_since(self.down_since[i]);
+                // keep the node marked down; settle is terminal
+                self.down_since[i] = horizon;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_recover_tracks_downtime_and_epochs() {
+        let mut s = FaultState::new(4);
+        assert!(!s.any_fault_active());
+        assert!(s.on_crash(NodeId(2), SimTime::from_secs(1), false));
+        assert!(s.is_down(NodeId(2)));
+        assert_eq!(s.epoch(NodeId(2)), 1);
+        assert!(s.any_fault_active());
+        // duplicate crash is a no-op
+        assert!(!s.on_crash(NodeId(2), SimTime::from_secs(2), false));
+        assert_eq!(s.summary.node_crashes, 1);
+        assert!(s.on_recover(NodeId(2), SimTime::from_secs(4)));
+        assert!(!s.is_down(NodeId(2)));
+        assert!(!s.any_fault_active());
+        assert_eq!(s.summary.total_downtime, SimTime::from_secs(3));
+        // recover of an up node is a no-op
+        assert!(!s.on_recover(NodeId(2), SimTime::from_secs(5)));
+        // a second crash bumps the epoch again
+        assert!(s.on_crash(NodeId(2), SimTime::from_secs(6), true));
+        assert_eq!(s.epoch(NodeId(2)), 2);
+        assert_eq!(s.summary.master_failovers, 1);
+    }
+
+    #[test]
+    fn settle_accounts_open_downtime() {
+        let mut s = FaultState::new(2);
+        s.on_crash(NodeId(0), SimTime::from_secs(7), false);
+        s.settle(SimTime::from_secs(10));
+        assert_eq!(s.summary.total_downtime, SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn link_and_partition_windows_nest() {
+        let mut s = FaultState::new(1);
+        s.on_link_degrade();
+        s.on_partition();
+        assert!(s.any_fault_active());
+        s.on_link_restore();
+        assert!(s.any_fault_active());
+        s.on_heal();
+        assert!(!s.any_fault_active());
+        assert_eq!(
+            (
+                s.summary.links_degraded,
+                s.summary.links_restored,
+                s.summary.partitions,
+                s.summary.heals
+            ),
+            (1, 1, 1, 1)
+        );
+    }
+}

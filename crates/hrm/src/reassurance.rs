@@ -92,6 +92,13 @@ impl Reassurer {
         base.scale_f64(f).max(&Resources::new(1, 1, 0, 0))
     }
 
+    /// Drop all factors for a node, returning every service to 1.0. A
+    /// node recovering from a crash restarts with fresh containers, so the
+    /// pre-crash adjustment history no longer describes it.
+    pub fn reset_node(&mut self, node: NodeId) {
+        self.factors.retain(|(n, _), _| *n != node);
+    }
+
     /// Run Algorithm 1 over every (node, service) pair with samples in the
     /// detector's window, using `targets` for γ lookup. Returns the
     /// adjustments made this tick.
@@ -180,6 +187,16 @@ mod tests {
         let mut r = Reassurer::new(ReassuranceConfig::default());
         let adj = r.tick(&mut d, &targets, ms(50));
         assert!(adj.is_empty());
+        assert_eq!(r.factor(NodeId(1), ServiceId(0)), 1.0);
+    }
+
+    #[test]
+    fn reset_node_returns_factors_to_one() {
+        let mut d = detector_with(1, 0, 290);
+        let mut r = Reassurer::new(ReassuranceConfig::default());
+        r.tick(&mut d, &targets, ms(50));
+        assert!(r.factor(NodeId(1), ServiceId(0)) > 1.0);
+        r.reset_node(NodeId(1));
         assert_eq!(r.factor(NodeId(1), ServiceId(0)), 1.0);
     }
 

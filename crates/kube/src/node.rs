@@ -392,6 +392,37 @@ impl Node {
         Ok(interrupted)
     }
 
+    /// Crash the node: every container is killed (interrupting all
+    /// running requests, uncharging their incompressibles, bumping
+    /// restart counts) and left unavailable until recovery re-arms it.
+    /// Returns the interrupted requests with their service class — the
+    /// system decides whether each one fails or is rescheduled.
+    pub fn crash(&mut self, now: SimTime) -> Vec<(ServiceClass, RunningRequest)> {
+        let mut out = Vec::new();
+        for ctr in self.container_ids() {
+            let class = self
+                .container(ctr)
+                .map(|c| c.class)
+                .unwrap_or(ServiceClass::Be);
+            if let Ok(interrupted) = self.kill_container(ctr, now, SimTime::MAX) {
+                out.extend(interrupted.into_iter().map(|r| (class, r)));
+            }
+        }
+        out
+    }
+
+    /// Bring a crashed node back: every container restarts cold and
+    /// starts accepting work `restart_delay` after `now` (the eviction-
+    /// restart interplay — a recovering node looks exactly like one whose
+    /// containers were all just rebuilt).
+    pub fn recover(&mut self, now: SimTime, restart_delay: SimTime) {
+        self.advance(now);
+        let ready = now + restart_delay;
+        for ctr in self.container_ids() {
+            self.set_unavailable_until(ctr, ready);
+        }
+    }
+
     /// Demand-based usage: (LC-held, BE-held) resources summed over
     /// running requests. This is what the state storage reports and the
     /// §4.1 regulations reason over.
@@ -528,6 +559,32 @@ mod tests {
         assert!(n
             .deploy_service(&s, Resources::cpu_mem(100, 100), SimTime::ZERO)
             .is_err());
+    }
+
+    #[test]
+    fn crash_interrupts_everything_and_recover_rearms_after_delay() {
+        let (mut n, ctr, s) = node_with_service();
+        n.admit(
+            RequestId(1),
+            s.id,
+            s.min_request,
+            s.work_milli_ms,
+            SimTime::ZERO,
+        )
+        .unwrap();
+        let gen_before = n.generation();
+        let interrupted = n.crash(SimTime::from_millis(10));
+        assert_eq!(interrupted.len(), 1);
+        assert_eq!(interrupted[0].0, ServiceClass::Lc);
+        assert_eq!(interrupted[0].1.request, RequestId(1));
+        assert!(n.generation() > gen_before);
+        // down: no container accepts work, nothing completes
+        assert!(!n.is_available(ctr, SimTime::from_secs(1_000)));
+        assert_eq!(n.next_completion(SimTime::from_secs(1)), None);
+        // recover: cold restart, ready after the delay
+        n.recover(SimTime::from_secs(2), SimTime::from_millis(200));
+        assert!(!n.is_available(ctr, SimTime::from_secs(2)));
+        assert!(n.is_available(ctr, SimTime::from_secs(2) + SimTime::from_millis(200)));
     }
 
     #[test]

@@ -32,6 +32,9 @@ pub struct PeriodRecord {
     pub util_be: f64,
     /// p95 latency of LC completions in this period, ms (0 when none).
     pub lc_p95_ms: f64,
+    /// LC completions that missed their QoS target while a fault (node
+    /// down, link degraded, partition) was active in this period.
+    pub fault_qos_violations: u64,
 }
 
 #[derive(Debug, Clone, Default)]
@@ -44,6 +47,7 @@ struct Accum {
     util_sum: (f64, f64, f64),
     util_samples: u64,
     lc_latencies_us: Vec<u64>,
+    fault_qos_violations: u64,
 }
 
 /// Period-bucketed experiment counters.
@@ -99,6 +103,16 @@ impl ExperimentCounters {
     /// A request was abandoned.
     pub fn on_abandon(&mut self, at: SimTime) {
         self.bucket(at).abandoned += 1;
+    }
+
+    /// An LC completion missed its QoS target inside a fault window.
+    pub fn on_fault_qos_violation(&mut self, at: SimTime) {
+        self.bucket(at).fault_qos_violations += 1;
+    }
+
+    /// Total QoS violations attributable to fault windows.
+    pub fn total_fault_qos_violations(&self) -> u64 {
+        self.buckets.iter().map(|b| b.fault_qos_violations).sum()
     }
 
     /// Record a utilization sample (overall, LC share, BE share), each in
@@ -198,6 +212,7 @@ impl ExperimentCounters {
                     util_lc: b.util_sum.1 / n,
                     util_be: b.util_sum.2 / n,
                     lc_p95_ms: p95,
+                    fault_qos_violations: b.fault_qos_violations,
                 }
             })
             .collect()
@@ -277,6 +292,18 @@ mod tests {
         let p = c.periods();
         assert!((p[0].lc_p95_ms - 95.0).abs() < 1e-9);
         assert!((c.overall_lc_p95_ms() - 95.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fault_qos_violations_bucket_and_sum() {
+        let mut c = ExperimentCounters::paper_default();
+        c.on_fault_qos_violation(ms(100)); // period 0
+        c.on_fault_qos_violation(ms(900)); // period 1
+        c.on_fault_qos_violation(ms(950)); // period 1
+        let p = c.periods();
+        assert_eq!(p[0].fault_qos_violations, 1);
+        assert_eq!(p[1].fault_qos_violations, 2);
+        assert_eq!(c.total_fault_qos_violations(), 3);
     }
 
     #[test]

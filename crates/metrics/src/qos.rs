@@ -74,6 +74,13 @@ impl QosDetector {
         Some(slack_score(tail, target))
     }
 
+    /// Drop all latency history for a node. Called when the node crashes:
+    /// whatever tail-latency behaviour it had before the fault says
+    /// nothing about the recovered instance, which re-admits cold.
+    pub fn forget_node(&mut self, node: NodeId) {
+        self.windows.retain(|(n, _), _| *n != node);
+    }
+
     /// All (node, service) pairs with at least one sample in their window.
     pub fn active_pairs(&mut self, now: SimTime) -> Vec<(NodeId, ServiceId)> {
         let mut pairs: Vec<(NodeId, ServiceId)> = self
@@ -126,6 +133,18 @@ mod tests {
         // node 1 healthy, node 2 violating a 300ms target
         assert!(d.slack(n1, s, ms(300), t).unwrap() > 0.0);
         assert!(d.slack(n2, s, ms(300), t).unwrap() < 0.0);
+    }
+
+    #[test]
+    fn forget_node_drops_only_that_nodes_history() {
+        let mut d = QosDetector::paper_default();
+        let (n1, n2) = (NodeId(1), NodeId(2));
+        let s = ServiceId(0);
+        d.record(n1, s, ms(10), ms(100));
+        d.record(n2, s, ms(10), ms(400));
+        d.forget_node(n1);
+        assert_eq!(d.tail(n1, s, ms(50)), None);
+        assert_eq!(d.tail(n2, s, ms(50)), Some(ms(400)));
     }
 
     #[test]

@@ -70,6 +70,11 @@ pub struct NetworkTopology {
     /// bandwidth[i][j] in Mbps.
     bandwidth: Vec<Vec<u64>>,
     lan_latency: SimTime,
+    /// Fault overlay: per-pair (latency multiplier, bandwidth divisor),
+    /// keyed by the ordered pair. Empty on the no-fault hot path.
+    degraded: Vec<((u32, u32), (f64, f64))>,
+    /// Active partition: side flag per cluster; `None` when healed.
+    partition: Option<Vec<bool>>,
 }
 
 impl NetworkTopology {
@@ -106,6 +111,8 @@ impl NetworkTopology {
             one_way,
             bandwidth,
             lan_latency: cfg.lan_latency,
+            degraded: Vec::new(),
+            partition: None,
         }
     }
 
@@ -134,12 +141,37 @@ impl NetworkTopology {
         }
     }
 
-    /// One-way latency between two clusters (LAN latency within a cluster).
+    fn ordered(a: ClusterId, b: ClusterId) -> (u32, u32) {
+        let (x, y) = (a.raw(), b.raw());
+        if x <= y {
+            (x, y)
+        } else {
+            (y, x)
+        }
+    }
+
+    fn degradation(&self, a: ClusterId, b: ClusterId) -> Option<(f64, f64)> {
+        if self.degraded.is_empty() {
+            return None;
+        }
+        let key = Self::ordered(a, b);
+        self.degraded
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, f)| *f)
+    }
+
+    /// One-way latency between two clusters (LAN latency within a
+    /// cluster), including any active link degradation.
     pub fn one_way_latency(&self, a: ClusterId, b: ClusterId) -> SimTime {
-        if a == b {
+        let base = if a == b {
             self.lan_latency
         } else {
             self.one_way[a.index()][b.index()]
+        };
+        match self.degradation(a, b) {
+            Some((lat, _)) => SimTime::from_micros((base.as_micros() as f64 * lat).round() as u64),
+            None => base,
         }
     }
 
@@ -149,12 +181,17 @@ impl NetworkTopology {
         one + one
     }
 
-    /// Link bandwidth between two clusters, Mbps.
+    /// Link bandwidth between two clusters, Mbps, including any active
+    /// link degradation.
     pub fn bandwidth_mbps(&self, a: ClusterId, b: ClusterId) -> u64 {
-        if a == b {
+        let base = if a == b {
             self.bandwidth[a.index()][a.index()]
         } else {
             self.bandwidth[a.index()][b.index()]
+        };
+        match self.degradation(a, b) {
+            Some((_, bw)) if bw > 1.0 => ((base as f64 / bw) as u64).max(1),
+            _ => base,
         }
     }
 
@@ -165,6 +202,61 @@ impl NetworkTopology {
         // bits = KiB * 1024 * 8; time_us = bits / (Mbps * 1e6) * 1e6 = bits / Mbps
         let ser_us = payload_kib.saturating_mul(8_192) / bw;
         prop + SimTime::from_micros(ser_us)
+    }
+
+    /// Degrade the `a`–`b` link: one-way latency is multiplied by
+    /// `latency_factor`, bandwidth divided by `bandwidth_factor`. A second
+    /// degradation of the same pair replaces the first (factors do not
+    /// stack — faults are states, not deltas).
+    pub fn degrade_link(
+        &mut self,
+        a: ClusterId,
+        b: ClusterId,
+        latency_factor: f64,
+        bandwidth_factor: f64,
+    ) {
+        let key = Self::ordered(a, b);
+        let factors = (latency_factor.max(1.0), bandwidth_factor.max(1.0));
+        match self.degraded.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, f)) => *f = factors,
+            None => self.degraded.push((key, factors)),
+        }
+    }
+
+    /// Remove any degradation on the `a`–`b` link.
+    pub fn restore_link(&mut self, a: ClusterId, b: ClusterId) {
+        let key = Self::ordered(a, b);
+        self.degraded.retain(|(k, _)| *k != key);
+    }
+
+    /// Partition the WAN: clusters in `side` can no longer reach the
+    /// rest (traffic within either side, and within a cluster, still
+    /// flows). A new partition replaces the previous one.
+    pub fn set_partition(&mut self, side: &[ClusterId]) {
+        let mut flags = vec![false; self.len()];
+        for c in side {
+            if c.index() < flags.len() {
+                flags[c.index()] = true;
+            }
+        }
+        self.partition = Some(flags);
+    }
+
+    /// Heal the active partition.
+    pub fn heal_partition(&mut self) {
+        self.partition = None;
+    }
+
+    /// Whether traffic can flow between two clusters under the active
+    /// partition (always true within a cluster).
+    pub fn is_reachable(&self, a: ClusterId, b: ClusterId) -> bool {
+        if a == b {
+            return true;
+        }
+        match &self.partition {
+            Some(flags) => flags[a.index()] == flags[b.index()],
+            None => true,
+        }
     }
 
     /// Geographic distance between clusters, km.
@@ -305,6 +397,53 @@ mod tests {
         for i in 0..9u32 {
             assert!(central_sum <= sum(ClusterId(i)) + 1e-9);
         }
+    }
+
+    #[test]
+    fn degraded_link_inflates_latency_and_deflates_bandwidth() {
+        let mut t = topo(4, 8);
+        let (a, b) = (ClusterId(0), ClusterId(3));
+        let base_lat = t.one_way_latency(a, b);
+        let base_bw = t.bandwidth_mbps(a, b);
+        let base_xfer = t.transfer_time(a, b, 1_024);
+        t.degrade_link(a, b, 4.0, 2.0);
+        assert_eq!(
+            t.one_way_latency(a, b).as_micros(),
+            (base_lat.as_micros() as f64 * 4.0).round() as u64
+        );
+        assert_eq!(t.bandwidth_mbps(a, b), base_bw / 2);
+        // symmetric, and transfer time inflates end to end
+        assert_eq!(t.one_way_latency(b, a), t.one_way_latency(a, b));
+        assert!(t.transfer_time(a, b, 1_024) > base_xfer);
+        // other pairs untouched
+        assert_eq!(
+            t.one_way_latency(ClusterId(1), ClusterId(2)),
+            topo(4, 8).one_way_latency(ClusterId(1), ClusterId(2))
+        );
+        // re-degrading replaces, restoring returns to baseline exactly
+        t.degrade_link(b, a, 2.0, 1.0);
+        assert_eq!(
+            t.one_way_latency(a, b).as_micros(),
+            (base_lat.as_micros() as f64 * 2.0).round() as u64
+        );
+        t.restore_link(a, b);
+        assert_eq!(t.one_way_latency(a, b), base_lat);
+        assert_eq!(t.bandwidth_mbps(a, b), base_bw);
+    }
+
+    #[test]
+    fn partition_blocks_cross_side_reachability_only() {
+        let mut t = topo(5, 13);
+        assert!(t.is_reachable(ClusterId(0), ClusterId(4)));
+        t.set_partition(&[ClusterId(0), ClusterId(1)]);
+        assert!(!t.is_reachable(ClusterId(0), ClusterId(4)));
+        assert!(!t.is_reachable(ClusterId(2), ClusterId(1)));
+        assert!(t.is_reachable(ClusterId(0), ClusterId(1)));
+        assert!(t.is_reachable(ClusterId(2), ClusterId(3)));
+        // within a cluster always reachable
+        assert!(t.is_reachable(ClusterId(0), ClusterId(0)));
+        t.heal_partition();
+        assert!(t.is_reachable(ClusterId(0), ClusterId(4)));
     }
 
     #[test]

@@ -85,12 +85,13 @@ pub fn build_graph(demand: &Resources, nodes: &[CandidateNode]) -> FeatureGraph 
     g
 }
 
-/// The policy-context filter c_t: node i is valid iff its idle resources
-/// satisfy the request.
+/// The policy-context filter c_t: node i is valid iff it is up and its
+/// idle resources satisfy the request. Dead nodes are never a valid
+/// action, even when the resource-feasibility filter is ablated off.
 pub fn context_mask(demand: &Resources, nodes: &[CandidateNode]) -> Vec<bool> {
     nodes
         .iter()
-        .map(|c| demand.fits_within(&c.available_be))
+        .map(|c| c.alive && demand.fits_within(&c.available_be))
         .collect()
 }
 
@@ -179,7 +180,7 @@ impl BeScheduler for DcgBe {
         let mask = if self.context_filter {
             context_mask(demand, nodes)
         } else {
-            vec![true; nodes.len()]
+            nodes.iter().map(|c| c.alive).collect()
         };
         let idx = self.agent.act(&graph, &mask)?;
         Some(nodes[idx].node)
@@ -190,7 +191,7 @@ impl BeScheduler for DcgBe {
         let mask = if self.context_filter {
             context_mask(next_demand, next_nodes)
         } else {
-            vec![true; next_nodes.len()]
+            next_nodes.iter().map(|c| c.alive).collect()
         };
         self.agent.observe(reward, &graph, &mask, false);
     }
@@ -250,7 +251,7 @@ impl BeScheduler for GreedyBe {
     fn schedule(&mut self, demand: &Resources, nodes: &[CandidateNode]) -> Option<NodeId> {
         nodes
             .iter()
-            .filter(|c| demand.fits_within(&c.available_be))
+            .filter(|c| c.alive && demand.fits_within(&c.available_be))
             .max_by(|a, b| {
                 let fa = a.available_be.utilization_against(&a.total);
                 let fb = b.available_be.utilization_against(&b.total);
@@ -277,7 +278,7 @@ impl BeScheduler for RoundRobinBe {
         let n = nodes.len();
         for off in 0..n {
             let i = (self.cursor + off) % n;
-            if demand.fits_within(&nodes[i].available_be) {
+            if nodes[i].alive && demand.fits_within(&nodes[i].available_be) {
                 self.cursor = (i + 1) % n;
                 return Some(nodes[i].node);
             }
@@ -322,6 +323,30 @@ mod tests {
         let rich = cand(2, 8, 1);
         let mask = context_mask(&demand(), &[poor, rich]);
         assert_eq!(mask, vec![false, true]);
+    }
+
+    #[test]
+    fn context_mask_excludes_dead_nodes() {
+        let mut dead = cand(1, 8, 1);
+        dead.alive = false;
+        let mask = context_mask(&demand(), &[dead, cand(2, 8, 1)]);
+        assert_eq!(mask, vec![false, true]);
+    }
+
+    #[test]
+    fn baselines_never_pick_dead_nodes() {
+        let mut dead = cand(1, 8, 1);
+        dead.alive = false;
+        let nodes = vec![dead, cand(2, 8, 1)];
+        assert_eq!(GreedyBe.schedule(&demand(), &nodes), Some(NodeId(2)));
+        let mut rr = RoundRobinBe::default();
+        for _ in 0..4 {
+            assert_eq!(rr.schedule(&demand(), &nodes), Some(NodeId(2)));
+        }
+        let mut only_dead = nodes;
+        only_dead.truncate(1);
+        assert_eq!(GreedyBe.schedule(&demand(), &only_dead), None);
+        assert_eq!(rr.schedule(&demand(), &only_dead), None);
     }
 
     #[test]

@@ -148,7 +148,7 @@ impl DssLc {
     /// retained for cross-validation and for extended formulations
     /// (inter-node relay edges, MPLS/OSPF-style constraints, §5.2.2).
     /// One-shot form; the hot path is [`Self::route_mcmf_pooled`]. Both
-    /// entry points run [`Self::route_mcmf_into`] on a `DispatchScratch`
+    /// entry points run `route_mcmf_into` on a `DispatchScratch`
     /// — the one-shot form simply pays for a cold one — so their graph
     /// setup cannot drift apart.
     pub fn route_mcmf(batch: &TypeBatch, capacities: &[u64], demand: u64) -> Vec<(usize, u64)> {
@@ -261,7 +261,7 @@ impl DssLc {
     /// *sequentially, in batch order, before the fan-out*, and the plans
     /// are merged back in batch order, so the result is bit-identical
     /// for every thread count. Each worker carries one
-    /// [`DispatchScratch`], so a warm fan-out allocates only the forked
+    /// `DispatchScratch`, so a warm fan-out allocates only the forked
     /// RNGs and the plans themselves.
     pub fn plan_many(&mut self, batches: &[TypeBatch], pool: &Pool) -> Vec<LcPlan> {
         let rngs: Vec<SimRng> = batches.iter().map(|_| self.rng.fork()).collect();
@@ -373,7 +373,7 @@ impl DssLc {
 /// Per-batch ρ(·) streams are forked sequentially in (master, type)
 /// order before the fan-out and plans are merged back in the same
 /// order, so the result is bit-identical for every thread count. Each
-/// worker reuses one [`DispatchScratch`] across its chunk.
+/// worker reuses one `DispatchScratch` across its chunk.
 pub fn plan_masters(
     scheds: &mut [DssLc],
     batches: &[Vec<TypeBatch>],
@@ -442,6 +442,27 @@ mod tests {
         assert_eq!(p.immediate.len(), 6);
         assert!(p.queued.is_empty());
         assert!(p.unrouted.is_empty());
+    }
+
+    #[test]
+    fn dead_nodes_are_masked_out_of_the_dispatch_graph() {
+        let mut s = DssLc::new(11);
+        // the near node is down: everything must route to the far one,
+        // and the λ-augmented overflow must not lean on dead capacity
+        let mut near = cand(1, 10, 1);
+        near.alive = false;
+        let b = batch(6, vec![near, cand(2, 4, 50)]);
+        let p = s.plan(&b);
+        assert!(
+            p.immediate
+                .iter()
+                .chain(p.queued.iter())
+                .all(|&(_, n)| n == NodeId(2)),
+            "placed on a dead node: {:?} / {:?}",
+            p.immediate,
+            p.queued
+        );
+        assert_eq!(p.immediate.len() + p.queued.len() + p.unrouted.len(), 6);
     }
 
     #[test]

@@ -33,13 +33,21 @@ pub struct CandidateNode {
     pub link_capacity: u32,
     /// Current QoS slack δ on this node for the type (1.0 when unknown).
     pub slack: f64,
+    /// Whether the node is up. The dispatcher already filters crashed
+    /// nodes out of candidate sets; schedulers additionally mask dead
+    /// nodes (zero capacity, excluded from action spaces) so a stale view
+    /// can never route work onto a down node.
+    pub alive: bool,
 }
 
 impl CandidateNode {
     /// Eq. 2 capacity: how many requests of this type the node can host
     /// right now, `min(r_ava^c / r^c, r_ava^m / r^m)`, using the LC or BE
-    /// availability view.
+    /// availability view. Dead nodes have no capacity.
     pub fn capacity_now(&self, lc_view: bool) -> u64 {
+        if !self.alive {
+            return 0;
+        }
         let avail = if lc_view {
             self.available_lc
         } else {
@@ -49,7 +57,12 @@ impl CandidateNode {
     }
 
     /// Eq. 7 capacity basis: the same ratio against *total* resources.
+    /// Dead nodes contribute nothing to the λ-augmented basis either —
+    /// §5.2.2 overflow must route around lost capacity, not into it.
     pub fn capacity_total(&self) -> u64 {
+        if !self.alive {
+            return 0;
+        }
         self.total.capacity_for(&self.min_request)
     }
 }
@@ -106,6 +119,7 @@ pub(crate) mod test_support {
             delay: SimTime::from_millis(delay_ms),
             link_capacity: 1_000,
             slack: 1.0,
+            alive: true,
         }
     }
 
@@ -134,5 +148,14 @@ mod tests {
         let c = cand(1, 2, 10);
         // total 8000m/16384Mi over 500m/256Mi -> min(16, 64) = 16
         assert_eq!(c.capacity_total(), 16);
+    }
+
+    #[test]
+    fn dead_nodes_have_zero_capacity() {
+        let mut c = cand(1, 4, 10);
+        c.alive = false;
+        assert_eq!(c.capacity_now(true), 0);
+        assert_eq!(c.capacity_now(false), 0);
+        assert_eq!(c.capacity_total(), 0);
     }
 }

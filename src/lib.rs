@@ -5,6 +5,7 @@
 
 pub use tango;
 pub use tango_cgroup as cgroup;
+pub use tango_faults as faults;
 pub use tango_flow as flow;
 pub use tango_gnn as gnn;
 pub use tango_hrm as hrm;

@@ -1,0 +1,146 @@
+//! End-to-end fault-injection tests: the tango-faults subsystem wired
+//! through the whole system must (a) never lose a request or leave one
+//! on a dead node, (b) actually reroute interrupted work, and (c) stay
+//! bit-identical across thread counts even under heavy churn.
+
+use tango::{
+    BePolicy, EdgeCloudSystem, FaultPlan, LcPolicy, NodeRef, RunAudit, RunReport, TangoConfig,
+};
+use tango_types::{ClusterId, SimTime};
+
+/// The acceptance scenario from the issue: at least three node crashes
+/// (two timed + staggered recoveries, plus seeded churn on top) and one
+/// link degradation, on the physical-testbed layout.
+fn churn_cfg(threads: Option<usize>) -> TangoConfig {
+    let mut cfg = TangoConfig::physical_testbed();
+    cfg.clusters = 3;
+    cfg.topology.clusters = 3;
+    cfg.workload.lc_rps = 90.0;
+    cfg.workload.be_rps = 12.0;
+    cfg.lc_policy = LcPolicy::DssLc;
+    cfg.be_policy = BePolicy::LoadGreedy;
+    cfg.parallelism = threads;
+    cfg.faults = FaultPlan::new()
+        .crash_for(
+            SimTime::from_secs(1),
+            NodeRef::Worker {
+                cluster: ClusterId(0),
+                index: 0,
+            },
+            SimTime::from_secs(2),
+        )
+        .crash_for(
+            SimTime::from_secs(2),
+            NodeRef::Worker {
+                cluster: ClusterId(1),
+                index: 1,
+            },
+            SimTime::from_secs(3),
+        )
+        .degrade_link_for(
+            SimTime::from_secs(3),
+            ClusterId(0),
+            ClusterId(2),
+            8.0,
+            4.0,
+            SimTime::from_secs(4),
+        )
+        .node_churn(SimTime::from_secs(6), SimTime::from_secs(1), 0xFA117)
+        .master_failover(SimTime::from_secs(5), ClusterId(2), SimTime::from_secs(2));
+    cfg
+}
+
+fn run_churn(threads: usize) -> (RunReport, RunAudit) {
+    EdgeCloudSystem::new(churn_cfg(Some(threads))).run_audited(SimTime::from_secs(10), "churn")
+}
+
+#[test]
+fn churn_conserves_every_request_and_never_uses_down_nodes() {
+    let (report, audit) = run_churn(1);
+    let f = &report.faults;
+
+    // the scenario actually happened: ≥ 3 crashes, a degraded link, a
+    // master failover window, real downtime, real rescheduling
+    assert!(f.node_crashes >= 3, "only {} crashes", f.node_crashes);
+    assert!(f.links_degraded >= 1);
+    assert!(f.master_failovers >= 1);
+    assert!(f.total_downtime > SimTime::ZERO);
+    assert!(f.rescheduled > 0, "no interrupted work was rescheduled");
+
+    // the system survived it: work still completes end to end
+    assert!(report.lc_arrived > 100, "workload too small");
+    assert!(report.lc_completed > 0);
+    assert!(report.be_throughput > 0);
+
+    // invariant 1: nothing is ever dispatched to a node known dead
+    assert_eq!(f.down_node_dispatches, 0, "dispatch to a down node");
+    // invariant 2: no request is left running on a dead node
+    assert_eq!(audit.running_on_down_nodes, 0, "{audit:?}");
+    // invariant 3: conservation — every arrival is in exactly one bucket
+    assert!(
+        audit.conserved(),
+        "requests lost or double-counted: {audit:?}"
+    );
+    assert_eq!(audit.total, report.lc_arrived + be_total(&report, &audit));
+}
+
+/// BE arrivals are not separately reported, so recover them from the
+/// audit identity instead of trusting a second counter.
+fn be_total(report: &RunReport, audit: &RunAudit) -> u64 {
+    audit.total - report.lc_arrived
+}
+
+#[test]
+fn churn_heavy_run_is_bit_identical_across_thread_counts() {
+    let (a_report, a_audit) = run_churn(1);
+    let (b_report, b_audit) = run_churn(4);
+    assert!(a_report.faults.node_crashes >= 3, "scenario too calm");
+    assert_eq!(a_audit, b_audit);
+    assert_eq!(a_report.faults, b_report.faults);
+    // Debug formatting of f64 is value-exact (shortest round-trip), so
+    // string equality here is bitwise equality of every field.
+    assert_eq!(format!("{a_report:?}"), format!("{b_report:?}"));
+}
+
+#[test]
+fn master_failover_reroutes_dispatch_through_a_stand_in() {
+    let mut cfg = TangoConfig::physical_testbed();
+    cfg.clusters = 2;
+    cfg.topology.clusters = 2;
+    cfg.workload.lc_rps = 40.0;
+    cfg.workload.be_rps = 6.0;
+    cfg.lc_policy = LcPolicy::DssLc;
+    cfg.be_policy = BePolicy::LoadGreedy;
+    // master of cluster 0 is down for the middle 4 s of a 8 s run
+    cfg.faults = FaultPlan::new().master_failover(
+        SimTime::from_secs(2),
+        ClusterId(0),
+        SimTime::from_secs(4),
+    );
+    let (report, audit) = EdgeCloudSystem::new(cfg).run_audited(SimTime::from_secs(8), "failover");
+
+    assert_eq!(report.faults.master_failovers, 1);
+    assert!(report.faults.total_downtime >= SimTime::from_secs(4));
+    // the stand-in master kept cluster 0's traffic flowing: far more
+    // completions than the calm windows alone could produce
+    assert!(
+        report.lc_completed as f64 > report.lc_arrived as f64 * 0.5,
+        "failover stalled dispatch: {}/{}",
+        report.lc_completed,
+        report.lc_arrived
+    );
+    assert!(audit.conserved());
+    assert_eq!(report.faults.down_node_dispatches, 0);
+    assert_eq!(audit.running_on_down_nodes, 0);
+}
+
+#[test]
+fn calm_weather_run_reports_zero_fault_activity() {
+    let mut cfg = TangoConfig::physical_testbed();
+    cfg.clusters = 2;
+    cfg.topology.clusters = 2;
+    cfg.be_policy = BePolicy::LoadGreedy;
+    let (report, audit) = EdgeCloudSystem::new(cfg).run_audited(SimTime::from_secs(3), "calm");
+    assert_eq!(report.faults, tango::FaultSummary::default());
+    assert!(audit.conserved());
+}

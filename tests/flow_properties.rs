@@ -123,6 +123,7 @@ fn arb_batch(rng: &mut SimRng) -> TypeBatch {
                 delay: SimTime::from_millis(1 + rng.next_below(60)),
                 link_capacity: 1 + rng.next_below(10) as u32,
                 slack: 1.0,
+                alive: true,
             }
         })
         .collect();

@@ -27,6 +27,7 @@ fn batch(service: u16, n_requests: u64, n_nodes: usize) -> TypeBatch {
             delay: SimTime::from_micros(200 + (i as u64 % 11) * 731),
             link_capacity: 16,
             slack: 1.0,
+            alive: true,
         })
         .collect();
     TypeBatch {

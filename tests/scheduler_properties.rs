@@ -30,6 +30,7 @@ fn arb_candidates(rng: &mut SimRng) -> Vec<CandidateNode> {
                 delay: SimTime::from_millis(delay_ms),
                 link_capacity: link,
                 slack: 1.0,
+                alive: true,
             }
         })
         .collect()

@@ -55,6 +55,7 @@ fn candidates(nodes: &[Node]) -> Vec<CandidateNode> {
                 delay: SimTime::from_millis(1 + n.id.raw() as u64),
                 link_capacity: 100,
                 slack: 1.0,
+                alive: true,
             }
         })
         .collect()
