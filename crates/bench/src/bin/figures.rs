@@ -553,7 +553,7 @@ fn fig13() {
     );
 }
 
-/// Ablations beyond the paper (DESIGN.md §6): each design choice toggled
+/// Ablations beyond the paper (DESIGN.md §7): each design choice toggled
 /// in isolation.
 fn ablations() {
     println!("\n### Ablations: Tango's design choices in isolation ###");

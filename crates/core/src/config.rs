@@ -276,6 +276,25 @@ impl TangoConfig {
 }
 
 #[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+
+    /// The small two-cluster configuration the core unit tests share:
+    /// fast, deterministic, non-learning policies.
+    pub(crate) fn small_cfg() -> TangoConfig {
+        let mut cfg = TangoConfig::physical_testbed();
+        cfg.clusters = 2;
+        cfg.topology.clusters = 2;
+        cfg.workload.lc_rps = 30.0;
+        cfg.workload.be_rps = 4.0;
+        // keep unit tests fast: non-learning policies by default
+        cfg.lc_policy = LcPolicy::DssLc;
+        cfg.be_policy = BePolicy::LoadGreedy;
+        cfg
+    }
+}
+
+#[cfg(test)]
 mod tests {
     use super::*;
 

@@ -1,0 +1,436 @@
+//! Dispatch stage: per-master LC dispatch rounds, BE forwarding, and the
+//! central BE dispatcher — the ➋/➌ arrows of Fig. 3.
+//!
+//! The stage owns [`DispatchState`] (the policy backends and the central
+//! BE queue) and the single candidate-view builder
+//! (`build_candidates`): both the LC and the BE paths assemble their
+//! scheduler views through [`CandidateNode::from_observation`], so
+//! reservation subtraction, liveness filtering and reachability cannot
+//! drift between the two dispatcher roles.
+
+use crate::ctx::SystemCtx;
+use crate::lifecycle;
+use crate::system::Event;
+use std::collections::{BTreeMap, VecDeque};
+use tango_metrics::{NodeRole, TraceEvent, TraceLane};
+use tango_sched::{CandidateNode, LinkObservation, NodeObservation, SchedulerBackend, TypeBatch};
+use tango_types::{ClusterId, FxHashSet, NodeId, RequestId, Resources, ServiceId, SimTime};
+
+type Sched<'a> = tango_simcore::engine::Scheduler<'a, Event>;
+
+/// State owned by the dispatch stage.
+pub struct DispatchState {
+    /// Per-cluster LC policy backends, indexed by `ClusterId`.
+    pub(crate) lc: Vec<Box<dyn SchedulerBackend + Send>>,
+    /// The central BE policy backend.
+    pub(crate) be: Box<dyn SchedulerBackend + Send>,
+    /// The geographically central cluster hosting the BE dispatcher.
+    pub(crate) central: ClusterId,
+    /// The central BE scheduling queue.
+    pub(crate) central_q: VecDeque<RequestId>,
+    /// Node chosen by the previous BE decision, awaiting its reward.
+    pub(crate) be_pending_feedback: Option<NodeId>,
+    /// Σ completed-BE demand fractions since the last reward payout
+    /// (the §5.3.1 long-term reward basis).
+    pub(crate) be_completed_frac: f64,
+}
+
+/// Which vantage a candidate view is built from.
+#[derive(Debug, Clone, Copy)]
+pub enum ViewScope {
+    /// LC dispatch: origin cluster + geo-nearby clusters (or origin only
+    /// in `local_only` mode), viewed from the origin master.
+    LcGeo(ClusterId),
+    /// BE dispatch: the whole system, viewed from the central cluster.
+    BeGlobal,
+}
+
+/// Requests-per-round transmission capacity of the master→node link
+/// (Eq. 4's c_{i,j} discretized to the dispatch interval).
+pub(crate) fn link_capacity(
+    ctx: &SystemCtx<'_>,
+    from: ClusterId,
+    to: ClusterId,
+    payload_kib: u64,
+) -> u32 {
+    let bw = ctx.topology.bandwidth_mbps(from, to).max(1);
+    let bits_per_round = bw as u128 * ctx.cfg.dispatch_interval.as_micros() as u128;
+    let bits_per_req = (payload_kib.max(1) as u128) * 8_192;
+    ((bits_per_round / bits_per_req).clamp(1, 100_000)) as u32
+}
+
+fn cluster_of_node(ctx: &SystemCtx<'_>, node: NodeId) -> ClusterId {
+    ctx.nodes[node.index()].cluster
+}
+
+/// Build candidate views for `service` from the state storage — exactly
+/// what the paper's dispatchers read. Down nodes and nodes across an
+/// active partition never become candidates; as a second line of defense
+/// the schedulers themselves mask any `!alive` candidate out of their
+/// graphs.
+pub(crate) fn build_candidates(
+    ctx: &SystemCtx<'_>,
+    service: ServiceId,
+    scope: ViewScope,
+) -> Vec<CandidateNode> {
+    let spec = ctx.catalog.get(service);
+    let (vantage, snaps) = match scope {
+        ViewScope::LcGeo(origin) => {
+            let mut cluster_set = if ctx.cfg.local_only {
+                Vec::new()
+            } else {
+                ctx.topology.clusters_within(origin, ctx.cfg.geo_radius_km)
+            };
+            cluster_set.push(origin);
+            (origin, ctx.store.in_clusters(&cluster_set))
+        }
+        ViewScope::BeGlobal => (ctx.dispatch.central, ctx.store.all()),
+    };
+    snaps
+        .into_iter()
+        .filter(|s| {
+            s.role == NodeRole::Worker
+                && !ctx.fault.is_down(s.node)
+                && ctx.topology.is_reachable(vantage, s.cluster)
+        })
+        .map(|s| {
+            let min_request = match (scope, &ctx.reassurer) {
+                (ViewScope::LcGeo(_), Some(r)) => r.min_request(s.node, service, spec.min_request),
+                _ => spec.min_request,
+            };
+            let reserved = ctx
+                .lifecycle
+                .reserved
+                .get(&s.node)
+                .copied()
+                .unwrap_or(Resources::ZERO);
+            let link = LinkObservation {
+                delay: ctx
+                    .topology
+                    .transfer_time(vantage, s.cluster, spec.payload_kib),
+                capacity: link_capacity(ctx, vantage, s.cluster, spec.payload_kib),
+            };
+            let obs = NodeObservation {
+                node: s.node,
+                cluster: s.cluster,
+                total: s.total,
+                available_lc: s.lc_available(),
+                available_be: s.be_available(),
+                slack: s.slack.get(&service).copied().unwrap_or(1.0),
+            };
+            CandidateNode::from_observation(obs, link, min_request, reserved, true)
+        })
+        .collect()
+}
+
+/// `Dispatch(c)`: master c's dispatch round — expire, failover-check,
+/// plan LC placements per type, forward (or locally schedule) BE.
+pub(crate) fn on_dispatch(ctx: &mut SystemCtx<'_>, cluster: ClusterId, sched: &mut Sched<'_>) {
+    let now = sched.now();
+    let ci = cluster.index();
+
+    // Expire hopeless entries in both queues regardless of master
+    // health — waiting requests age even while the control plane is
+    // down.
+    let expired = lifecycle::expire_queue(
+        ctx.catalog,
+        &mut ctx.clusters[ci].lc_q,
+        &ctx.lifecycle.requests,
+        ctx.cfg.lc_patience,
+        now,
+    );
+    for rid in expired {
+        lifecycle::abandon(ctx, rid, now);
+    }
+    let expired = lifecycle::expire_queue(
+        ctx.catalog,
+        &mut ctx.clusters[ci].be_q,
+        &ctx.lifecycle.requests,
+        ctx.cfg.be_patience,
+        now,
+    );
+    for rid in expired {
+        lifecycle::abandon(ctx, rid, now);
+    }
+
+    // Master failover: a dead master's round is either taken over by
+    // the nearest live one (extra control hop on every delivery) or
+    // skipped entirely when none is reachable.
+    let Some((_acting, failover_delay)) = crate::fault_rt::acting_master_for(ctx, cluster) else {
+        sched.schedule_in(ctx.cfg.dispatch_interval, Event::Dispatch(cluster));
+        return;
+    };
+
+    // LC queue: group by type, plan, dispatch.
+    if !ctx.clusters[ci].lc_q.is_empty() {
+        let drained: Vec<RequestId> = ctx.clusters[ci].lc_q.drain(..).collect();
+        let mut by_type: BTreeMap<ServiceId, Vec<RequestId>> = BTreeMap::new();
+        for rid in &drained {
+            if let Some(r) = ctx.lifecycle.requests.get(rid) {
+                by_type.entry(r.service).or_default().push(*rid);
+            }
+        }
+        // Per-type dispatch graphs are independent commodities: every
+        // batch reads the same start-of-round candidate snapshot
+        // (including the reservation table), so the per-type plans can
+        // run as one fan-out on the scheduler's pool.
+        let batches: Vec<TypeBatch> = by_type
+            .into_iter()
+            .map(|(service, requests)| TypeBatch {
+                service,
+                requests,
+                nodes: build_candidates(ctx, service, ViewScope::LcGeo(cluster)),
+            })
+            .collect();
+        let placements_per_type = ctx.dispatch.lc[ci].plan_lc(&batches, ctx.pool);
+        let mut assigned: FxHashSet<RequestId> = FxHashSet::default();
+        for (batch, placements) in batches.iter().zip(placements_per_type) {
+            let payload = ctx.catalog.get(batch.service).payload_kib;
+            for (rid, node) in placements {
+                if ctx.fault.is_down(node) {
+                    // A dead node slipped through the masking layers;
+                    // count it (the invariant tests assert this stays
+                    // zero) and leave the request queued.
+                    ctx.fault.summary.down_node_dispatches += 1;
+                    continue;
+                }
+                assigned.insert(rid);
+                if let Some(r) = ctx.lifecycle.requests.get_mut(&rid) {
+                    r.mark_dispatched(node);
+                    let slot = ctx
+                        .lifecycle
+                        .reserved
+                        .entry(node)
+                        .or_insert(Resources::ZERO);
+                    *slot += r.demand;
+                }
+                ctx.emit(now, || TraceEvent::DispatchDecision {
+                    request: rid,
+                    target: node,
+                    lane: TraceLane::Lc,
+                });
+                let delay = failover_delay
+                    + ctx
+                        .topology
+                        .transfer_time(cluster, cluster_of_node(ctx, node), payload);
+                sched.schedule_in(delay, Event::Deliver(rid, node, ctx.fault.epoch(node)));
+            }
+        }
+        // unplaced requests stay queued, original order
+        for rid in drained {
+            if !assigned.contains(&rid) {
+                ctx.clusters[ci].lc_q.push_back(rid);
+            }
+        }
+    }
+
+    // BE queue: forward to the central dispatcher (or local round-
+    // robin in CERES mode, where BE never leaves the cluster).
+    if ctx.cfg.local_only {
+        // schedule BE within the cluster using the central policy but
+        // with local candidates only
+        let drained: Vec<RequestId> = ctx.clusters[ci].be_q.drain(..).collect();
+        for rid in drained {
+            let Some(req) = ctx.lifecycle.requests.get(&rid) else {
+                continue;
+            };
+            let service = req.service;
+            let demand = req.demand;
+            let payload = ctx.catalog.get(service).payload_kib;
+            let local: Vec<CandidateNode> = build_candidates(ctx, service, ViewScope::BeGlobal)
+                .into_iter()
+                .filter(|c| c.cluster == cluster)
+                .collect();
+            pay_be_feedback(ctx, &demand, &local, now);
+            match ctx.dispatch.be.pick_be(&demand, &local) {
+                Some(node) if ctx.fault.is_down(node) => {
+                    ctx.fault.summary.down_node_dispatches += 1;
+                    ctx.clusters[ci].be_q.push_back(rid);
+                }
+                Some(node) => {
+                    if let Some(r) = ctx.lifecycle.requests.get_mut(&rid) {
+                        r.mark_dispatched(node);
+                        let slot = ctx
+                            .lifecycle
+                            .reserved
+                            .entry(node)
+                            .or_insert(Resources::ZERO);
+                        *slot += r.demand;
+                    }
+                    ctx.dispatch.be_pending_feedback = Some(node);
+                    ctx.emit(now, || TraceEvent::DispatchDecision {
+                        request: rid,
+                        target: node,
+                        lane: TraceLane::Be,
+                    });
+                    let delay = failover_delay
+                        + ctx
+                            .topology
+                            .transfer_time(cluster, cluster_of_node(ctx, node), payload);
+                    sched.schedule_in(delay, Event::Deliver(rid, node, ctx.fault.epoch(node)));
+                }
+                None => ctx.clusters[ci].be_q.push_back(rid),
+            }
+        }
+    } else if ctx.topology.is_reachable(cluster, ctx.dispatch.central) {
+        let forward_delay = failover_delay
+            + ctx
+                .topology
+                .transfer_time(cluster, ctx.dispatch.central, 64);
+        for rid in ctx.clusters[ci].be_q.drain(..) {
+            sched.schedule_in(forward_delay, Event::CentralArrive(rid));
+        }
+    }
+    // (partitioned away from the central cluster: BE stays queued
+    // locally until the partition heals)
+
+    sched.schedule_in(ctx.cfg.dispatch_interval, Event::Dispatch(cluster));
+}
+
+/// Pay the §5.3.1 reward for the previous BE decision.
+pub(crate) fn pay_be_feedback(
+    ctx: &mut SystemCtx<'_>,
+    next_demand: &Resources,
+    next_nodes: &[CandidateNode],
+    _now: SimTime,
+) {
+    if let Some(prev_node) = ctx.dispatch.be_pending_feedback.take() {
+        let node = &ctx.nodes[prev_node.index()];
+        let (_, be_held) = node.demand_usage();
+        let r_short = tango_sched::dcg_be::short_term_reward(&be_held, &node.capacity());
+        let r_long = tango_sched::dcg_be::long_term_reward(ctx.dispatch.be_completed_frac);
+        ctx.dispatch.be_completed_frac = 0.0;
+        // r = r_short + η·r_long (§5.3.1; η = 1 in the paper)
+        let reward = r_short + ctx.cfg.ablations.dcg_eta * r_long;
+        ctx.dispatch.be.feedback_be(reward, next_demand, next_nodes);
+    }
+}
+
+/// `CentralArrive`: a forwarded BE request lands in the central queue.
+pub(crate) fn on_central_arrive(ctx: &mut SystemCtx<'_>, rid: RequestId) {
+    if ctx.lifecycle.requests.contains_key(&rid) {
+        ctx.dispatch.central_q.push_back(rid);
+    }
+}
+
+/// `BeDispatch`: the central dispatcher's round — schedule queued BE
+/// requests with the configured policy, paying it the reward for its
+/// previous decision.
+pub(crate) fn on_be_dispatch(ctx: &mut SystemCtx<'_>, sched: &mut Sched<'_>) {
+    let now = sched.now();
+    let expired = lifecycle::expire_queue(
+        ctx.catalog,
+        &mut ctx.dispatch.central_q,
+        &ctx.lifecycle.requests,
+        ctx.cfg.be_patience,
+        now,
+    );
+    for rid in expired {
+        lifecycle::abandon(ctx, rid, now);
+    }
+    // The central dispatcher itself can lose its master.
+    let central = ctx.dispatch.central;
+    let Some((_acting, failover_delay)) = crate::fault_rt::acting_master_for(ctx, central) else {
+        sched.schedule_in(ctx.cfg.dispatch_interval, Event::BeDispatch);
+        return;
+    };
+    let mut deferred = VecDeque::new();
+    // The central dispatcher has finite decision throughput per round
+    // (each decision is a GNN forward); cap it so a bounce storm —
+    // e.g. with the context filter ablated off — degrades throughput
+    // instead of wedging the simulation.
+    let mut budget = 512usize;
+    while let Some(rid) = ctx.dispatch.central_q.pop_front() {
+        if budget == 0 {
+            deferred.push_back(rid);
+            break;
+        }
+        budget -= 1;
+        let Some(req) = ctx.lifecycle.requests.get(&rid) else {
+            continue;
+        };
+        let service = req.service;
+        let demand = req.demand;
+        let payload = ctx.catalog.get(service).payload_kib;
+        let candidates = build_candidates(ctx, service, ViewScope::BeGlobal);
+        pay_be_feedback(ctx, &demand, &candidates, now);
+        match ctx.dispatch.be.pick_be(&demand, &candidates) {
+            Some(node) if ctx.fault.is_down(node) => {
+                ctx.fault.summary.down_node_dispatches += 1;
+                deferred.push_back(rid);
+            }
+            Some(node) => {
+                if let Some(r) = ctx.lifecycle.requests.get_mut(&rid) {
+                    r.mark_dispatched(node);
+                    let slot = ctx
+                        .lifecycle
+                        .reserved
+                        .entry(node)
+                        .or_insert(Resources::ZERO);
+                    *slot += r.demand;
+                }
+                ctx.dispatch.be_pending_feedback = Some(node);
+                ctx.emit(now, || TraceEvent::DispatchDecision {
+                    request: rid,
+                    target: node,
+                    lane: TraceLane::Be,
+                });
+                let delay = failover_delay
+                    + ctx
+                        .topology
+                        .transfer_time(central, cluster_of_node(ctx, node), payload);
+                sched.schedule_in(delay, Event::Deliver(rid, node, ctx.fault.epoch(node)));
+            }
+            None => {
+                // nothing feasible system-wide right now: try again
+                // next round (Alg. 3's reschedule path)
+                deferred.push_back(rid);
+                break;
+            }
+        }
+    }
+    // keep order: deferred head goes back in front
+    while let Some(rid) = deferred.pop_back() {
+        ctx.dispatch.central_q.push_front(rid);
+    }
+    sched.schedule_in(ctx.cfg.dispatch_interval, Event::BeDispatch);
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::testutil::small_cfg;
+    use crate::config::LcPolicy;
+    use crate::system::EdgeCloudSystem;
+    use tango_types::SimTime;
+
+    #[test]
+    fn central_cluster_is_geographically_central() {
+        let sys = EdgeCloudSystem::new(small_cfg());
+        assert!(sys.central().index() < sys.cluster_count());
+    }
+
+    #[test]
+    fn local_only_restricts_candidates() {
+        let mut cfg = small_cfg();
+        cfg.local_only = true;
+        let report = EdgeCloudSystem::new(cfg).run(SimTime::from_secs(5), "local");
+        // still functions end to end
+        assert!(report.lc_completed > 0);
+        assert!(report.be_throughput > 0);
+    }
+
+    #[test]
+    fn all_lc_policies_run_end_to_end() {
+        for p in [
+            LcPolicy::DssLc,
+            LcPolicy::LoadGreedy,
+            LcPolicy::KsNative,
+            LcPolicy::Scoring,
+        ] {
+            let mut cfg = small_cfg();
+            cfg.lc_policy = p;
+            let report = EdgeCloudSystem::new(cfg).run(SimTime::from_secs(3), p.name());
+            assert!(report.lc_completed > 0, "{} completed nothing", p.name());
+        }
+    }
+}

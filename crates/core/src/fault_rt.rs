@@ -1,0 +1,175 @@
+//! Fault runtime stage: applying compiled fault-plan events, master
+//! failover routing, and the per-request conservation audit.
+//!
+//! The stage state is [`tango_faults::FaultState`] itself (down flags,
+//! crash epochs, the fault ledger); this module owns every mutation of it
+//! that originates from a plan event, plus the failover routing query the
+//! dispatch stage consults each round.
+
+use crate::ctx::SystemCtx;
+use crate::lifecycle::{self, LifecycleState};
+use crate::report::RunAudit;
+use crate::system::Event;
+use tango_faults::{FaultEvent, FaultState};
+use tango_metrics::TraceEvent;
+use tango_types::{ClusterId, RequestId, RequestOutcome, RequestState, ServiceClass, SimTime};
+
+type Sched<'a> = tango_simcore::engine::Scheduler<'a, Event>;
+
+/// Which master acts for `cluster` this dispatch round. Normally the
+/// cluster's own; if that master is down, the nearest reachable cluster
+/// with a live master steps in (deterministic tiebreak: distance, then
+/// cluster id) and every delivery pays the extra control hop back from
+/// the stand-in. `None` means no live master is reachable — the round is
+/// skipped and queues age in place.
+pub(crate) fn acting_master_for(
+    ctx: &SystemCtx<'_>,
+    cluster: ClusterId,
+) -> Option<(ClusterId, SimTime)> {
+    if !ctx.fault.is_down(ctx.clusters[cluster.index()].master) {
+        return Some((cluster, SimTime::ZERO));
+    }
+    let mut best: Option<(f64, ClusterId)> = None;
+    for c in ctx.clusters.iter() {
+        if c.id == cluster
+            || ctx.fault.is_down(c.master)
+            || !ctx.topology.is_reachable(cluster, c.id)
+        {
+            continue;
+        }
+        let d = ctx.topology.distance_km(cluster, c.id);
+        let better = match best {
+            None => true,
+            Some((bd, bid)) => d < bd || (d == bd && c.id.index() < bid.index()),
+        };
+        if better {
+            best = Some((d, c.id));
+        }
+    }
+    best.map(|(_, backup)| (backup, ctx.topology.one_way_latency(cluster, backup)))
+}
+
+/// Apply one compiled fault-plan event. Crashes interrupt everything on
+/// the node and hand the work back to the schedulers; recoveries bring
+/// the node back *cold* — stale QoS history and re-assurance factors are
+/// forgotten so the control loops re-learn it.
+pub(crate) fn on_fault(ctx: &mut SystemCtx<'_>, fault: FaultEvent, sched: &mut Sched<'_>) {
+    let now = sched.now();
+    match fault {
+        FaultEvent::NodeCrash { node } => {
+            let is_master = ctx.nodes[node.index()].is_master;
+            if !ctx.fault.on_crash(node, now, is_master) {
+                return; // already down (overlapping churn draw)
+            }
+            ctx.emit(now, || TraceEvent::Fault {
+                kind: "crash",
+                node: Some(node),
+            });
+            // Everything running on the node dies; interrupted work
+            // is re-queued at its origin master (LC) or the central
+            // dispatcher (BE).
+            let interrupted = ctx.nodes[node.index()].crash(now);
+            for (class, rr) in interrupted {
+                match class {
+                    ServiceClass::Lc => ctx.fault.summary.lc_interrupted += 1,
+                    ServiceClass::Be => ctx.fault.summary.be_interrupted += 1,
+                }
+                ctx.fault.summary.rescheduled += 1;
+                lifecycle::requeue_or_abandon(ctx, rr.request, now);
+            }
+            // Requests waiting *at* the node (§5.2.2 R′_k) drain back
+            // to their origin queues.
+            let waiting: Vec<RequestId> = ctx.lifecycle.node_wait[node.index()].drain(..).collect();
+            ctx.fault.summary.wait_drained += waiting.len() as u64;
+            ctx.fault.summary.rescheduled += waiting.len() as u64;
+            for rid in waiting {
+                lifecycle::requeue_or_abandon(ctx, rid, now);
+            }
+            // Wipe the in-flight reservation entry wholesale;
+            // deliveries still in the air bounce on the epoch check
+            // instead of decrementing a table that no longer exists.
+            ctx.lifecycle.reserved.remove(&node);
+        }
+        FaultEvent::NodeRecover { node } => {
+            if !ctx.fault.on_recover(node, now) {
+                return; // was not down
+            }
+            ctx.emit(now, || TraceEvent::Fault {
+                kind: "recover",
+                node: Some(node),
+            });
+            ctx.nodes[node.index()].recover(now, ctx.cfg.faults.restart_delay);
+            // The node comes back cold: pre-crash latency windows and
+            // re-assurance factors no longer describe it.
+            ctx.detector.forget_node(node);
+            if let Some(r) = ctx.reassurer.as_mut() {
+                r.reset_node(node);
+            }
+            lifecycle::schedule_node_check(ctx, node, sched);
+        }
+        FaultEvent::LinkDegrade {
+            a,
+            b,
+            latency_factor,
+            bandwidth_factor,
+        } => {
+            ctx.topology
+                .degrade_link(a, b, latency_factor, bandwidth_factor);
+            ctx.fault.on_link_degrade();
+            ctx.emit(now, || TraceEvent::Fault {
+                kind: "degrade",
+                node: None,
+            });
+        }
+        FaultEvent::LinkRestore { a, b } => {
+            ctx.topology.restore_link(a, b);
+            ctx.fault.on_link_restore();
+            ctx.emit(now, || TraceEvent::Fault {
+                kind: "restore",
+                node: None,
+            });
+        }
+        FaultEvent::Partition { side } => {
+            ctx.topology.set_partition(&side);
+            ctx.fault.on_partition();
+            ctx.emit(now, || TraceEvent::Fault {
+                kind: "partition",
+                node: None,
+            });
+        }
+        FaultEvent::Heal => {
+            ctx.topology.heal_partition();
+            ctx.fault.on_heal();
+            ctx.emit(now, || TraceEvent::Fault {
+                kind: "heal",
+                node: None,
+            });
+        }
+    }
+}
+
+/// Bucket every injected request by its terminal state — the fault tests
+/// use this to prove that churn neither loses requests nor leaves them
+/// running on dead nodes.
+pub(crate) fn audit(lifecycle: &LifecycleState, fault: &FaultState) -> RunAudit {
+    let mut a = RunAudit {
+        total: lifecycle.requests.len() as u64,
+        ..RunAudit::default()
+    };
+    for req in lifecycle.requests.values() {
+        match req.outcome() {
+            Some(RequestOutcome::Completed) => a.completed += 1,
+            Some(RequestOutcome::Abandoned) => a.abandoned += 1,
+            Some(RequestOutcome::Failed) => a.failed += 1,
+            None => {
+                a.pending += 1;
+                if let RequestState::Running { target } = req.state {
+                    if fault.is_down(target) {
+                        a.running_on_down_nodes += 1;
+                    }
+                }
+            }
+        }
+    }
+    a
+}

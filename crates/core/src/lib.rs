@@ -29,9 +29,20 @@
 //! ```
 
 pub mod config;
+#[deny(missing_docs)]
+pub mod ctx;
+#[deny(missing_docs)]
+pub mod dispatch;
+#[deny(missing_docs)]
+pub mod fault_rt;
+#[deny(missing_docs)]
+pub mod lifecycle;
 pub mod policy;
 pub mod report;
+#[deny(missing_docs)]
 pub mod runtime;
+#[deny(missing_docs)]
+pub mod sync_loop;
 pub mod system;
 
 pub use config::{Ablations, AllocatorKind, BePolicy, LcPolicy, TangoConfig, WorkloadSpec};
@@ -39,3 +50,4 @@ pub use report::{RunAudit, RunReport};
 pub use runtime::run_parallel;
 pub use system::{EdgeCloudSystem, Event};
 pub use tango_faults::{FaultEvent, FaultPlan, FaultSummary, NodeChurn, NodeRef};
+pub use tango_metrics::{NoopTrace, TraceEvent, TraceLane, TraceRecorder, TraceSink};

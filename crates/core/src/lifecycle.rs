@@ -1,0 +1,496 @@
+//! Request lifecycle stage: arrival, queue aging, abandonment, delivery,
+//! admission, completion, and the dispatcher's reservation table.
+//!
+//! Everything between "a trace request exists" and "the request reached a
+//! terminal state" that is not a *scheduling decision* lives here. The
+//! stage owns [`LifecycleState`]; dispatch and fault stages mutate
+//! request state only through the `pub(crate)` functions of this module
+//! (requeue, abandon, reservation release), which keeps the single-home
+//! invariant — a request id sits in at most one queue system-wide — in
+//! one file.
+
+use crate::ctx::SystemCtx;
+use crate::system::Event;
+use std::collections::VecDeque;
+use tango_metrics::TraceEvent;
+use tango_types::{
+    ClusterId, FxHashMap, NodeId, Request, RequestId, RequestOutcome, Resources, ServiceClass,
+    ServiceId, SimTime,
+};
+use tango_workload::ServiceCatalog;
+
+type Sched<'a> = tango_simcore::engine::Scheduler<'a, Event>;
+
+/// State owned by the lifecycle stage.
+pub struct LifecycleState {
+    /// Every request the trace has injected, by id, including terminal
+    /// ones (the audit walks this map).
+    pub(crate) requests: FxHashMap<RequestId, Request>,
+    /// Next request id to allocate.
+    pub(crate) next_request_id: u64,
+    /// Demands dispatched but not yet resolved at their target, per node —
+    /// the dispatcher's in-flight reservation table. Without it, the
+    /// per-type graphs (and the 100 ms snapshot staleness) would
+    /// double-book nodes within a dispatch round.
+    pub(crate) reserved: FxHashMap<NodeId, Resources>,
+    /// Per-node LC wait queues: the R′_k requests that DSS-LC routes to a
+    /// node beyond its instantaneous capacity wait *at the node* (§5.2.2)
+    /// rather than bouncing back to the master.
+    pub(crate) node_wait: Vec<VecDeque<RequestId>>,
+    /// BE containers evicted by LC preemption so far.
+    pub(crate) be_evictions: u64,
+}
+
+impl LifecycleState {
+    /// Fresh state for a system with `n_nodes` nodes.
+    pub(crate) fn new(n_nodes: usize) -> Self {
+        LifecycleState {
+            requests: FxHashMap::default(),
+            next_request_id: 0,
+            reserved: FxHashMap::default(),
+            node_wait: (0..n_nodes).map(|_| VecDeque::new()).collect(),
+            be_evictions: 0,
+        }
+    }
+
+    pub(crate) fn alloc_request_id(&mut self) -> RequestId {
+        let id = RequestId(self.next_request_id);
+        self.next_request_id += 1;
+        id
+    }
+
+    /// Release (part of) a node's in-flight reservation.
+    pub(crate) fn release_reservation(&mut self, node: NodeId, demand: Resources) {
+        if let Some(r) = self.reserved.get_mut(&node) {
+            *r = r.saturating_sub(&demand);
+        }
+    }
+}
+
+/// `Arrival`: queue the request at its origin master (LC or BE queue).
+pub(crate) fn on_arrival(
+    ctx: &mut SystemCtx<'_>,
+    service: ServiceId,
+    origin: ClusterId,
+    demand: Resources,
+    now: SimTime,
+) {
+    let spec = ctx.catalog.get(service);
+    let class = spec.class;
+    let id = ctx.lifecycle.alloc_request_id();
+    let req = Request::new(id, service, class, origin, now, demand);
+    if class.is_lc() {
+        ctx.counters.on_lc_arrival(now);
+        ctx.clusters[origin.index()].lc_q.push_back(id);
+    } else {
+        ctx.clusters[origin.index()].be_q.push_back(id);
+    }
+    ctx.lifecycle.requests.insert(id, req);
+    ctx.emit(now, || TraceEvent::Arrival {
+        request: id,
+        service,
+        origin,
+    });
+}
+
+/// Mark a request abandoned (shed from a queue).
+pub(crate) fn abandon(ctx: &mut SystemCtx<'_>, rid: RequestId, now: SimTime) {
+    if let Some(req) = ctx.lifecycle.requests.get_mut(&rid) {
+        req.mark_done(RequestOutcome::Abandoned, now);
+        ctx.counters.on_abandon(now);
+        ctx.emit(now, || TraceEvent::Abandoned { request: rid });
+    }
+}
+
+/// Deadline past which a queued request is hopeless: an LC request older
+/// than its QoS target γ can no longer satisfy it even if it completed
+/// instantly, so it is shed (the "abandoned requests" metric of §7.2);
+/// BE requests wait out their patience.
+pub(crate) fn queue_deadline(
+    catalog: &ServiceCatalog,
+    req: &Request,
+    patience: SimTime,
+) -> SimTime {
+    match req.class {
+        ServiceClass::Lc => catalog.get(req.service).qos_target.min(patience),
+        ServiceClass::Be => patience,
+    }
+}
+
+/// Remove hopeless queue entries, returning them for abandonment.
+pub(crate) fn expire_queue(
+    catalog: &ServiceCatalog,
+    queue: &mut VecDeque<RequestId>,
+    requests: &FxHashMap<RequestId, Request>,
+    patience: SimTime,
+    now: SimTime,
+) -> Vec<RequestId> {
+    let mut expired = Vec::new();
+    queue.retain(|rid| {
+        let keep = requests
+            .get(rid)
+            .map(|r| now.saturating_since(r.arrival) <= queue_deadline(catalog, r, patience))
+            .unwrap_or(false);
+        if !keep {
+            expired.push(*rid);
+        }
+        keep
+    });
+    expired
+}
+
+/// Hand a bounced/evicted/interrupted request back to its scheduler: LC
+/// requests have a bounce budget; evicted/bounced BE work is "restarted
+/// at a later time" (§4.1) and is only bounded by its patience window.
+pub(crate) fn requeue_or_abandon(ctx: &mut SystemCtx<'_>, rid: RequestId, now: SimTime) {
+    let Some(req) = ctx.lifecycle.requests.get_mut(&rid) else {
+        return;
+    };
+    if req.is_done() {
+        return;
+    }
+    req.mark_requeued();
+    if req.class.is_lc() && req.requeues > ctx.cfg.max_requeues {
+        req.mark_done(RequestOutcome::Failed, now);
+        ctx.counters.on_abandon(now);
+        ctx.emit(now, || TraceEvent::Abandoned { request: rid });
+        return;
+    }
+    let origin = req.origin;
+    match req.class {
+        ServiceClass::Lc => ctx.clusters[origin.index()].lc_q.push_back(rid),
+        ServiceClass::Be => {
+            if ctx.cfg.local_only {
+                ctx.clusters[origin.index()].be_q.push_back(rid);
+            } else {
+                ctx.dispatch.central_q.push_back(rid);
+            }
+        }
+    }
+}
+
+/// Schedule the node's next projected completion check (skipped past the
+/// horizon — scheduling those would livelock the engine at the horizon
+/// instant).
+pub(crate) fn schedule_node_check(ctx: &SystemCtx<'_>, node: NodeId, sched: &mut Sched<'_>) {
+    let n = &ctx.nodes[node.index()];
+    if let Some(t) = n.next_completion(sched.now()) {
+        if t <= ctx.horizon {
+            sched.schedule_at(t, Event::NodeCheck(node, n.generation()));
+        }
+    }
+}
+
+/// Try to admit a queued/delivered request on a node: applies the
+/// re-assurance factor ("encapsulated in the packet of scheduled
+/// requests", §3 ➎), runs the configured allocator, and on success
+/// updates the request state and processes evictions.
+pub(crate) fn try_admit_at(
+    ctx: &mut SystemCtx<'_>,
+    rid: RequestId,
+    node_id: NodeId,
+    now: SimTime,
+) -> bool {
+    if ctx.fault.is_down(node_id) {
+        return false; // callers guard this; last line of defense
+    }
+    let Some(req) = ctx.lifecycle.requests.get(&rid) else {
+        return true; // vanished: treat as handled
+    };
+    if req.is_done() {
+        return true;
+    }
+    let service = req.service;
+    let work = ctx.catalog.get(service).work_milli_ms;
+    let factor = ctx
+        .reassurer
+        .as_ref()
+        .map(|r| r.factor(node_id, service))
+        .unwrap_or(1.0);
+    let eff_demand = req
+        .demand
+        .scale_f64(factor)
+        .max(&Resources::new(1, 1, 0, 0));
+    let mut admit_req = req.clone();
+    admit_req.demand = eff_demand;
+
+    let node = &mut ctx.nodes[node_id.index()];
+    let result = ctx.allocator.try_admit(node, &admit_req, work, now);
+    let admitted = result.is_ok();
+    ctx.emit(now, || TraceEvent::Admission {
+        request: rid,
+        node: node_id,
+        admitted,
+    });
+    match result {
+        Ok(outcome) => {
+            if let Some(r) = ctx.lifecycle.requests.get_mut(&rid) {
+                r.demand = eff_demand;
+                r.mark_running(node_id, now);
+            }
+            ctx.lifecycle.be_evictions += outcome.evicted.len() as u64;
+            let evicted_ids: Vec<RequestId> =
+                outcome.evicted.iter().map(|(_, rr)| rr.request).collect();
+            for erid in evicted_ids {
+                requeue_or_abandon(ctx, erid, now);
+            }
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+/// The configured patience window for a service class.
+pub(crate) fn patience_for(ctx: &SystemCtx<'_>, class: ServiceClass) -> SimTime {
+    match class {
+        ServiceClass::Lc => ctx.cfg.lc_patience,
+        ServiceClass::Be => ctx.cfg.be_patience,
+    }
+}
+
+/// Admit as many node-waiting LC requests as now fit (FIFO), expiring
+/// the ones past their patience.
+pub(crate) fn drain_node_wait(ctx: &mut SystemCtx<'_>, node_id: NodeId, sched: &mut Sched<'_>) {
+    if ctx.fault.is_down(node_id) {
+        return; // the wait queue was drained back at crash time
+    }
+    let now = sched.now();
+    let mut admitted_any = false;
+    while let Some(&rid) = ctx.lifecycle.node_wait[node_id.index()].front() {
+        let (demand, expired) = match ctx.lifecycle.requests.get(&rid) {
+            Some(r) => (
+                r.demand,
+                now.saturating_since(r.arrival)
+                    > queue_deadline(ctx.catalog, r, patience_for(ctx, r.class)),
+            ),
+            None => (Resources::ZERO, true),
+        };
+        if expired {
+            ctx.lifecycle.node_wait[node_id.index()].pop_front();
+            ctx.lifecycle.release_reservation(node_id, demand);
+            abandon(ctx, rid, now);
+            continue;
+        }
+        if try_admit_at(ctx, rid, node_id, now) {
+            ctx.lifecycle.node_wait[node_id.index()].pop_front();
+            ctx.lifecycle.release_reservation(node_id, demand);
+            admitted_any = true;
+        } else {
+            break; // head of line still does not fit
+        }
+    }
+    if admitted_any {
+        schedule_node_check(ctx, node_id, sched);
+    }
+}
+
+/// `Deliver`: a dispatched payload reached its target worker (or bounced
+/// off a crash that happened while it was in flight).
+pub(crate) fn on_deliver(
+    ctx: &mut SystemCtx<'_>,
+    rid: RequestId,
+    node_id: NodeId,
+    epoch: u64,
+    sched: &mut Sched<'_>,
+) {
+    let now = sched.now();
+    let Some(req) = ctx.lifecycle.requests.get(&rid) else {
+        return;
+    };
+    if req.is_done() {
+        return;
+    }
+    if ctx.fault.is_down(node_id) || ctx.fault.epoch(node_id) != epoch {
+        // The target crashed while the payload was in flight (a stale
+        // epoch means it also already recovered). Its reservation entry
+        // was wiped wholesale at crash time, so do not release anything —
+        // just bounce the request back to its scheduler.
+        ctx.fault.summary.bounced_deliveries += 1;
+        ctx.fault.summary.rescheduled += 1;
+        ctx.emit(now, || TraceEvent::Delivery {
+            request: rid,
+            node: node_id,
+            bounced: true,
+        });
+        requeue_or_abandon(ctx, rid, now);
+        return;
+    }
+    let class = req.class;
+    let demand = req.demand;
+    ctx.emit(now, || TraceEvent::Delivery {
+        request: rid,
+        node: node_id,
+        bounced: false,
+    });
+    if try_admit_at(ctx, rid, node_id, now) {
+        ctx.lifecycle.release_reservation(node_id, demand);
+        schedule_node_check(ctx, node_id, sched);
+    } else {
+        match class {
+            // R′_k semantics (§5.2.2): LC requests routed beyond the
+            // node's instantaneous capacity wait at the node. The
+            // reservation stays until they run or expire.
+            ServiceClass::Lc => {
+                ctx.lifecycle.node_wait[node_id.index()].push_back(rid);
+            }
+            // Alg. 3: BE requests that cannot be processed in time
+            // return to the central scheduling queue.
+            ServiceClass::Be => {
+                ctx.lifecycle.release_reservation(node_id, demand);
+                requeue_or_abandon(ctx, rid, now);
+            }
+        }
+    }
+}
+
+/// `NodeCheck`: a projected completion — advance the node, collect
+/// completions, feed the QoS detector, reclaim resources.
+pub(crate) fn on_node_check(
+    ctx: &mut SystemCtx<'_>,
+    node_id: NodeId,
+    generation: u64,
+    sched: &mut Sched<'_>,
+) {
+    let now = sched.now();
+    if ctx.fault.is_down(node_id) {
+        return; // crash bumped the generation; this check is void
+    }
+    {
+        let node = &mut ctx.nodes[node_id.index()];
+        if node.generation() != generation {
+            return; // stale projection; a newer check is scheduled
+        }
+        node.advance(now);
+    }
+    let completions = ctx.nodes[node_id.index()].take_completions();
+    if !completions.is_empty() {
+        let node_cap = ctx.nodes[node_id.index()].capacity();
+        for done in &completions {
+            let Some(req) = ctx.lifecycle.requests.get_mut(&done.request) else {
+                continue;
+            };
+            req.mark_done(RequestOutcome::Completed, now);
+            let latency = now.saturating_since(req.arrival);
+            match done.class {
+                ServiceClass::Lc => {
+                    let within = ctx.catalog.get(done.service).meets_qos(latency);
+                    if !within && ctx.fault.any_fault_active() {
+                        // attribute the miss to the open fault window
+                        ctx.counters.on_fault_qos_violation(now);
+                    }
+                    ctx.counters.on_lc_complete(now, latency, within);
+                    ctx.detector.record(node_id, done.service, now, latency);
+                }
+                ServiceClass::Be => {
+                    ctx.counters.on_be_complete(now);
+                    let d = req.demand;
+                    ctx.dispatch.be_completed_frac += d.cpu_milli as f64
+                        / node_cap.cpu_milli.max(1) as f64
+                        + d.memory_mib as f64 / node_cap.memory_mib.max(1) as f64;
+                }
+            }
+            ctx.emit(now, || TraceEvent::Completion {
+                request: done.request,
+                node: node_id,
+                latency,
+            });
+        }
+        ctx.allocator
+            .rebalance(&mut ctx.nodes[node_id.index()], now);
+        // freed resources may unblock node-waiting LC requests
+        drain_node_wait(ctx, node_id, sched);
+    }
+    schedule_node_check(ctx, node_id, sched);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::testutil::small_cfg;
+    use crate::system::EdgeCloudSystem;
+    use tango_types::ClusterId;
+
+    #[test]
+    fn queue_deadline_shed_rule() {
+        let catalog = ServiceCatalog::standard();
+        let lc_svc = catalog.lc_ids()[0];
+        let be_svc = catalog.be_ids()[0];
+        let patience = SimTime::from_secs(60);
+        let mk = |svc: ServiceId| {
+            let spec = catalog.get(svc);
+            Request::new(
+                RequestId(1),
+                svc,
+                spec.class,
+                ClusterId(0),
+                SimTime::ZERO,
+                spec.min_request,
+            )
+        };
+        // LC deadline is its QoS target (smaller than patience)
+        let lc_deadline = queue_deadline(&catalog, &mk(lc_svc), patience);
+        assert_eq!(lc_deadline, catalog.get(lc_svc).qos_target);
+        // BE deadline is the patience window
+        let be_deadline = queue_deadline(&catalog, &mk(be_svc), patience);
+        assert_eq!(be_deadline, patience);
+    }
+
+    #[test]
+    fn expire_queue_sheds_only_hopeless_entries() {
+        let catalog = ServiceCatalog::standard();
+        let lc_svc = catalog.lc_ids()[0];
+        let target = catalog.get(lc_svc).qos_target;
+        let mut requests = FxHashMap::default();
+        let mut queue = VecDeque::new();
+        for (i, arrival) in [(0u64, SimTime::ZERO), (1, target)].into_iter() {
+            let spec = catalog.get(lc_svc);
+            let req = Request::new(
+                RequestId(i),
+                lc_svc,
+                spec.class,
+                ClusterId(0),
+                arrival,
+                spec.min_request,
+            );
+            requests.insert(RequestId(i), req);
+            queue.push_back(RequestId(i));
+        }
+        // at now = target + 1µs: request 0 (arrived at 0) is past its
+        // target; request 1 (arrived at `target`) is still viable
+        let now = target + SimTime::from_micros(1);
+        let expired = expire_queue(&catalog, &mut queue, &requests, SimTime::from_secs(60), now);
+        assert_eq!(expired, vec![RequestId(0)]);
+        assert_eq!(queue, VecDeque::from(vec![RequestId(1)]));
+    }
+
+    #[test]
+    fn short_run_completes_requests_and_meets_some_qos() {
+        let report = EdgeCloudSystem::new(small_cfg()).run(SimTime::from_secs(10), "test");
+        assert!(report.lc_arrived > 100, "arrived {}", report.lc_arrived);
+        assert!(
+            report.lc_completed as f64 > report.lc_arrived as f64 * 0.5,
+            "completed {}/{}",
+            report.lc_completed,
+            report.lc_arrived
+        );
+        assert!(
+            report.qos_satisfaction > 0.5,
+            "qos {}",
+            report.qos_satisfaction
+        );
+        assert!(report.be_throughput > 0);
+        assert!(report.mean_utilization > 0.0);
+        assert!(!report.periods.is_empty());
+    }
+
+    #[test]
+    fn overload_causes_abandonment_or_queueing() {
+        let mut cfg = small_cfg();
+        cfg.workload.lc_rps = 2_000.0; // way beyond 8 small workers
+        let report = EdgeCloudSystem::new(cfg).run(SimTime::from_secs(5), "overload");
+        assert!(
+            report.abandoned > 0 || report.lc_completed < report.lc_arrived,
+            "overload must leave a trace"
+        );
+    }
+}

@@ -61,6 +61,70 @@ impl RunAudit {
 }
 
 impl RunReport {
+    /// Deterministic 64-bit digest over every field of the report
+    /// (floats folded in bitwise, periods and fault ledger included).
+    /// Two reports digest equal iff they are bit-identical — the
+    /// refactor-equivalence golden test pins this value for a seeded run
+    /// so any behavioral drift in the staged runtime is caught exactly.
+    pub fn digest(&self) -> u64 {
+        // FNV-1a, the same deterministic fold the bench harness stamps
+        // its JSON with. No dependence on label text: the digest pins
+        // behavior, not naming.
+        const OFFSET: u64 = 0xcbf29ce484222325;
+        const PRIME: u64 = 0x100000001b3;
+        let mut h = OFFSET;
+        let mut put = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        put(self.qos_satisfaction.to_bits());
+        put(self.be_throughput);
+        put(self.abandoned);
+        put(self.mean_utilization.to_bits());
+        put(self.lc_p95_ms.to_bits());
+        put(self.lc_arrived);
+        put(self.lc_completed);
+        put(self.dvpa_ops);
+        put(self.be_evictions);
+        let f = &self.faults;
+        for v in [
+            f.node_crashes,
+            f.node_recoveries,
+            f.master_failovers,
+            f.links_degraded,
+            f.links_restored,
+            f.partitions,
+            f.heals,
+            f.lc_interrupted,
+            f.be_interrupted,
+            f.wait_drained,
+            f.bounced_deliveries,
+            f.rescheduled,
+            f.down_node_dispatches,
+            f.total_downtime.as_micros(),
+            f.fault_qos_violations,
+        ] {
+            put(v);
+        }
+        put(self.periods.len() as u64);
+        for p in &self.periods {
+            put(p.index);
+            put(p.lc_arrived);
+            put(p.lc_completed);
+            put(p.lc_satisfied);
+            put(p.be_completed);
+            put(p.abandoned);
+            put(p.util_overall.to_bits());
+            put(p.util_lc.to_bits());
+            put(p.util_be.to_bits());
+            put(p.lc_p95_ms.to_bits());
+            put(p.fault_qos_violations);
+        }
+        h
+    }
+
     /// Per-period series as CSV (header + one row per 800 ms period),
     /// ready for external plotting.
     pub fn periods_csv(&self) -> String {

@@ -1,0 +1,123 @@
+//! Sync stage: the periodic state-storage push + metrics sampling cycle
+//! (the Prometheus/QoS-detector loop of Fig. 3) and the Algorithm 1
+//! re-assurance tick.
+
+use crate::ctx::SystemCtx;
+use crate::system::Event;
+use tango_metrics::{NodeRole, NodeSnapshot};
+use tango_types::{FxHashMap, Resources, ServiceId};
+
+type Sched<'a> = tango_simcore::engine::Scheduler<'a, Event>;
+
+/// Per-node accounting draft produced by the parallel sync phase.
+#[derive(Clone, Default)]
+pub(crate) struct SyncDraft {
+    pub(crate) available: Resources,
+    pub(crate) be_held: Resources,
+    pub(crate) overall: f64,
+    pub(crate) lc_frac: f64,
+    pub(crate) be_frac: f64,
+}
+
+/// State owned by the sync stage: the reusable per-node draft buffer.
+#[derive(Default)]
+pub struct SyncState {
+    pub(crate) drafts: Vec<SyncDraft>,
+}
+
+/// `Sync`: push node snapshots to the state storage and sample
+/// utilization.
+pub(crate) fn on_sync(ctx: &mut SystemCtx<'_>, sched: &mut Sched<'_>) {
+    let now = sched.now();
+    // Phase 1 (parallel): per-node state advance and usage accounting.
+    // Nodes are independent here, so the pool chunks them statically;
+    // drafts land in node order regardless of thread count. The QoS
+    // slack lookups, pending-queue summaries, storage pushes and the
+    // utilization sample stay sequential below — they touch cross-node
+    // state (detector windows prune on read, the store is shared).
+    let drafts = &mut ctx.sync.drafts;
+    drafts.clear();
+    drafts.resize(ctx.nodes.len(), SyncDraft::default());
+    let down: &[bool] = ctx.fault.down_slice();
+    ctx.pool
+        .par_zip_chunks_mut(ctx.nodes, drafts, |_, nodes, drafts| {
+            for (node, draft) in nodes.iter_mut().zip(drafts.iter_mut()) {
+                if down[node.id.index()] {
+                    // Crashed node: it advertises zero capacity (the
+                    // snapshot keeps schedulers honest between the
+                    // crash and the next sync) and contributes zero
+                    // utilization — its containers are dead.
+                    draft.available = Resources::ZERO;
+                    continue;
+                }
+                node.advance(now);
+                let (lc_held, be_held) = node.demand_usage();
+                let cap = node.capacity();
+                draft.available = cap.saturating_sub(&lc_held).saturating_sub(&be_held);
+                draft.be_held = be_held;
+                if !node.is_master {
+                    let (lc, be) = node.actual_usage();
+                    draft.overall = (lc + be).utilization_against(&cap);
+                    draft.lc_frac = lc.utilization_against(&cap);
+                    draft.be_frac = be.utilization_against(&cap);
+                }
+            }
+        });
+    // Phase 2 (sequential): snapshot pushes in node order.
+    let lc_services = ctx.catalog.lc_ids();
+    for (node, draft) in ctx.nodes.iter().zip(ctx.sync.drafts.iter()) {
+        let mut slack = FxHashMap::default();
+        for &svc in &lc_services {
+            let target = ctx.catalog.get(svc).qos_target;
+            if let Some(s) = ctx.detector.slack(node.id, svc, target, now) {
+                slack.insert(svc, s);
+            }
+        }
+        let mut pending = FxHashMap::default();
+        if node.is_master {
+            let cluster = &ctx.clusters[node.cluster.index()];
+            for rid in cluster.lc_q.iter().chain(cluster.be_q.iter()) {
+                if let Some(r) = ctx.lifecycle.requests.get(rid) {
+                    *pending.entry(r.service).or_insert(0u32) += 1;
+                }
+            }
+        }
+        ctx.store.push(NodeSnapshot {
+            node: node.id,
+            cluster: node.cluster,
+            role: if node.is_master {
+                NodeRole::Master
+            } else {
+                NodeRole::Worker
+            },
+            total: node.capacity(),
+            available: draft.available,
+            be_held: draft.be_held,
+            slack,
+            pending,
+            updated_at: now,
+        });
+    }
+    // utilization sample over workers (drafts are zero for masters)
+    let n_workers = ctx.nodes.iter().filter(|n| !n.is_master).count();
+    if n_workers > 0 {
+        let n = n_workers as f64;
+        let overall: f64 = ctx.sync.drafts.iter().map(|d| d.overall).sum();
+        let lc_frac: f64 = ctx.sync.drafts.iter().map(|d| d.lc_frac).sum();
+        let be_frac: f64 = ctx.sync.drafts.iter().map(|d| d.be_frac).sum();
+        ctx.counters
+            .sample_utilization(now, overall / n, lc_frac / n, be_frac / n);
+    }
+    sched.schedule_in(ctx.cfg.sync_interval, Event::Sync);
+}
+
+/// `Reassure`: Algorithm 1 over the QoS detector.
+pub(crate) fn on_reassure(ctx: &mut SystemCtx<'_>, sched: &mut Sched<'_>) {
+    let now = sched.now();
+    if let Some(reassurer) = ctx.reassurer.as_mut() {
+        let catalog = ctx.catalog;
+        let targets = |svc: ServiceId| catalog.get(svc).qos_target;
+        reassurer.tick(ctx.detector, &targets, now);
+    }
+    sched.schedule_in(ctx.cfg.reassure_interval, Event::Reassure);
+}

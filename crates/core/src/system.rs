@@ -1,19 +1,32 @@
 //! The edge-cloud system runtime: Tango's dispatch–allocate–adjust loop
-//! (§3 "Operation") as a discrete-event simulation over the kube/cgroup/
-//! net substrates.
+//! (§3 "Operation") as a staged discrete-event simulation over the
+//! kube/cgroup/net substrates.
+//!
+//! This file is the *event router and builder* only. The behavior lives
+//! in the stage modules, each owning its slice of state and receiving a
+//! [`SystemCtx`] borrow-view per event:
+//!
+//! * [`crate::lifecycle`] — arrival, queue aging/abandonment,
+//!   delivery, admission, completion, reservations;
+//! * [`crate::dispatch`] — per-master LC rounds, BE forwarding,
+//!   the central BE dispatcher, and the candidate-view builder;
+//! * [`crate::sync_loop`] — the state-storage sync cycle and
+//!   the Algorithm 1 re-assurance tick;
+//! * [`crate::fault_rt`] — crash/recover/failover and the
+//!   conservation audit.
 //!
 //! Event alphabet:
 //! * `Arrival` — a trace request reaches its origin master and is queued
 //!   (LC queue or BE queue);
 //! * `Dispatch(c)` — master c's dispatch round: LC requests are planned
-//!   per type by the cluster's LC scheduler over geo-nearby candidates;
+//!   per type by the cluster's LC backend over geo-nearby candidates;
 //!   BE requests are forwarded to the central cluster (or scheduled
 //!   locally in `local_only` / CERES mode);
 //! * `CentralArrive` — a forwarded BE request lands at the central
 //!   cluster's BE traffic dispatcher;
 //! * `BeDispatch` — the central dispatcher schedules queued BE requests
-//!   with the configured [`BeScheduler`], paying it the §5.3.1 reward for
-//!   its previous decision;
+//!   with the configured backend, paying it the §5.3.1 reward for its
+//!   previous decision;
 //! * `Deliver` — a dispatched request reaches its target worker and is
 //!   admitted under the configured allocator (HRM regulations or static
 //!   limits); failures requeue, evictions requeue the evicted BE work;
@@ -24,21 +37,22 @@
 //!   utilization (the Prometheus/QoS-detector push cycle of Fig. 3).
 
 use crate::config::{AllocatorKind, TangoConfig};
-use crate::policy::{make_be_scheduler, make_lc_scheduler};
+use crate::ctx::SystemCtx;
+use crate::dispatch::DispatchState;
+use crate::fault_rt;
+use crate::lifecycle::LifecycleState;
+use crate::policy::{make_be_backend, make_lc_backend};
 use crate::report::{RunAudit, RunReport};
-use std::collections::{BTreeMap, VecDeque};
+use crate::runtime::{static_limits, Allocator, ClusterRt};
+use crate::sync_loop::SyncState;
+use std::collections::VecDeque;
 use tango_faults::{FaultEvent, FaultState, SystemLayout};
-use tango_hrm::{HrmAllocator, Reassurer, StaticAllocator};
+use tango_hrm::Reassurer;
 use tango_kube::Node;
-use tango_metrics::{ExperimentCounters, NodeRole, NodeSnapshot, QosDetector, StateStorage};
+use tango_metrics::{ExperimentCounters, QosDetector, StateStorage, TraceSink};
 use tango_net::NetworkTopology;
-use tango_sched::{BeScheduler, CandidateNode, LcScheduler, TypeBatch};
 use tango_simcore::{Engine, EventHandler, SimRng};
-use tango_types::{
-    ClusterId, NodeId, Request, RequestId, RequestOutcome, RequestState, Resources, ServiceClass,
-    ServiceId, SimTime,
-};
-use tango_types::{FxHashMap, FxHashSet};
+use tango_types::{ClusterId, NodeId, RequestId, Resources, ServiceId, SimTime};
 use tango_workload::{DiurnalProfile, ServiceCatalog, TraceGenerator, TraceSpec};
 
 /// Simulation events.
@@ -75,57 +89,30 @@ pub enum Event {
     Fault(FaultEvent),
 }
 
-struct ClusterRt {
-    id: ClusterId,
-    master: NodeId,
-    workers: Vec<NodeId>,
-    lc_q: VecDeque<RequestId>,
-    be_q: VecDeque<RequestId>,
-}
-
-enum Allocator {
-    Hrm(HrmAllocator),
-    Static(StaticAllocator),
-}
-
-/// The simulated edge-cloud system.
+/// The simulated edge-cloud system: owner of all state, router of all
+/// events. Stage logic lives in the stage modules.
 pub struct EdgeCloudSystem {
-    cfg: TangoConfig,
-    catalog: ServiceCatalog,
-    topology: NetworkTopology,
-    nodes: Vec<Node>,
-    clusters: Vec<ClusterRt>,
-    store: StateStorage,
-    lc_scheds: Vec<Box<dyn LcScheduler + Send>>,
-    be_sched: Box<dyn BeScheduler + Send>,
-    allocator: Allocator,
-    detector: QosDetector,
-    reassurer: Option<Reassurer>,
-    counters: ExperimentCounters,
-    requests: FxHashMap<RequestId, Request>,
-    next_request_id: u64,
-    central: ClusterId,
-    central_q: VecDeque<RequestId>,
-    /// Demands dispatched but not yet resolved at their target, per node —
-    /// the dispatcher's in-flight reservation table. Without it, the
-    /// per-type graphs (and the 100 ms snapshot staleness) would
-    /// double-book nodes within a dispatch round.
-    reserved: FxHashMap<NodeId, Resources>,
-    /// Per-node LC wait queues: the R′_k requests that DSS-LC routes to a
-    /// node beyond its instantaneous capacity wait *at the node* (§5.2.2)
-    /// rather than bouncing back to the master.
-    node_wait: Vec<VecDeque<RequestId>>,
-    /// Node chosen by the previous BE decision, awaiting its reward.
-    be_pending_feedback: Option<NodeId>,
-    be_completed_frac: f64,
-    be_evictions: u64,
-    /// Which nodes are down, crash epochs, and fault accounting.
-    fault_state: FaultState,
-    horizon: SimTime,
+    pub(crate) cfg: TangoConfig,
+    pub(crate) catalog: ServiceCatalog,
+    pub(crate) topology: NetworkTopology,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) clusters: Vec<ClusterRt>,
+    pub(crate) store: StateStorage,
+    pub(crate) allocator: Allocator,
+    pub(crate) detector: QosDetector,
+    pub(crate) reassurer: Option<Reassurer>,
+    pub(crate) counters: ExperimentCounters,
+    pub(crate) lifecycle: LifecycleState,
+    pub(crate) dispatch: DispatchState,
+    pub(crate) sync: SyncState,
+    pub(crate) fault: FaultState,
+    pub(crate) horizon: SimTime,
     /// Deterministic worker pool for the embarrassingly-parallel phases
     /// (per-type dispatch planning, per-node sync accounting). Thread
     /// count never changes results, only wall-clock time.
-    pool: tango_par::Pool,
+    pub(crate) pool: tango_par::Pool,
+    /// Optional stage-boundary trace sink (None = zero-cost no-op).
+    pub(crate) trace: Option<Box<dyn TraceSink + Send>>,
 }
 
 impl EdgeCloudSystem {
@@ -145,9 +132,9 @@ impl EdgeCloudSystem {
 
         let mut nodes: Vec<Node> = Vec::new();
         let mut clusters: Vec<ClusterRt> = Vec::new();
-        let mut lc_scheds = Vec::new();
+        let mut lc_backends = Vec::new();
 
-        let static_limits = Self::static_limits(&cfg, &catalog);
+        let limits = static_limits(&cfg, &catalog);
         for c in 0..cfg.clusters {
             let cid = ClusterId(c as u32);
             let master_id = NodeId(nodes.len() as u32);
@@ -166,7 +153,7 @@ impl EdgeCloudSystem {
                 for spec in catalog.specs() {
                     let initial = match cfg.allocator {
                         AllocatorKind::Hrm => spec.min_request,
-                        AllocatorKind::Static => static_limits[spec.id.index()]
+                        AllocatorKind::Static => limits[spec.id.index()]
                             .min(&capacity)
                             .max(&spec.min_request)
                             .min(&capacity),
@@ -177,38 +164,22 @@ impl EdgeCloudSystem {
                 nodes.push(node);
                 workers.push(wid);
             }
-            clusters.push(ClusterRt {
-                id: cid,
-                master: master_id,
-                workers,
-                lc_q: VecDeque::new(),
-                be_q: VecDeque::new(),
-            });
-            lc_scheds.push(make_lc_scheduler(
+            clusters.push(ClusterRt::new(cid, master_id, workers));
+            lc_backends.push(make_lc_backend(
                 cfg.lc_policy,
                 cfg.seed ^ (c as u64) << 8,
                 &cfg.ablations,
             ));
         }
 
-        let be_sched = make_be_scheduler(cfg.be_policy, cfg.seed ^ 0xbe, &cfg.ablations);
-        let allocator = match cfg.allocator {
-            AllocatorKind::Hrm => {
-                let floors = catalog
-                    .specs()
-                    .iter()
-                    .map(|s| (s.id, s.min_request))
-                    .collect();
-                Allocator::Hrm(HrmAllocator::new(floors))
-            }
-            AllocatorKind::Static => Allocator::Static(StaticAllocator),
-        };
+        let be_backend = make_be_backend(cfg.be_policy, cfg.seed ^ 0xbe, &cfg.ablations);
+        let allocator = Allocator::from_config(&cfg, &catalog);
         let reassurer = cfg.reassurance.clone().map(Reassurer::new);
         let central = topology.most_central();
         let counters = ExperimentCounters::new(cfg.period);
 
-        let node_wait = (0..nodes.len()).map(|_| VecDeque::new()).collect();
-        let fault_state = FaultState::new(nodes.len());
+        let lifecycle = LifecycleState::new(nodes.len());
+        let fault = FaultState::new(nodes.len());
         let pool = tango_par::Pool::new(tango_par::resolve(cfg.parallelism));
         EdgeCloudSystem {
             cfg,
@@ -216,71 +187,26 @@ impl EdgeCloudSystem {
             topology,
             nodes,
             clusters,
-            node_wait,
-            reserved: FxHashMap::default(),
             store: StateStorage::new(),
-            lc_scheds,
-            be_sched,
             allocator,
             detector: QosDetector::paper_default(),
             reassurer,
             counters,
-            requests: FxHashMap::default(),
-            next_request_id: 0,
-            central,
-            central_q: VecDeque::new(),
-            be_pending_feedback: None,
-            be_completed_frac: 0.0,
-            be_evictions: 0,
-            fault_state,
+            lifecycle,
+            dispatch: DispatchState {
+                lc: lc_backends,
+                be: be_backend,
+                central,
+                central_q: VecDeque::new(),
+                be_pending_feedback: None,
+                be_completed_frac: 0.0,
+            },
+            sync: SyncState::default(),
+            fault,
             horizon: SimTime::MAX,
             pool,
+            trace: None,
         }
-    }
-
-    /// K8s-native fixed limits "according to the total resource usage
-    /// ratio in the trace" (§7.1): share ∝ arrival-rate × work.
-    fn static_limits(cfg: &TangoConfig, catalog: &ServiceCatalog) -> Vec<Resources> {
-        let lc_count = catalog.lc_ids().len().max(1) as f64;
-        let be_count = catalog.be_ids().len().max(1) as f64;
-        let weights: Vec<f64> = catalog
-            .specs()
-            .iter()
-            .map(|s| {
-                let rate = match s.class {
-                    ServiceClass::Lc => cfg.workload.lc_rps / lc_count,
-                    ServiceClass::Be => cfg.workload.be_rps / be_count,
-                };
-                rate * s.work_milli_ms as f64
-            })
-            .collect();
-        let total: f64 = weights.iter().sum::<f64>().max(1e-9);
-        let mut limits: Vec<Resources> = catalog
-            .specs()
-            .iter()
-            .zip(&weights)
-            .map(|(s, &w)| {
-                let share = w / total;
-                cfg.worker_capacity
-                    .scale_f64(share)
-                    .max(&s.min_request)
-                    .min(&cfg.worker_capacity)
-            })
-            .collect();
-        // Normalize to a true partition (Σ limits ≤ capacity per
-        // dimension): fixed allocation means fragmentation, which is
-        // exactly the §7.1 "turbulent allocation" the baseline exhibits.
-        for kind in tango_types::ResourceKind::ALL {
-            let sum: u64 = limits.iter().map(|l| l.get(kind)).sum();
-            let cap = cfg.worker_capacity.get(kind);
-            if sum > cap && sum > 0 {
-                let scale = cap as f64 / sum as f64;
-                for l in &mut limits {
-                    l.set(kind, ((l.get(kind) as f64 * scale) as u64).max(1));
-                }
-            }
-        }
-        limits
     }
 
     /// Access the service catalog.
@@ -298,902 +224,44 @@ impl EdgeCloudSystem {
         self.clusters.iter().map(|c| c.workers.len()).sum()
     }
 
-    fn alloc_request_id(&mut self) -> RequestId {
-        let id = RequestId(self.next_request_id);
-        self.next_request_id += 1;
-        id
+    /// Number of clusters.
+    pub fn cluster_count(&self) -> usize {
+        self.clusters.len()
     }
 
-    fn cluster_of_node(&self, node: NodeId) -> ClusterId {
-        self.nodes[node.index()].cluster
+    /// The geographically central cluster hosting the BE dispatcher.
+    pub fn central(&self) -> ClusterId {
+        self.dispatch.central
     }
 
-    /// Requests-per-round transmission capacity of the master→node link
-    /// (Eq. 4's c_{i,j} discretized to the dispatch interval).
-    fn link_capacity(&self, from: ClusterId, to: ClusterId, payload_kib: u64) -> u32 {
-        let bw = self.topology.bandwidth_mbps(from, to).max(1);
-        let bits_per_round = bw as u128 * self.cfg.dispatch_interval.as_micros() as u128;
-        let bits_per_req = (payload_kib.max(1) as u128) * 8_192;
-        ((bits_per_round / bits_per_req).clamp(1, 100_000)) as u32
+    /// Attach a trace sink observing every stage boundary (arrival,
+    /// dispatch decision, delivery, admission, completion, abandonment,
+    /// fault). Untraced runs pay a single branch per hook.
+    pub fn set_trace(&mut self, sink: Box<dyn TraceSink + Send>) {
+        self.trace = Some(sink);
     }
 
-    /// Build LC candidate views for (origin cluster, service) from the
-    /// state storage — exactly what the paper's dispatcher reads. Down
-    /// nodes and nodes across an active partition never become
-    /// candidates; as a second line of defense the schedulers themselves
-    /// mask any `!alive` candidate out of their graphs.
-    fn lc_candidates(&self, origin: ClusterId, service: ServiceId) -> Vec<CandidateNode> {
-        let spec = self.catalog.get(service);
-        let mut cluster_set = if self.cfg.local_only {
-            Vec::new()
-        } else {
-            self.topology
-                .clusters_within(origin, self.cfg.geo_radius_km)
-        };
-        cluster_set.push(origin);
-        let snaps = self.store.in_clusters(&cluster_set);
-        snaps
-            .into_iter()
-            .filter(|s| {
-                s.role == NodeRole::Worker
-                    && !self.fault_state.is_down(s.node)
-                    && self.topology.is_reachable(origin, s.cluster)
-            })
-            .map(|s| {
-                let min_request = match &self.reassurer {
-                    Some(r) => r.min_request(s.node, service, spec.min_request),
-                    None => spec.min_request,
-                };
-                let reserved = self
-                    .reserved
-                    .get(&s.node)
-                    .copied()
-                    .unwrap_or(Resources::ZERO);
-                CandidateNode {
-                    node: s.node,
-                    cluster: s.cluster,
-                    total: s.total,
-                    available_lc: s.lc_available().saturating_sub(&reserved),
-                    available_be: s.be_available().saturating_sub(&reserved),
-                    min_request,
-                    delay: self
-                        .topology
-                        .transfer_time(origin, s.cluster, spec.payload_kib),
-                    link_capacity: self.link_capacity(origin, s.cluster, spec.payload_kib),
-                    slack: s.slack.get(&service).copied().unwrap_or(1.0),
-                    alive: true,
-                }
-            })
-            .collect()
-    }
-
-    /// Build BE candidate views over the whole system, from the central
-    /// cluster's vantage point. Down or partitioned-away nodes are
-    /// excluded before the GNN ever sees them.
-    fn be_candidates(&self, service: ServiceId) -> Vec<CandidateNode> {
-        let spec = self.catalog.get(service);
-        self.store
-            .all()
-            .into_iter()
-            .filter(|s| {
-                s.role == NodeRole::Worker
-                    && !self.fault_state.is_down(s.node)
-                    && self.topology.is_reachable(self.central, s.cluster)
-            })
-            .map(|s| {
-                let reserved = self
-                    .reserved
-                    .get(&s.node)
-                    .copied()
-                    .unwrap_or(Resources::ZERO);
-                (s, reserved)
-            })
-            .map(|(s, reserved)| CandidateNode {
-                node: s.node,
-                cluster: s.cluster,
-                total: s.total,
-                available_lc: s.lc_available().saturating_sub(&reserved),
-                available_be: s.be_available().saturating_sub(&reserved),
-                min_request: spec.min_request,
-                delay: self
-                    .topology
-                    .transfer_time(self.central, s.cluster, spec.payload_kib),
-                link_capacity: self.link_capacity(self.central, s.cluster, spec.payload_kib),
-                slack: s.slack.get(&service).copied().unwrap_or(1.0),
-                alive: true,
-            })
-            .collect()
-    }
-
-    /// Which master acts for `cluster` this dispatch round. Normally the
-    /// cluster's own; if that master is down, the nearest reachable
-    /// cluster with a live master steps in (deterministic tiebreak:
-    /// distance, then cluster id) and every delivery pays the extra
-    /// control hop back from the stand-in. `None` means no live master is
-    /// reachable — the round is skipped and queues age in place.
-    fn acting_master_for(&self, cluster: ClusterId) -> Option<(ClusterId, SimTime)> {
-        if !self
-            .fault_state
-            .is_down(self.clusters[cluster.index()].master)
-        {
-            return Some((cluster, SimTime::ZERO));
-        }
-        let mut best: Option<(f64, ClusterId)> = None;
-        for c in &self.clusters {
-            if c.id == cluster
-                || self.fault_state.is_down(c.master)
-                || !self.topology.is_reachable(cluster, c.id)
-            {
-                continue;
-            }
-            let d = self.topology.distance_km(cluster, c.id);
-            let better = match best {
-                None => true,
-                Some((bd, bid)) => d < bd || (d == bd && c.id.index() < bid.index()),
-            };
-            if better {
-                best = Some((d, c.id));
-            }
-        }
-        best.map(|(_, backup)| (backup, self.topology.one_way_latency(cluster, backup)))
-    }
-
-    // ------------------------------------------------------------------
-    // event handlers
-    // ------------------------------------------------------------------
-
-    fn on_arrival(
-        &mut self,
-        service: ServiceId,
-        origin: ClusterId,
-        demand: Resources,
-        now: SimTime,
-    ) {
-        let spec = self.catalog.get(service);
-        let class = spec.class;
-        let id = self.alloc_request_id();
-        let req = Request::new(id, service, class, origin, now, demand);
-        if class.is_lc() {
-            self.counters.on_lc_arrival(now);
-            self.clusters[origin.index()].lc_q.push_back(id);
-        } else {
-            self.clusters[origin.index()].be_q.push_back(id);
-        }
-        self.requests.insert(id, req);
-    }
-
-    fn abandon(&mut self, rid: RequestId, now: SimTime) {
-        if let Some(req) = self.requests.get_mut(&rid) {
-            req.mark_done(RequestOutcome::Abandoned, now);
-            self.counters.on_abandon(now);
-        }
-    }
-
-    /// Deadline past which a queued request is hopeless: an LC request
-    /// older than its QoS target γ can no longer satisfy it even if it
-    /// completed instantly, so it is shed (the "abandoned requests"
-    /// metric of §7.2); BE requests wait out their patience.
-    fn queue_deadline(catalog: &ServiceCatalog, req: &Request, patience: SimTime) -> SimTime {
-        match req.class {
-            ServiceClass::Lc => catalog.get(req.service).qos_target.min(patience),
-            ServiceClass::Be => patience,
-        }
-    }
-
-    /// Remove hopeless queue entries, abandoning them.
-    fn expire_queue(
-        catalog: &ServiceCatalog,
-        queue: &mut VecDeque<RequestId>,
-        requests: &FxHashMap<RequestId, Request>,
-        patience: SimTime,
-        now: SimTime,
-    ) -> Vec<RequestId> {
-        let mut expired = Vec::new();
-        queue.retain(|rid| {
-            let keep = requests
-                .get(rid)
-                .map(|r| {
-                    now.saturating_since(r.arrival) <= Self::queue_deadline(catalog, r, patience)
-                })
-                .unwrap_or(false);
-            if !keep {
-                expired.push(*rid);
-            }
-            keep
-        });
-        expired
-    }
-
-    fn on_dispatch(
-        &mut self,
-        cluster: ClusterId,
-        sched: &mut tango_simcore::engine::Scheduler<'_, Event>,
-    ) {
-        let now = sched.now();
-        let ci = cluster.index();
-
-        // Expire hopeless entries in both queues regardless of master
-        // health — waiting requests age even while the control plane is
-        // down.
-        let expired = Self::expire_queue(
-            &self.catalog,
-            &mut self.clusters[ci].lc_q,
-            &self.requests,
-            self.cfg.lc_patience,
-            now,
-        );
-        for rid in expired {
-            self.abandon(rid, now);
-        }
-        let expired = Self::expire_queue(
-            &self.catalog,
-            &mut self.clusters[ci].be_q,
-            &self.requests,
-            self.cfg.be_patience,
-            now,
-        );
-        for rid in expired {
-            self.abandon(rid, now);
-        }
-
-        // Master failover: a dead master's round is either taken over by
-        // the nearest live one (extra control hop on every delivery) or
-        // skipped entirely when none is reachable.
-        let Some((_acting, failover_delay)) = self.acting_master_for(cluster) else {
-            sched.schedule_in(self.cfg.dispatch_interval, Event::Dispatch(cluster));
-            return;
-        };
-
-        // LC queue: group by type, plan, dispatch.
-        if !self.clusters[ci].lc_q.is_empty() {
-            let drained: Vec<RequestId> = self.clusters[ci].lc_q.drain(..).collect();
-            let mut by_type: BTreeMap<ServiceId, Vec<RequestId>> = BTreeMap::new();
-            for rid in &drained {
-                if let Some(r) = self.requests.get(rid) {
-                    by_type.entry(r.service).or_default().push(*rid);
-                }
-            }
-            // Per-type dispatch graphs are independent commodities: every
-            // batch reads the same start-of-round candidate snapshot
-            // (including the reservation table), so the per-type plans can
-            // run as one fan-out on the scheduler's pool.
-            let batches: Vec<TypeBatch> = by_type
-                .into_iter()
-                .map(|(service, requests)| TypeBatch {
-                    service,
-                    requests,
-                    nodes: self.lc_candidates(cluster, service),
-                })
-                .collect();
-            let placements_per_type = self.lc_scheds[ci].assign_many(&batches, &self.pool);
-            let mut assigned: FxHashSet<RequestId> = FxHashSet::default();
-            for (batch, placements) in batches.iter().zip(placements_per_type) {
-                let payload = self.catalog.get(batch.service).payload_kib;
-                for (rid, node) in placements {
-                    if self.fault_state.is_down(node) {
-                        // A dead node slipped through the masking layers;
-                        // count it (the invariant tests assert this stays
-                        // zero) and leave the request queued.
-                        self.fault_state.summary.down_node_dispatches += 1;
-                        continue;
-                    }
-                    assigned.insert(rid);
-                    if let Some(r) = self.requests.get_mut(&rid) {
-                        r.mark_dispatched(node);
-                        let slot = self.reserved.entry(node).or_insert(Resources::ZERO);
-                        *slot += r.demand;
-                    }
-                    let delay = failover_delay
-                        + self
-                            .topology
-                            .transfer_time(cluster, self.cluster_of_node(node), payload);
-                    sched.schedule_in(
-                        delay,
-                        Event::Deliver(rid, node, self.fault_state.epoch(node)),
-                    );
-                }
-            }
-            // unplaced requests stay queued, original order
-            for rid in drained {
-                if !assigned.contains(&rid) {
-                    self.clusters[ci].lc_q.push_back(rid);
-                }
-            }
-        }
-
-        // BE queue: forward to the central dispatcher (or local round-
-        // robin in CERES mode, where BE never leaves the cluster).
-        if self.cfg.local_only {
-            // schedule BE within the cluster using the central policy but
-            // with local candidates only
-            let drained: Vec<RequestId> = self.clusters[ci].be_q.drain(..).collect();
-            for rid in drained {
-                let Some(req) = self.requests.get(&rid) else {
-                    continue;
-                };
-                let service = req.service;
-                let demand = req.demand;
-                let payload = self.catalog.get(service).payload_kib;
-                let local: Vec<CandidateNode> = self
-                    .be_candidates(service)
-                    .into_iter()
-                    .filter(|c| c.cluster == cluster)
-                    .collect();
-                self.pay_be_feedback(&demand, &local, now);
-                match self.be_sched.schedule(&demand, &local) {
-                    Some(node) if self.fault_state.is_down(node) => {
-                        self.fault_state.summary.down_node_dispatches += 1;
-                        self.clusters[ci].be_q.push_back(rid);
-                    }
-                    Some(node) => {
-                        if let Some(r) = self.requests.get_mut(&rid) {
-                            r.mark_dispatched(node);
-                            let slot = self.reserved.entry(node).or_insert(Resources::ZERO);
-                            *slot += r.demand;
-                        }
-                        self.be_pending_feedback = Some(node);
-                        let delay = failover_delay
-                            + self.topology.transfer_time(
-                                cluster,
-                                self.cluster_of_node(node),
-                                payload,
-                            );
-                        sched.schedule_in(
-                            delay,
-                            Event::Deliver(rid, node, self.fault_state.epoch(node)),
-                        );
-                    }
-                    None => self.clusters[ci].be_q.push_back(rid),
-                }
-            }
-        } else if self.topology.is_reachable(cluster, self.central) {
-            let forward_delay =
-                failover_delay + self.topology.transfer_time(cluster, self.central, 64);
-            for rid in self.clusters[ci].be_q.drain(..) {
-                sched.schedule_in(forward_delay, Event::CentralArrive(rid));
-            }
-        }
-        // (partitioned away from the central cluster: BE stays queued
-        // locally until the partition heals)
-
-        sched.schedule_in(self.cfg.dispatch_interval, Event::Dispatch(cluster));
-    }
-
-    /// Pay the §5.3.1 reward for the previous BE decision.
-    fn pay_be_feedback(
-        &mut self,
-        next_demand: &Resources,
-        next_nodes: &[CandidateNode],
-        _now: SimTime,
-    ) {
-        if let Some(prev_node) = self.be_pending_feedback.take() {
-            let node = &self.nodes[prev_node.index()];
-            let (_, be_held) = node.demand_usage();
-            let r_short = tango_sched::dcg_be::short_term_reward(&be_held, &node.capacity());
-            let r_long = tango_sched::dcg_be::long_term_reward(self.be_completed_frac);
-            self.be_completed_frac = 0.0;
-            // r = r_short + η·r_long (§5.3.1; η = 1 in the paper)
-            let reward = r_short + self.cfg.ablations.dcg_eta * r_long;
-            self.be_sched.feedback(reward, next_demand, next_nodes);
-        }
-    }
-
-    fn on_central_arrive(&mut self, rid: RequestId) {
-        if self.requests.contains_key(&rid) {
-            self.central_q.push_back(rid);
-        }
-    }
-
-    fn on_be_dispatch(&mut self, sched: &mut tango_simcore::engine::Scheduler<'_, Event>) {
-        let now = sched.now();
-        let expired = Self::expire_queue(
-            &self.catalog,
-            &mut self.central_q,
-            &self.requests,
-            self.cfg.be_patience,
-            now,
-        );
-        for rid in expired {
-            self.abandon(rid, now);
-        }
-        // The central dispatcher itself can lose its master.
-        let Some((_acting, failover_delay)) = self.acting_master_for(self.central) else {
-            sched.schedule_in(self.cfg.dispatch_interval, Event::BeDispatch);
-            return;
-        };
-        let mut deferred = VecDeque::new();
-        // The central dispatcher has finite decision throughput per round
-        // (each decision is a GNN forward); cap it so a bounce storm —
-        // e.g. with the context filter ablated off — degrades throughput
-        // instead of wedging the simulation.
-        let mut budget = 512usize;
-        while let Some(rid) = self.central_q.pop_front() {
-            if budget == 0 {
-                deferred.push_back(rid);
-                break;
-            }
-            budget -= 1;
-            let Some(req) = self.requests.get(&rid) else {
-                continue;
-            };
-            let service = req.service;
-            let demand = req.demand;
-            let payload = self.catalog.get(service).payload_kib;
-            let candidates = self.be_candidates(service);
-            self.pay_be_feedback(&demand, &candidates, now);
-            match self.be_sched.schedule(&demand, &candidates) {
-                Some(node) if self.fault_state.is_down(node) => {
-                    self.fault_state.summary.down_node_dispatches += 1;
-                    deferred.push_back(rid);
-                }
-                Some(node) => {
-                    if let Some(r) = self.requests.get_mut(&rid) {
-                        r.mark_dispatched(node);
-                        let slot = self.reserved.entry(node).or_insert(Resources::ZERO);
-                        *slot += r.demand;
-                    }
-                    self.be_pending_feedback = Some(node);
-                    let delay = failover_delay
-                        + self.topology.transfer_time(
-                            self.central,
-                            self.cluster_of_node(node),
-                            payload,
-                        );
-                    sched.schedule_in(
-                        delay,
-                        Event::Deliver(rid, node, self.fault_state.epoch(node)),
-                    );
-                }
-                None => {
-                    // nothing feasible system-wide right now: try again
-                    // next round (Alg. 3's reschedule path)
-                    deferred.push_back(rid);
-                    break;
-                }
-            }
-        }
-        // keep order: deferred head goes back in front
-        while let Some(rid) = deferred.pop_back() {
-            self.central_q.push_front(rid);
-        }
-        sched.schedule_in(self.cfg.dispatch_interval, Event::BeDispatch);
-    }
-
-    fn requeue_or_abandon(&mut self, rid: RequestId, now: SimTime) {
-        let Some(req) = self.requests.get_mut(&rid) else {
-            return;
-        };
-        if req.is_done() {
-            return;
-        }
-        req.mark_requeued();
-        // LC requests have a bounce budget; evicted/bounced BE work is
-        // "restarted at a later time" (§4.1) and is only bounded by its
-        // patience window.
-        if req.class.is_lc() && req.requeues > self.cfg.max_requeues {
-            req.mark_done(RequestOutcome::Failed, now);
-            self.counters.on_abandon(now);
-            return;
-        }
-        let origin = req.origin;
-        match req.class {
-            ServiceClass::Lc => self.clusters[origin.index()].lc_q.push_back(rid),
-            ServiceClass::Be => {
-                if self.cfg.local_only {
-                    self.clusters[origin.index()].be_q.push_back(rid);
-                } else {
-                    self.central_q.push_back(rid);
-                }
-            }
-        }
-    }
-
-    fn schedule_node_check(
-        &self,
-        node: NodeId,
-        sched: &mut tango_simcore::engine::Scheduler<'_, Event>,
-    ) {
-        let n = &self.nodes[node.index()];
-        if let Some(t) = n.next_completion(sched.now()) {
-            // Completions projected past the horizon will never be
-            // observed in this run; scheduling them anyway would livelock
-            // the engine at the horizon instant.
-            if t <= self.horizon {
-                sched.schedule_at(t, Event::NodeCheck(node, n.generation()));
-            }
-        }
-    }
-
-    fn release_reservation(&mut self, node: NodeId, demand: Resources) {
-        if let Some(r) = self.reserved.get_mut(&node) {
-            *r = r.saturating_sub(&demand);
-        }
-    }
-
-    /// Try to admit a queued/delivered request on a node: applies the
-    /// re-assurance factor ("encapsulated in the packet of scheduled
-    /// requests", §3 ➎), runs the configured allocator, and on success
-    /// updates the request state and processes evictions.
-    fn try_admit_at(&mut self, rid: RequestId, node_id: NodeId, now: SimTime) -> bool {
-        if self.fault_state.is_down(node_id) {
-            return false; // callers guard this; last line of defense
-        }
-        let Some(req) = self.requests.get(&rid) else {
-            return true; // vanished: treat as handled
-        };
-        if req.is_done() {
-            return true;
-        }
-        let service = req.service;
-        let work = self.catalog.get(service).work_milli_ms;
-        let factor = self
-            .reassurer
-            .as_ref()
-            .map(|r| r.factor(node_id, service))
-            .unwrap_or(1.0);
-        let eff_demand = req
-            .demand
-            .scale_f64(factor)
-            .max(&Resources::new(1, 1, 0, 0));
-        let mut admit_req = req.clone();
-        admit_req.demand = eff_demand;
-
-        let node = &mut self.nodes[node_id.index()];
-        let result = match &mut self.allocator {
-            Allocator::Hrm(h) => h.try_admit(node, &admit_req, work, now),
-            Allocator::Static(s) => s.try_admit(node, &admit_req, work, now),
-        };
-        match result {
-            Ok(outcome) => {
-                if let Some(r) = self.requests.get_mut(&rid) {
-                    r.demand = eff_demand;
-                    r.mark_running(node_id, now);
-                }
-                self.be_evictions += outcome.evicted.len() as u64;
-                let evicted_ids: Vec<RequestId> =
-                    outcome.evicted.iter().map(|(_, rr)| rr.request).collect();
-                for erid in evicted_ids {
-                    self.requeue_or_abandon(erid, now);
-                }
-                true
-            }
-            Err(_) => false,
-        }
-    }
-
-    fn patience_for(&self, class: ServiceClass) -> SimTime {
-        match class {
-            ServiceClass::Lc => self.cfg.lc_patience,
-            ServiceClass::Be => self.cfg.be_patience,
-        }
-    }
-
-    /// Admit as many node-waiting LC requests as now fit (FIFO), expiring
-    /// the ones past their patience.
-    fn drain_node_wait(
-        &mut self,
-        node_id: NodeId,
-        sched: &mut tango_simcore::engine::Scheduler<'_, Event>,
-    ) {
-        if self.fault_state.is_down(node_id) {
-            return; // the wait queue was drained back at crash time
-        }
-        let now = sched.now();
-        let mut admitted_any = false;
-        while let Some(&rid) = self.node_wait[node_id.index()].front() {
-            let (demand, expired) = match self.requests.get(&rid) {
-                Some(r) => (
-                    r.demand,
-                    now.saturating_since(r.arrival)
-                        > Self::queue_deadline(&self.catalog, r, self.patience_for(r.class)),
-                ),
-                None => (Resources::ZERO, true),
-            };
-            if expired {
-                self.node_wait[node_id.index()].pop_front();
-                self.release_reservation(node_id, demand);
-                self.abandon(rid, now);
-                continue;
-            }
-            if self.try_admit_at(rid, node_id, now) {
-                self.node_wait[node_id.index()].pop_front();
-                self.release_reservation(node_id, demand);
-                admitted_any = true;
-            } else {
-                break; // head of line still does not fit
-            }
-        }
-        if admitted_any {
-            self.schedule_node_check(node_id, sched);
-        }
-    }
-
-    fn on_deliver(
-        &mut self,
-        rid: RequestId,
-        node_id: NodeId,
-        epoch: u64,
-        sched: &mut tango_simcore::engine::Scheduler<'_, Event>,
-    ) {
-        let now = sched.now();
-        let Some(req) = self.requests.get(&rid) else {
-            return;
-        };
-        if req.is_done() {
-            return;
-        }
-        if self.fault_state.is_down(node_id) || self.fault_state.epoch(node_id) != epoch {
-            // The target crashed while the payload was in flight (a stale
-            // epoch means it also already recovered). Its reservation
-            // entry was wiped wholesale at crash time, so do not release
-            // anything — just bounce the request back to its scheduler.
-            self.fault_state.summary.bounced_deliveries += 1;
-            self.fault_state.summary.rescheduled += 1;
-            self.requeue_or_abandon(rid, now);
-            return;
-        }
-        let class = req.class;
-        let demand = req.demand;
-        if self.try_admit_at(rid, node_id, now) {
-            self.release_reservation(node_id, demand);
-            self.schedule_node_check(node_id, sched);
-        } else {
-            match class {
-                // R′_k semantics (§5.2.2): LC requests routed beyond the
-                // node's instantaneous capacity wait at the node. The
-                // reservation stays until they run or expire.
-                ServiceClass::Lc => {
-                    self.node_wait[node_id.index()].push_back(rid);
-                }
-                // Alg. 3: BE requests that cannot be processed in time
-                // return to the central scheduling queue.
-                ServiceClass::Be => {
-                    self.release_reservation(node_id, demand);
-                    self.requeue_or_abandon(rid, now);
-                }
-            }
-        }
-    }
-
-    fn on_node_check(
-        &mut self,
-        node_id: NodeId,
-        generation: u64,
-        sched: &mut tango_simcore::engine::Scheduler<'_, Event>,
-    ) {
-        let now = sched.now();
-        if self.fault_state.is_down(node_id) {
-            return; // crash bumped the generation; this check is void
-        }
-        {
-            let node = &mut self.nodes[node_id.index()];
-            if node.generation() != generation {
-                return; // stale projection; a newer check is scheduled
-            }
-            node.advance(now);
-        }
-        let completions = self.nodes[node_id.index()].take_completions();
-        if !completions.is_empty() {
-            let node_cap = self.nodes[node_id.index()].capacity();
-            for done in &completions {
-                let Some(req) = self.requests.get_mut(&done.request) else {
-                    continue;
-                };
-                req.mark_done(RequestOutcome::Completed, now);
-                let latency = now.saturating_since(req.arrival);
-                match done.class {
-                    ServiceClass::Lc => {
-                        let within = self.catalog.get(done.service).meets_qos(latency);
-                        if !within && self.fault_state.any_fault_active() {
-                            // attribute the miss to the open fault window
-                            self.counters.on_fault_qos_violation(now);
-                        }
-                        self.counters.on_lc_complete(now, latency, within);
-                        self.detector.record(node_id, done.service, now, latency);
-                    }
-                    ServiceClass::Be => {
-                        self.counters.on_be_complete(now);
-                        let d = req.demand;
-                        self.be_completed_frac += d.cpu_milli as f64
-                            / node_cap.cpu_milli.max(1) as f64
-                            + d.memory_mib as f64 / node_cap.memory_mib.max(1) as f64;
-                    }
-                }
-            }
-            if let Allocator::Hrm(h) = &mut self.allocator {
-                h.rebalance(&mut self.nodes[node_id.index()], now);
-            }
-            // freed resources may unblock node-waiting LC requests
-            self.drain_node_wait(node_id, sched);
-        }
-        self.schedule_node_check(node_id, sched);
-    }
-
-    fn on_reassure(&mut self, sched: &mut tango_simcore::engine::Scheduler<'_, Event>) {
-        let now = sched.now();
-        if let Some(reassurer) = &mut self.reassurer {
-            let catalog = &self.catalog;
-            let targets = |svc: ServiceId| catalog.get(svc).qos_target;
-            reassurer.tick(&mut self.detector, &targets, now);
-        }
-        sched.schedule_in(self.cfg.reassure_interval, Event::Reassure);
-    }
-
-    fn on_sync(&mut self, sched: &mut tango_simcore::engine::Scheduler<'_, Event>) {
-        let now = sched.now();
-        // Phase 1 (parallel): per-node state advance and usage accounting.
-        // Nodes are independent here, so the pool chunks them statically;
-        // drafts land in node order regardless of thread count. The QoS
-        // slack lookups, pending-queue summaries, storage pushes and the
-        // utilization sample stay sequential below — they touch cross-node
-        // state (detector windows prune on read, the store is shared).
-        #[derive(Clone)]
-        struct SyncDraft {
-            available: Resources,
-            be_held: Resources,
-            overall: f64,
-            lc_frac: f64,
-            be_frac: f64,
-        }
-        let mut drafts = vec![
-            SyncDraft {
-                available: Resources::ZERO,
-                be_held: Resources::ZERO,
-                overall: 0.0,
-                lc_frac: 0.0,
-                be_frac: 0.0,
-            };
-            self.nodes.len()
-        ];
-        let down: &[bool] = self.fault_state.down_slice();
-        self.pool
-            .par_zip_chunks_mut(&mut self.nodes, &mut drafts, |_, nodes, drafts| {
-                for (node, draft) in nodes.iter_mut().zip(drafts.iter_mut()) {
-                    if down[node.id.index()] {
-                        // Crashed node: it advertises zero capacity (the
-                        // snapshot keeps schedulers honest between the
-                        // crash and the next sync) and contributes zero
-                        // utilization — its containers are dead.
-                        draft.available = Resources::ZERO;
-                        continue;
-                    }
-                    node.advance(now);
-                    let (lc_held, be_held) = node.demand_usage();
-                    let cap = node.capacity();
-                    draft.available = cap.saturating_sub(&lc_held).saturating_sub(&be_held);
-                    draft.be_held = be_held;
-                    if !node.is_master {
-                        let (lc, be) = node.actual_usage();
-                        draft.overall = (lc + be).utilization_against(&cap);
-                        draft.lc_frac = lc.utilization_against(&cap);
-                        draft.be_frac = be.utilization_against(&cap);
-                    }
-                }
-            });
-        // Phase 2 (sequential): snapshot pushes in node order.
-        let lc_services = self.catalog.lc_ids();
-        for (node, draft) in self.nodes.iter().zip(&drafts) {
-            let mut slack = FxHashMap::default();
-            for &svc in &lc_services {
-                let target = self.catalog.get(svc).qos_target;
-                if let Some(s) = self.detector.slack(node.id, svc, target, now) {
-                    slack.insert(svc, s);
-                }
-            }
-            let mut pending = FxHashMap::default();
-            if node.is_master {
-                let cluster = &self.clusters[node.cluster.index()];
-                for rid in cluster.lc_q.iter().chain(cluster.be_q.iter()) {
-                    if let Some(r) = self.requests.get(rid) {
-                        *pending.entry(r.service).or_insert(0u32) += 1;
-                    }
-                }
-            }
-            self.store.push(NodeSnapshot {
-                node: node.id,
-                cluster: node.cluster,
-                role: if node.is_master {
-                    NodeRole::Master
-                } else {
-                    NodeRole::Worker
-                },
-                total: node.capacity(),
-                available: draft.available,
-                be_held: draft.be_held,
-                slack,
-                pending,
-                updated_at: now,
-            });
-        }
-        // utilization sample over workers (drafts are zero for masters)
-        let n_workers = self.nodes.iter().filter(|n| !n.is_master).count();
-        if n_workers > 0 {
-            let n = n_workers as f64;
-            let overall: f64 = drafts.iter().map(|d| d.overall).sum();
-            let lc_frac: f64 = drafts.iter().map(|d| d.lc_frac).sum();
-            let be_frac: f64 = drafts.iter().map(|d| d.be_frac).sum();
-            self.counters
-                .sample_utilization(now, overall / n, lc_frac / n, be_frac / n);
-        }
-        sched.schedule_in(self.cfg.sync_interval, Event::Sync);
-    }
-
-    /// Apply one compiled fault-plan event. Crashes interrupt everything
-    /// on the node and hand the work back to the schedulers; recoveries
-    /// bring the node back *cold* — stale QoS history and re-assurance
-    /// factors are forgotten so the control loops re-learn it.
-    fn on_fault(
-        &mut self,
-        fault: FaultEvent,
-        sched: &mut tango_simcore::engine::Scheduler<'_, Event>,
-    ) {
-        let now = sched.now();
-        match fault {
-            FaultEvent::NodeCrash { node } => {
-                let is_master = self.nodes[node.index()].is_master;
-                if !self.fault_state.on_crash(node, now, is_master) {
-                    return; // already down (overlapping churn draw)
-                }
-                // Everything running on the node dies; interrupted work
-                // is re-queued at its origin master (LC) or the central
-                // dispatcher (BE).
-                let interrupted = self.nodes[node.index()].crash(now);
-                for (class, rr) in interrupted {
-                    match class {
-                        ServiceClass::Lc => self.fault_state.summary.lc_interrupted += 1,
-                        ServiceClass::Be => self.fault_state.summary.be_interrupted += 1,
-                    }
-                    self.fault_state.summary.rescheduled += 1;
-                    self.requeue_or_abandon(rr.request, now);
-                }
-                // Requests waiting *at* the node (§5.2.2 R′_k) drain back
-                // to their origin queues.
-                let waiting: Vec<RequestId> = self.node_wait[node.index()].drain(..).collect();
-                self.fault_state.summary.wait_drained += waiting.len() as u64;
-                self.fault_state.summary.rescheduled += waiting.len() as u64;
-                for rid in waiting {
-                    self.requeue_or_abandon(rid, now);
-                }
-                // Wipe the in-flight reservation entry wholesale;
-                // deliveries still in the air bounce on the epoch check
-                // instead of decrementing a table that no longer exists.
-                self.reserved.remove(&node);
-            }
-            FaultEvent::NodeRecover { node } => {
-                if !self.fault_state.on_recover(node, now) {
-                    return; // was not down
-                }
-                self.nodes[node.index()].recover(now, self.cfg.faults.restart_delay);
-                // The node comes back cold: pre-crash latency windows and
-                // re-assurance factors no longer describe it.
-                self.detector.forget_node(node);
-                if let Some(r) = &mut self.reassurer {
-                    r.reset_node(node);
-                }
-                self.schedule_node_check(node, sched);
-            }
-            FaultEvent::LinkDegrade {
-                a,
-                b,
-                latency_factor,
-                bandwidth_factor,
-            } => {
-                self.topology
-                    .degrade_link(a, b, latency_factor, bandwidth_factor);
-                self.fault_state.on_link_degrade();
-            }
-            FaultEvent::LinkRestore { a, b } => {
-                self.topology.restore_link(a, b);
-                self.fault_state.on_link_restore();
-            }
-            FaultEvent::Partition { side } => {
-                self.topology.set_partition(&side);
-                self.fault_state.on_partition();
-            }
-            FaultEvent::Heal => {
-                self.topology.heal_partition();
-                self.fault_state.on_heal();
-            }
+    /// Split `self` into the per-event borrow view the stage modules
+    /// consume (see [`crate::ctx`] for the borrow rules).
+    fn ctx(&mut self) -> SystemCtx<'_> {
+        SystemCtx {
+            cfg: &self.cfg,
+            catalog: &self.catalog,
+            topology: &mut self.topology,
+            nodes: &mut self.nodes,
+            clusters: &mut self.clusters,
+            store: &mut self.store,
+            detector: &mut self.detector,
+            reassurer: &mut self.reassurer,
+            counters: &mut self.counters,
+            allocator: &mut self.allocator,
+            lifecycle: &mut self.lifecycle,
+            dispatch: &mut self.dispatch,
+            sync: &mut self.sync,
+            fault: &mut self.fault,
+            pool: &self.pool,
+            horizon: self.horizon,
+            trace: self.trace.as_deref_mut().map(|t| t as _),
         }
     }
 
@@ -1213,7 +281,7 @@ impl EdgeCloudSystem {
     /// neither loses requests nor leaves them running on dead nodes.
     pub fn run_audited(mut self, duration: SimTime, label: &str) -> (RunReport, RunAudit) {
         self.run_inner(duration);
-        let audit = self.audit();
+        let audit = fault_rt::audit(&self.lifecycle, &self.fault);
         (self.finish(label), audit)
     }
 
@@ -1271,37 +339,9 @@ impl EdgeCloudSystem {
         engine.run_until(self, duration);
     }
 
-    /// Bucket every injected request by its terminal state.
-    fn audit(&self) -> RunAudit {
-        let mut a = RunAudit {
-            total: self.requests.len() as u64,
-            ..RunAudit::default()
-        };
-        for req in self.requests.values() {
-            match req.outcome() {
-                Some(RequestOutcome::Completed) => a.completed += 1,
-                Some(RequestOutcome::Abandoned) => a.abandoned += 1,
-                Some(RequestOutcome::Failed) => a.failed += 1,
-                None => {
-                    a.pending += 1;
-                    if let RequestState::Running { target } = req.state {
-                        if self.fault_state.is_down(target) {
-                            a.running_on_down_nodes += 1;
-                        }
-                    }
-                }
-            }
-        }
-        a
-    }
-
     fn finish(mut self, label: &str) -> RunReport {
-        self.fault_state.settle(self.horizon);
-        self.fault_state.summary.fault_qos_violations = self.counters.total_fault_qos_violations();
-        let dvpa_ops = match &self.allocator {
-            Allocator::Hrm(h) => h.dvpa.ops,
-            Allocator::Static(_) => 0,
-        };
+        self.fault.settle(self.horizon);
+        self.fault.summary.fault_qos_violations = self.counters.total_fault_qos_violations();
         RunReport {
             label: label.to_string(),
             qos_satisfaction: self.counters.qos_satisfaction_rate().unwrap_or(0.0),
@@ -1312,9 +352,9 @@ impl EdgeCloudSystem {
             lc_arrived: self.counters.periods().iter().map(|p| p.lc_arrived).sum(),
             lc_completed: self.counters.periods().iter().map(|p| p.lc_completed).sum(),
             periods: self.counters.periods(),
-            dvpa_ops,
-            be_evictions: self.be_evictions,
-            faults: self.fault_state.summary.clone(),
+            dvpa_ops: self.allocator.dvpa_ops(),
+            be_evictions: self.lifecycle.be_evictions,
+            faults: self.fault.summary.clone(),
         }
     }
 }
@@ -1323,20 +363,25 @@ impl EventHandler for EdgeCloudSystem {
     type Event = Event;
 
     fn handle(&mut self, event: Event, sched: &mut tango_simcore::engine::Scheduler<'_, Event>) {
+        let mut ctx = self.ctx();
         match event {
             Event::Arrival {
                 service,
                 origin,
                 demand,
-            } => self.on_arrival(service, origin, demand, sched.now()),
-            Event::Dispatch(cluster) => self.on_dispatch(cluster, sched),
-            Event::CentralArrive(rid) => self.on_central_arrive(rid),
-            Event::BeDispatch => self.on_be_dispatch(sched),
-            Event::Deliver(rid, node, epoch) => self.on_deliver(rid, node, epoch, sched),
-            Event::NodeCheck(node, generation) => self.on_node_check(node, generation, sched),
-            Event::Reassure => self.on_reassure(sched),
-            Event::Sync => self.on_sync(sched),
-            Event::Fault(fault) => self.on_fault(fault, sched),
+            } => crate::lifecycle::on_arrival(&mut ctx, service, origin, demand, sched.now()),
+            Event::Dispatch(cluster) => crate::dispatch::on_dispatch(&mut ctx, cluster, sched),
+            Event::CentralArrive(rid) => crate::dispatch::on_central_arrive(&mut ctx, rid),
+            Event::BeDispatch => crate::dispatch::on_be_dispatch(&mut ctx, sched),
+            Event::Deliver(rid, node, epoch) => {
+                crate::lifecycle::on_deliver(&mut ctx, rid, node, epoch, sched)
+            }
+            Event::NodeCheck(node, generation) => {
+                crate::lifecycle::on_node_check(&mut ctx, node, generation, sched)
+            }
+            Event::Reassure => crate::sync_loop::on_reassure(&mut ctx, sched),
+            Event::Sync => crate::sync_loop::on_sync(&mut ctx, sched),
+            Event::Fault(fault) => crate::fault_rt::on_fault(&mut ctx, fault, sched),
         }
     }
 }
@@ -1344,19 +389,7 @@ impl EventHandler for EdgeCloudSystem {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{BePolicy, LcPolicy};
-
-    fn small_cfg() -> TangoConfig {
-        let mut cfg = TangoConfig::physical_testbed();
-        cfg.clusters = 2;
-        cfg.topology.clusters = 2;
-        cfg.workload.lc_rps = 30.0;
-        cfg.workload.be_rps = 4.0;
-        // keep unit tests fast: non-learning policies by default
-        cfg.lc_policy = LcPolicy::DssLc;
-        cfg.be_policy = BePolicy::LoadGreedy;
-        cfg
-    }
+    use crate::config::testutil::small_cfg;
 
     #[test]
     fn system_builds_with_expected_layout() {
@@ -1373,169 +406,5 @@ mod tests {
                 }
             }
         }
-    }
-
-    #[test]
-    fn short_run_completes_requests_and_meets_some_qos() {
-        let report = EdgeCloudSystem::new(small_cfg()).run(SimTime::from_secs(10), "test");
-        assert!(report.lc_arrived > 100, "arrived {}", report.lc_arrived);
-        assert!(
-            report.lc_completed as f64 > report.lc_arrived as f64 * 0.5,
-            "completed {}/{}",
-            report.lc_completed,
-            report.lc_arrived
-        );
-        assert!(
-            report.qos_satisfaction > 0.5,
-            "qos {}",
-            report.qos_satisfaction
-        );
-        assert!(report.be_throughput > 0);
-        assert!(report.mean_utilization > 0.0);
-        assert!(!report.periods.is_empty());
-    }
-
-    #[test]
-    fn runs_are_deterministic_per_seed() {
-        let a = EdgeCloudSystem::new(small_cfg()).run(SimTime::from_secs(5), "a");
-        let b = EdgeCloudSystem::new(small_cfg()).run(SimTime::from_secs(5), "b");
-        assert_eq!(a.lc_arrived, b.lc_arrived);
-        assert_eq!(a.lc_completed, b.lc_completed);
-        assert_eq!(a.be_throughput, b.be_throughput);
-        assert_eq!(a.abandoned, b.abandoned);
-    }
-
-    #[test]
-    fn hrm_uses_dvpa_and_static_does_not() {
-        let hrm_report = EdgeCloudSystem::new(small_cfg()).run(SimTime::from_secs(5), "hrm");
-        assert!(hrm_report.dvpa_ops > 0);
-
-        let mut cfg = small_cfg();
-        cfg.allocator = AllocatorKind::Static;
-        cfg.reassurance = None;
-        let static_report = EdgeCloudSystem::new(cfg).run(SimTime::from_secs(5), "static");
-        assert_eq!(static_report.dvpa_ops, 0);
-    }
-
-    #[test]
-    fn local_only_restricts_candidates() {
-        let mut cfg = small_cfg();
-        cfg.local_only = true;
-        let report = EdgeCloudSystem::new(cfg).run(SimTime::from_secs(5), "local");
-        // still functions end to end
-        assert!(report.lc_completed > 0);
-        assert!(report.be_throughput > 0);
-    }
-
-    #[test]
-    fn overload_causes_abandonment_or_queueing() {
-        let mut cfg = small_cfg();
-        cfg.workload.lc_rps = 2_000.0; // way beyond 8 small workers
-        let report = EdgeCloudSystem::new(cfg).run(SimTime::from_secs(5), "overload");
-        assert!(
-            report.abandoned > 0 || report.lc_completed < report.lc_arrived,
-            "overload must leave a trace"
-        );
-    }
-
-    #[test]
-    fn all_lc_policies_run_end_to_end() {
-        for p in [
-            LcPolicy::DssLc,
-            LcPolicy::LoadGreedy,
-            LcPolicy::KsNative,
-            LcPolicy::Scoring,
-        ] {
-            let mut cfg = small_cfg();
-            cfg.lc_policy = p;
-            let report = EdgeCloudSystem::new(cfg).run(SimTime::from_secs(3), p.name());
-            assert!(report.lc_completed > 0, "{} completed nothing", p.name());
-        }
-    }
-
-    #[test]
-    fn static_limits_form_a_partition_with_floors() {
-        let mut cfg = small_cfg();
-        cfg.allocator = AllocatorKind::Static;
-        let catalog = ServiceCatalog::standard();
-        let limits = EdgeCloudSystem::static_limits(&cfg, &catalog);
-        assert_eq!(limits.len(), catalog.len());
-        // per-dimension sums never exceed worker capacity (the
-        // fragmentation property of fixed allocation)
-        for kind in tango_types::ResourceKind::ALL {
-            let sum: u64 = limits.iter().map(|l| l.get(kind)).sum();
-            assert!(
-                sum <= cfg.worker_capacity.get(kind),
-                "{kind:?}: {sum} > capacity"
-            );
-        }
-        // every service gets a nonzero slice
-        assert!(limits.iter().all(|l| l.cpu_milli >= 1 && l.memory_mib >= 1));
-    }
-
-    #[test]
-    fn queue_deadline_shed_rule() {
-        let catalog = ServiceCatalog::standard();
-        let lc_svc = catalog.lc_ids()[0];
-        let be_svc = catalog.be_ids()[0];
-        let patience = SimTime::from_secs(60);
-        let mk = |svc: ServiceId| {
-            let spec = catalog.get(svc);
-            Request::new(
-                RequestId(1),
-                svc,
-                spec.class,
-                ClusterId(0),
-                SimTime::ZERO,
-                spec.min_request,
-            )
-        };
-        // LC deadline is its QoS target (smaller than patience)
-        let lc_deadline = EdgeCloudSystem::queue_deadline(&catalog, &mk(lc_svc), patience);
-        assert_eq!(lc_deadline, catalog.get(lc_svc).qos_target);
-        // BE deadline is the patience window
-        let be_deadline = EdgeCloudSystem::queue_deadline(&catalog, &mk(be_svc), patience);
-        assert_eq!(be_deadline, patience);
-    }
-
-    #[test]
-    fn central_cluster_is_geographically_central() {
-        let cfg = small_cfg();
-        let sys = EdgeCloudSystem::new(cfg);
-        assert!(sys.central.index() < sys.clusters.len());
-    }
-
-    #[test]
-    fn expire_queue_sheds_only_hopeless_entries() {
-        let catalog = ServiceCatalog::standard();
-        let lc_svc = catalog.lc_ids()[0];
-        let target = catalog.get(lc_svc).qos_target;
-        let mut requests = FxHashMap::default();
-        let mut queue = VecDeque::new();
-        for (i, arrival) in [(0u64, SimTime::ZERO), (1, target)].into_iter() {
-            let spec = catalog.get(lc_svc);
-            let req = Request::new(
-                RequestId(i),
-                lc_svc,
-                spec.class,
-                ClusterId(0),
-                arrival,
-                spec.min_request,
-            );
-            requests.insert(RequestId(i), req);
-            queue.push_back(RequestId(i));
-        }
-        // at now = target + 1µs: request 0 (arrived at 0) is past its
-        // target; request 1 (arrived at `target`) is still viable
-        let now = target + SimTime::from_micros(1);
-        let expired = EdgeCloudSystem::expire_queue(
-            &catalog,
-            &mut queue,
-            &requests,
-            SimTime::from_secs(60),
-            now,
-        );
-        assert_eq!(expired, vec![RequestId(0)]);
-        assert_eq!(queue, VecDeque::from(vec![RequestId(1)]));
     }
 }

@@ -10,13 +10,17 @@
 //!   control threads;
 //! * [`counters`] — experiment accounting: per-period utilization,
 //!   QoS-guarantee satisfaction rate and BE throughput, i.e. the y-axes of
-//!   every figure in §7.
+//!   every figure in §7;
+//! * [`trace`] — zero-cost stage-boundary trace hooks: the [`TraceSink`]
+//!   interface the core runtime emits into, the no-op default, and a
+//!   ring-buffer recorder for per-request timelines.
 
 pub mod counters;
 pub mod p2;
 pub mod percentile;
 pub mod qos;
 pub mod store;
+pub mod trace;
 pub mod window;
 
 pub use counters::{ExperimentCounters, PeriodRecord};
@@ -24,4 +28,5 @@ pub use p2::P2Quantile;
 pub use percentile::percentile;
 pub use qos::{slack_score, QosDetector};
 pub use store::{NodeRole, NodeSnapshot, StateStorage};
+pub use trace::{NoopTrace, TraceEvent, TraceLane, TraceRecorder, TraceSink};
 pub use window::LatencyWindow;

@@ -1,0 +1,132 @@
+//! The unified scheduling-policy surface the system runtime talks to.
+//!
+//! The paper has two dispatcher roles with different shapes: per-master
+//! LC dispatch plans a whole round of per-type batches at once (Alg. 2),
+//! while central BE dispatch picks one node per request and learns from a
+//! delayed reward (Alg. 3). Historically the runtime held one trait
+//! object per shape; [`SchedulerBackend`] folds both roles behind a
+//! single object-safe trait so baselines, DSS-LC and DCG-BE all plug into
+//! the dispatch stage uniformly — the TD3-Sched-style "stable
+//! orchestration interface" the roadmap asks for.
+//!
+//! Concrete policies keep implementing the narrow [`LcScheduler`] /
+//! [`BeScheduler`] traits; the [`LcBackend`] and [`BeBackend`] adapters
+//! lift them. Calls for the role an adapter does not play are inert by
+//! contract: an LC backend never picks BE targets (`pick_be` returns
+//! `None` and `feedback_be` is dropped), and a BE backend plans nothing
+//! (`plan_lc` leaves every batch unplaced). That makes role mix-ups
+//! visible as "no work scheduled" rather than silent misbehavior.
+
+use crate::dcg_be::BeScheduler;
+use crate::view::{CandidateNode, LcScheduler, TypeBatch};
+use tango_par::Pool;
+use tango_types::{NodeId, RequestId, Resources};
+
+/// A scheduling policy behind the dispatch stage, either role.
+pub trait SchedulerBackend: Send {
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// LC role: decide placements for one dispatch round's per-type
+    /// batches, one result vector per batch in batch order. Policies may
+    /// fan out over `pool` but must return identical results at any
+    /// thread count. Backends without an LC role return one empty
+    /// placement list per batch (every request stays queued).
+    fn plan_lc(&mut self, batches: &[TypeBatch], pool: &Pool) -> Vec<Vec<(RequestId, NodeId)>>;
+
+    /// BE role: choose a target node for one request; `None` = nothing
+    /// feasible (the request returns to the scheduling queue, Alg. 3's
+    /// reschedule-on-failure). Backends without a BE role always return
+    /// `None`.
+    fn pick_be(&mut self, demand: &Resources, nodes: &[CandidateNode]) -> Option<NodeId>;
+
+    /// BE role: reward for the previous [`SchedulerBackend::pick_be`]
+    /// decision together with the state that followed it. Ignored by
+    /// backends without a BE role.
+    fn feedback_be(&mut self, reward: f32, next_demand: &Resources, next_nodes: &[CandidateNode]);
+}
+
+/// Adapter lifting an [`LcScheduler`] into the unified backend surface.
+pub struct LcBackend(Box<dyn LcScheduler + Send>);
+
+impl LcBackend {
+    /// Wrap a boxed LC policy.
+    pub fn new(inner: Box<dyn LcScheduler + Send>) -> Self {
+        LcBackend(inner)
+    }
+}
+
+impl SchedulerBackend for LcBackend {
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+
+    fn plan_lc(&mut self, batches: &[TypeBatch], pool: &Pool) -> Vec<Vec<(RequestId, NodeId)>> {
+        self.0.assign_many(batches, pool)
+    }
+
+    fn pick_be(&mut self, _demand: &Resources, _nodes: &[CandidateNode]) -> Option<NodeId> {
+        None
+    }
+
+    fn feedback_be(&mut self, _reward: f32, _demand: &Resources, _nodes: &[CandidateNode]) {}
+}
+
+/// Adapter lifting a [`BeScheduler`] into the unified backend surface.
+pub struct BeBackend(Box<dyn BeScheduler + Send>);
+
+impl BeBackend {
+    /// Wrap a boxed BE policy.
+    pub fn new(inner: Box<dyn BeScheduler + Send>) -> Self {
+        BeBackend(inner)
+    }
+}
+
+impl SchedulerBackend for BeBackend {
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+
+    fn plan_lc(&mut self, batches: &[TypeBatch], _pool: &Pool) -> Vec<Vec<(RequestId, NodeId)>> {
+        batches.iter().map(|_| Vec::new()).collect()
+    }
+
+    fn pick_be(&mut self, demand: &Resources, nodes: &[CandidateNode]) -> Option<NodeId> {
+        self.0.schedule(demand, nodes)
+    }
+
+    fn feedback_be(&mut self, reward: f32, next_demand: &Resources, next_nodes: &[CandidateNode]) {
+        self.0.feedback(reward, next_demand, next_nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::LoadGreedy;
+    use crate::dcg_be::GreedyBe;
+    use crate::view::test_support::{batch, cand};
+
+    #[test]
+    fn lc_backend_plans_and_refuses_be_role() {
+        let mut b = LcBackend::new(Box::new(LoadGreedy));
+        assert_eq!(b.name(), "load-greedy");
+        let batches = vec![batch(2, vec![cand(1, 4, 5)])];
+        let plans = b.plan_lc(&batches, &Pool::single());
+        assert_eq!(plans.len(), 1);
+        assert_eq!(plans[0].len(), 2);
+        let demand = Resources::cpu_mem(500, 256);
+        assert_eq!(b.pick_be(&demand, &[cand(1, 4, 5)]), None);
+        b.feedback_be(1.0, &demand, &[]); // inert, must not panic
+    }
+
+    #[test]
+    fn be_backend_picks_and_refuses_lc_role() {
+        let mut b = BeBackend::new(Box::new(GreedyBe));
+        let demand = Resources::cpu_mem(500, 256);
+        assert!(b.pick_be(&demand, &[cand(1, 4, 5)]).is_some());
+        let batches = vec![batch(3, vec![cand(1, 4, 5)]), batch(1, vec![])];
+        let plans = b.plan_lc(&batches, &Pool::single());
+        assert_eq!(plans, vec![Vec::new(), Vec::new()]);
+    }
+}

@@ -14,18 +14,23 @@
 //! * [`baselines`] — load-greedy, K8s-native round-robin, and the
 //!   history-based weighted `scoring` policy \[42\], all behind the same
 //!   [`LcScheduler`] interface.
+//! * [`backend`] — the unified [`SchedulerBackend`] surface the system's
+//!   dispatch stage consumes; [`LcBackend`]/[`BeBackend`] lift the narrow
+//!   per-role traits so every policy plugs in uniformly.
 //!
 //! The schedulers are pure decision engines: they consume [`view`]
 //! snapshots prepared by the system layer and return placements; they
 //! never touch nodes directly. That is exactly the paper's architecture —
 //! dispatchers read the state storage, not the cluster.
 
+pub mod backend;
 pub mod baselines;
 pub mod dcg_be;
 pub mod dss_lc;
 pub mod view;
 
+pub use backend::{BeBackend, LcBackend, SchedulerBackend};
 pub use baselines::{KsNative, LoadGreedy, Scoring};
 pub use dcg_be::{BeScheduler, DcgBe, DcgBeConfig, GnnSacBe, GreedyBe, RoundRobinBe};
 pub use dss_lc::{plan_masters, DssLc, LcPlan};
-pub use view::{CandidateNode, LcScheduler, TypeBatch};
+pub use view::{CandidateNode, LcScheduler, LinkObservation, NodeObservation, TypeBatch};

@@ -40,7 +40,65 @@ pub struct CandidateNode {
     pub alive: bool,
 }
 
+/// What the state storage knows about one worker, as extracted by the
+/// system layer: the per-node half of a candidate view, before the
+/// vantage-specific annotations (delay, link capacity, min-request) are
+/// attached.
+#[derive(Debug, Clone)]
+pub struct NodeObservation {
+    /// Node id.
+    pub node: NodeId,
+    /// Its cluster.
+    pub cluster: ClusterId,
+    /// Total resources.
+    pub total: Resources,
+    /// Resources available to an LC request (idle + preemptible BE).
+    pub available_lc: Resources,
+    /// Resources available to a BE request (idle only).
+    pub available_be: Resources,
+    /// QoS slack δ for the request type (1.0 when unknown).
+    pub slack: f64,
+}
+
+/// The vantage-specific half of a candidate view: what the link between
+/// the deciding master and the node looks like.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkObservation {
+    /// One-way dispatch delay (t^delay of Y_{i,j}).
+    pub delay: SimTime,
+    /// Transmission capacity in requests per dispatch round (c_{i,j}).
+    pub capacity: u32,
+}
+
 impl CandidateNode {
+    /// The one candidate-view builder: assemble a candidate from a node
+    /// observation, the link toward it, the (re-assurance-adjusted)
+    /// minimum request, and the dispatcher's in-flight reservation
+    /// against the node. Both the LC and the BE dispatch paths go through
+    /// here, so reservation subtraction and liveness annotation cannot
+    /// drift between them — dead nodes must be filtered (or passed with
+    /// `alive = false`) by the caller, which owns the fault view.
+    pub fn from_observation(
+        obs: NodeObservation,
+        link: LinkObservation,
+        min_request: Resources,
+        reserved: Resources,
+        alive: bool,
+    ) -> CandidateNode {
+        CandidateNode {
+            node: obs.node,
+            cluster: obs.cluster,
+            total: obs.total,
+            available_lc: obs.available_lc.saturating_sub(&reserved),
+            available_be: obs.available_be.saturating_sub(&reserved),
+            min_request,
+            delay: link.delay,
+            link_capacity: link.capacity,
+            slack: obs.slack,
+            alive,
+        }
+    }
+
     /// Eq. 2 capacity: how many requests of this type the node can host
     /// right now, `min(r_ava^c / r^c, r_ava^m / r^m)`, using the LC or BE
     /// availability view. Dead nodes have no capacity.

@@ -1,0 +1,81 @@
+//! Trace tap: attach a ring-buffer recorder to the staged runtime and
+//! print per-request timelines — arrival → dispatch decision → delivery
+//! → admission → completion, with simulation timestamps.
+//!
+//! ```sh
+//! cargo run --release --example trace_tap
+//! ```
+
+use tango_repro::metrics::{TraceEvent, TraceRecorder};
+use tango_repro::tango::{BePolicy, EdgeCloudSystem, TangoConfig};
+use tango_repro::types::{RequestId, SimTime};
+
+fn main() {
+    let mut cfg = TangoConfig::physical_testbed();
+    cfg.clusters = 2;
+    cfg.topology.clusters = 2;
+    cfg.be_policy = BePolicy::LoadGreedy; // fast, deterministic example
+
+    // Clone the recorder before handing it to the system: the clone
+    // shares the ring buffer and survives the run.
+    let recorder = TraceRecorder::new(200_000);
+    let mut system = EdgeCloudSystem::new(cfg);
+    system.set_trace(Box::new(recorder.clone()));
+
+    let report = system.run(SimTime::from_secs(5), "trace-tap");
+    println!(
+        "run done: {} LC completed, {} trace events recorded ({} retained)",
+        report.lc_completed,
+        recorder.total_seen(),
+        recorder.len()
+    );
+
+    // Pick the first few requests that actually completed and print
+    // their full stage-boundary timelines.
+    let completed: Vec<RequestId> = recorder
+        .events()
+        .into_iter()
+        .filter_map(|(_, e)| match e {
+            TraceEvent::Completion { request, .. } => Some(request),
+            _ => None,
+        })
+        .take(3)
+        .collect();
+
+    for rid in completed {
+        println!("\n== request {:?} ==", rid);
+        for (at, event) in recorder.timeline(rid) {
+            let detail = match &event {
+                TraceEvent::Arrival {
+                    service, origin, ..
+                } => format!("service {:?} at cluster {:?}", service, origin),
+                TraceEvent::DispatchDecision { target, lane, .. } => {
+                    format!("{:?} lane -> node {:?}", lane, target)
+                }
+                TraceEvent::Delivery { node, bounced, .. } => {
+                    format!(
+                        "node {:?}{}",
+                        node,
+                        if *bounced { " (bounced)" } else { "" }
+                    )
+                }
+                TraceEvent::Admission { node, admitted, .. } => format!(
+                    "node {:?}: {}",
+                    node,
+                    if *admitted { "admitted" } else { "parked" }
+                ),
+                TraceEvent::Completion { node, latency, .. } => {
+                    format!("node {:?}, latency {:.1} ms", node, latency.as_millis_f64())
+                }
+                TraceEvent::Abandoned { .. } => String::new(),
+                TraceEvent::Fault { kind, node } => format!("{kind} {:?}", node),
+            };
+            println!(
+                "  {:>9.3} ms  {:<9}  {}",
+                at.as_millis_f64(),
+                event.kind(),
+                detail
+            );
+        }
+    }
+}

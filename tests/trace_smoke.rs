@@ -1,0 +1,70 @@
+//! Smoke tests for the stage-boundary trace hooks: an attached recorder
+//! observes complete per-request journeys, and attaching a sink never
+//! changes the run itself (the observer invariant the [`TraceSink`]
+//! contract demands).
+
+use tango::{EdgeCloudSystem, TangoConfig, TraceEvent, TraceRecorder};
+use tango_types::SimTime;
+
+fn cfg() -> TangoConfig {
+    let mut cfg = TangoConfig::physical_testbed();
+    cfg.clusters = 2;
+    cfg.topology.clusters = 2;
+    cfg.workload.lc_rps = 30.0;
+    cfg.workload.be_rps = 4.0;
+    cfg.lc_policy = tango::LcPolicy::DssLc;
+    cfg.be_policy = tango::BePolicy::LoadGreedy;
+    cfg
+}
+
+#[test]
+fn recorder_observes_full_request_journeys() {
+    let recorder = TraceRecorder::new(500_000);
+    let mut system = EdgeCloudSystem::new(cfg());
+    system.set_trace(Box::new(recorder.clone()));
+    let report = system.run(SimTime::from_secs(5), "traced");
+
+    assert!(report.lc_completed > 0);
+    assert!(recorder.total_seen() > 0);
+
+    // Find a completed request and check its timeline has the full
+    // arrival -> dispatch -> deliver -> admission -> complete shape.
+    let completed = recorder
+        .events()
+        .into_iter()
+        .find_map(|(_, e)| match e {
+            TraceEvent::Completion { request, .. } => Some(request),
+            _ => None,
+        })
+        .expect("at least one completion traced");
+    let timeline = recorder.timeline(completed);
+    let kinds: Vec<&'static str> = timeline.iter().map(|(_, e)| e.kind()).collect();
+    for expected in ["arrival", "dispatch", "deliver", "admission", "complete"] {
+        assert!(
+            kinds.contains(&expected),
+            "timeline {kinds:?} missing {expected}"
+        );
+    }
+    // timeline is time-ordered
+    for w in timeline.windows(2) {
+        assert!(w[0].0 <= w[1].0);
+    }
+    // every traced arrival count matches the report
+    let arrivals = recorder
+        .events()
+        .iter()
+        .filter(|(_, e)| matches!(e, TraceEvent::Arrival { .. }))
+        .count() as u64;
+    assert!(arrivals >= report.lc_arrived);
+}
+
+#[test]
+fn attaching_a_sink_does_not_change_the_run() {
+    let untraced = EdgeCloudSystem::new(cfg()).run(SimTime::from_secs(5), "plain");
+
+    let mut system = EdgeCloudSystem::new(cfg());
+    system.set_trace(Box::new(TraceRecorder::new(1024)));
+    let traced = system.run(SimTime::from_secs(5), "traced");
+
+    assert_eq!(untraced.digest(), traced.digest());
+}
