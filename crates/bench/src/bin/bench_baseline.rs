@@ -11,7 +11,7 @@
 
 use std::hint::black_box;
 use std::io::Write as _;
-use tango::{BePolicy, EdgeCloudSystem, FaultPlan, NodeRef, TangoConfig};
+use tango::{BePolicy, CheckpointPolicy, EdgeCloudSystem, FaultPlan, NodeRef, TangoConfig};
 use tango_bench::microbench::{self, Sample};
 use tango_bench::scenarios::{layered, make_batch, make_graph, to_json};
 use tango_flow::{FlowGraph, MinCostMaxFlow};
@@ -117,6 +117,46 @@ fn scenarios() -> Vec<Sample> {
         let report = EdgeCloudSystem::new(cfg).run(SimTime::from_secs(1), "bench-churn");
         black_box(report.faults.node_crashes + report.lc_arrived)
     }));
+
+    // 7. Checkpointing: encode and restore latency for a mid-run snapshot
+    //    of the 16-cluster system, plus the snapshot's size. The encode
+    //    scenario re-snapshots a restored run (the only public handle on
+    //    a mid-run system); the restore scenario pays the full
+    //    rebuild-and-overlay cost a resume pays.
+    let mut snap_cfg = TangoConfig::dual_space(16);
+    snap_cfg.be_policy = BePolicy::LoadGreedy;
+    let (_, checkpoints) = EdgeCloudSystem::new(snap_cfg.clone())
+        .run_checkpointed(
+            SimTime::from_secs(1),
+            "bench-snap",
+            CheckpointPolicy {
+                every_n_ticks: 5,
+                keep_last_k: 1,
+            },
+        )
+        .expect("load-greedy policies are snapshottable");
+    let snap_bytes = checkpoints
+        .last()
+        .expect("at least one checkpoint")
+        .bytes
+        .clone();
+    let resumed = EdgeCloudSystem::restore(snap_cfg.clone(), &snap_bytes).expect("restore");
+    out.push(microbench::run("snap_encode/16", 300, || {
+        black_box(resumed.snapshot().expect("encode"))
+    }));
+    out.push(microbench::run("snap_restore/16", 1_000, || {
+        let r =
+            EdgeCloudSystem::restore(snap_cfg.clone(), black_box(&snap_bytes)).expect("restore");
+        black_box(r.now())
+    }));
+    // not a timing: the "ns" fields carry the snapshot size in bytes so
+    // the number lands in the committed JSON alongside the latencies
+    out.push(Sample {
+        name: "snap_size_bytes/16".to_string(),
+        iters: 1,
+        total_ns: snap_bytes.len() as u128,
+        ns_per_iter: snap_bytes.len() as f64,
+    });
 
     out
 }

@@ -43,13 +43,13 @@ impl QosLevel {
 }
 
 #[derive(Debug)]
-struct Group {
-    path: String,
-    parent: Option<usize>,
-    children: Vec<usize>,
-    limit: Resources,
-    usage: Resources,
-    alive: bool,
+pub(crate) struct Group {
+    pub(crate) path: String,
+    pub(crate) parent: Option<usize>,
+    pub(crate) children: Vec<usize>,
+    pub(crate) limit: Resources,
+    pub(crate) usage: Resources,
+    pub(crate) alive: bool,
 }
 
 /// An in-memory cgroup tree rooted at `kubepods`.
@@ -337,6 +337,23 @@ impl CgroupFs {
     /// Clear the journal (between experiment phases).
     pub fn clear_journal(&mut self) {
         self.journal.clear();
+    }
+
+    /// The raw group table, for checkpoint encoding.
+    pub(crate) fn raw_groups(&self) -> &[Group] {
+        &self.groups
+    }
+
+    /// Swap in a restored group table (see `snapshot` module).
+    pub(crate) fn replace_table(
+        &mut self,
+        groups: Vec<Group>,
+        by_path: FxHashMap<String, usize>,
+        journal: Journal,
+    ) {
+        self.groups = groups;
+        self.by_path = by_path;
+        self.journal = journal;
     }
 
     /// Live children of a group.

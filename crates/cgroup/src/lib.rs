@@ -22,6 +22,7 @@
 
 pub mod fs;
 pub mod journal;
+pub mod snapshot;
 
 pub use fs::{CgroupFs, CgroupId, QosLevel};
 pub use journal::{Journal, JournalEntry, WriteKind};

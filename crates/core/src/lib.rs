@@ -42,12 +42,16 @@ pub mod report;
 #[deny(missing_docs)]
 pub mod runtime;
 #[deny(missing_docs)]
+pub mod snapshot;
+#[deny(missing_docs)]
 pub mod sync_loop;
 pub mod system;
 
 pub use config::{Ablations, AllocatorKind, BePolicy, LcPolicy, TangoConfig, WorkloadSpec};
 pub use report::{RunAudit, RunReport};
 pub use runtime::run_parallel;
+pub use snapshot::{config_fingerprint, Checkpoint, CheckpointPolicy, Resumed};
 pub use system::{EdgeCloudSystem, Event};
 pub use tango_faults::{FaultEvent, FaultPlan, FaultSummary, NodeChurn, NodeRef};
 pub use tango_metrics::{NoopTrace, TraceEvent, TraceLane, TraceRecorder, TraceSink};
+pub use tango_snap::SnapError;

@@ -127,6 +127,17 @@ impl LcScheduler for DsacoLc {
     fn name(&self) -> &'static str {
         "dsaco"
     }
+
+    // The SAC agent's network weights and optimizer state are out of
+    // checkpoint scope; inheriting the stateless default would silently
+    // reset the policy on resume.
+    fn snapshot_state(&self) -> Result<Vec<u8>, &'static str> {
+        Err("RL agent state (network weights, replay) is not snapshottable")
+    }
+
+    fn restore_state(&mut self, _bytes: &[u8]) -> Result<(), &'static str> {
+        Err("RL agent state (network weights, replay) is not snapshottable")
+    }
 }
 
 #[cfg(test)]

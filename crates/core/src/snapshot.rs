@@ -1,0 +1,498 @@
+//! Versioned whole-system checkpoints: snapshot, deterministic resume,
+//! and the periodic checkpoint driver.
+//!
+//! A snapshot captures every piece of *state* the run accumulated —
+//! request tables, queues, reservations, node/cgroup dynamics, detector
+//! windows, re-assurance factors, D-VPA counters, the fault ledger,
+//! topology overlays, the state storage, scheduler policy state and the
+//! full pending-event queue — and none of the *rebuildables*: the placed
+//! topology, the service catalog, candidate-view scratch and the worker
+//! pool are all reconstructed from the [`TangoConfig`] at restore time
+//! (see DESIGN.md §11 for the state-vs-cache inventory). Restoring onto
+//! the same config therefore yields a run whose remaining events, RNG
+//! draws and final [`RunReport`] digest are bit-identical to the
+//! uninterrupted run at any thread count.
+//!
+//! The file layout is the `tango-snap` container: magic, format version,
+//! a config fingerprint (FNV-1a over the `Debug` rendering of the config
+//! with the results-neutral `parallelism` field masked), tagged sections,
+//! and a whole-file checksum. Truncation, bit flips, version bumps and
+//! config mismatches all fail with a typed [`SnapError`] — never a panic,
+//! never a silently wrong resume.
+
+use crate::config::TangoConfig;
+use crate::report::RunReport;
+use crate::runtime::Allocator;
+use crate::system::{EdgeCloudSystem, Event};
+use std::collections::VecDeque;
+use tango_faults::FaultEvent;
+use tango_metrics::{ExperimentCounters, QosDetector};
+use tango_simcore::{Engine, EventQueue};
+use tango_snap::{
+    fnv1a, SnapDecode, SnapEncode, SnapError, SnapFile, SnapFileBuilder, SnapReader, SnapWriter,
+};
+use tango_types::{
+    ClusterId, FxHashMap, NodeId, Request, RequestId, Resources, ServiceId, SimTime,
+};
+use tango_workload::ServiceCatalog;
+
+impl SnapEncode for Event {
+    fn encode(&self, w: &mut SnapWriter) {
+        match self {
+            Event::Arrival {
+                service,
+                origin,
+                demand,
+            } => {
+                w.put_u8(0);
+                service.encode(w);
+                origin.encode(w);
+                demand.encode(w);
+            }
+            Event::Dispatch(c) => {
+                w.put_u8(1);
+                c.encode(w);
+            }
+            Event::CentralArrive(r) => {
+                w.put_u8(2);
+                r.encode(w);
+            }
+            Event::BeDispatch => w.put_u8(3),
+            Event::Deliver(r, n, epoch) => {
+                w.put_u8(4);
+                r.encode(w);
+                n.encode(w);
+                w.put_u64(*epoch);
+            }
+            Event::NodeCheck(n, generation) => {
+                w.put_u8(5);
+                n.encode(w);
+                w.put_u64(*generation);
+            }
+            Event::Reassure => w.put_u8(6),
+            Event::Sync => w.put_u8(7),
+            Event::Fault(f) => {
+                w.put_u8(8);
+                f.encode(w);
+            }
+        }
+    }
+}
+impl SnapDecode for Event {
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.u8()? {
+            0 => Event::Arrival {
+                service: ServiceId::decode(r)?,
+                origin: ClusterId::decode(r)?,
+                demand: Resources::decode(r)?,
+            },
+            1 => Event::Dispatch(ClusterId::decode(r)?),
+            2 => Event::CentralArrive(RequestId::decode(r)?),
+            3 => Event::BeDispatch,
+            4 => Event::Deliver(RequestId::decode(r)?, NodeId::decode(r)?, r.u64()?),
+            5 => Event::NodeCheck(NodeId::decode(r)?, r.u64()?),
+            6 => Event::Reassure,
+            7 => Event::Sync,
+            8 => Event::Fault(FaultEvent::decode(r)?),
+            _ => return Err(SnapError::Corrupt("event tag")),
+        })
+    }
+}
+
+/// Fingerprint of everything in the config that shapes results. The
+/// `parallelism` field is masked out first: thread count never changes
+/// behavior, so a snapshot taken at 4 threads restores at 1 (and vice
+/// versa).
+pub fn config_fingerprint(cfg: &TangoConfig) -> u64 {
+    let mut masked = cfg.clone();
+    masked.parallelism = None;
+    fnv1a(format!("{masked:?}").as_bytes())
+}
+
+// Section tags. Stable identifiers inside one FORMAT_VERSION; renumbering
+// or re-ordering requires a version bump.
+const SEC_META: u32 = 1;
+const SEC_LIFECYCLE: u32 = 2;
+const SEC_CLUSTERS: u32 = 3;
+const SEC_DISPATCH: u32 = 4;
+const SEC_NODES: u32 = 5;
+const SEC_COUNTERS: u32 = 6;
+const SEC_DETECTOR: u32 = 7;
+const SEC_REASSURER: u32 = 8;
+const SEC_ALLOCATOR: u32 = 9;
+const SEC_FAULT: u32 = 10;
+const SEC_TOPOLOGY: u32 = 11;
+const SEC_STORE: u32 = 12;
+const SEC_ENGINE: u32 = 13;
+
+/// When and how many checkpoints [`EdgeCloudSystem::run_checkpointed`]
+/// takes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Checkpoint every N sync ticks (`cfg.sync_interval` each); values
+    /// below 1 behave as 1.
+    pub every_n_ticks: u32,
+    /// Keep only the most recent K checkpoints (0 = keep all).
+    pub keep_last_k: usize,
+}
+
+impl Default for CheckpointPolicy {
+    fn default() -> Self {
+        // one checkpoint per reporting period at the paper's 100 ms sync
+        // cadence, unbounded retention
+        CheckpointPolicy {
+            every_n_ticks: 8,
+            keep_last_k: 0,
+        }
+    }
+}
+
+/// One checkpoint taken mid-run: the sealed snapshot bytes and the sim
+/// time they describe.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// Sim time of the sync-tick boundary the snapshot was taken at.
+    pub at: SimTime,
+    /// Sealed snapshot file bytes (parseable by
+    /// [`EdgeCloudSystem::restore`]).
+    pub bytes: Vec<u8>,
+}
+
+fn encode_sorted_requests(w: &mut SnapWriter, requests: &FxHashMap<RequestId, Request>) {
+    let mut ids: Vec<RequestId> = requests.keys().copied().collect();
+    ids.sort_unstable();
+    w.put_u64(ids.len() as u64);
+    for id in ids {
+        requests[&id].encode(w);
+    }
+}
+
+fn decode_requests(r: &mut SnapReader<'_>) -> Result<FxHashMap<RequestId, Request>, SnapError> {
+    let n = r.u64()? as usize;
+    if n > r.remaining() {
+        return Err(SnapError::Truncated);
+    }
+    let mut map = FxHashMap::default();
+    for _ in 0..n {
+        let req = Request::decode(r)?;
+        map.insert(req.id, req);
+    }
+    Ok(map)
+}
+
+fn encode_sorted_reservations(w: &mut SnapWriter, reserved: &FxHashMap<NodeId, Resources>) {
+    let mut keys: Vec<NodeId> = reserved.keys().copied().collect();
+    keys.sort_unstable();
+    w.put_u64(keys.len() as u64);
+    for k in keys {
+        k.encode(w);
+        reserved[&k].encode(w);
+    }
+}
+
+fn decode_reservations(r: &mut SnapReader<'_>) -> Result<FxHashMap<NodeId, Resources>, SnapError> {
+    let n = r.u64()? as usize;
+    if n > r.remaining() {
+        return Err(SnapError::Truncated);
+    }
+    let mut map = FxHashMap::default();
+    for _ in 0..n {
+        let k = NodeId::decode(r)?;
+        map.insert(k, Resources::decode(r)?);
+    }
+    Ok(map)
+}
+
+/// Encode the full system + engine state into a sealed snapshot file.
+/// Fails with [`SnapError::Unsupported`] when a configured scheduler
+/// cannot serialize its state (the RL agents — their network weights and
+/// replay buffers are out of scope).
+pub(crate) fn encode(sys: &EdgeCloudSystem, engine: &Engine<Event>) -> Result<Vec<u8>, SnapError> {
+    let mut b = SnapFileBuilder::new(config_fingerprint(&sys.cfg));
+
+    b.section(SEC_META, |w| {
+        sys.horizon.encode(w);
+    });
+
+    b.section(SEC_LIFECYCLE, |w| {
+        encode_sorted_requests(w, &sys.lifecycle.requests);
+        w.put_u64(sys.lifecycle.next_request_id);
+        encode_sorted_reservations(w, &sys.lifecycle.reserved);
+        sys.lifecycle.node_wait.encode(w);
+        w.put_u64(sys.lifecycle.be_evictions);
+    });
+
+    b.section(SEC_CLUSTERS, |w| {
+        w.put_u64(sys.clusters.len() as u64);
+        for c in &sys.clusters {
+            c.lc_q.encode(w);
+            c.be_q.encode(w);
+        }
+    });
+
+    // scheduler policy blobs: collected up front so a non-snapshottable
+    // policy fails the whole encode instead of sealing a partial file
+    let lc_blobs: Vec<Vec<u8>> = sys
+        .dispatch
+        .lc
+        .iter()
+        .map(|b| b.snapshot_state().map_err(SnapError::Unsupported))
+        .collect::<Result<_, _>>()?;
+    let be_blob = sys
+        .dispatch
+        .be
+        .snapshot_state()
+        .map_err(SnapError::Unsupported)?;
+    b.section(SEC_DISPATCH, |w| {
+        sys.dispatch.central_q.encode(w);
+        sys.dispatch.be_pending_feedback.encode(w);
+        w.put_f64(sys.dispatch.be_completed_frac);
+        lc_blobs.encode(w);
+        be_blob.encode(w);
+    });
+
+    b.section(SEC_NODES, |w| {
+        w.put_u64(sys.nodes.len() as u64);
+        for n in &sys.nodes {
+            n.snapshot_dynamic(w);
+        }
+    });
+
+    b.section(SEC_COUNTERS, |w| sys.counters.encode(w));
+    b.section(SEC_DETECTOR, |w| sys.detector.encode(w));
+
+    b.section(SEC_REASSURER, |w| match &sys.reassurer {
+        None => w.put_u8(0),
+        Some(re) => {
+            w.put_u8(1);
+            re.snapshot(w);
+        }
+    });
+
+    b.section(SEC_ALLOCATOR, |w| match &sys.allocator {
+        Allocator::Static(_) => w.put_u8(0),
+        Allocator::Hrm(h) => {
+            w.put_u8(1);
+            w.put_u64(h.dvpa.ops);
+            w.put_u64(h.dvpa.total_writes);
+        }
+    });
+
+    b.section(SEC_FAULT, |w| sys.fault.snapshot(w));
+    b.section(SEC_TOPOLOGY, |w| sys.topology.snapshot_dynamic(w));
+    b.section(SEC_STORE, |w| sys.store.snapshot(w));
+
+    b.section(SEC_ENGINE, |w| {
+        engine.now().encode(w);
+        w.put_u64(engine.processed());
+        w.put_u64(engine.queue().next_seq());
+        let mut entries: Vec<(SimTime, u64, &Event)> = engine.queue().entries().collect();
+        entries.sort_unstable_by_key(|&(at, seq, _)| (at, seq));
+        w.put_u64(entries.len() as u64);
+        for (at, seq, ev) in entries {
+            at.encode(w);
+            w.put_u64(seq);
+            ev.encode(w);
+        }
+    });
+
+    Ok(b.seal())
+}
+
+/// A system restored mid-run: the rebuilt [`EdgeCloudSystem`] plus the
+/// engine holding its remaining events. Drive it with
+/// [`run_to`](Resumed::run_to) / [`finish`](Resumed::finish), or take
+/// further snapshots.
+pub struct Resumed {
+    sys: EdgeCloudSystem,
+    engine: Engine<Event>,
+}
+
+impl Resumed {
+    /// Sim time the restored run stands at.
+    pub fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+
+    /// The run horizon the snapshot was taken under.
+    pub fn horizon(&self) -> SimTime {
+        self.sys.horizon
+    }
+
+    /// Advance the run to `t` (clamped to the horizon).
+    pub fn run_to(&mut self, t: SimTime) {
+        let horizon = self.sys.horizon;
+        self.engine.run_until(&mut self.sys, t.min(horizon));
+    }
+
+    /// Snapshot the restored run's current state.
+    pub fn snapshot(&self) -> Result<Vec<u8>, SnapError> {
+        encode(&self.sys, &self.engine)
+    }
+
+    /// Run the remaining events to the horizon and produce the report —
+    /// the same report the uninterrupted run would have produced.
+    pub fn finish(mut self, label: &str) -> RunReport {
+        let horizon = self.sys.horizon;
+        self.engine.run_until(&mut self.sys, horizon);
+        self.sys.finish(label)
+    }
+}
+
+impl EdgeCloudSystem {
+    /// Encode the system and its engine into a sealed snapshot.
+    pub fn snapshot(&self, engine: &Engine<Event>) -> Result<Vec<u8>, SnapError> {
+        encode(self, engine)
+    }
+
+    /// Restore a run from snapshot bytes. `cfg` must be the configuration
+    /// the snapshot was taken under (checked via fingerprint; the
+    /// thread-count field is ignored). The substrate — topology placement,
+    /// node layout, deployed services, policy objects — is rebuilt from
+    /// the config, then every dynamic section is overlaid.
+    pub fn restore(cfg: TangoConfig, bytes: &[u8]) -> Result<Resumed, SnapError> {
+        let file = SnapFile::parse(bytes)?;
+        let expected = config_fingerprint(&cfg);
+        if file.fingerprint != expected {
+            return Err(SnapError::ConfigMismatch {
+                found: file.fingerprint,
+                expected,
+            });
+        }
+        let mut sys = EdgeCloudSystem::with_catalog(cfg, ServiceCatalog::standard());
+
+        let mut r = file.section(SEC_META, "meta section")?;
+        sys.horizon = SimTime::decode(&mut r)?;
+
+        let mut r = file.section(SEC_LIFECYCLE, "lifecycle section")?;
+        sys.lifecycle.requests = decode_requests(&mut r)?;
+        sys.lifecycle.next_request_id = r.u64()?;
+        sys.lifecycle.reserved = decode_reservations(&mut r)?;
+        let node_wait = Vec::<VecDeque<RequestId>>::decode(&mut r)?;
+        if node_wait.len() != sys.nodes.len() {
+            return Err(SnapError::Corrupt("node wait-queue count"));
+        }
+        sys.lifecycle.node_wait = node_wait;
+        sys.lifecycle.be_evictions = r.u64()?;
+
+        let mut r = file.section(SEC_CLUSTERS, "clusters section")?;
+        if r.u64()? as usize != sys.clusters.len() {
+            return Err(SnapError::Corrupt("cluster count"));
+        }
+        for c in sys.clusters.iter_mut() {
+            c.lc_q = VecDeque::<RequestId>::decode(&mut r)?;
+            c.be_q = VecDeque::<RequestId>::decode(&mut r)?;
+        }
+
+        let mut r = file.section(SEC_DISPATCH, "dispatch section")?;
+        sys.dispatch.central_q = VecDeque::<RequestId>::decode(&mut r)?;
+        sys.dispatch.be_pending_feedback = Option::<NodeId>::decode(&mut r)?;
+        sys.dispatch.be_completed_frac = r.f64()?;
+        let lc_blobs = Vec::<Vec<u8>>::decode(&mut r)?;
+        if lc_blobs.len() != sys.dispatch.lc.len() {
+            return Err(SnapError::Corrupt("lc backend count"));
+        }
+        for (backend, blob) in sys.dispatch.lc.iter_mut().zip(&lc_blobs) {
+            backend
+                .restore_state(blob)
+                .map_err(SnapError::Unsupported)?;
+        }
+        let be_blob = Vec::<u8>::decode(&mut r)?;
+        sys.dispatch
+            .be
+            .restore_state(&be_blob)
+            .map_err(SnapError::Unsupported)?;
+
+        let mut r = file.section(SEC_NODES, "nodes section")?;
+        if r.u64()? as usize != sys.nodes.len() {
+            return Err(SnapError::Corrupt("node count"));
+        }
+        for n in sys.nodes.iter_mut() {
+            n.restore_dynamic(&mut r)?;
+        }
+
+        let mut r = file.section(SEC_COUNTERS, "counters section")?;
+        sys.counters = ExperimentCounters::decode(&mut r)?;
+
+        let mut r = file.section(SEC_DETECTOR, "detector section")?;
+        sys.detector = QosDetector::decode(&mut r)?;
+
+        let mut r = file.section(SEC_REASSURER, "reassurer section")?;
+        match (r.u8()?, sys.reassurer.as_mut()) {
+            (0, None) => {}
+            (1, Some(re)) => re.restore(&mut r)?,
+            _ => return Err(SnapError::Corrupt("reassurer presence")),
+        }
+
+        let mut r = file.section(SEC_ALLOCATOR, "allocator section")?;
+        match (r.u8()?, &mut sys.allocator) {
+            (0, Allocator::Static(_)) => {}
+            (1, Allocator::Hrm(h)) => {
+                h.dvpa.ops = r.u64()?;
+                h.dvpa.total_writes = r.u64()?;
+            }
+            _ => return Err(SnapError::Corrupt("allocator kind")),
+        }
+
+        let mut r = file.section(SEC_FAULT, "fault section")?;
+        sys.fault.restore(&mut r)?;
+
+        let mut r = file.section(SEC_TOPOLOGY, "topology section")?;
+        sys.topology.restore_dynamic(&mut r)?;
+
+        let mut r = file.section(SEC_STORE, "store section")?;
+        sys.store.restore(&mut r)?;
+
+        let mut r = file.section(SEC_ENGINE, "engine section")?;
+        let now = SimTime::decode(&mut r)?;
+        let processed = r.u64()?;
+        let next_seq = r.u64()?;
+        let n = r.u64()? as usize;
+        if n > r.remaining() {
+            return Err(SnapError::Truncated);
+        }
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            let at = SimTime::decode(&mut r)?;
+            let seq = r.u64()?;
+            entries.push((at, seq, Event::decode(&mut r)?));
+        }
+        let engine =
+            Engine::from_parts(now, processed, EventQueue::from_entries(entries, next_seq));
+
+        Ok(Resumed { sys, engine })
+    }
+
+    /// Run to `duration` like [`run`](Self::run), taking a snapshot at
+    /// every `policy.every_n_ticks`-th sync-tick boundary (after the
+    /// `Sync` event at that instant has fired — the checkpoint hook sits
+    /// at the sync-loop stage boundary). Returns the report together with
+    /// the retained checkpoints, oldest first.
+    pub fn run_checkpointed(
+        mut self,
+        duration: SimTime,
+        label: &str,
+        policy: CheckpointPolicy,
+    ) -> Result<(RunReport, Vec<Checkpoint>), SnapError> {
+        let mut engine: Engine<Event> = Engine::new();
+        self.prime(&mut engine, duration);
+        let step = SimTime::from_micros(
+            self.cfg.sync_interval.as_micros() * policy.every_n_ticks.max(1) as u64,
+        );
+        let mut checkpoints: VecDeque<Checkpoint> = VecDeque::new();
+        let mut at = step;
+        while at < duration {
+            engine.run_until(&mut self, at);
+            checkpoints.push_back(Checkpoint {
+                at,
+                bytes: encode(&self, &engine)?,
+            });
+            if policy.keep_last_k > 0 && checkpoints.len() > policy.keep_last_k {
+                checkpoints.pop_front();
+            }
+            at += step;
+        }
+        engine.run_until(&mut self, duration);
+        Ok((self.finish(label), checkpoints.into()))
+    }
+}

@@ -286,8 +286,16 @@ impl EdgeCloudSystem {
     }
 
     fn run_inner(&mut self, duration: SimTime) {
-        self.horizon = duration;
         let mut engine: Engine<Event> = Engine::new();
+        self.prime(&mut engine, duration);
+        engine.run_until(self, duration);
+    }
+
+    /// Seed a fresh engine with everything a run needs — trace arrivals,
+    /// the compiled fault plan, the periodic drivers — and set the
+    /// horizon. `run_inner` and the checkpointing driver both start here.
+    pub(crate) fn prime(&mut self, engine: &mut Engine<Event>, duration: SimTime) {
+        self.horizon = duration;
         // trace
         let spec = TraceSpec {
             diurnal: if self.cfg.workload.diurnal {
@@ -335,11 +343,9 @@ impl EdgeCloudSystem {
         }
         engine.schedule_at(self.cfg.dispatch_interval, Event::BeDispatch);
         engine.schedule_at(self.cfg.reassure_interval, Event::Reassure);
-
-        engine.run_until(self, duration);
     }
 
-    fn finish(mut self, label: &str) -> RunReport {
+    pub(crate) fn finish(mut self, label: &str) -> RunReport {
         self.fault.settle(self.horizon);
         self.fault.summary.fault_qos_violations = self.counters.total_fault_qos_violations();
         RunReport {

@@ -18,6 +18,7 @@
 //! violations that land inside a fault window.
 
 mod plan;
+mod snapshot;
 mod state;
 
 pub use plan::{FaultEvent, FaultPlan, NodeChurn, NodeRef, SystemLayout};

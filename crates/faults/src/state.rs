@@ -150,6 +150,46 @@ impl FaultState {
         self.summary.heals += 1;
     }
 
+    /// Encode the full fault state for a checkpoint: per-node down flags,
+    /// down-since stamps and crash epochs, the active-fault windows and
+    /// the cumulative summary.
+    pub fn snapshot(&self, w: &mut tango_snap::SnapWriter) {
+        use tango_snap::SnapEncode;
+        self.down.encode(w);
+        self.down_since.encode(w);
+        self.epochs.encode(w);
+        w.put_u32(self.down_count);
+        w.put_u32(self.active_link_faults);
+        w.put_bool(self.partition_active);
+        self.summary.encode(w);
+    }
+
+    /// Restore state captured by [`FaultState::snapshot`]. The node count
+    /// must match the one this state was built with.
+    pub fn restore(
+        &mut self,
+        r: &mut tango_snap::SnapReader<'_>,
+    ) -> Result<(), tango_snap::SnapError> {
+        use tango_snap::{SnapDecode, SnapError};
+        let down = Vec::<bool>::decode(r)?;
+        let down_since = Vec::<SimTime>::decode(r)?;
+        let epochs = Vec::<u64>::decode(r)?;
+        if down.len() != self.down.len()
+            || down_since.len() != self.down.len()
+            || epochs.len() != self.down.len()
+        {
+            return Err(SnapError::Corrupt("fault state node count"));
+        }
+        self.down = down;
+        self.down_since = down_since;
+        self.epochs = epochs;
+        self.down_count = r.u32()?;
+        self.active_link_faults = r.u32()?;
+        self.partition_active = r.bool()?;
+        self.summary = crate::FaultSummary::decode(r)?;
+        Ok(())
+    }
+
     /// Fold downtime of nodes still down at the horizon into the summary.
     pub fn settle(&mut self, horizon: SimTime) {
         for i in 0..self.down.len() {

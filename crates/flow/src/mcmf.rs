@@ -34,6 +34,12 @@ const BUCKET_CAP: usize = 1 << 20;
 /// [`McmfWorkspace::solve`] call allocation-free in steady state — the
 /// per-dispatch pattern DSS-LC runs (one solve per request type per
 /// tick) never touches the heap allocator once the buffers are warm.
+///
+/// The workspace is pure per-solve scratch: every buffer is re-sized and
+/// re-initialized at the top of [`McmfWorkspace::solve`], so its contents
+/// never influence results. Checkpoints (DESIGN.md §11) therefore exclude
+/// it — a restored run starts with a cold workspace and computes the same
+/// answers.
 #[derive(Debug, Clone, Default)]
 pub struct McmfWorkspace {
     potential: Vec<i64>,

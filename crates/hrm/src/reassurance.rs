@@ -99,6 +99,38 @@ impl Reassurer {
         self.factors.retain(|(n, _), _| *n != node);
     }
 
+    /// Encode the adjustment factors for a checkpoint (sorted by key so
+    /// the bytes are stable; the config is rebuilt from `TangoConfig`).
+    pub fn snapshot(&self, w: &mut tango_snap::SnapWriter) {
+        use tango_snap::SnapEncode;
+        let mut keys: Vec<(NodeId, ServiceId)> = self.factors.keys().copied().collect();
+        keys.sort_unstable();
+        w.put_u64(keys.len() as u64);
+        for k in keys {
+            k.encode(w);
+            w.put_f64(self.factors[&k]);
+        }
+    }
+
+    /// Restore factors captured by [`Reassurer::snapshot`].
+    pub fn restore(
+        &mut self,
+        r: &mut tango_snap::SnapReader<'_>,
+    ) -> Result<(), tango_snap::SnapError> {
+        use tango_snap::SnapDecode;
+        let n = r.u64()? as usize;
+        if n > r.remaining() {
+            return Err(tango_snap::SnapError::Truncated);
+        }
+        let mut factors = FxHashMap::default();
+        for _ in 0..n {
+            let k = <(NodeId, ServiceId)>::decode(r)?;
+            factors.insert(k, r.f64()?);
+        }
+        self.factors = factors;
+        Ok(())
+    }
+
     /// Run Algorithm 1 over every (node, service) pair with samples in the
     /// detector's window, using `targets` for γ lookup. Returns the
     /// adjustments made this tick.

@@ -27,6 +27,7 @@ pub mod hpa;
 pub mod node;
 pub mod pod;
 pub mod scheduler;
+pub mod snapshot;
 pub mod vpa;
 
 pub use cluster::Cluster;

@@ -503,6 +503,57 @@ impl Node {
             .map(|p| p.qos)
     }
 
+    // --- checkpoint plumbing (see the `snapshot` module) ---
+
+    pub(crate) fn snap_last_advance(&self) -> SimTime {
+        self.last_advance
+    }
+
+    pub(crate) fn snap_next_local_id(&self) -> u64 {
+        self.next_local_id
+    }
+
+    pub(crate) fn snap_finished(&self) -> &[CompletedRequest] {
+        &self.finished
+    }
+
+    pub(crate) fn snap_unavailable_until(&self, ctr: ContainerId) -> SimTime {
+        self.containers
+            .get(&ctr)
+            .map(|c| c.unavailable_until)
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    pub(crate) fn snap_apply(
+        &mut self,
+        last_advance: SimTime,
+        generation: u64,
+        next_local_id: u64,
+        finished: Vec<CompletedRequest>,
+    ) {
+        self.last_advance = last_advance;
+        self.generation = generation;
+        self.next_local_id = next_local_id;
+        self.finished = finished;
+    }
+
+    pub(crate) fn snap_apply_container(
+        &mut self,
+        ctr: ContainerId,
+        restarts: u32,
+        unavailable_until: SimTime,
+        running: Vec<RunningRequest>,
+    ) -> Result<(), tango_snap::SnapError> {
+        let state = self
+            .containers
+            .get_mut(&ctr)
+            .ok_or(tango_snap::SnapError::Corrupt("unknown container id"))?;
+        state.meta.restarts = restarts;
+        state.unavailable_until = unavailable_until;
+        state.running = running;
+        Ok(())
+    }
+
     /// The pod-level and container-level cgroups for a service — the two
     /// write targets of a D-VPA scaling operation (Fig. 5).
     pub fn scaling_cgroups(&self, service: ServiceId) -> Option<(CgroupId, CgroupId)> {

@@ -1,0 +1,98 @@
+//! Checkpoint encoding for per-node dynamic state.
+//!
+//! A node's *structure* — which services are deployed, pod/container ids,
+//! cgroup paths — is rebuilt deterministically from the config, so a
+//! snapshot carries only what the run changed: the execution clock and
+//! generation counter, in-flight requests per container, restart counts,
+//! availability windows, the undrained completion buffer, and the full
+//! cgroup table (which does hold structure, because limits and charges at
+//! tick T are not derivable from the config).
+
+use crate::node::{CompletedRequest, Node, RunningRequest};
+use tango_snap::{SnapDecode, SnapEncode, SnapError, SnapReader, SnapWriter};
+use tango_types::{ContainerId, RequestId, Resources, ServiceClass, ServiceId, SimTime};
+
+impl SnapEncode for RunningRequest {
+    fn encode(&self, w: &mut SnapWriter) {
+        self.request.encode(w);
+        self.demand.encode(w);
+        w.put_f64(self.remaining_work);
+        self.admitted_at.encode(w);
+    }
+}
+impl SnapDecode for RunningRequest {
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(RunningRequest {
+            request: RequestId::decode(r)?,
+            demand: Resources::decode(r)?,
+            remaining_work: r.f64()?,
+            admitted_at: SimTime::decode(r)?,
+        })
+    }
+}
+
+impl SnapEncode for CompletedRequest {
+    fn encode(&self, w: &mut SnapWriter) {
+        self.request.encode(w);
+        self.service.encode(w);
+        self.class.encode(w);
+        self.admitted_at.encode(w);
+    }
+}
+impl SnapDecode for CompletedRequest {
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(CompletedRequest {
+            request: RequestId::decode(r)?,
+            service: ServiceId::decode(r)?,
+            class: ServiceClass::decode(r)?,
+            admitted_at: SimTime::decode(r)?,
+        })
+    }
+}
+
+impl Node {
+    /// Encode everything a run can have changed on this node.
+    pub fn snapshot_dynamic(&self, w: &mut SnapWriter) {
+        self.snap_last_advance().encode(w);
+        w.put_u64(self.generation());
+        w.put_u64(self.snap_next_local_id());
+        self.snap_finished().to_vec().encode(w);
+        let ids = self.container_ids();
+        w.put_u64(ids.len() as u64);
+        for ctr in ids {
+            ctr.encode(w);
+            let c = self.container(ctr).expect("listed container exists");
+            w.put_u32(c.restarts);
+            self.snap_unavailable_until(ctr).encode(w);
+            self.running_in(ctr).to_vec().encode(w);
+        }
+        self.cgroups.snapshot(w);
+    }
+
+    /// Overlay a [`Node::snapshot_dynamic`] payload onto a freshly built
+    /// node with the same deployed services.
+    pub fn restore_dynamic(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let last_advance = SimTime::decode(r)?;
+        let generation = r.u64()?;
+        let next_local_id = r.u64()?;
+        let finished = Vec::<CompletedRequest>::decode(r)?;
+        let n_ctrs = r.u64()? as usize;
+        if n_ctrs != self.container_ids().len() {
+            return Err(SnapError::Corrupt("node container count"));
+        }
+        let mut overlays = Vec::with_capacity(n_ctrs);
+        for _ in 0..n_ctrs {
+            let ctr = ContainerId::decode(r)?;
+            let restarts = r.u32()?;
+            let until = SimTime::decode(r)?;
+            let running = Vec::<RunningRequest>::decode(r)?;
+            overlays.push((ctr, restarts, until, running));
+        }
+        self.snap_apply(last_advance, generation, next_local_id, finished);
+        for (ctr, restarts, until, running) in overlays {
+            self.snap_apply_container(ctr, restarts, until, running)?;
+        }
+        self.cgroups.restore(r)?;
+        Ok(())
+    }
+}

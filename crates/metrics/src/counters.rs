@@ -38,23 +38,23 @@ pub struct PeriodRecord {
 }
 
 #[derive(Debug, Clone, Default)]
-struct Accum {
-    lc_arrived: u64,
-    lc_completed: u64,
-    lc_satisfied: u64,
-    be_completed: u64,
-    abandoned: u64,
-    util_sum: (f64, f64, f64),
-    util_samples: u64,
-    lc_latencies_us: Vec<u64>,
-    fault_qos_violations: u64,
+pub(crate) struct Accum {
+    pub(crate) lc_arrived: u64,
+    pub(crate) lc_completed: u64,
+    pub(crate) lc_satisfied: u64,
+    pub(crate) be_completed: u64,
+    pub(crate) abandoned: u64,
+    pub(crate) util_sum: (f64, f64, f64),
+    pub(crate) util_samples: u64,
+    pub(crate) lc_latencies_us: Vec<u64>,
+    pub(crate) fault_qos_violations: u64,
 }
 
 /// Period-bucketed experiment counters.
 #[derive(Debug)]
 pub struct ExperimentCounters {
-    period: SimTime,
-    buckets: Vec<Accum>,
+    pub(crate) period: SimTime,
+    pub(crate) buckets: Vec<Accum>,
 }
 
 impl ExperimentCounters {

@@ -19,6 +19,7 @@ pub mod counters;
 pub mod p2;
 pub mod percentile;
 pub mod qos;
+pub mod snapshot;
 pub mod store;
 pub mod trace;
 pub mod window;
@@ -28,5 +29,7 @@ pub use p2::P2Quantile;
 pub use percentile::percentile;
 pub use qos::{slack_score, QosDetector};
 pub use store::{NodeRole, NodeSnapshot, StateStorage};
-pub use trace::{NoopTrace, TraceEvent, TraceLane, TraceRecorder, TraceSink};
+pub use trace::{
+    NoopTrace, TraceEvent, TraceLane, TraceRecorder, TraceSink, DEFAULT_TRACE_CAPACITY,
+};
 pub use window::LatencyWindow;

@@ -30,8 +30,8 @@ pub fn slack_score(tail: SimTime, target: SimTime) -> f64 {
 /// the QoS detector of Fig. 3 ➍.
 #[derive(Debug)]
 pub struct QosDetector {
-    width: SimTime,
-    windows: FxHashMap<(NodeId, ServiceId), LatencyWindow>,
+    pub(crate) width: SimTime,
+    pub(crate) windows: FxHashMap<(NodeId, ServiceId), LatencyWindow>,
 }
 
 impl QosDetector {

@@ -1,0 +1,338 @@
+//! Checkpoint codecs for the telemetry state.
+//!
+//! Everything here is *state*, not cache: the QoS detector's latency
+//! windows feed the re-assurer's slack decisions, the P² markers carry a
+//! whole run's percentile estimate, the experiment counters are the final
+//! report, and the state storage is read by dispatch rounds between Sync
+//! ticks — none of it can be rebuilt from the config. Hash maps are
+//! encoded sorted by key so snapshots are byte-stable.
+
+use crate::counters::{Accum, ExperimentCounters};
+use crate::p2::P2Quantile;
+use crate::qos::QosDetector;
+use crate::store::{NodeRole, NodeSnapshot, StateStorage};
+use crate::window::LatencyWindow;
+use std::collections::VecDeque;
+use tango_snap::{SnapDecode, SnapEncode, SnapError, SnapReader, SnapWriter};
+use tango_types::{ClusterId, FxHashMap, NodeId, Resources, ServiceId, SimTime};
+
+impl SnapEncode for LatencyWindow {
+    fn encode(&self, w: &mut SnapWriter) {
+        self.width.encode(w);
+        self.samples.encode(w);
+    }
+}
+impl SnapDecode for LatencyWindow {
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(LatencyWindow {
+            width: SimTime::decode(r)?,
+            samples: VecDeque::<(SimTime, SimTime)>::decode(r)?,
+        })
+    }
+}
+
+impl SnapEncode for QosDetector {
+    fn encode(&self, w: &mut SnapWriter) {
+        self.width.encode(w);
+        let mut keys: Vec<(NodeId, ServiceId)> = self.windows.keys().copied().collect();
+        keys.sort_unstable();
+        w.put_u64(keys.len() as u64);
+        for k in keys {
+            k.encode(w);
+            self.windows[&k].encode(w);
+        }
+    }
+}
+impl SnapDecode for QosDetector {
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let width = SimTime::decode(r)?;
+        let n = r.u64()? as usize;
+        if n > r.remaining() {
+            return Err(SnapError::Truncated);
+        }
+        let mut windows = FxHashMap::default();
+        for _ in 0..n {
+            let k = <(NodeId, ServiceId)>::decode(r)?;
+            windows.insert(k, LatencyWindow::decode(r)?);
+        }
+        Ok(QosDetector { width, windows })
+    }
+}
+
+impl SnapEncode for Accum {
+    fn encode(&self, w: &mut SnapWriter) {
+        w.put_u64(self.lc_arrived);
+        w.put_u64(self.lc_completed);
+        w.put_u64(self.lc_satisfied);
+        w.put_u64(self.be_completed);
+        w.put_u64(self.abandoned);
+        w.put_f64(self.util_sum.0);
+        w.put_f64(self.util_sum.1);
+        w.put_f64(self.util_sum.2);
+        w.put_u64(self.util_samples);
+        self.lc_latencies_us.encode(w);
+        w.put_u64(self.fault_qos_violations);
+    }
+}
+impl SnapDecode for Accum {
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Accum {
+            lc_arrived: r.u64()?,
+            lc_completed: r.u64()?,
+            lc_satisfied: r.u64()?,
+            be_completed: r.u64()?,
+            abandoned: r.u64()?,
+            util_sum: (r.f64()?, r.f64()?, r.f64()?),
+            util_samples: r.u64()?,
+            lc_latencies_us: Vec::<u64>::decode(r)?,
+            fault_qos_violations: r.u64()?,
+        })
+    }
+}
+
+impl SnapEncode for ExperimentCounters {
+    fn encode(&self, w: &mut SnapWriter) {
+        self.period.encode(w);
+        self.buckets.encode(w);
+    }
+}
+impl SnapDecode for ExperimentCounters {
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let period = SimTime::decode(r)?;
+        if period == SimTime::ZERO {
+            return Err(SnapError::Corrupt("zero counters period"));
+        }
+        Ok(ExperimentCounters {
+            period,
+            buckets: Vec::<Accum>::decode(r)?,
+        })
+    }
+}
+
+impl SnapEncode for P2Quantile {
+    fn encode(&self, w: &mut SnapWriter) {
+        w.put_f64(self.q);
+        self.heights.encode(w);
+        self.positions.encode(w);
+        self.desired.encode(w);
+        self.increments.encode(w);
+        w.put_u64(self.count as u64);
+    }
+}
+impl SnapDecode for P2Quantile {
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(P2Quantile {
+            q: r.f64()?,
+            heights: <[f64; 5]>::decode(r)?,
+            positions: <[f64; 5]>::decode(r)?,
+            desired: <[f64; 5]>::decode(r)?,
+            increments: <[f64; 5]>::decode(r)?,
+            count: r.u64()? as usize,
+        })
+    }
+}
+
+impl SnapEncode for NodeRole {
+    fn encode(&self, w: &mut SnapWriter) {
+        w.put_u8(match self {
+            NodeRole::Master => 0,
+            NodeRole::Worker => 1,
+        });
+    }
+}
+impl SnapDecode for NodeRole {
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        match r.u8()? {
+            0 => Ok(NodeRole::Master),
+            1 => Ok(NodeRole::Worker),
+            _ => Err(SnapError::Corrupt("node role tag")),
+        }
+    }
+}
+
+fn encode_sorted_map<K, V, F>(w: &mut SnapWriter, map: &FxHashMap<K, V>, put_v: F)
+where
+    K: Copy + Ord + std::hash::Hash + Eq + SnapEncode,
+    F: Fn(&mut SnapWriter, &V),
+{
+    let mut keys: Vec<K> = map.keys().copied().collect();
+    keys.sort_unstable();
+    w.put_u64(keys.len() as u64);
+    for k in keys {
+        k.encode(w);
+        put_v(w, &map[&k]);
+    }
+}
+
+fn decode_map<K, V, F>(r: &mut SnapReader<'_>, get_v: F) -> Result<FxHashMap<K, V>, SnapError>
+where
+    K: Copy + Ord + std::hash::Hash + Eq + SnapDecode,
+    F: Fn(&mut SnapReader<'_>) -> Result<V, SnapError>,
+{
+    let n = r.u64()? as usize;
+    if n > r.remaining() {
+        return Err(SnapError::Truncated);
+    }
+    let mut map = FxHashMap::default();
+    for _ in 0..n {
+        let k = K::decode(r)?;
+        map.insert(k, get_v(r)?);
+    }
+    Ok(map)
+}
+
+impl SnapEncode for NodeSnapshot {
+    fn encode(&self, w: &mut SnapWriter) {
+        self.node.encode(w);
+        self.cluster.encode(w);
+        self.role.encode(w);
+        self.total.encode(w);
+        self.available.encode(w);
+        self.be_held.encode(w);
+        encode_sorted_map(w, &self.slack, |w, v| w.put_f64(*v));
+        encode_sorted_map(w, &self.pending, |w, v| w.put_u32(*v));
+        self.updated_at.encode(w);
+    }
+}
+impl SnapDecode for NodeSnapshot {
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(NodeSnapshot {
+            node: NodeId::decode(r)?,
+            cluster: ClusterId::decode(r)?,
+            role: NodeRole::decode(r)?,
+            total: Resources::decode(r)?,
+            available: Resources::decode(r)?,
+            be_held: Resources::decode(r)?,
+            slack: decode_map(r, |r| r.f64())?,
+            pending: decode_map(r, |r| r.u32())?,
+            updated_at: SimTime::decode(r)?,
+        })
+    }
+}
+
+impl StateStorage {
+    /// Encode every pushed node snapshot (sorted by node id).
+    pub fn snapshot(&self, w: &mut SnapWriter) {
+        self.all().encode(w);
+    }
+
+    /// Overlay a [`StateStorage::snapshot`] payload: every decoded entry
+    /// is pushed, replacing whatever the fresh store held for that node.
+    pub fn restore(&self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        for snap in Vec::<NodeSnapshot>::decode(r)? {
+            self.push(snap);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_bytes<T: SnapEncode>(v: &T) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        v.encode(&mut w);
+        w.into_bytes()
+    }
+
+    #[test]
+    fn qos_detector_round_trips_with_windows() {
+        let mut d = QosDetector::paper_default();
+        d.record(
+            NodeId(2),
+            ServiceId(1),
+            SimTime::from_millis(10),
+            SimTime::from_millis(40),
+        );
+        d.record(
+            NodeId(1),
+            ServiceId(0),
+            SimTime::from_millis(20),
+            SimTime::from_millis(90),
+        );
+        let bytes = round_trip_bytes(&d);
+        let mut r = SnapReader::new(&bytes);
+        let mut back = QosDetector::decode(&mut r).unwrap();
+        assert!(r.is_empty());
+        assert_eq!(
+            back.tail(NodeId(1), ServiceId(0), SimTime::from_millis(50)),
+            d.tail(NodeId(1), ServiceId(0), SimTime::from_millis(50))
+        );
+        assert_eq!(
+            back.active_pairs(SimTime::from_millis(50)),
+            d.active_pairs(SimTime::from_millis(50))
+        );
+    }
+
+    #[test]
+    fn counters_round_trip_preserves_report() {
+        let mut c = ExperimentCounters::paper_default();
+        c.on_lc_arrival(SimTime::from_millis(100));
+        c.on_lc_complete(SimTime::from_millis(200), SimTime::from_millis(42), true);
+        c.on_be_complete(SimTime::from_millis(900));
+        c.sample_utilization(SimTime::from_millis(400), 0.5, 0.3, 0.2);
+        c.on_fault_qos_violation(SimTime::from_millis(850));
+        let bytes = round_trip_bytes(&c);
+        let mut r = SnapReader::new(&bytes);
+        let back = ExperimentCounters::decode(&mut r).unwrap();
+        assert!(r.is_empty());
+        assert_eq!(back.periods(), c.periods());
+        assert_eq!(back.be_throughput(), c.be_throughput());
+    }
+
+    #[test]
+    fn p2_round_trip_is_exact() {
+        let mut p = P2Quantile::p95();
+        for i in 0..1_000 {
+            p.observe((i * 7 % 101) as f64);
+        }
+        let bytes = round_trip_bytes(&p);
+        let mut r = SnapReader::new(&bytes);
+        let back = P2Quantile::decode(&mut r).unwrap();
+        assert!(r.is_empty());
+        assert_eq!(back.estimate(), p.estimate());
+        assert_eq!(back.count(), p.count());
+    }
+
+    #[test]
+    fn state_storage_round_trips_sorted() {
+        let store = StateStorage::new();
+        for node in [3u32, 1, 2] {
+            let mut slack = FxHashMap::default();
+            slack.insert(ServiceId(0), 0.25);
+            store.push(NodeSnapshot {
+                node: NodeId(node),
+                cluster: ClusterId(0),
+                role: NodeRole::Worker,
+                total: Resources::cpu_mem(4_000, 8_192),
+                available: Resources::cpu_mem(1_000 * node as u64, 1_024),
+                be_held: Resources::ZERO,
+                slack,
+                pending: FxHashMap::default(),
+                updated_at: SimTime::from_millis(7),
+            });
+        }
+        let mut w = SnapWriter::new();
+        store.snapshot(&mut w);
+        let bytes = w.into_bytes();
+        let fresh = StateStorage::new();
+        let mut r = SnapReader::new(&bytes);
+        fresh.restore(&mut r).unwrap();
+        assert!(r.is_empty());
+        assert_eq!(fresh.len(), 3);
+        assert_eq!(
+            fresh.get(NodeId(2)).unwrap().available.cpu_milli,
+            store.get(NodeId(2)).unwrap().available.cpu_milli
+        );
+    }
+
+    #[test]
+    fn bad_role_tag_is_typed() {
+        let mut r = SnapReader::new(&[7]);
+        assert!(matches!(
+            NodeRole::decode(&mut r),
+            Err(SnapError::Corrupt(_))
+        ));
+    }
+}

@@ -123,6 +123,18 @@ struct RecorderInner {
     buf: VecDeque<(SimTime, TraceEvent)>,
     capacity: usize,
     seen: u64,
+    dropped: u64,
+}
+
+/// Ring capacity used by [`TraceRecorder::default`]. Pick an explicit
+/// capacity with [`TraceRecorder::new`] when the run is long or events
+/// must not be lost; check [`TraceRecorder::dropped`] afterwards.
+pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
+
+impl Default for TraceRecorder {
+    fn default() -> Self {
+        TraceRecorder::new(DEFAULT_TRACE_CAPACITY)
+    }
 }
 
 impl TraceRecorder {
@@ -135,8 +147,21 @@ impl TraceRecorder {
                 buf: VecDeque::with_capacity(capacity),
                 capacity,
                 seen: 0,
+                dropped: 0,
             })),
         }
+    }
+
+    /// The configured ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().expect("trace recorder poisoned").capacity
+    }
+
+    /// Number of records the ring has evicted to make room — events that
+    /// were seen but are no longer retained. Zero means
+    /// [`TraceRecorder::events`] is the complete history.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().expect("trace recorder poisoned").dropped
     }
 
     /// Snapshot of the retained events, oldest first.
@@ -180,6 +205,7 @@ impl TraceSink for TraceRecorder {
         inner.seen += 1;
         if inner.buf.len() == inner.capacity {
             inner.buf.pop_front();
+            inner.dropped += 1;
         }
         inner.buf.push_back((at, event));
     }

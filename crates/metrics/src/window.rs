@@ -12,8 +12,8 @@ use tango_types::SimTime;
 /// A time-bounded window of latency samples.
 #[derive(Debug, Clone)]
 pub struct LatencyWindow {
-    width: SimTime,
-    samples: VecDeque<(SimTime, SimTime)>,
+    pub(crate) width: SimTime,
+    pub(crate) samples: VecDeque<(SimTime, SimTime)>,
 }
 
 impl LatencyWindow {

@@ -259,6 +259,71 @@ impl NetworkTopology {
         }
     }
 
+    /// Encode the fault overlays (degradations + partition) for a
+    /// checkpoint. The placed topology itself — positions and base
+    /// latency/bandwidth matrices — is deterministic per seed and is
+    /// rebuilt by [`NetworkTopology::generate`] on restore, so only the
+    /// overlays are state.
+    pub fn snapshot_dynamic(&self, w: &mut tango_snap::SnapWriter) {
+        w.put_u64(self.degraded.len() as u64);
+        for &((a, b), (lat, bw)) in &self.degraded {
+            w.put_u32(a);
+            w.put_u32(b);
+            w.put_f64(lat);
+            w.put_f64(bw);
+        }
+        match &self.partition {
+            None => w.put_u8(0),
+            Some(flags) => {
+                w.put_u8(1);
+                w.put_u64(flags.len() as u64);
+                for &f in flags {
+                    w.put_bool(f);
+                }
+            }
+        }
+    }
+
+    /// Restore the fault overlays captured by
+    /// [`NetworkTopology::snapshot_dynamic`] onto a freshly generated
+    /// topology of the same size.
+    pub fn restore_dynamic(
+        &mut self,
+        r: &mut tango_snap::SnapReader<'_>,
+    ) -> Result<(), tango_snap::SnapError> {
+        use tango_snap::SnapError;
+        let n_deg = r.u64()? as usize;
+        if n_deg > r.remaining() {
+            return Err(SnapError::Truncated);
+        }
+        let mut degraded = Vec::with_capacity(n_deg);
+        for _ in 0..n_deg {
+            let a = r.u32()?;
+            let b = r.u32()?;
+            let lat = r.f64()?;
+            let bw = r.f64()?;
+            degraded.push(((a, b), (lat, bw)));
+        }
+        let partition = match r.u8()? {
+            0 => None,
+            1 => {
+                let len = r.u64()? as usize;
+                if len != self.len() {
+                    return Err(SnapError::Corrupt("partition mask length"));
+                }
+                let mut flags = Vec::with_capacity(len);
+                for _ in 0..len {
+                    flags.push(r.bool()?);
+                }
+                Some(flags)
+            }
+            _ => return Err(SnapError::Corrupt("partition tag")),
+        };
+        self.degraded = degraded;
+        self.partition = partition;
+        Ok(())
+    }
+
     /// Geographic distance between clusters, km.
     pub fn distance_km(&self, a: ClusterId, b: ClusterId) -> f64 {
         self.positions[a.index()].distance_km(&self.positions[b.index()])

@@ -44,6 +44,23 @@ pub trait SchedulerBackend: Send {
     /// decision together with the state that followed it. Ignored by
     /// backends without a BE role.
     fn feedback_be(&mut self, reward: f32, next_demand: &Resources, next_nodes: &[CandidateNode]);
+
+    /// Serialize the policy's mutable state for a checkpoint. Stateless
+    /// policies return an empty blob; policies whose state cannot be
+    /// captured (learned network weights mid-training) return `Err` so
+    /// checkpointing fails loudly instead of resuming with reset state.
+    fn snapshot_state(&self) -> Result<Vec<u8>, &'static str> {
+        Ok(Vec::new())
+    }
+
+    /// Restore state captured by [`SchedulerBackend::snapshot_state`].
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), &'static str> {
+        if bytes.is_empty() {
+            Ok(())
+        } else {
+            Err("policy holds no state but blob is non-empty")
+        }
+    }
 }
 
 /// Adapter lifting an [`LcScheduler`] into the unified backend surface.
@@ -70,6 +87,14 @@ impl SchedulerBackend for LcBackend {
     }
 
     fn feedback_be(&mut self, _reward: f32, _demand: &Resources, _nodes: &[CandidateNode]) {}
+
+    fn snapshot_state(&self) -> Result<Vec<u8>, &'static str> {
+        self.0.snapshot_state()
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), &'static str> {
+        self.0.restore_state(bytes)
+    }
 }
 
 /// Adapter lifting a [`BeScheduler`] into the unified backend surface.
@@ -97,6 +122,14 @@ impl SchedulerBackend for BeBackend {
 
     fn feedback_be(&mut self, reward: f32, next_demand: &Resources, next_nodes: &[CandidateNode]) {
         self.0.feedback(reward, next_demand, next_nodes)
+    }
+
+    fn snapshot_state(&self) -> Result<Vec<u8>, &'static str> {
+        self.0.snapshot_state()
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), &'static str> {
+        self.0.restore_state(bytes)
     }
 }
 

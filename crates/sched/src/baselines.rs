@@ -79,6 +79,16 @@ impl LcScheduler for KsNative {
     fn name(&self) -> &'static str {
         "k8s-native"
     }
+
+    fn snapshot_state(&self) -> Result<Vec<u8>, &'static str> {
+        Ok((self.cursor as u64).to_le_bytes().to_vec())
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), &'static str> {
+        let arr: [u8; 8] = bytes.try_into().map_err(|_| "round-robin cursor blob")?;
+        self.cursor = u64::from_le_bytes(arr) as usize;
+        Ok(())
+    }
 }
 
 /// Weighted-score policy: score = w_cap · free-fraction − w_delay ·

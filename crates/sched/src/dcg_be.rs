@@ -29,6 +29,21 @@ pub trait BeScheduler {
 
     /// Policy name for reports.
     fn name(&self) -> &'static str;
+
+    /// Serialize the policy's mutable state for a checkpoint (see
+    /// `LcScheduler::snapshot_state` for the contract).
+    fn snapshot_state(&self) -> Result<Vec<u8>, &'static str> {
+        Ok(Vec::new())
+    }
+
+    /// Restore state captured by [`BeScheduler::snapshot_state`].
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), &'static str> {
+        if bytes.is_empty() {
+            Ok(())
+        } else {
+            Err("policy holds no state but blob is non-empty")
+        }
+    }
 }
 
 /// Number of node features: the seven of §5.3.1's state T plus the
@@ -199,6 +214,14 @@ impl BeScheduler for DcgBe {
     fn name(&self) -> &'static str {
         "dcg-be"
     }
+
+    fn snapshot_state(&self) -> Result<Vec<u8>, &'static str> {
+        Err("RL agent state (network weights, replay) is not snapshottable")
+    }
+
+    fn restore_state(&mut self, _bytes: &[u8]) -> Result<(), &'static str> {
+        Err("RL agent state (network weights, replay) is not snapshottable")
+    }
 }
 
 /// GNN-SAC: the soft-actor-critic baseline sharing DCG-BE's encoder and
@@ -240,6 +263,14 @@ impl BeScheduler for GnnSacBe {
 
     fn name(&self) -> &'static str {
         "gnn-sac"
+    }
+
+    fn snapshot_state(&self) -> Result<Vec<u8>, &'static str> {
+        Err("RL agent state (network weights, replay) is not snapshottable")
+    }
+
+    fn restore_state(&mut self, _bytes: &[u8]) -> Result<(), &'static str> {
+        Err("RL agent state (network weights, replay) is not snapshottable")
     }
 }
 
@@ -290,6 +321,16 @@ impl BeScheduler for RoundRobinBe {
 
     fn name(&self) -> &'static str {
         "k8s-native"
+    }
+
+    fn snapshot_state(&self) -> Result<Vec<u8>, &'static str> {
+        Ok((self.cursor as u64).to_le_bytes().to_vec())
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), &'static str> {
+        let arr: [u8; 8] = bytes.try_into().map_err(|_| "round-robin cursor blob")?;
+        self.cursor = u64::from_le_bytes(arr) as usize;
+        Ok(())
     }
 }
 

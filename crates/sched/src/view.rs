@@ -159,6 +159,24 @@ pub trait LcScheduler {
 
     /// Policy name for reports.
     fn name(&self) -> &'static str;
+
+    /// Serialize the policy's mutable state for a checkpoint. Stateless
+    /// policies return an empty blob (the default). Policies whose state
+    /// cannot be captured (e.g. learned network weights mid-training)
+    /// return `Err` with a reason; checkpointing then fails loudly
+    /// instead of resuming with silently-reset state.
+    fn snapshot_state(&self) -> Result<Vec<u8>, &'static str> {
+        Ok(Vec::new())
+    }
+
+    /// Restore state captured by [`LcScheduler::snapshot_state`].
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), &'static str> {
+        if bytes.is_empty() {
+            Ok(())
+        } else {
+            Err("policy holds no state but blob is non-empty")
+        }
+    }
 }
 
 #[cfg(test)]

@@ -86,6 +86,22 @@ impl<E> Engine<E> {
         self.queue.push(at.max(self.now), event);
     }
 
+    /// Read access to the pending-event queue, for checkpointing.
+    pub fn queue(&self) -> &EventQueue<E> {
+        &self.queue
+    }
+
+    /// Rebuild an engine mid-run from checkpointed parts. The clock,
+    /// processed-event counter and queue (including its sequence counter)
+    /// must all come from the same snapshot or determinism is lost.
+    pub fn from_parts(now: SimTime, processed: u64, queue: EventQueue<E>) -> Self {
+        Engine {
+            queue,
+            now,
+            processed,
+        }
+    }
+
     /// Run until the queue drains or the next event would fire *after*
     /// `horizon`. Events exactly at the horizon are processed. Returns the
     /// number of events handled by this call.

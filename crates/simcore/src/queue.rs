@@ -81,6 +81,30 @@ impl<E> EventQueue<E> {
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
+
+    /// The sequence number the next [`EventQueue::push`] will take.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Every pending entry as `(at, seq, event)`, in **arbitrary** order
+    /// (the heap's internal layout). Checkpointing sorts by `(at, seq)`
+    /// before encoding so snapshots are deterministic.
+    pub fn entries(&self) -> impl Iterator<Item = (SimTime, u64, &E)> {
+        self.heap.iter().map(|e| (e.at, e.seq, &e.event))
+    }
+
+    /// Rebuild a queue from captured entries and the captured `next_seq`
+    /// counter. Entry order does not matter: ordering is re-established
+    /// by the heap, and the original sequence numbers keep same-time
+    /// events popping exactly as they would have in the original run.
+    pub fn from_entries(entries: Vec<(SimTime, u64, E)>, next_seq: u64) -> Self {
+        let heap = entries
+            .into_iter()
+            .map(|(at, seq, event)| Entry { at, seq, event })
+            .collect();
+        EventQueue { heap, next_seq }
+    }
 }
 
 #[cfg(test)]

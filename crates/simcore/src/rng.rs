@@ -46,6 +46,17 @@ impl SimRng {
         SimRng::new(self.next_u64() ^ 0xA5A5_5A5A_DEAD_BEEF)
     }
 
+    /// The raw xoshiro256** state, for checkpointing. Restoring via
+    /// [`SimRng::from_state`] resumes the stream exactly where it was.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuild a generator from a captured [`SimRng::state`].
+    pub fn from_state(s: [u64; 4]) -> Self {
+        SimRng { s }
+    }
+
     /// Next raw 64-bit value.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {

@@ -1,0 +1,87 @@
+//! `tango-snap`: the hand-rolled versioned binary snapshot codec.
+//!
+//! The workspace builds offline, so serde is deliberately unavailable
+//! (it was dropped in the first performance PR). This crate provides the
+//! small, explicit substitute the checkpoint/restore subsystem needs:
+//!
+//! * [`SnapWriter`] / [`SnapReader`] — little-endian primitive framing
+//!   with explicit bounds checks (no panics on malformed input);
+//! * [`SnapEncode`] / [`SnapDecode`] — the trait pair every snapshotted
+//!   type implements, with blanket impls for primitives, tuples,
+//!   `String`, `Vec`, `VecDeque` and `Option`;
+//! * [`SnapFileBuilder`] / [`SnapFile`] — whole-file framing: a magic
+//!   header, a format-version word, a caller-supplied config
+//!   fingerprint, tagged length-prefixed sections, and an FNV-1a
+//!   checksum over everything that precedes it;
+//! * [`SnapError`] — the typed failure surface. Restoring a truncated,
+//!   corrupted or version-bumped snapshot must return one of these,
+//!   never panic.
+//!
+//! The crate is dependency-free on purpose: it sits below `tango-types`
+//! in the crate graph so every other crate can implement the traits for
+//! its own state without orphan-rule gymnastics.
+//!
+//! # File layout
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"TNGOSNAP"
+//! 8       2     format version (u16 LE)   — bump on any layout change
+//! 10      8     config fingerprint (u64)  — caller-defined compatibility key
+//! 18      4     section count (u32)
+//! 22      ...   sections: tag (u32) | byte length (u64) | payload
+//! end-8   8     FNV-1a checksum over bytes [0, end-8)
+//! ```
+//!
+//! Parsing checks, in order: magic, version, checksum, then section
+//! bounds — so a version bump reports [`SnapError::VersionMismatch`]
+//! rather than a checksum failure, and every later read is bounds-safe.
+
+#![deny(missing_docs)]
+
+mod error;
+mod file;
+mod rw;
+
+pub use error::SnapError;
+pub use file::{SnapFile, SnapFileBuilder, FORMAT_VERSION, MAGIC};
+pub use rw::{SnapDecode, SnapEncode, SnapReader, SnapWriter};
+
+/// FNV-1a offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+/// FNV-1a prime.
+pub const FNV_PRIME: u64 = 0x100000001b3;
+
+/// FNV-1a over `bytes`, starting from the standard offset basis.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    fnv1a_extend(FNV_OFFSET, bytes)
+}
+
+/// Continue an FNV-1a fold from an existing hash value.
+pub fn fnv1a_extend(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn fnv1a_extend_composes() {
+        let whole = fnv1a(b"hello world");
+        let split = fnv1a_extend(fnv1a(b"hello "), b"world");
+        assert_eq!(whole, split);
+    }
+}

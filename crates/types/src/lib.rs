@@ -16,6 +16,7 @@ pub mod ids;
 pub mod request;
 pub mod resources;
 pub mod service;
+pub mod snap_impls;
 pub mod time;
 
 pub use error::TangoError;

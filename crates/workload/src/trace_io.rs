@@ -14,6 +14,9 @@
 use crate::trace::TraceEvent;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
+use tango_snap::{
+    fnv1a, SnapDecode, SnapEncode, SnapError, SnapFile, SnapFileBuilder, SnapReader, SnapWriter,
+};
 use tango_types::{ClusterId, Resources, ServiceClass, ServiceId, SimTime};
 
 /// The CSV header written and expected by this module.
@@ -103,6 +106,69 @@ pub fn load_trace(path: &Path) -> std::io::Result<Vec<TraceEvent>> {
     Ok(events)
 }
 
+impl SnapEncode for TraceEvent {
+    fn encode(&self, w: &mut SnapWriter) {
+        self.at.encode(w);
+        self.service.encode(w);
+        self.class.encode(w);
+        self.origin.encode(w);
+        self.demand.encode(w);
+    }
+}
+impl SnapDecode for TraceEvent {
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(TraceEvent {
+            at: SimTime::decode(r)?,
+            service: ServiceId::decode(r)?,
+            class: ServiceClass::decode(r)?,
+            origin: ClusterId::decode(r)?,
+            demand: Resources::decode(r)?,
+        })
+    }
+}
+
+/// Section tag of the event stream inside a binary trace file.
+const TRACE_SECTION: u32 = 0x5452_4143; // "TRAC"
+
+/// Fingerprint stamped on binary trace files so a system snapshot handed
+/// to [`decode_trace`] (or vice versa) fails with
+/// [`SnapError::ConfigMismatch`] instead of misparsing.
+fn trace_fingerprint() -> u64 {
+    fnv1a(b"tango-workload-trace")
+}
+
+/// Encode a trace into the checksummed snap container (magic, format
+/// version, FNV-1a whole-file checksum). The compact binary alternative
+/// to [`save_trace`]'s CSV for large traces.
+pub fn encode_trace(events: &[TraceEvent]) -> Vec<u8> {
+    let mut b = SnapFileBuilder::new(trace_fingerprint());
+    b.section(TRACE_SECTION, |w| {
+        w.put_u64(events.len() as u64);
+        for e in events {
+            e.encode(w);
+        }
+    });
+    b.seal()
+}
+
+/// Decode a trace produced by [`encode_trace`], verifying magic, format
+/// version and checksum, and re-sorting by arrival time. Truncated bytes,
+/// flipped bits and foreign snapshots all fail with a typed [`SnapError`].
+pub fn decode_trace(bytes: &[u8]) -> Result<Vec<TraceEvent>, SnapError> {
+    let file = SnapFile::parse(bytes)?;
+    if file.fingerprint != trace_fingerprint() {
+        return Err(SnapError::ConfigMismatch {
+            found: file.fingerprint,
+            expected: trace_fingerprint(),
+        });
+    }
+    let mut r = file.section(TRACE_SECTION, "trace section")?;
+    let mut events = Vec::<TraceEvent>::decode(&mut r)?;
+    r.expect_end("trace section trailing bytes")?;
+    events.sort_by_key(|e| e.at);
+    Ok(events)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,5 +235,63 @@ mod tests {
     #[test]
     fn load_missing_file_errors() {
         assert!(load_trace(Path::new("/nonexistent/definitely/not.csv")).is_err());
+    }
+
+    #[test]
+    fn binary_roundtrip_is_exact() {
+        let events = sample_trace();
+        let bytes = encode_trace(&events);
+        assert_eq!(decode_trace(&bytes).unwrap(), events);
+    }
+
+    #[test]
+    fn binary_decode_resorts_unsorted_input() {
+        let mut reversed = sample_trace();
+        reversed.reverse();
+        let bytes = encode_trace(&reversed);
+        let mut sorted = reversed.clone();
+        sorted.sort_by_key(|e| e.at);
+        assert_eq!(decode_trace(&bytes).unwrap(), sorted);
+    }
+
+    #[test]
+    fn truncated_bytes_are_rejected_at_every_cut() {
+        let bytes = encode_trace(&sample_trace());
+        // every proper prefix must fail with a typed error, never panic
+        for cut in [0, 4, 8, 10, 20, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                decode_trace(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes decoded successfully"
+            );
+        }
+    }
+
+    #[test]
+    fn flipped_bit_fails_the_checksum() {
+        let mut bytes = encode_trace(&sample_trace());
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        assert!(matches!(
+            decode_trace(&bytes),
+            Err(SnapError::BadChecksum { .. })
+        ));
+    }
+
+    #[test]
+    fn foreign_snapshot_is_rejected_by_fingerprint() {
+        let mut b = SnapFileBuilder::new(0xDEAD_BEEF);
+        b.section(TRACE_SECTION, |w| sample_trace().encode(w));
+        assert!(matches!(
+            decode_trace(&b.seal()),
+            Err(SnapError::ConfigMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn garbage_magic_is_rejected() {
+        assert!(matches!(
+            decode_trace(b"definitely not a snapshot"),
+            Err(SnapError::BadMagic)
+        ));
     }
 }
