@@ -24,7 +24,7 @@ fn make_batch(n_nodes: usize, n_requests: u64) -> TypeBatch {
     TypeBatch {
         service: ServiceId(0),
         requests: (0..n_requests).map(RequestId).collect(),
-        nodes,
+        nodes: nodes.into(),
     }
 }
 

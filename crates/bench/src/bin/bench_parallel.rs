@@ -13,10 +13,9 @@
 //! sweeping.
 
 use std::hint::black_box;
-use std::io::Write as _;
 use tango::{BePolicy, EdgeCloudSystem, TangoConfig};
 use tango_bench::microbench::{self, Sample};
-use tango_bench::scenarios::{git_rev, layered, make_graph, sample_json};
+use tango_bench::scenarios::{emit, layered, make_graph, sweep_json};
 use tango_flow::FlowGraph;
 use tango_gnn::{Encoder, EncoderKind, GnnEncoder};
 use tango_types::SimTime;
@@ -54,39 +53,18 @@ fn sweep(threads: usize) -> Vec<Sample> {
 
 fn main() {
     let out_path = std::env::args().nth(1);
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    let mut json = format!(
-        "{{\n  \"git_rev\": \"{}\",\n  \"host_cores\": {cores},\n  \"note\": \"work is bit-identical at every thread count; speedup over threads=1 requires host_cores > 1, otherwise the sweep measures pure spawn/join overhead\",\n  \"sweeps\": [\n",
-        git_rev()
-    );
-    let counts = [1usize, 2, 4, 8];
-    for (i, &threads) in counts.iter().enumerate() {
+    let mut sweeps: Vec<(usize, Vec<Sample>)> = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
         eprintln!("-- threads = {threads} --");
         let samples = sweep(threads);
         for s in &samples {
             microbench::report(s);
         }
-        json.push_str(&format!("    {{\"threads\": {threads}, \"samples\": ["));
-        for (j, s) in samples.iter().enumerate() {
-            json.push_str(&sample_json(s));
-            if j + 1 < samples.len() {
-                json.push_str(", ");
-            }
-        }
-        json.push_str(&format!(
-            "]}}{}\n",
-            if i + 1 < counts.len() { "," } else { "" }
-        ));
+        sweeps.push((threads, samples));
     }
-    json.push_str("  ]\n}");
-    match out_path {
-        Some(p) => {
-            let mut f = std::fs::File::create(&p).expect("create output file");
-            writeln!(f, "{json}").expect("write output file");
-            eprintln!("wrote {p}");
-        }
-        None => println!("{json}"),
-    }
+    let json = sweep_json(
+        &sweeps,
+        "work is bit-identical at every thread count; speedup over threads=1 requires host_cores > 1, otherwise the sweep measures pure spawn/join overhead",
+    );
+    emit(&json, out_path);
 }

@@ -348,7 +348,7 @@ fn dss_scaling() {
         let batch = TypeBatch {
             service: ServiceId(0),
             requests: (0..(n_nodes as u64 * 2)).map(RequestId).collect(),
-            nodes,
+            nodes: nodes.into(),
         };
         let mut sched = DssLc::new(7);
         // warm up

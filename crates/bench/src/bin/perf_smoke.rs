@@ -1,0 +1,63 @@
+//! CI perf-smoke driver: scaled-down versions of the paper-scale bench
+//! scenarios, run once each in release mode. The job's contract is
+//! liveness, not latency — it fails on panic (and CI wraps it in a
+//! timeout), so the 104-cluster / 1000-node code paths cannot silently
+//! rot between full bench runs.
+//!
+//! Usage: `perf_smoke` (no arguments). Prints one line per scenario with
+//! wall time and a few sanity counters, exits non-zero on any violation.
+
+use std::time::Instant;
+use tango::{BePolicy, EdgeCloudSystem, TangoConfig};
+use tango_types::SimTime;
+
+fn run_scenario(name: &str, cfg: TangoConfig, horizon: SimTime) {
+    let t = Instant::now();
+    let sys = EdgeCloudSystem::new(cfg);
+    let nodes = sys.node_count();
+    let report = sys.run(horizon, name);
+    let wall = t.elapsed();
+    assert!(report.lc_arrived > 0, "{name}: no LC traffic arrived");
+    assert!(
+        report.lc_completed > 0,
+        "{name}: no LC request completed — the dispatch path is dead"
+    );
+    println!(
+        "{name:<28} {nodes:>5} nodes  {:>7} lc arrived  {:>6} lc done  {:>8.1} ms wall",
+        report.lc_arrived,
+        report.lc_completed,
+        wall.as_secs_f64() * 1e3
+    );
+}
+
+fn main() {
+    // 104 clusters, short horizon: two sync ticks + a dozen dispatch
+    // rounds over the full cluster fan-out.
+    let mut cfg = TangoConfig::dual_space(104);
+    cfg.be_policy = BePolicy::LoadGreedy;
+    run_scenario("smoke/system_tick/104", cfg, SimTime::from_millis(250));
+
+    // ~1000-node preset, same short horizon.
+    run_scenario(
+        "smoke/system_tick/1000node",
+        TangoConfig::paper_scale(),
+        SimTime::from_millis(250),
+    );
+
+    // thread-count invariance at scale: the same short 104-cluster run
+    // must digest identically at 1 and 4 workers
+    let digest = |threads: usize| {
+        let mut cfg = TangoConfig::dual_space(104);
+        cfg.be_policy = BePolicy::LoadGreedy;
+        cfg.parallelism = Some(threads);
+        EdgeCloudSystem::new(cfg)
+            .run(SimTime::from_millis(250), "smoke-digest")
+            .digest()
+    };
+    let (d1, d4) = (digest(1), digest(4));
+    assert_eq!(
+        d1, d4,
+        "104-cluster digest differs across thread counts: {d1:#x} vs {d4:#x}"
+    );
+    println!("smoke/digest/104             0x{d1:016x} at 1 and 4 threads");
+}

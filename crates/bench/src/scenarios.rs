@@ -68,7 +68,7 @@ pub fn make_batch(n_nodes: usize, n_requests: u64) -> TypeBatch {
     TypeBatch {
         service: ServiceId(0),
         requests: (0..n_requests).map(RequestId).collect(),
-        nodes,
+        nodes: nodes.into(),
     }
 }
 
@@ -104,9 +104,11 @@ pub fn git_rev() -> String {
 }
 
 /// Render one sample as a JSON object (no trailing delimiter).
+/// `rate_per_sec` is iterations of the scenario per second — ticks for
+/// the system scenarios, solves/forwards for the micro ones.
 pub fn sample_json(s: &Sample) -> String {
     format!(
-        "{{\"scenario\": \"{}\", \"wall_ns\": {:.0}, \"ticks_per_sec\": {:.2}}}",
+        "{{\"scenario\": \"{}\", \"wall_ns\": {:.0}, \"rate_per_sec\": {:.2}}}",
         s.name,
         s.ns_per_iter,
         s.iters_per_sec()
@@ -132,6 +134,48 @@ pub fn to_json(samples: &[Sample], threads: usize) -> String {
     s
 }
 
+/// Render a stamped thread-count sweep: `git_rev` + `host_cores` + a
+/// free-form `note` + one sample row per thread count. Shared by the
+/// sweep binaries so the committed JSON schema has a single source.
+pub fn sweep_json(sweeps: &[(usize, Vec<Sample>)], note: &str) -> String {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut json = format!(
+        "{{\n  \"git_rev\": \"{}\",\n  \"host_cores\": {cores},\n  \"note\": \"{note}\",\n  \"sweeps\": [\n",
+        git_rev()
+    );
+    for (i, (threads, samples)) in sweeps.iter().enumerate() {
+        json.push_str(&format!("    {{\"threads\": {threads}, \"samples\": ["));
+        for (j, s) in samples.iter().enumerate() {
+            json.push_str(&sample_json(s));
+            if j + 1 < samples.len() {
+                json.push_str(", ");
+            }
+        }
+        json.push_str(&format!(
+            "]}}{}\n",
+            if i + 1 < sweeps.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}");
+    json
+}
+
+/// Write `json` to `out_path`, or print it when no path is given — the
+/// shared tail of every bench binary's `main`.
+pub fn emit(json: &str, out_path: Option<String>) {
+    use std::io::Write as _;
+    match out_path {
+        Some(p) => {
+            let mut f = std::fs::File::create(&p).expect("create output file");
+            writeln!(f, "{json}").expect("write output file");
+            eprintln!("wrote {p}");
+        }
+        None => println!("{json}"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,9 +197,16 @@ mod tests {
     #[test]
     fn json_is_stamped() {
         let s = microbench::run("probe", 1, || 1 + 1);
-        let j = to_json(&[s], 4);
+        let j = to_json(std::slice::from_ref(&s), 4);
         assert!(j.contains("\"threads\": 4"));
         assert!(j.contains("\"git_rev\""));
         assert!(j.contains("\"scenario\": \"probe\""));
+        assert!(j.contains("\"rate_per_sec\""));
+
+        let sw = sweep_json(&[(1, vec![s.clone()]), (4, vec![s])], "test note");
+        assert!(sw.contains("\"host_cores\""));
+        assert!(sw.contains("\"note\": \"test note\""));
+        assert!(sw.contains("{\"threads\": 1, \"samples\": ["));
+        assert!(sw.contains("{\"threads\": 4, \"samples\": ["));
     }
 }

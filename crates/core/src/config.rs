@@ -233,6 +233,18 @@ impl TangoConfig {
         cfg
     }
 
+    /// The full §6.1 evaluation scale: 104 clusters with the worker draw
+    /// narrowed to (5, 13) so the whole system lands at the paper's
+    /// ~1000 nodes. BE dispatch runs load-greedy here — the learning
+    /// policy is orthogonal to runtime scale, and the non-learning preset
+    /// keeps the scale snapshottable for the checkpoint/restore tests.
+    pub fn paper_scale() -> Self {
+        let mut cfg = TangoConfig::dual_space(104);
+        cfg.workers_per_cluster = (5, 13);
+        cfg.be_policy = BePolicy::LoadGreedy;
+        cfg
+    }
+
     /// The Tango system proper: DSS-LC + DCG-BE + HRM + re-assurance.
     pub fn as_tango(mut self) -> Self {
         self.lc_policy = LcPolicy::DssLc;
@@ -315,6 +327,18 @@ mod tests {
         assert_eq!(cfg.clusters, 104);
         assert_eq!(cfg.workers_per_cluster, (3, 20));
         assert_eq!(cfg.topology.clusters, 104);
+    }
+
+    #[test]
+    fn paper_scale_lands_near_a_thousand_nodes() {
+        let cfg = TangoConfig::paper_scale();
+        assert_eq!(cfg.clusters, 104);
+        let sys = crate::EdgeCloudSystem::new(cfg);
+        let n = sys.node_count();
+        assert!(
+            (950..=1050).contains(&n),
+            "paper_scale built {n} nodes, wanted ~1000"
+        );
     }
 
     #[test]

@@ -1,19 +1,23 @@
 //! Dispatch stage: per-master LC dispatch rounds, BE forwarding, and the
 //! central BE dispatcher — the ➋/➌ arrows of Fig. 3.
 //!
-//! The stage owns [`DispatchState`] (the policy backends and the central
-//! BE queue) and the single candidate-view builder
-//! (`build_candidates`): both the LC and the BE paths assemble their
-//! scheduler views through [`CandidateNode::from_observation`], so
-//! reservation subtraction, liveness filtering and reachability cannot
-//! drift between the two dispatcher roles.
+//! The stage owns [`DispatchState`] (the policy backends, the central BE
+//! queue, and the incremental candidate-view cache): both the LC and the
+//! BE paths read their scheduler views from
+//! `crate::view_cache::CandidateViewCache`, whose single row builder
+//! goes through `CandidateNode::from_observation` — so reservation
+//! subtraction, liveness filtering and reachability cannot drift between
+//! the two dispatcher roles.
 
 use crate::ctx::SystemCtx;
 use crate::lifecycle;
 use crate::system::Event;
+use crate::view_cache::{CandidateViewCache, ViewInputs};
 use std::collections::{BTreeMap, VecDeque};
-use tango_metrics::{NodeRole, TraceEvent, TraceLane};
-use tango_sched::{CandidateNode, LinkObservation, NodeObservation, SchedulerBackend, TypeBatch};
+use std::sync::Arc;
+use tango_metrics::{TraceEvent, TraceLane};
+use tango_net::NetworkTopology;
+use tango_sched::{CandidateNode, SchedulerBackend, TypeBatch};
 use tango_types::{ClusterId, FxHashSet, NodeId, RequestId, Resources, ServiceId, SimTime};
 
 type Sched<'a> = tango_simcore::engine::Scheduler<'a, Event>;
@@ -33,6 +37,28 @@ pub struct DispatchState {
     /// Σ completed-BE demand fractions since the last reward payout
     /// (the §5.3.1 long-term reward basis).
     pub(crate) be_completed_frac: f64,
+    /// Incremental candidate views, invalidated by the sync loop, the
+    /// re-assurer and the fault runtime.
+    pub(crate) views: CandidateViewCache,
+}
+
+/// Assemble the candidate-view inputs from a `SystemCtx`, reborrowing
+/// only the fields a view is derived from. A macro (not a function) so
+/// the borrow checker sees the disjoint field projections and still
+/// allows `&mut ctx.dispatch.views` alongside.
+macro_rules! view_inputs {
+    ($ctx:expr) => {
+        ViewInputs {
+            cfg: $ctx.cfg,
+            catalog: $ctx.catalog,
+            topology: &*$ctx.topology,
+            store: &*$ctx.store,
+            fault: &*$ctx.fault,
+            reassurer: $ctx.reassurer.as_ref(),
+            reserved: &$ctx.lifecycle.reserved,
+            central: $ctx.dispatch.central,
+        }
+    };
 }
 
 /// Which vantage a candidate view is built from.
@@ -48,79 +74,20 @@ pub enum ViewScope {
 /// Requests-per-round transmission capacity of the master→node link
 /// (Eq. 4's c_{i,j} discretized to the dispatch interval).
 pub(crate) fn link_capacity(
-    ctx: &SystemCtx<'_>,
+    topology: &NetworkTopology,
+    dispatch_interval: SimTime,
     from: ClusterId,
     to: ClusterId,
     payload_kib: u64,
 ) -> u32 {
-    let bw = ctx.topology.bandwidth_mbps(from, to).max(1);
-    let bits_per_round = bw as u128 * ctx.cfg.dispatch_interval.as_micros() as u128;
+    let bw = topology.bandwidth_mbps(from, to).max(1);
+    let bits_per_round = bw as u128 * dispatch_interval.as_micros() as u128;
     let bits_per_req = (payload_kib.max(1) as u128) * 8_192;
     ((bits_per_round / bits_per_req).clamp(1, 100_000)) as u32
 }
 
 fn cluster_of_node(ctx: &SystemCtx<'_>, node: NodeId) -> ClusterId {
     ctx.nodes[node.index()].cluster
-}
-
-/// Build candidate views for `service` from the state storage — exactly
-/// what the paper's dispatchers read. Down nodes and nodes across an
-/// active partition never become candidates; as a second line of defense
-/// the schedulers themselves mask any `!alive` candidate out of their
-/// graphs.
-pub(crate) fn build_candidates(
-    ctx: &SystemCtx<'_>,
-    service: ServiceId,
-    scope: ViewScope,
-) -> Vec<CandidateNode> {
-    let spec = ctx.catalog.get(service);
-    let (vantage, snaps) = match scope {
-        ViewScope::LcGeo(origin) => {
-            let mut cluster_set = if ctx.cfg.local_only {
-                Vec::new()
-            } else {
-                ctx.topology.clusters_within(origin, ctx.cfg.geo_radius_km)
-            };
-            cluster_set.push(origin);
-            (origin, ctx.store.in_clusters(&cluster_set))
-        }
-        ViewScope::BeGlobal => (ctx.dispatch.central, ctx.store.all()),
-    };
-    snaps
-        .into_iter()
-        .filter(|s| {
-            s.role == NodeRole::Worker
-                && !ctx.fault.is_down(s.node)
-                && ctx.topology.is_reachable(vantage, s.cluster)
-        })
-        .map(|s| {
-            let min_request = match (scope, &ctx.reassurer) {
-                (ViewScope::LcGeo(_), Some(r)) => r.min_request(s.node, service, spec.min_request),
-                _ => spec.min_request,
-            };
-            let reserved = ctx
-                .lifecycle
-                .reserved
-                .get(&s.node)
-                .copied()
-                .unwrap_or(Resources::ZERO);
-            let link = LinkObservation {
-                delay: ctx
-                    .topology
-                    .transfer_time(vantage, s.cluster, spec.payload_kib),
-                capacity: link_capacity(ctx, vantage, s.cluster, spec.payload_kib),
-            };
-            let obs = NodeObservation {
-                node: s.node,
-                cluster: s.cluster,
-                total: s.total,
-                available_lc: s.lc_available(),
-                available_be: s.be_available(),
-                slack: s.slack.get(&service).copied().unwrap_or(1.0),
-            };
-            CandidateNode::from_observation(obs, link, min_request, reserved, true)
-        })
-        .collect()
 }
 
 /// `Dispatch(c)`: master c's dispatch round — expire, failover-check,
@@ -173,15 +140,21 @@ pub(crate) fn on_dispatch(ctx: &mut SystemCtx<'_>, cluster: ClusterId, sched: &m
         // Per-type dispatch graphs are independent commodities: every
         // batch reads the same start-of-round candidate snapshot
         // (including the reservation table), so the per-type plans can
-        // run as one fan-out on the scheduler's pool.
-        let batches: Vec<TypeBatch> = by_type
-            .into_iter()
-            .map(|(service, requests)| TypeBatch {
-                service,
-                requests,
-                nodes: build_candidates(ctx, service, ViewScope::LcGeo(cluster)),
-            })
-            .collect();
+        // run as one fan-out on the scheduler's pool. All batches are
+        // built before any placement mutates the reservation table, so
+        // the views share one frozen reservation clock.
+        let batches: Vec<TypeBatch> = {
+            let views = &mut ctx.dispatch.views;
+            let inp = view_inputs!(ctx);
+            by_type
+                .into_iter()
+                .map(|(service, requests)| TypeBatch {
+                    service,
+                    requests,
+                    nodes: views.candidates(&inp, service, ViewScope::LcGeo(cluster)),
+                })
+                .collect()
+        };
         let placements_per_type = ctx.dispatch.lc[ci].plan_lc(&batches, ctx.pool);
         let mut assigned: FxHashSet<RequestId> = FxHashSet::default();
         for (batch, placements) in batches.iter().zip(placements_per_type) {
@@ -197,12 +170,8 @@ pub(crate) fn on_dispatch(ctx: &mut SystemCtx<'_>, cluster: ClusterId, sched: &m
                 assigned.insert(rid);
                 if let Some(r) = ctx.lifecycle.requests.get_mut(&rid) {
                     r.mark_dispatched(node);
-                    let slot = ctx
-                        .lifecycle
-                        .reserved
-                        .entry(node)
-                        .or_insert(Resources::ZERO);
-                    *slot += r.demand;
+                    let demand = r.demand;
+                    ctx.lifecycle.reserved.add(node, demand);
                 }
                 ctx.emit(now, || TraceEvent::DispatchDecision {
                     request: rid,
@@ -237,10 +206,16 @@ pub(crate) fn on_dispatch(ctx: &mut SystemCtx<'_>, cluster: ClusterId, sched: &m
             let service = req.service;
             let demand = req.demand;
             let payload = ctx.catalog.get(service).payload_kib;
-            let local: Vec<CandidateNode> = build_candidates(ctx, service, ViewScope::BeGlobal)
-                .into_iter()
-                .filter(|c| c.cluster == cluster)
-                .collect();
+            let local: Vec<CandidateNode> = {
+                let views = &mut ctx.dispatch.views;
+                let inp = view_inputs!(ctx);
+                let global = views.candidates(&inp, service, ViewScope::BeGlobal);
+                global
+                    .iter()
+                    .filter(|c| c.cluster == cluster)
+                    .cloned()
+                    .collect()
+            };
             pay_be_feedback(ctx, &demand, &local, now);
             match ctx.dispatch.be.pick_be(&demand, &local) {
                 Some(node) if ctx.fault.is_down(node) => {
@@ -250,12 +225,8 @@ pub(crate) fn on_dispatch(ctx: &mut SystemCtx<'_>, cluster: ClusterId, sched: &m
                 Some(node) => {
                     if let Some(r) = ctx.lifecycle.requests.get_mut(&rid) {
                         r.mark_dispatched(node);
-                        let slot = ctx
-                            .lifecycle
-                            .reserved
-                            .entry(node)
-                            .or_insert(Resources::ZERO);
-                        *slot += r.demand;
+                        let demand = r.demand;
+                        ctx.lifecycle.reserved.add(node, demand);
                     }
                     ctx.dispatch.be_pending_feedback = Some(node);
                     ctx.emit(now, || TraceEvent::DispatchDecision {
@@ -352,7 +323,11 @@ pub(crate) fn on_be_dispatch(ctx: &mut SystemCtx<'_>, sched: &mut Sched<'_>) {
         let service = req.service;
         let demand = req.demand;
         let payload = ctx.catalog.get(service).payload_kib;
-        let candidates = build_candidates(ctx, service, ViewScope::BeGlobal);
+        let candidates: Arc<Vec<CandidateNode>> = {
+            let views = &mut ctx.dispatch.views;
+            let inp = view_inputs!(ctx);
+            views.candidates(&inp, service, ViewScope::BeGlobal)
+        };
         pay_be_feedback(ctx, &demand, &candidates, now);
         match ctx.dispatch.be.pick_be(&demand, &candidates) {
             Some(node) if ctx.fault.is_down(node) => {
@@ -362,12 +337,8 @@ pub(crate) fn on_be_dispatch(ctx: &mut SystemCtx<'_>, sched: &mut Sched<'_>) {
             Some(node) => {
                 if let Some(r) = ctx.lifecycle.requests.get_mut(&rid) {
                     r.mark_dispatched(node);
-                    let slot = ctx
-                        .lifecycle
-                        .reserved
-                        .entry(node)
-                        .or_insert(Resources::ZERO);
-                    *slot += r.demand;
+                    let demand = r.demand;
+                    ctx.lifecycle.reserved.add(node, demand);
                 }
                 ctx.dispatch.be_pending_feedback = Some(node);
                 ctx.emit(now, || TraceEvent::DispatchDecision {

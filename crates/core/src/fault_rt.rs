@@ -88,7 +88,7 @@ pub(crate) fn on_fault(ctx: &mut SystemCtx<'_>, fault: FaultEvent, sched: &mut S
             // Wipe the in-flight reservation entry wholesale;
             // deliveries still in the air bounce on the epoch check
             // instead of decrementing a table that no longer exists.
-            ctx.lifecycle.reserved.remove(&node);
+            ctx.lifecycle.reserved.clear_node(node);
         }
         FaultEvent::NodeRecover { node } => {
             if !ctx.fault.on_recover(node, now) {
@@ -146,6 +146,10 @@ pub(crate) fn on_fault(ctx: &mut SystemCtx<'_>, fault: FaultEvent, sched: &mut S
             });
         }
     }
+    // Every arm that falls through changed structural view inputs (down
+    // flags or topology); arms that found nothing to do returned early
+    // above. Cached candidate views rebuild on their next use.
+    ctx.dispatch.views.invalidate_structure();
 }
 
 /// Bucket every injected request by its terminal state — the fault tests

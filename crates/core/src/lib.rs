@@ -46,6 +46,7 @@ pub mod snapshot;
 #[deny(missing_docs)]
 pub mod sync_loop;
 pub mod system;
+pub(crate) mod view_cache;
 
 pub use config::{Ablations, AllocatorKind, BePolicy, LcPolicy, TangoConfig, WorkloadSpec};
 pub use report::{RunAudit, RunReport};

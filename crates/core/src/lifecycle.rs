@@ -21,6 +21,105 @@ use tango_workload::ServiceCatalog;
 
 type Sched<'a> = tango_simcore::engine::Scheduler<'a, Event>;
 
+/// The dispatcher's in-flight reservation table: demands dispatched but
+/// not yet resolved at their target, per node. Without it, the per-type
+/// graphs (and the 100 ms snapshot staleness) would double-book nodes
+/// within a dispatch round.
+///
+/// Dense by node id, with a per-node change stamp off a monotonic clock.
+/// The stamps are the candidate-view cache's dirty bits: a view that saw
+/// clock `c` refreshes exactly the rows whose `stamp > c` (reservations
+/// are the only input that changes *between* structural invalidations).
+/// A zero entry and an absent entry are indistinguishable — both read as
+/// `Resources::ZERO` — matching the former map's semantics, where fully
+/// released entries lingered at zero and crashes removed them outright.
+#[derive(Debug, Default)]
+pub(crate) struct ReservationTable {
+    held: Vec<Resources>,
+    stamps: Vec<u64>,
+    clock: u64,
+}
+
+impl ReservationTable {
+    /// Table covering nodes `0..n`.
+    pub(crate) fn new(n_nodes: usize) -> Self {
+        ReservationTable {
+            held: vec![Resources::ZERO; n_nodes],
+            stamps: vec![0; n_nodes],
+            clock: 0,
+        }
+    }
+
+    /// Current reservation against a node (zero when none).
+    pub(crate) fn get(&self, node: NodeId) -> Resources {
+        self.held
+            .get(node.index())
+            .copied()
+            .unwrap_or(Resources::ZERO)
+    }
+
+    /// The monotonic change clock; bumped by every mutation.
+    pub(crate) fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// When the node's reservation last changed.
+    pub(crate) fn stamp(&self, node: NodeId) -> u64 {
+        self.stamps.get(node.index()).copied().unwrap_or(0)
+    }
+
+    fn touch(&mut self, i: usize) {
+        self.clock += 1;
+        self.stamps[i] = self.clock;
+    }
+
+    /// Add to a node's reservation.
+    pub(crate) fn add(&mut self, node: NodeId, demand: Resources) {
+        let i = node.index();
+        self.held[i] += demand;
+        self.touch(i);
+    }
+
+    /// Release (part of) a node's reservation.
+    pub(crate) fn release(&mut self, node: NodeId, demand: Resources) {
+        let i = node.index();
+        self.held[i] = self.held[i].saturating_sub(&demand);
+        self.touch(i);
+    }
+
+    /// Wipe a node's reservation wholesale (crash path).
+    pub(crate) fn clear_node(&mut self, node: NodeId) {
+        let i = node.index();
+        self.held[i] = Resources::ZERO;
+        self.touch(i);
+    }
+
+    /// Nonzero entries in node-id order (snapshot codec).
+    pub(crate) fn iter_nonzero(&self) -> impl Iterator<Item = (NodeId, Resources)> + '_ {
+        self.held
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| **r != Resources::ZERO)
+            .map(|(i, &r)| (NodeId(i as u32), r))
+    }
+
+    /// Replace the table's contents with decoded entries (restore path).
+    pub(crate) fn load(&mut self, entries: &[(NodeId, Resources)]) {
+        self.held.fill(Resources::ZERO);
+        for &(node, r) in entries {
+            let i = node.index();
+            if i >= self.held.len() {
+                self.held.resize(i + 1, Resources::ZERO);
+                self.stamps.resize(i + 1, 0);
+            }
+            self.held[i] = r;
+        }
+        // one bump marks every row newer than any pre-restore view
+        self.clock += 1;
+        self.stamps.fill(self.clock);
+    }
+}
+
 /// State owned by the lifecycle stage.
 pub struct LifecycleState {
     /// Every request the trace has injected, by id, including terminal
@@ -28,11 +127,8 @@ pub struct LifecycleState {
     pub(crate) requests: FxHashMap<RequestId, Request>,
     /// Next request id to allocate.
     pub(crate) next_request_id: u64,
-    /// Demands dispatched but not yet resolved at their target, per node —
-    /// the dispatcher's in-flight reservation table. Without it, the
-    /// per-type graphs (and the 100 ms snapshot staleness) would
-    /// double-book nodes within a dispatch round.
-    pub(crate) reserved: FxHashMap<NodeId, Resources>,
+    /// The dispatcher's in-flight reservation table.
+    pub(crate) reserved: ReservationTable,
     /// Per-node LC wait queues: the R′_k requests that DSS-LC routes to a
     /// node beyond its instantaneous capacity wait *at the node* (§5.2.2)
     /// rather than bouncing back to the master.
@@ -47,7 +143,7 @@ impl LifecycleState {
         LifecycleState {
             requests: FxHashMap::default(),
             next_request_id: 0,
-            reserved: FxHashMap::default(),
+            reserved: ReservationTable::new(n_nodes),
             node_wait: (0..n_nodes).map(|_| VecDeque::new()).collect(),
             be_evictions: 0,
         }
@@ -61,9 +157,7 @@ impl LifecycleState {
 
     /// Release (part of) a node's in-flight reservation.
     pub(crate) fn release_reservation(&mut self, node: NodeId, demand: Resources) {
-        if let Some(r) = self.reserved.get_mut(&node) {
-            *r = r.saturating_sub(&demand);
-        }
+        self.reserved.release(node, demand);
     }
 }
 

@@ -193,7 +193,7 @@ mod tests {
         let batch = TypeBatch {
             service: ServiceId(0),
             requests: (0..10).map(RequestId).collect(),
-            nodes: vec![cand(1, 2), cand(2, 3)],
+            nodes: vec![cand(1, 2), cand(2, 3)].into(),
         };
         let out = s.assign(&batch);
         assert_eq!(out.len(), 5, "5 slots total");
@@ -208,7 +208,7 @@ mod tests {
         let batch = TypeBatch {
             service: ServiceId(0),
             requests: vec![RequestId(0)],
-            nodes: vec![],
+            nodes: vec![].into(),
         };
         assert!(s.assign(&batch).is_empty());
     }

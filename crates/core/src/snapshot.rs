@@ -180,27 +180,28 @@ fn decode_requests(r: &mut SnapReader<'_>) -> Result<FxHashMap<RequestId, Reques
     Ok(map)
 }
 
-fn encode_sorted_reservations(w: &mut SnapWriter, reserved: &FxHashMap<NodeId, Resources>) {
-    let mut keys: Vec<NodeId> = reserved.keys().copied().collect();
-    keys.sort_unstable();
-    w.put_u64(keys.len() as u64);
-    for k in keys {
+fn encode_reservations(w: &mut SnapWriter, reserved: &crate::lifecycle::ReservationTable) {
+    // nonzero entries in node-id order — the dense table's natural order
+    // is already the canonical sorted form the old map codec produced
+    let entries: Vec<(NodeId, Resources)> = reserved.iter_nonzero().collect();
+    w.put_u64(entries.len() as u64);
+    for (k, v) in entries {
         k.encode(w);
-        reserved[&k].encode(w);
+        v.encode(w);
     }
 }
 
-fn decode_reservations(r: &mut SnapReader<'_>) -> Result<FxHashMap<NodeId, Resources>, SnapError> {
+fn decode_reservations(r: &mut SnapReader<'_>) -> Result<Vec<(NodeId, Resources)>, SnapError> {
     let n = r.u64()? as usize;
     if n > r.remaining() {
         return Err(SnapError::Truncated);
     }
-    let mut map = FxHashMap::default();
+    let mut entries = Vec::with_capacity(n);
     for _ in 0..n {
         let k = NodeId::decode(r)?;
-        map.insert(k, Resources::decode(r)?);
+        entries.push((k, Resources::decode(r)?));
     }
-    Ok(map)
+    Ok(entries)
 }
 
 /// Encode the full system + engine state into a sealed snapshot file.
@@ -217,7 +218,7 @@ pub(crate) fn encode(sys: &EdgeCloudSystem, engine: &Engine<Event>) -> Result<Ve
     b.section(SEC_LIFECYCLE, |w| {
         encode_sorted_requests(w, &sys.lifecycle.requests);
         w.put_u64(sys.lifecycle.next_request_id);
-        encode_sorted_reservations(w, &sys.lifecycle.reserved);
+        encode_reservations(w, &sys.lifecycle.reserved);
         sys.lifecycle.node_wait.encode(w);
         w.put_u64(sys.lifecycle.be_evictions);
     });
@@ -367,7 +368,8 @@ impl EdgeCloudSystem {
         let mut r = file.section(SEC_LIFECYCLE, "lifecycle section")?;
         sys.lifecycle.requests = decode_requests(&mut r)?;
         sys.lifecycle.next_request_id = r.u64()?;
-        sys.lifecycle.reserved = decode_reservations(&mut r)?;
+        let reservations = decode_reservations(&mut r)?;
+        sys.lifecycle.reserved.load(&reservations);
         let node_wait = Vec::<VecDeque<RequestId>>::decode(&mut r)?;
         if node_wait.len() != sys.nodes.len() {
             return Err(SnapError::Corrupt("node wait-queue count"));
@@ -416,6 +418,9 @@ impl EdgeCloudSystem {
 
         let mut r = file.section(SEC_DETECTOR, "detector section")?;
         sys.detector = QosDetector::decode(&mut r)?;
+        // the snapshot only carries nodes with recorded windows; size the
+        // row table back up so sharded sync can zip rows with nodes
+        sys.detector.ensure_nodes(sys.nodes.len());
 
         let mut r = file.section(SEC_REASSURER, "reassurer section")?;
         match (r.u8()?, sys.reassurer.as_mut()) {

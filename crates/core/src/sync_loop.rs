@@ -1,15 +1,26 @@
 //! Sync stage: the periodic state-storage push + metrics sampling cycle
 //! (the Prometheus/QoS-detector loop of Fig. 3) and the Algorithm 1
 //! re-assurance tick.
+//!
+//! The per-node phase is **sharded per cluster** over `tango-par`: shards
+//! are groups of whole clusters (never splitting one), and each shard
+//! owns its nodes' state advance, usage accounting *and* QoS slack
+//! queries — possible because the detector stores one window row per node
+//! and slack reads only mutate that row. Results are written in place
+//! into per-node drafts, so the shard layout cannot affect them; the
+//! cross-cluster "merge" — store rows, pending-queue summaries and the
+//! utilization sample — runs sequentially in fixed node order, which is
+//! the deterministic batched merge of the `tango-par` contract.
 
 use crate::ctx::SystemCtx;
 use crate::system::Event;
-use tango_metrics::{NodeRole, NodeSnapshot};
-use tango_types::{FxHashMap, Resources, ServiceId};
+use tango_metrics::NodeRole;
+use tango_types::{Resources, ServiceId, SimTime};
 
 type Sched<'a> = tango_simcore::engine::Scheduler<'a, Event>;
 
-/// Per-node accounting draft produced by the parallel sync phase.
+/// Per-node accounting draft produced by the sharded sync phase. Buffers
+/// are reused across syncs; every field is rewritten each round.
 #[derive(Clone, Default)]
 pub(crate) struct SyncDraft {
     pub(crate) available: Resources,
@@ -17,37 +28,116 @@ pub(crate) struct SyncDraft {
     pub(crate) overall: f64,
     pub(crate) lc_frac: f64,
     pub(crate) be_frac: f64,
+    /// Per-LC-service slack pairs, for the node's store row.
+    pub(crate) slack: Vec<(ServiceId, f64)>,
 }
 
-/// State owned by the sync stage: the reusable per-node draft buffer.
+/// State owned by the sync stage: reusable per-node drafts plus the shard
+/// plan and per-sync scratch buffers.
 #[derive(Default)]
 pub struct SyncState {
     pub(crate) drafts: Vec<SyncDraft>,
+    /// Ascending end offset of each cluster's contiguous node range
+    /// (nodes are laid out master-then-workers per cluster).
+    cluster_bounds: Vec<usize>,
+    /// Shard plan scratch: end offsets of each shard (whole clusters).
+    shard_bounds: Vec<usize>,
+    /// `(service, qos_target)` for every LC service, cached once.
+    lc_targets: Vec<(ServiceId, SimTime)>,
+    /// Dense per-service pending counters (masters), reused.
+    pending_counts: Vec<u32>,
+    /// Sparse pending pairs for the current row, reused.
+    pending_pairs: Vec<(ServiceId, u32)>,
+}
+
+/// Group whole clusters into at most `parts` contiguous shards of
+/// roughly equal node counts. Pure function of the bounds and the thread
+/// budget — and even if it were not, shard layout cannot affect results,
+/// only load balance.
+fn plan_shards(cluster_bounds: &[usize], parts: usize, out: &mut Vec<usize>) {
+    out.clear();
+    let n = cluster_bounds.last().copied().unwrap_or(0);
+    if n == 0 {
+        return;
+    }
+    let parts = parts.clamp(1, cluster_bounds.len());
+    let target = n.div_ceil(parts);
+    let mut next_cut = target;
+    for &end in cluster_bounds {
+        if end >= next_cut && out.len() + 1 < parts && end < n {
+            out.push(end);
+            next_cut = end + target;
+        }
+    }
+    out.push(n);
 }
 
 /// `Sync`: push node snapshots to the state storage and sample
 /// utilization.
 pub(crate) fn on_sync(ctx: &mut SystemCtx<'_>, sched: &mut Sched<'_>) {
     let now = sched.now();
-    // Phase 1 (parallel): per-node state advance and usage accounting.
-    // Nodes are independent here, so the pool chunks them statically;
-    // drafts land in node order regardless of thread count. The QoS
-    // slack lookups, pending-queue summaries, storage pushes and the
-    // utilization sample stay sequential below — they touch cross-node
-    // state (detector windows prune on read, the store is shared).
-    let drafts = &mut ctx.sync.drafts;
-    drafts.clear();
-    drafts.resize(ctx.nodes.len(), SyncDraft::default());
+    let n = ctx.nodes.len();
+    ctx.detector.ensure_nodes(n);
+    let sync = &mut *ctx.sync;
+    if sync.drafts.len() != n {
+        sync.drafts.clear();
+        sync.drafts.resize_with(n, SyncDraft::default);
+    }
+    if sync.cluster_bounds.len() != ctx.clusters.len() {
+        sync.cluster_bounds = ctx
+            .clusters
+            .iter()
+            .map(|c| c.master.index() + 1 + c.workers.len())
+            .collect();
+        debug_assert_eq!(sync.cluster_bounds.last().copied().unwrap_or(0), n);
+    }
+    if sync.lc_targets.is_empty() {
+        sync.lc_targets = ctx
+            .catalog
+            .lc_ids()
+            .iter()
+            .map(|&s| (s, ctx.catalog.get(s).qos_target))
+            .collect();
+    }
+    plan_shards(
+        &sync.cluster_bounds,
+        ctx.pool.threads(),
+        &mut sync.shard_bounds,
+    );
+
+    // Phase 1 (sharded): per-node state advance, usage accounting, and
+    // QoS slack queries. Each shard exclusively owns its clusters' nodes,
+    // drafts and detector rows; every write is node-local, so drafts land
+    // identically at any thread count.
     let down: &[bool] = ctx.fault.down_slice();
-    ctx.pool
-        .par_zip_chunks_mut(ctx.nodes, drafts, |_, nodes, drafts| {
-            for (node, draft) in nodes.iter_mut().zip(drafts.iter_mut()) {
+    let lc_targets = &sync.lc_targets;
+    ctx.pool.par_parts_zip3_mut(
+        &sync.shard_bounds,
+        ctx.nodes,
+        &mut sync.drafts,
+        ctx.detector.rows_mut(),
+        |_, nodes, drafts, det_rows| {
+            for ((node, draft), det) in nodes
+                .iter_mut()
+                .zip(drafts.iter_mut())
+                .zip(det_rows.iter_mut())
+            {
+                draft.slack.clear();
+                for &(svc, target) in lc_targets {
+                    if let Some(s) = det.slack(svc, target, now) {
+                        draft.slack.push((svc, s));
+                    }
+                }
                 if down[node.id.index()] {
                     // Crashed node: it advertises zero capacity (the
                     // snapshot keeps schedulers honest between the
                     // crash and the next sync) and contributes zero
                     // utilization — its containers are dead.
                     draft.available = Resources::ZERO;
+                    draft.be_held = Resources::ZERO;
+                    draft.overall = 0.0;
+                    draft.lc_frac = 0.0;
+                    draft.be_frac = 0.0;
                     continue;
                 }
                 node.advance(now);
@@ -60,54 +150,67 @@ pub(crate) fn on_sync(ctx: &mut SystemCtx<'_>, sched: &mut Sched<'_>) {
                     draft.overall = (lc + be).utilization_against(&cap);
                     draft.lc_frac = lc.utilization_against(&cap);
                     draft.be_frac = be.utilization_against(&cap);
+                } else {
+                    draft.overall = 0.0;
+                    draft.lc_frac = 0.0;
+                    draft.be_frac = 0.0;
                 }
             }
-        });
-    // Phase 2 (sequential): snapshot pushes in node order.
-    let lc_services = ctx.catalog.lc_ids();
-    for (node, draft) in ctx.nodes.iter().zip(ctx.sync.drafts.iter()) {
-        let mut slack = FxHashMap::default();
-        for &svc in &lc_services {
-            let target = ctx.catalog.get(svc).qos_target;
-            if let Some(s) = ctx.detector.slack(node.id, svc, target, now) {
-                slack.insert(svc, s);
-            }
-        }
-        let mut pending = FxHashMap::default();
+        },
+    );
+
+    // Phase 2 (sequential merge): store rows in fixed node order, then
+    // one utilization sample. Row writes reuse the store's per-node
+    // buffers — no allocation in steady state.
+    let n_services = ctx.catalog.len();
+    for (node, draft) in ctx.nodes.iter().zip(sync.drafts.iter()) {
+        sync.pending_pairs.clear();
         if node.is_master {
+            let counts = &mut sync.pending_counts;
+            counts.clear();
+            counts.resize(n_services, 0);
             let cluster = &ctx.clusters[node.cluster.index()];
             for rid in cluster.lc_q.iter().chain(cluster.be_q.iter()) {
                 if let Some(r) = ctx.lifecycle.requests.get(rid) {
-                    *pending.entry(r.service).or_insert(0u32) += 1;
+                    counts[r.service.index()] += 1;
                 }
             }
+            sync.pending_pairs.extend(
+                counts
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &c)| c > 0)
+                    .map(|(s, &c)| (ServiceId(s as u16), c)),
+            );
         }
-        ctx.store.push(NodeSnapshot {
-            node: node.id,
-            cluster: node.cluster,
-            role: if node.is_master {
+        ctx.store.write_row(
+            node.id,
+            node.cluster,
+            if node.is_master {
                 NodeRole::Master
             } else {
                 NodeRole::Worker
             },
-            total: node.capacity(),
-            available: draft.available,
-            be_held: draft.be_held,
-            slack,
-            pending,
-            updated_at: now,
-        });
+            node.capacity(),
+            draft.available,
+            draft.be_held,
+            &draft.slack,
+            &sync.pending_pairs,
+            now,
+        );
     }
     // utilization sample over workers (drafts are zero for masters)
     let n_workers = ctx.nodes.iter().filter(|n| !n.is_master).count();
     if n_workers > 0 {
-        let n = n_workers as f64;
-        let overall: f64 = ctx.sync.drafts.iter().map(|d| d.overall).sum();
-        let lc_frac: f64 = ctx.sync.drafts.iter().map(|d| d.lc_frac).sum();
-        let be_frac: f64 = ctx.sync.drafts.iter().map(|d| d.be_frac).sum();
+        let nw = n_workers as f64;
+        let overall: f64 = sync.drafts.iter().map(|d| d.overall).sum();
+        let lc_frac: f64 = sync.drafts.iter().map(|d| d.lc_frac).sum();
+        let be_frac: f64 = sync.drafts.iter().map(|d| d.be_frac).sum();
         ctx.counters
-            .sample_utilization(now, overall / n, lc_frac / n, be_frac / n);
+            .sample_utilization(now, overall / nw, lc_frac / nw, be_frac / nw);
     }
+    // Fresh store contents invalidate every cached candidate view.
+    ctx.dispatch.views.invalidate_structure();
     sched.schedule_in(ctx.cfg.sync_interval, Event::Sync);
 }
 
@@ -117,7 +220,51 @@ pub(crate) fn on_reassure(ctx: &mut SystemCtx<'_>, sched: &mut Sched<'_>) {
     if let Some(reassurer) = ctx.reassurer.as_mut() {
         let catalog = ctx.catalog;
         let targets = |svc: ServiceId| catalog.get(svc).qos_target;
-        reassurer.tick(ctx.detector, &targets, now);
+        let adjustments = reassurer.tick(ctx.detector, &targets, now);
+        // Factors feed cached candidate views' min-requests; only a tick
+        // that actually moved a factor needs to invalidate them.
+        if !adjustments.is_empty() {
+            ctx.dispatch.views.invalidate_structure();
+        }
     }
     sched.schedule_in(ctx.cfg.reassure_interval, Event::Reassure);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::plan_shards;
+
+    #[test]
+    fn shard_plan_groups_whole_clusters() {
+        // 4 clusters of 3 nodes each, 2 parts -> split at the cluster
+        // boundary nearest the midpoint
+        let bounds = [3usize, 6, 9, 12];
+        let mut out = Vec::new();
+        plan_shards(&bounds, 2, &mut out);
+        assert_eq!(out, vec![6, 12]);
+        // more parts than clusters: one cluster per part
+        plan_shards(&bounds, 9, &mut out);
+        assert_eq!(out, vec![3, 6, 9, 12]);
+        // single part
+        plan_shards(&bounds, 1, &mut out);
+        assert_eq!(out, vec![12]);
+        // empty system
+        plan_shards(&[], 4, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn shard_plan_covers_uneven_clusters() {
+        // ragged cluster sizes; every plan must end at the total and be
+        // strictly ascending
+        let bounds = [5usize, 6, 20, 23, 30];
+        for parts in 1..8 {
+            let mut out = Vec::new();
+            plan_shards(&bounds, parts, &mut out);
+            assert_eq!(out.last().copied(), Some(30), "parts = {parts}");
+            assert!(out.windows(2).all(|w| w[0] < w[1]), "parts = {parts}");
+            assert!(out.len() <= parts, "parts = {parts}");
+            assert!(out.iter().all(|e| bounds.contains(e)), "parts = {parts}");
+        }
+    }
 }

@@ -200,6 +200,7 @@ impl EdgeCloudSystem {
                 central_q: VecDeque::new(),
                 be_pending_feedback: None,
                 be_completed_frac: 0.0,
+                views: Default::default(),
             },
             sync: SyncState::default(),
             fault,
@@ -239,6 +240,13 @@ impl EdgeCloudSystem {
     /// fault). Untraced runs pay a single branch per hook.
     pub fn set_trace(&mut self, sink: Box<dyn TraceSink + Send>) {
         self.trace = Some(sink);
+    }
+
+    /// Cross-check every incremental candidate view against a
+    /// from-scratch rebuild on each dispatcher query (slow; the
+    /// view-cache property tests' assertion hook).
+    pub fn set_view_verification(&mut self, on: bool) {
+        self.dispatch.views.set_verify(on);
     }
 
     /// Split `self` into the per-event borrow view the stage modules

@@ -1,0 +1,270 @@
+//! Incremental candidate views — the dispatchers' replacement for
+//! rebuilding `CandidateNode` sets from the state storage on every round.
+//!
+//! A candidate view is a pure function of slow-moving *structural* inputs
+//! (store contents, fault/topology state, re-assurance factors — all of
+//! which change only at sync pushes, re-assure ticks, or fault events)
+//! and one fast-moving input: the dispatcher's own reservation table,
+//! which changes with every placement. [`CandidateViewCache`] exploits
+//! that split:
+//!
+//! * a **structure clock** is bumped by the sync loop, the re-assurer
+//!   (when any factor actually moved) and every fault-runtime arm; a view
+//!   built under an older clock is rebuilt from scratch on next use;
+//! * between structural bumps, only reservations move. Each view keeps
+//!   the pre-reservation availability baseline per row, and the
+//!   [`ReservationTable`]'s per-node change stamps are the dirty bits: a
+//!   view that saw reservation clock `c` re-derives exactly the rows
+//!   whose stamp exceeds `c` (`available = base − reserved`, saturating),
+//!   leaving untouched rows bit-identical.
+//!
+//! D-VPA resizes surface through node capacity, which dispatchers only
+//! ever observe via sync-pushed snapshots — so the sync bump covers them
+//! by construction and no extra invalidation hook is needed.
+//!
+//! Views are keyed by `(scope, service)` and store their rows in an
+//! `Arc`, so handing a round's `TypeBatch` its candidate set is a
+//! refcount bump, not a clone; the next round's in-place patch
+//! (`Arc::make_mut`) is alloc-free once the batches are dropped.
+//!
+//! The cache is deliberately *not* serialized into checkpoints: it is a
+//! pure cache, rebuilt on first use after restore, and the equivalence
+//! invariant (enforced by [`CandidateViewCache::set_verify`] in the
+//! property tests) guarantees a resumed run sees the same views an
+//! uninterrupted run would.
+
+use crate::config::TangoConfig;
+use crate::lifecycle::ReservationTable;
+use std::sync::Arc;
+use tango_faults::FaultState;
+use tango_hrm::Reassurer;
+use tango_metrics::{NodeRole, StateStorage};
+use tango_net::NetworkTopology;
+use tango_sched::{CandidateNode, LinkObservation, NodeObservation};
+use tango_types::{ClusterId, FxHashMap, Resources, ServiceId};
+use tango_workload::ServiceCatalog;
+
+use crate::dispatch::{link_capacity, ViewScope};
+
+/// Borrowed bundle of everything a candidate view is derived from.
+pub(crate) struct ViewInputs<'a> {
+    pub cfg: &'a TangoConfig,
+    pub catalog: &'a ServiceCatalog,
+    pub topology: &'a NetworkTopology,
+    pub store: &'a StateStorage,
+    pub fault: &'a FaultState,
+    pub reassurer: Option<&'a Reassurer>,
+    pub reserved: &'a ReservationTable,
+    pub central: ClusterId,
+}
+
+/// One cached `(scope, service)` view.
+#[derive(Default)]
+struct View {
+    /// Structure clock this view was (re)built under; 0 = never built.
+    built_at: u64,
+    /// Reservation clock the rows currently reflect.
+    seen_res: u64,
+    /// The candidate rows, shared with outstanding `TypeBatch`es.
+    rows: Arc<Vec<CandidateNode>>,
+    /// Pre-reservation LC availability baseline, parallel to `rows`.
+    lc_base: Vec<Resources>,
+    /// Pre-reservation BE availability baseline, parallel to `rows`.
+    be_base: Vec<Resources>,
+}
+
+/// Key: origin cluster for LC scopes, `u32::MAX` for the BE-global scope.
+type ViewKey = (u32, ServiceId);
+
+fn key_of(scope: ViewScope, service: ServiceId) -> ViewKey {
+    match scope {
+        ViewScope::LcGeo(origin) => (origin.0, service),
+        ViewScope::BeGlobal => (u32::MAX, service),
+    }
+}
+
+/// The per-system cache of incremental candidate views.
+pub(crate) struct CandidateViewCache {
+    /// Bumped on any structural change; views lazily rebuild on next use.
+    structure_clock: u64,
+    views: FxHashMap<ViewKey, View>,
+    /// Sorted geo-nearby cluster sets per origin. Cluster geometry is
+    /// static (link degradation changes latency/bandwidth, not
+    /// distance), so these never invalidate.
+    geo_sets: FxHashMap<ClusterId, Vec<ClusterId>>,
+    /// When set, every query re-runs the from-scratch build and asserts
+    /// equality — the property-test hook for the delta ≡ rebuild
+    /// invariant.
+    verify: bool,
+}
+
+impl Default for CandidateViewCache {
+    fn default() -> Self {
+        CandidateViewCache {
+            structure_clock: 1, // > View::default().built_at
+            views: FxHashMap::default(),
+            geo_sets: FxHashMap::default(),
+            verify: false,
+        }
+    }
+}
+
+impl CandidateViewCache {
+    /// Invalidate every view's structural basis; each rebuilds lazily on
+    /// its next use.
+    pub(crate) fn invalidate_structure(&mut self) {
+        self.structure_clock += 1;
+    }
+
+    /// Toggle verification mode (every query cross-checked against a
+    /// from-scratch rebuild).
+    pub(crate) fn set_verify(&mut self, on: bool) {
+        self.verify = on;
+    }
+
+    /// The candidate view for `(scope, service)`, current as of the
+    /// latest structural clock and reservation table. The returned `Arc`
+    /// is a shared handle; it stays valid (and frozen) even as later
+    /// queries patch the cache.
+    pub(crate) fn candidates(
+        &mut self,
+        inp: &ViewInputs<'_>,
+        service: ServiceId,
+        scope: ViewScope,
+    ) -> Arc<Vec<CandidateNode>> {
+        let Self {
+            structure_clock,
+            views,
+            geo_sets,
+            verify,
+        } = self;
+        let geo = match scope {
+            ViewScope::LcGeo(origin) => Some(&*geo_sets.entry(origin).or_insert_with(|| {
+                let mut set = if inp.cfg.local_only {
+                    Vec::new()
+                } else {
+                    inp.topology.clusters_within(origin, inp.cfg.geo_radius_km)
+                };
+                set.push(origin);
+                set.sort_unstable();
+                set.dedup();
+                set
+            })),
+            ViewScope::BeGlobal => None,
+        };
+        let view = views.entry(key_of(scope, service)).or_default();
+        if view.built_at != *structure_clock {
+            rebuild(view, inp, service, scope, geo.map(Vec::as_slice));
+            view.built_at = *structure_clock;
+        } else {
+            patch_reservations(view, inp.reserved);
+        }
+        if *verify {
+            let mut fresh = View::default();
+            rebuild(&mut fresh, inp, service, scope, geo.map(Vec::as_slice));
+            assert_eq!(
+                *view.rows, *fresh.rows,
+                "candidate view cache diverged from full rebuild \
+                 (service {service:?}, scope {scope:?})"
+            );
+        }
+        Arc::clone(&view.rows)
+    }
+}
+
+/// Build a view from scratch: iterate store rows in node-id order, filter
+/// exactly as the dispatchers always have (workers only, live, reachable,
+/// in the geo set for LC scopes), annotate with per-cluster link
+/// observations and the reservation-adjusted availabilities.
+fn rebuild(
+    view: &mut View,
+    inp: &ViewInputs<'_>,
+    service: ServiceId,
+    scope: ViewScope,
+    geo: Option<&[ClusterId]>,
+) {
+    let spec = inp.catalog.get(service);
+    let vantage = match scope {
+        ViewScope::LcGeo(origin) => origin,
+        ViewScope::BeGlobal => inp.central,
+    };
+    let rows = Arc::make_mut(&mut view.rows);
+    rows.clear();
+    view.lc_base.clear();
+    view.be_base.clear();
+    // Link attributes are a function of (vantage, cluster, payload);
+    // compute each cluster's once.
+    let mut links: Vec<Option<LinkObservation>> = vec![None; inp.cfg.clusters];
+    for i in 0..inp.store.rows() {
+        let Some(row) = inp.store.row(i) else {
+            continue;
+        };
+        if row.role != NodeRole::Worker {
+            continue;
+        }
+        if let Some(set) = geo {
+            if set.binary_search(&row.cluster).is_err() {
+                continue;
+            }
+        }
+        if inp.fault.is_down(row.node) || !inp.topology.is_reachable(vantage, row.cluster) {
+            continue;
+        }
+        let slot = &mut links[row.cluster.index()];
+        let link = *slot.get_or_insert_with(|| LinkObservation {
+            delay: inp
+                .topology
+                .transfer_time(vantage, row.cluster, spec.payload_kib),
+            capacity: link_capacity(
+                inp.topology,
+                inp.cfg.dispatch_interval,
+                vantage,
+                row.cluster,
+                spec.payload_kib,
+            ),
+        });
+        let min_request = match (scope, inp.reassurer) {
+            (ViewScope::LcGeo(_), Some(r)) => r.min_request(row.node, service, spec.min_request),
+            _ => spec.min_request,
+        };
+        let obs = NodeObservation {
+            node: row.node,
+            cluster: row.cluster,
+            total: row.total,
+            available_lc: row.lc_available(),
+            available_be: row.be_available(),
+            slack: row.slack_for(service).unwrap_or(1.0),
+        };
+        view.lc_base.push(obs.available_lc);
+        view.be_base.push(obs.available_be);
+        rows.push(CandidateNode::from_observation(
+            obs,
+            link,
+            min_request,
+            inp.reserved.get(row.node),
+            true,
+        ));
+    }
+    view.seen_res = inp.reserved.clock();
+}
+
+/// Refresh exactly the rows whose reservation changed since the view last
+/// looked. `Arc::make_mut` patches in place when no batch still holds the
+/// previous rows, and copy-on-writes otherwise (outstanding batches keep
+/// their frozen snapshot).
+fn patch_reservations(view: &mut View, reserved: &ReservationTable) {
+    let clock = reserved.clock();
+    if view.seen_res == clock {
+        return;
+    }
+    let seen = view.seen_res;
+    let rows = Arc::make_mut(&mut view.rows);
+    for (i, c) in rows.iter_mut().enumerate() {
+        if reserved.stamp(c.node) > seen {
+            let r = reserved.get(c.node);
+            c.available_lc = view.lc_base[i].saturating_sub(&r);
+            c.available_be = view.be_base[i].saturating_sub(&r);
+        }
+    }
+    view.seen_res = clock;
+}

@@ -27,8 +27,8 @@ pub mod window;
 pub use counters::{ExperimentCounters, PeriodRecord};
 pub use p2::P2Quantile;
 pub use percentile::percentile;
-pub use qos::{slack_score, QosDetector};
-pub use store::{NodeRole, NodeSnapshot, StateStorage};
+pub use qos::{slack_score, NodeWindows, QosDetector};
+pub use store::{NodeRole, NodeSnapshot, StateStorage, StoreRow};
 pub use trace::{
     NoopTrace, TraceEvent, TraceLane, TraceRecorder, TraceSink, DEFAULT_TRACE_CAPACITY,
 };

@@ -26,12 +26,44 @@ pub fn slack_score(tail: SimTime, target: SimTime) -> f64 {
     1.0 - tail.as_micros() as f64 / target.as_micros() as f64
 }
 
+/// One node's latency windows, keyed by service. A row of the detector:
+/// the sharded sync loop hands each shard `&mut` rows for its own nodes
+/// so slack queries (whose window pruning mutates state) run in parallel
+/// without cross-node interference.
+#[derive(Debug, Default)]
+pub struct NodeWindows {
+    windows: FxHashMap<ServiceId, LatencyWindow>,
+}
+
+impl NodeWindows {
+    /// p95 tail latency ξ for one service at `now`.
+    pub fn tail(&mut self, service: ServiceId, now: SimTime) -> Option<SimTime> {
+        self.windows.get_mut(&service)?.p95(now)
+    }
+
+    /// Slack δ for one service at `now`; `None` when no samples exist in
+    /// the window.
+    pub fn slack(&mut self, service: ServiceId, target: SimTime, now: SimTime) -> Option<f64> {
+        let tail = self.tail(service, now)?;
+        Some(slack_score(tail, target))
+    }
+
+    /// Services with a window, in sorted order (empty windows included).
+    fn sorted_services(&self) -> Vec<ServiceId> {
+        let mut v: Vec<ServiceId> = self.windows.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
 /// Collects per-(node, service) latency windows and answers slack queries —
-/// the QoS detector of Fig. 3 ➍.
+/// the QoS detector of Fig. 3 ➍. Windows are stored as one row per node
+/// ([`NodeWindows`]) so the sync loop can query shards of nodes in
+/// parallel.
 #[derive(Debug)]
 pub struct QosDetector {
     pub(crate) width: SimTime,
-    pub(crate) windows: FxHashMap<(NodeId, ServiceId), LatencyWindow>,
+    nodes: Vec<NodeWindows>,
 }
 
 impl QosDetector {
@@ -39,7 +71,7 @@ impl QosDetector {
     pub fn new(width: SimTime) -> Self {
         QosDetector {
             width,
-            windows: FxHashMap::default(),
+            nodes: Vec::new(),
         }
     }
 
@@ -48,17 +80,31 @@ impl QosDetector {
         QosDetector::new(SimTime::from_millis(100))
     }
 
+    /// Grow the row table to cover node ids `0..n`.
+    pub fn ensure_nodes(&mut self, n: usize) {
+        if self.nodes.len() < n {
+            self.nodes.resize_with(n, NodeWindows::default);
+        }
+    }
+
+    /// Mutable rows, indexed by node id, for sharded queries.
+    pub fn rows_mut(&mut self) -> &mut [NodeWindows] {
+        &mut self.nodes
+    }
+
     /// Record a completed LC request's latency.
     pub fn record(&mut self, node: NodeId, service: ServiceId, at: SimTime, latency: SimTime) {
-        self.windows
-            .entry((node, service))
+        self.ensure_nodes(node.index() + 1);
+        self.nodes[node.index()]
+            .windows
+            .entry(service)
             .or_insert_with(|| LatencyWindow::new(self.width))
             .record(at, latency);
     }
 
     /// p95 tail latency ξ of (node, service) at `now`.
     pub fn tail(&mut self, node: NodeId, service: ServiceId, now: SimTime) -> Option<SimTime> {
-        self.windows.get_mut(&(node, service))?.p95(now)
+        self.nodes.get_mut(node.index())?.tail(service, now)
     }
 
     /// Slack δ of (node, service) at `now`; `None` when no samples exist
@@ -78,18 +124,49 @@ impl QosDetector {
     /// whatever tail-latency behaviour it had before the fault says
     /// nothing about the recovered instance, which re-admits cold.
     pub fn forget_node(&mut self, node: NodeId) {
-        self.windows.retain(|(n, _), _| *n != node);
+        if let Some(row) = self.nodes.get_mut(node.index()) {
+            row.windows.clear();
+        }
     }
 
     /// All (node, service) pairs with at least one sample in their window.
     pub fn active_pairs(&mut self, now: SimTime) -> Vec<(NodeId, ServiceId)> {
-        let mut pairs: Vec<(NodeId, ServiceId)> = self
-            .windows
-            .iter_mut()
-            .filter_map(|(&k, w)| (w.count(now) > 0).then_some(k))
-            .collect();
-        pairs.sort_unstable();
+        let mut pairs = Vec::new();
+        for (i, row) in self.nodes.iter_mut().enumerate() {
+            let mut services: Vec<ServiceId> = row
+                .windows
+                .iter_mut()
+                .filter_map(|(&s, w)| (w.count(now) > 0).then_some(s))
+                .collect();
+            services.sort_unstable();
+            pairs.extend(services.into_iter().map(|s| (NodeId(i as u32), s)));
+        }
         pairs
+    }
+
+    /// All windows as sorted `((node, service), window)` references, for
+    /// the snapshot codec. Node-major with services sorted within a node
+    /// equals the former global `(NodeId, ServiceId)` sort order, so the
+    /// wire format is unchanged.
+    pub(crate) fn sorted_windows(&self) -> Vec<((NodeId, ServiceId), &LatencyWindow)> {
+        let mut out = Vec::new();
+        for (i, row) in self.nodes.iter().enumerate() {
+            for s in row.sorted_services() {
+                out.push(((NodeId(i as u32), s), &row.windows[&s]));
+            }
+        }
+        out
+    }
+
+    /// Insert one decoded window (snapshot restore path).
+    pub(crate) fn insert_window(&mut self, node: NodeId, service: ServiceId, w: LatencyWindow) {
+        self.ensure_nodes(node.index() + 1);
+        self.nodes[node.index()].windows.insert(service, w);
+    }
+
+    /// Total number of windows (for the snapshot codec's length prefix).
+    pub(crate) fn window_count(&self) -> usize {
+        self.nodes.iter().map(|r| r.windows.len()).sum()
     }
 }
 

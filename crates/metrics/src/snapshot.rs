@@ -34,12 +34,10 @@ impl SnapDecode for LatencyWindow {
 impl SnapEncode for QosDetector {
     fn encode(&self, w: &mut SnapWriter) {
         self.width.encode(w);
-        let mut keys: Vec<(NodeId, ServiceId)> = self.windows.keys().copied().collect();
-        keys.sort_unstable();
-        w.put_u64(keys.len() as u64);
-        for k in keys {
+        w.put_u64(self.window_count() as u64);
+        for (k, window) in self.sorted_windows() {
             k.encode(w);
-            self.windows[&k].encode(w);
+            window.encode(w);
         }
     }
 }
@@ -50,12 +48,12 @@ impl SnapDecode for QosDetector {
         if n > r.remaining() {
             return Err(SnapError::Truncated);
         }
-        let mut windows = FxHashMap::default();
+        let mut d = QosDetector::new(width);
         for _ in 0..n {
-            let k = <(NodeId, ServiceId)>::decode(r)?;
-            windows.insert(k, LatencyWindow::decode(r)?);
+            let (node, service) = <(NodeId, ServiceId)>::decode(r)?;
+            d.insert_window(node, service, LatencyWindow::decode(r)?);
         }
-        Ok(QosDetector { width, windows })
+        Ok(d)
     }
 }
 
@@ -218,7 +216,7 @@ impl StateStorage {
 
     /// Overlay a [`StateStorage::snapshot`] payload: every decoded entry
     /// is pushed, replacing whatever the fresh store held for that node.
-    pub fn restore(&self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+    pub fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
         for snap in Vec::<NodeSnapshot>::decode(r)? {
             self.push(snap);
         }
@@ -297,7 +295,7 @@ mod tests {
 
     #[test]
     fn state_storage_round_trips_sorted() {
-        let store = StateStorage::new();
+        let mut store = StateStorage::new();
         for node in [3u32, 1, 2] {
             let mut slack = FxHashMap::default();
             slack.insert(ServiceId(0), 0.25);
@@ -316,7 +314,7 @@ mod tests {
         let mut w = SnapWriter::new();
         store.snapshot(&mut w);
         let bytes = w.into_bytes();
-        let fresh = StateStorage::new();
+        let mut fresh = StateStorage::new();
         let mut r = SnapReader::new(&bytes);
         fresh.restore(&mut r).unwrap();
         assert!(r.is_empty());

@@ -4,10 +4,17 @@
 //! dispatch to: resource totals and availability pushed by the
 //! Prometheus-style scraper, plus the QoS slack pushed by the QoS detector.
 //! The LC traffic dispatcher reads it to build its per-type graphs; the BE
-//! traffic dispatcher reads the global one. It is shared between cluster
-//! control threads, so access is guarded by a `std::sync::RwLock`.
+//! traffic dispatcher reads the global one.
+//!
+//! Layout: node ids are dense (`NodeId.index()` into the system's node
+//! vector), so the store keeps structure-of-arrays columns indexed by node
+//! instead of a map of owned snapshots. The sync loop overwrites rows in
+//! place each round ([`StateStorage::write_row`], zero steady-state
+//! allocations) and the candidate-view builder iterates borrowed rows
+//! ([`StateStorage::row`]) without cloning. The map-shaped
+//! [`NodeSnapshot`] remains the exchange/serialization type; accessors
+//! materialize it on demand.
 
-use std::sync::RwLock;
 use tango_types::FxHashMap;
 use tango_types::{ClusterId, NodeId, Resources, ServiceId, SimTime};
 
@@ -60,10 +67,73 @@ impl NodeSnapshot {
     }
 }
 
-/// Thread-safe snapshot store.
+/// A borrowed view of one store row — what [`NodeSnapshot`] carries, minus
+/// the owned maps. The hot read path (candidate-view rebuilds) iterates
+/// these instead of cloning snapshots.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreRow<'a> {
+    /// Which node this describes.
+    pub node: NodeId,
+    /// The cluster it belongs to.
+    pub cluster: ClusterId,
+    /// Master or worker.
+    pub role: NodeRole,
+    /// Total allocatable resources.
+    pub total: Resources,
+    /// Currently idle resources.
+    pub available: Resources,
+    /// Resources held by (preemptible) BE services.
+    pub be_held: Resources,
+    /// Per-service QoS slack, sparse pairs.
+    pub slack: &'a [(ServiceId, f64)],
+    /// Per-service pending counts (masters only), sparse pairs.
+    pub pending: &'a [(ServiceId, u32)],
+    /// When this row was written.
+    pub updated_at: SimTime,
+}
+
+impl StoreRow<'_> {
+    /// Resources an LC request may draw on (idle + preemptible BE).
+    pub fn lc_available(&self) -> Resources {
+        self.available + self.be_held
+    }
+
+    /// Resources a BE request may draw on (idle only).
+    pub fn be_available(&self) -> Resources {
+        self.available
+    }
+
+    /// Slack δ for one service, if the detector had a signal.
+    pub fn slack_for(&self, service: ServiceId) -> Option<f64> {
+        self.slack
+            .iter()
+            .find(|(s, _)| *s == service)
+            .map(|&(_, v)| v)
+    }
+}
+
+fn pairs_to_map<V: Copy>(pairs: &[(ServiceId, V)]) -> FxHashMap<ServiceId, V> {
+    pairs.iter().copied().collect()
+}
+
+fn map_to_pairs<V: Copy>(map: &FxHashMap<ServiceId, V>) -> Vec<(ServiceId, V)> {
+    let mut v: Vec<(ServiceId, V)> = map.iter().map(|(&k, &x)| (k, x)).collect();
+    v.sort_unstable_by_key(|&(k, _)| k);
+    v
+}
+
+/// Dense structure-of-arrays snapshot store, indexed by node id.
 #[derive(Debug, Default)]
 pub struct StateStorage {
-    inner: RwLock<FxHashMap<NodeId, NodeSnapshot>>,
+    present: Vec<bool>,
+    clusters: Vec<ClusterId>,
+    roles: Vec<NodeRole>,
+    totals: Vec<Resources>,
+    available: Vec<Resources>,
+    be_held: Vec<Resources>,
+    updated_at: Vec<SimTime>,
+    slack: Vec<Vec<(ServiceId, f64)>>,
+    pending: Vec<Vec<(ServiceId, u32)>>,
 }
 
 impl StateStorage {
@@ -72,74 +142,150 @@ impl StateStorage {
         StateStorage::default()
     }
 
+    fn ensure(&mut self, len: usize) {
+        if self.present.len() >= len {
+            return;
+        }
+        self.present.resize(len, false);
+        self.clusters.resize(len, ClusterId(0));
+        self.roles.resize(len, NodeRole::Worker);
+        self.totals.resize(len, Resources::ZERO);
+        self.available.resize(len, Resources::ZERO);
+        self.be_held.resize(len, Resources::ZERO);
+        self.updated_at.resize(len, SimTime::ZERO);
+        self.slack.resize_with(len, Vec::new);
+        self.pending.resize_with(len, Vec::new);
+    }
+
+    /// Overwrite one node's row in place — the sync loop's hot write path.
+    /// `slack` / `pending` are sparse per-service pairs; they replace the
+    /// previous row's wholesale.
+    #[allow(clippy::too_many_arguments)]
+    pub fn write_row(
+        &mut self,
+        node: NodeId,
+        cluster: ClusterId,
+        role: NodeRole,
+        total: Resources,
+        available: Resources,
+        be_held: Resources,
+        slack: &[(ServiceId, f64)],
+        pending: &[(ServiceId, u32)],
+        updated_at: SimTime,
+    ) {
+        let i = node.index();
+        self.ensure(i + 1);
+        self.present[i] = true;
+        self.clusters[i] = cluster;
+        self.roles[i] = role;
+        self.totals[i] = total;
+        self.available[i] = available;
+        self.be_held[i] = be_held;
+        self.updated_at[i] = updated_at;
+        self.slack[i].clear();
+        self.slack[i].extend_from_slice(slack);
+        self.pending[i].clear();
+        self.pending[i].extend_from_slice(pending);
+    }
+
     /// Insert or replace a node's snapshot.
-    pub fn push(&self, snap: NodeSnapshot) {
-        self.inner
-            .write()
-            .expect("store lock poisoned")
-            .insert(snap.node, snap);
+    pub fn push(&mut self, snap: NodeSnapshot) {
+        let slack = map_to_pairs(&snap.slack);
+        let pending = map_to_pairs(&snap.pending);
+        self.write_row(
+            snap.node,
+            snap.cluster,
+            snap.role,
+            snap.total,
+            snap.available,
+            snap.be_held,
+            &slack,
+            &pending,
+            snap.updated_at,
+        );
+    }
+
+    /// Upper bound on row indices (not all slots need be present).
+    pub fn rows(&self) -> usize {
+        self.present.len()
+    }
+
+    /// Borrowed view of one row by *index*; `None` for absent slots.
+    pub fn row(&self, i: usize) -> Option<StoreRow<'_>> {
+        if !*self.present.get(i)? {
+            return None;
+        }
+        Some(StoreRow {
+            node: NodeId(i as u32),
+            cluster: self.clusters[i],
+            role: self.roles[i],
+            total: self.totals[i],
+            available: self.available[i],
+            be_held: self.be_held[i],
+            slack: &self.slack[i],
+            pending: &self.pending[i],
+            updated_at: self.updated_at[i],
+        })
+    }
+
+    fn materialize(&self, i: usize) -> NodeSnapshot {
+        NodeSnapshot {
+            node: NodeId(i as u32),
+            cluster: self.clusters[i],
+            role: self.roles[i],
+            total: self.totals[i],
+            available: self.available[i],
+            be_held: self.be_held[i],
+            slack: pairs_to_map(&self.slack[i]),
+            pending: pairs_to_map(&self.pending[i]),
+            updated_at: self.updated_at[i],
+        }
     }
 
     /// Copy of one node's snapshot.
     pub fn get(&self, node: NodeId) -> Option<NodeSnapshot> {
-        self.inner
-            .read()
-            .expect("store lock poisoned")
-            .get(&node)
-            .cloned()
+        let i = node.index();
+        self.present
+            .get(i)
+            .copied()
+            .unwrap_or(false)
+            .then(|| self.materialize(i))
     }
 
     /// Copies of all snapshots, sorted by node id (deterministic order for
     /// the schedulers).
     pub fn all(&self) -> Vec<NodeSnapshot> {
-        let mut v: Vec<NodeSnapshot> = self
-            .inner
-            .read()
-            .expect("store lock poisoned")
-            .values()
-            .cloned()
-            .collect();
-        v.sort_by_key(|s| s.node);
-        v
+        (0..self.present.len())
+            .filter(|&i| self.present[i])
+            .map(|i| self.materialize(i))
+            .collect()
     }
 
     /// Snapshots of the nodes in one cluster, sorted by node id.
     pub fn in_cluster(&self, cluster: ClusterId) -> Vec<NodeSnapshot> {
-        let mut v: Vec<NodeSnapshot> = self
-            .inner
-            .read()
-            .expect("store lock poisoned")
-            .values()
-            .filter(|s| s.cluster == cluster)
-            .cloned()
-            .collect();
-        v.sort_by_key(|s| s.node);
-        v
+        (0..self.present.len())
+            .filter(|&i| self.present[i] && self.clusters[i] == cluster)
+            .map(|i| self.materialize(i))
+            .collect()
     }
 
     /// Snapshots of the nodes in any of `clusters` (the geo-nearby set for
     /// LC dispatch), sorted by node id.
     pub fn in_clusters(&self, clusters: &[ClusterId]) -> Vec<NodeSnapshot> {
-        let mut v: Vec<NodeSnapshot> = self
-            .inner
-            .read()
-            .expect("store lock poisoned")
-            .values()
-            .filter(|s| clusters.contains(&s.cluster))
-            .cloned()
-            .collect();
-        v.sort_by_key(|s| s.node);
-        v
+        (0..self.present.len())
+            .filter(|&i| self.present[i] && clusters.contains(&self.clusters[i]))
+            .map(|i| self.materialize(i))
+            .collect()
     }
 
     /// Number of nodes known.
     pub fn len(&self) -> usize {
-        self.inner.read().expect("store lock poisoned").len()
+        self.present.iter().filter(|&&p| p).count()
     }
 
     /// `true` if no snapshots have been pushed yet.
     pub fn is_empty(&self) -> bool {
-        self.inner.read().expect("store lock poisoned").is_empty()
+        !self.present.iter().any(|&p| p)
     }
 }
 
@@ -170,7 +316,7 @@ mod tests {
 
     #[test]
     fn push_get_replace() {
-        let store = StateStorage::new();
+        let mut store = StateStorage::new();
         assert!(store.is_empty());
         store.push(snap(1, 0, 100, 0));
         store.push(snap(1, 0, 200, 0));
@@ -181,7 +327,7 @@ mod tests {
 
     #[test]
     fn cluster_queries_filter_and_sort() {
-        let store = StateStorage::new();
+        let mut store = StateStorage::new();
         store.push(snap(3, 1, 1, 0));
         store.push(snap(1, 0, 1, 0));
         store.push(snap(2, 1, 1, 0));
@@ -200,22 +346,33 @@ mod tests {
     }
 
     #[test]
-    fn concurrent_pushes_are_safe() {
-        use std::sync::Arc;
-        let store = Arc::new(StateStorage::new());
-        let handles: Vec<_> = (0..8u32)
-            .map(|t| {
-                let st = Arc::clone(&store);
-                std::thread::spawn(move || {
-                    for i in 0..100u32 {
-                        st.push(snap(t * 1000 + i, t, i as u64, 0));
-                    }
-                })
-            })
-            .collect();
-        for h in handles {
-            h.join().unwrap();
-        }
-        assert_eq!(store.len(), 800);
+    fn write_row_and_row_views_round_trip() {
+        let mut store = StateStorage::new();
+        let slack = [(ServiceId(1), 0.5), (ServiceId(2), -0.25)];
+        let pending = [(ServiceId(1), 3u32)];
+        store.write_row(
+            NodeId(2),
+            ClusterId(0),
+            NodeRole::Master,
+            Resources::cpu_mem(8_000, 16_384),
+            Resources::cpu_mem(4_000, 8_192),
+            Resources::cpu_mem(1_000, 512),
+            &slack,
+            &pending,
+            SimTime::from_millis(100),
+        );
+        // slot 0/1 were never written
+        assert!(store.row(0).is_none());
+        assert!(store.row(1).is_none());
+        let row = store.row(2).expect("row 2 present");
+        assert_eq!(row.node, NodeId(2));
+        assert_eq!(row.slack_for(ServiceId(2)), Some(-0.25));
+        assert_eq!(row.slack_for(ServiceId(9)), None);
+        assert_eq!(row.lc_available().cpu_milli, 5_000);
+        // the materialized snapshot agrees with the row view
+        let snap = store.get(NodeId(2)).unwrap();
+        assert_eq!(snap.slack.get(&ServiceId(1)), Some(&0.5));
+        assert_eq!(snap.pending.get(&ServiceId(1)), Some(&3));
+        assert_eq!(store.len(), 1);
     }
 }

@@ -158,6 +158,82 @@ impl Pool {
         });
     }
 
+    /// Run `f` over caller-chosen contiguous *parts* of three
+    /// equal-length slices, in parallel: `f(first_index, a, b, c)` once
+    /// per part. `bounds` lists the ascending end offset of each part;
+    /// the last bound must equal the slice length. Part 0 runs on the
+    /// calling thread.
+    ///
+    /// This is the shard primitive for structure-aligned fan-outs (one
+    /// part per group of clusters, never splitting a cluster), where the
+    /// even `ceil(len/workers)` chunking of [`Pool::par_zip_chunks_mut`]
+    /// would cut through a group. The determinism contract is the same —
+    /// each part writes only its own elements, so the part layout can
+    /// never affect results, only where time is spent.
+    pub fn par_parts_zip3_mut<A: Send, B: Send, C: Send>(
+        &self,
+        bounds: &[usize],
+        a: &mut [A],
+        b: &mut [B],
+        c: &mut [C],
+        f: impl Fn(usize, &mut [A], &mut [B], &mut [C]) + Sync,
+    ) {
+        assert_eq!(a.len(), b.len(), "par_parts_zip3_mut length mismatch");
+        assert_eq!(a.len(), c.len(), "par_parts_zip3_mut length mismatch");
+        if a.is_empty() {
+            assert!(
+                bounds.is_empty() || bounds == [0],
+                "nonempty bounds over empty slices"
+            );
+            return;
+        }
+        assert_eq!(
+            bounds.last().copied(),
+            Some(a.len()),
+            "last bound must equal the slice length"
+        );
+        if self.threads == 1 || bounds.len() == 1 {
+            let mut start = 0;
+            for &end in bounds {
+                assert!(end >= start, "bounds must be ascending");
+                f(
+                    start,
+                    &mut a[start..end],
+                    &mut b[start..end],
+                    &mut c[start..end],
+                );
+                start = end;
+            }
+            return;
+        }
+        let mut parts = Vec::with_capacity(bounds.len());
+        let (mut ra, mut rb, mut rc) = (a, b, c);
+        let mut start = 0;
+        for &end in bounds {
+            assert!(end >= start, "bounds must be ascending");
+            let (pa, ta) = ra.split_at_mut(end - start);
+            let (pb, tb) = rb.split_at_mut(end - start);
+            let (pc, tc) = rc.split_at_mut(end - start);
+            parts.push((start, pa, pb, pc));
+            (ra, rb, rc) = (ta, tb, tc);
+            start = end;
+        }
+        std::thread::scope(|scope| {
+            let mut parts = parts.into_iter();
+            let head = parts.next().expect("nonempty bounds have a first part");
+            let handles: Vec<_> = parts
+                .map(|(first, pa, pb, pc)| {
+                    let f = &f;
+                    scope.spawn(move || f(first, pa, pb, pc))
+                })
+                .collect();
+            f(head.0, head.1, head.2, head.3);
+            for h in handles {
+                h.join().expect("tango-par worker panicked");
+            }
+        });
+    }
+
     /// Map every item through `f`, collecting results in input order.
     pub fn par_map_collect<I: Sync, R: Send>(
         &self,
@@ -347,11 +423,63 @@ mod tests {
     }
 
     #[test]
+    fn parts_zip3_respects_caller_bounds() {
+        for t in [1, 2, 4, 16] {
+            let mut a: Vec<u64> = (0..20).collect();
+            let mut b = vec![0u64; 20];
+            let mut c = vec![0u64; 20];
+            // ragged parts: [0..3), [3..10), [10..11), [11..20)
+            let bounds = [3usize, 10, 11, 20];
+            Pool::new(t).par_parts_zip3_mut(
+                &bounds,
+                &mut a,
+                &mut b,
+                &mut c,
+                |first, xa, xb, xc| {
+                    for (j, ((x, y), z)) in
+                        xa.iter().zip(xb.iter_mut()).zip(xc.iter_mut()).enumerate()
+                    {
+                        assert_eq!(*x as usize, first + j);
+                        *y = *x * 3;
+                        *z = first as u64;
+                    }
+                },
+            );
+            assert_eq!(b, (0..20).map(|x| x * 3).collect::<Vec<u64>>(), "t = {t}");
+            let want_c: Vec<u64> = (0..20u64)
+                .map(|i| match i {
+                    0..=2 => 0,
+                    3..=9 => 3,
+                    10 => 10,
+                    _ => 11,
+                })
+                .collect();
+            assert_eq!(c, want_c, "t = {t}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "last bound must equal")]
+    fn parts_zip3_rejects_short_bounds() {
+        let mut a = [0u8; 4];
+        let mut b = [0u8; 4];
+        let mut c = [0u8; 4];
+        Pool::new(2).par_parts_zip3_mut(&[2], &mut a, &mut b, &mut c, |_, _, _, _| {});
+    }
+
+    #[test]
     fn empty_inputs_are_noops() {
         let p = Pool::new(8);
         assert!(p.par_map_collect(&Vec::<u8>::new(), |_, &x| x).is_empty());
         p.par_chunks_mut(&mut Vec::<u8>::new(), 1, |_, _| panic!("no chunks"));
         p.par_zip_chunks_mut(&mut [0u8; 0], &mut [0u8; 0], |_, _, _| panic!("no chunks"));
+        p.par_parts_zip3_mut(
+            &[],
+            &mut [0u8; 0],
+            &mut [0u8; 0],
+            &mut [0u8; 0],
+            |_, _, _, _| panic!("no parts"),
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use tango_types::{ClusterId, NodeId, RequestId, Resources, ServiceId, SimTime};
 
 /// One candidate worker node as the dispatcher sees it.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CandidateNode {
     /// Node id.
     pub node: NodeId,
@@ -126,6 +126,10 @@ impl CandidateNode {
 }
 
 /// The pending requests of one type at one master, with their candidates.
+///
+/// `nodes` is an `Arc`: the system's candidate-view cache hands every
+/// batch of a round the *same* frozen start-of-round snapshot for its
+/// type (a refcount bump, not a clone), and schedulers only ever read it.
 #[derive(Debug, Clone)]
 pub struct TypeBatch {
     /// The request type k.
@@ -133,7 +137,7 @@ pub struct TypeBatch {
     /// Pending request ids (t_i^k at this master).
     pub requests: Vec<RequestId>,
     /// Candidate nodes (local + geo-nearby clusters' workers).
-    pub nodes: Vec<CandidateNode>,
+    pub nodes: std::sync::Arc<Vec<CandidateNode>>,
 }
 
 /// An LC scheduling policy: map a type batch to (request → node)
@@ -203,7 +207,7 @@ pub(crate) mod test_support {
         TypeBatch {
             service: ServiceId(0),
             requests: (0..n_requests).map(RequestId).collect(),
-            nodes,
+            nodes: nodes.into(),
         }
     }
 }

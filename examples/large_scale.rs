@@ -1,14 +1,18 @@
 //! Large-scale hybrid-cluster comparison (Fig. 13 in miniature): Tango vs
 //! CERES (elastic local allocation, no cross-cluster scheduling) vs DSACO
 //! (intelligent distributed offloading, no mixed-workload allocation) on
-//! a dual-space deployment.
+//! a dual-space deployment, driven through the sharded sync runtime.
 //!
-//! The paper runs 104 clusters for many minutes; this example defaults to
-//! 12 clusters × 20 s so it completes in seconds. Pass a cluster count to
-//! scale it up:
+//! The paper runs 104 clusters / ~1000 nodes for many minutes; this
+//! example defaults to 12 clusters × 20 s so it completes in seconds.
+//! Pass a cluster count — and optionally a total node-count target, which
+//! tunes the per-cluster worker draw — to scale it up to the paper's
+//! shape (thread count comes from `TANGO_THREADS` or defaults to the
+//! host):
 //!
 //! ```sh
 //! cargo run --release --example large_scale -- 30
+//! cargo run --release --example large_scale -- 104 1000
 //! ```
 
 use tango_repro::tango::runtime::{run_parallel, RunSpec};
@@ -16,14 +20,24 @@ use tango_repro::tango::TangoConfig;
 use tango_repro::types::SimTime;
 
 fn main() {
-    let clusters: usize = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(12);
+    let mut args = std::env::args().skip(1);
+    let clusters: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(12);
+    let node_target: Option<usize> = args.next().and_then(|a| a.parse().ok());
     let duration = SimTime::from_secs(20);
-    let base = TangoConfig::dual_space(clusters);
+    let mut base = TangoConfig::dual_space(clusters);
+    if let Some(nodes) = node_target {
+        // aim the uniform worker draw's mean at (nodes/clusters - 1)
+        // workers per cluster, ±4 for the paper's heterogeneity
+        let mean = (nodes / clusters.max(1)).saturating_sub(1).max(1);
+        base.workers_per_cluster = (mean.saturating_sub(4).max(1), mean + 4);
+    }
 
-    println!("comparing on {clusters} clusters, {duration} simulated ...");
+    match node_target {
+        Some(n) => {
+            println!("comparing on {clusters} clusters (~{n} nodes), {duration} simulated ...")
+        }
+        None => println!("comparing on {clusters} clusters, {duration} simulated ..."),
+    }
     let specs = vec![
         RunSpec {
             label: "Tango".into(),
@@ -43,11 +57,20 @@ fn main() {
     ];
     let reports = run_parallel(specs);
 
-    println!("\nsystem  utilization  qos-satisfaction  be-throughput  abandoned");
+    println!("\nsystem  utilization  qos-satisfaction  be-throughput  abandoned  req/sim-min");
+    let sim_minutes = duration.as_micros() as f64 / 60_000_000.0;
     for r in &reports {
+        // end-of-run throughput: completed requests (LC + BE) per
+        // simulated minute — the ROADMAP's scale yardstick
+        let done_per_min = (r.lc_completed + r.be_throughput) as f64 / sim_minutes;
         println!(
-            "{:<6}  {:>11.3}  {:>16.3}  {:>13}  {:>9}",
-            r.label, r.mean_utilization, r.qos_satisfaction, r.be_throughput, r.abandoned
+            "{:<6}  {:>11.3}  {:>16.3}  {:>13}  {:>9}  {:>11.0}",
+            r.label,
+            r.mean_utilization,
+            r.qos_satisfaction,
+            r.be_throughput,
+            r.abandoned,
+            done_per_min
         );
     }
 
@@ -62,5 +85,11 @@ fn main() {
     println!(
         "Tango vs DSACO:  QoS satisfaction {:+.1}%",
         (tango.qos_satisfaction / dsaco.qos_satisfaction.max(1e-9) - 1.0) * 100.0,
+    );
+    println!(
+        "Tango arrivals: {} LC in {:.2} sim-min ({:.0} arrivals/sim-min)",
+        tango.lc_arrived,
+        sim_minutes,
+        tango.lc_arrived as f64 / sim_minutes
     );
 }

@@ -110,7 +110,7 @@ fn mcmf_matches_brute_force_on_tiny_graphs() {
 
 fn arb_batch(rng: &mut SimRng) -> TypeBatch {
     let n = 1 + rng.next_below(14) as usize;
-    let nodes = (0..n)
+    let nodes: Vec<CandidateNode> = (0..n)
         .map(|i| {
             let cap = rng.next_below(9);
             CandidateNode {
@@ -130,7 +130,7 @@ fn arb_batch(rng: &mut SimRng) -> TypeBatch {
     TypeBatch {
         service: ServiceId(0),
         requests: (0..rng.next_below(40)).map(RequestId).collect(),
-        nodes,
+        nodes: nodes.into(),
     }
 }
 

@@ -33,7 +33,7 @@ fn batch(service: u16, n_requests: u64, n_nodes: usize) -> TypeBatch {
     TypeBatch {
         service: ServiceId(service),
         requests: (0..n_requests).map(RequestId).collect(),
-        nodes,
+        nodes: nodes.into(),
     }
 }
 

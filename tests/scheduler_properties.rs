@@ -50,7 +50,7 @@ fn lc_policies_respect_capacity_and_uniqueness() {
         let batch = TypeBatch {
             service: ServiceId(0),
             requests: (0..n_requests).map(RequestId).collect(),
-            nodes,
+            nodes: nodes.into(),
         };
         let caps: Vec<u64> = batch.nodes.iter().map(|n| n.capacity_now(true)).collect();
 

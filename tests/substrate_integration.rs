@@ -71,7 +71,7 @@ fn dss_lc_plan_executes_on_real_nodes() {
     let batch = TypeBatch {
         service: ServiceId(0),
         requests: (0..n_requests).map(RequestId).collect(),
-        nodes: candidates(&nodes),
+        nodes: candidates(&nodes).into(),
     };
     let placements = sched.assign(&batch);
     assert_eq!(placements.len(), n_requests as usize);
@@ -121,7 +121,7 @@ fn dss_lc_overload_spreads_and_everything_completes() {
     let batch = TypeBatch {
         service: ServiceId(0),
         requests: (0..n_requests).map(RequestId).collect(),
-        nodes: candidates(&nodes),
+        nodes: candidates(&nodes).into(),
     };
     let plan = sched.plan(&batch);
     assert!(plan.unrouted.is_empty(), "unrouted: {:?}", plan.unrouted);

@@ -1,0 +1,97 @@
+//! Property tests for the incremental candidate-view cache.
+//!
+//! The cache (`crates/core/src/view_cache.rs`) claims that its
+//! reservation-patched, epoch-invalidated views are always equal to a
+//! from-scratch rebuild from the same inputs. `set_view_verification`
+//! turns on an in-cache oracle that performs exactly that comparison on
+//! **every** `candidates()` call — so these tests drive whole seeded
+//! runs, under random fault churn and across config variants, with the
+//! oracle armed. Any divergence (a missed invalidation, a stale
+//! reservation patch, a wrong geo set) panics inside the run.
+
+use tango_repro::tango::{BePolicy, EdgeCloudSystem, FaultPlan, LcPolicy, NodeRef, TangoConfig};
+use tango_repro::types::{ClusterId, SimTime};
+
+fn base_cfg(seed: u64) -> TangoConfig {
+    let mut cfg = TangoConfig::physical_testbed();
+    cfg.clusters = 3;
+    cfg.topology.clusters = 3;
+    cfg.workload.lc_rps = 40.0;
+    cfg.workload.be_rps = 6.0;
+    cfg.lc_policy = LcPolicy::DssLc;
+    cfg.be_policy = BePolicy::LoadGreedy;
+    cfg.seed = seed;
+    cfg
+}
+
+fn run_verified(cfg: TangoConfig, horizon_ms: u64, label: &str) {
+    let mut sys = EdgeCloudSystem::new(cfg);
+    sys.set_view_verification(true);
+    let report = sys.run(SimTime::from_millis(horizon_ms), label);
+    assert!(report.lc_arrived > 0, "{label}: run produced no traffic");
+}
+
+/// Calm weather across seeds: reservation deltas and sync/reassure
+/// invalidations are the only mutation sources.
+#[test]
+fn cached_views_match_rebuild_on_calm_runs() {
+    for seed in [7u64, 99, 20_26] {
+        run_verified(base_cfg(seed), 2_000, "view-verify-calm");
+    }
+}
+
+/// Random mutation sequences: timed crash/recover, link degradation and
+/// restore, plus seeded MTTF/MTTR node churn — every fault arm of the
+/// invalidation protocol fires while the oracle compares each view
+/// against a fresh rebuild.
+#[test]
+fn cached_views_match_rebuild_under_random_churn() {
+    for seed in [3u64, 41] {
+        let mut cfg = base_cfg(seed);
+        cfg.faults = FaultPlan::new()
+            .crash_for(
+                SimTime::from_millis(300),
+                NodeRef::Worker {
+                    cluster: ClusterId(0),
+                    index: 1,
+                },
+                SimTime::from_millis(600),
+            )
+            .crash_for(
+                SimTime::from_millis(500),
+                NodeRef::Master(ClusterId(1)),
+                SimTime::from_millis(400),
+            )
+            .degrade_link_for(
+                SimTime::from_millis(400),
+                ClusterId(0),
+                ClusterId(2),
+                3.0,
+                4.0,
+                SimTime::from_millis(700),
+            )
+            .node_churn(
+                SimTime::from_millis(200),
+                SimTime::from_millis(150),
+                seed ^ 0xC0FFEE,
+            );
+        run_verified(cfg, 2_000, "view-verify-churn");
+    }
+}
+
+/// Config variants that exercise the other cache scopes and input
+/// branches: local-only dispatch (the BE local filter), re-assurance
+/// ablated off (no min-request factors), and the static allocator.
+#[test]
+fn cached_views_match_rebuild_across_config_variants() {
+    let mut local = base_cfg(11);
+    local.local_only = true;
+    run_verified(local, 1_500, "view-verify-local");
+
+    let mut no_reassure = base_cfg(12);
+    no_reassure.reassurance = None;
+    run_verified(no_reassure, 1_500, "view-verify-no-reassure");
+
+    let static_alloc = base_cfg(13).as_k8s_native();
+    run_verified(static_alloc, 1_500, "view-verify-static");
+}
