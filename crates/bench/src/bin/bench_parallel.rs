@@ -48,6 +48,23 @@ fn sweep(threads: usize) -> Vec<Sample> {
         black_box(report.lc_arrived)
     }));
 
+    // Dispatch-heavy: high arrival rate over a 6-cluster metro region, so
+    // most of the tick is the two-phase dispatch plane (wave formation +
+    // parallel plan + sequential commit) — the scenario where dispatch-
+    // phase threading shows up, as opposed to the sync-loop-dominated
+    // scaled ticks above.
+    out.push(microbench::run("dispatch_heavy/6", 1_000, || {
+        let mut cfg = TangoConfig::physical_testbed();
+        cfg.clusters = 6;
+        cfg.topology.clusters = 6;
+        cfg.workload.lc_rps = 900.0;
+        cfg.workload.be_rps = 90.0;
+        cfg.be_policy = BePolicy::LoadGreedy;
+        cfg.parallelism = Some(threads);
+        let report = EdgeCloudSystem::new(cfg).run(SimTime::from_secs(1), "bench");
+        black_box(report.lc_arrived)
+    }));
+
     out
 }
 

@@ -6,9 +6,15 @@
 //!
 //! Usage: `perf_smoke` (no arguments). Prints one line per scenario with
 //! wall time and a few sanity counters, exits non-zero on any violation.
+//!
+//! Besides liveness, the job carries one latency assertion: a scaled-down
+//! `system_tick/104` run must finish within 1.25× the committed
+//! `BENCH_baseline.json` figure (pro-rated to the smoke horizon). Set
+//! `TANGO_PERF_GUARD=off` to demote the guard to a warning on hosts that
+//! are not comparable to the baseline machine.
 
 use std::time::Instant;
-use tango::{BePolicy, EdgeCloudSystem, TangoConfig};
+use tango::{BePolicy, EdgeCloudSystem, LcPolicy, TangoConfig};
 use tango_types::SimTime;
 
 fn run_scenario(name: &str, cfg: TangoConfig, horizon: SimTime) {
@@ -60,4 +66,70 @@ fn main() {
         "104-cluster digest differs across thread counts: {d1:#x} vs {d4:#x}"
     );
     println!("smoke/digest/104             0x{d1:016x} at 1 and 4 threads");
+
+    // Dispatch-heavy smoke: high arrival rate over a metro region keeps
+    // every master's queue non-empty, so the coalesced two-phase
+    // dispatch plane (wave formation, parallel plan, sequential commit)
+    // runs at full width every round.
+    let mut heavy = TangoConfig::physical_testbed();
+    heavy.clusters = 6;
+    heavy.topology.clusters = 6;
+    heavy.workload.lc_rps = 900.0;
+    heavy.workload.be_rps = 90.0;
+    heavy.lc_policy = LcPolicy::DssLc;
+    heavy.be_policy = BePolicy::LoadGreedy;
+    run_scenario("smoke/dispatch_heavy/6", heavy, SimTime::from_millis(500));
+
+    regression_guard();
+}
+
+/// Extract `wall_ns` for one scenario from the committed baseline JSON
+/// (flat hand-rolled schema; serde is unavailable offline).
+fn baseline_wall_ns(json: &str, scenario: &str) -> Option<f64> {
+    let needle = format!("\"scenario\": \"{scenario}\"");
+    let line = json.lines().find(|l| l.contains(&needle))?;
+    let tail = line.split("\"wall_ns\":").nth(1)?;
+    tail.split(',').next()?.trim().parse::<f64>().ok()
+}
+
+/// Fail (or warn, under `TANGO_PERF_GUARD=off`) when the scaled-down
+/// 104-cluster tick runs slower than 1.25× the committed baseline,
+/// pro-rated from the baseline's 1 s horizon to the smoke horizon. Uses
+/// the best of three runs so one scheduling hiccup cannot fail CI.
+fn regression_guard() {
+    const SMOKE_MS: u64 = 250;
+    let json = match std::fs::read_to_string(
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_baseline.json"),
+    ) {
+        Ok(j) => j,
+        Err(e) => panic!("regression guard: cannot read BENCH_baseline.json: {e}"),
+    };
+    let base_ns = baseline_wall_ns(&json, "system_tick/104")
+        .expect("BENCH_baseline.json carries a system_tick/104 sample");
+    let budget_ms = base_ns / 1e6 * (SMOKE_MS as f64 / 1_000.0) * 1.25;
+    let mut best_ms = f64::INFINITY;
+    for _ in 0..3 {
+        let mut cfg = TangoConfig::dual_space(104);
+        cfg.be_policy = BePolicy::LoadGreedy;
+        let sys = EdgeCloudSystem::new(cfg); // build excluded, like the pro-rating
+        let t = Instant::now();
+        std::hint::black_box(sys.run(SimTime::from_millis(SMOKE_MS), "smoke-guard"));
+        best_ms = best_ms.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    println!(
+        "smoke/regression_guard/104   {best_ms:>8.1} ms wall (budget {budget_ms:.1} ms = \
+         1.25x baseline pro-rated to {SMOKE_MS} ms)"
+    );
+    if best_ms > budget_ms {
+        let msg = format!(
+            "scaled-down system_tick/104 took {best_ms:.1} ms, over the {budget_ms:.1} ms \
+             budget (1.25x the committed BENCH_baseline.json figure) — either fix the \
+             regression or re-stamp the baseline"
+        );
+        if std::env::var("TANGO_PERF_GUARD").as_deref() == Ok("off") {
+            eprintln!("warning (guard off): {msg}");
+        } else {
+            panic!("{msg}");
+        }
+    }
 }

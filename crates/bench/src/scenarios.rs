@@ -89,10 +89,25 @@ pub fn make_graph(n: usize, f: usize) -> FeatureGraph {
     g
 }
 
-/// Short git revision of the working tree, or `"unknown"` outside a
-/// checkout (bench results are stamped so committed JSON says what it
-/// measured).
+/// Short git revision stamped into bench JSON, resolved at bench
+/// *runtime* (never baked into the binary — a stale build must not
+/// re-stamp an old rev). Resolution order:
+///
+/// 1. `TANGO_GIT_REV` — explicit override, for stamping the rev the
+///    result will be committed under (re-stamp workflows run the bench
+///    before the commit exists) and for checkouts without `git`.
+/// 2. `git rev-parse --short HEAD` of the current directory.
+///
+/// If neither resolves, this panics with instructions instead of
+/// silently emitting a reusable placeholder: committed bench JSON that
+/// does not say what it measured is worse than no JSON.
 pub fn git_rev() -> String {
+    if let Ok(rev) = std::env::var("TANGO_GIT_REV") {
+        let rev = rev.trim().to_string();
+        if !rev.is_empty() {
+            return rev;
+        }
+    }
     std::process::Command::new("git")
         .args(["rev-parse", "--short", "HEAD"])
         .output()
@@ -100,7 +115,13 @@ pub fn git_rev() -> String {
         .filter(|o| o.status.success())
         .and_then(|o| String::from_utf8(o.stdout).ok())
         .map(|s| s.trim().to_string())
-        .unwrap_or_else(|| "unknown".to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| {
+            panic!(
+                "bench stamping could not resolve a git revision: run inside a \
+                 git checkout or set TANGO_GIT_REV=<rev>"
+            )
+        })
 }
 
 /// Render one sample as a JSON object (no trailing delimiter).

@@ -61,6 +61,10 @@ pub struct CgroupFs {
     groups: Vec<Group>,
     by_path: FxHashMap<String, usize>,
     journal: Journal,
+    /// Bumped on every create/remove/limit write — anything that can move
+    /// an effective limit. Lets callers cache `effective_limit` results
+    /// and revalidate with one integer compare.
+    limit_epoch: u64,
 }
 
 /// Root path constant.
@@ -76,6 +80,7 @@ impl CgroupFs {
             groups: Vec::with_capacity(8),
             by_path: FxHashMap::default(),
             journal: Journal::new(),
+            limit_epoch: 1,
         };
         let root = fs.insert(ROOT.to_string(), None, capacity);
         for level in QosLevel::ALL {
@@ -98,6 +103,7 @@ impl CgroupFs {
         self.by_path.insert(path.clone(), idx);
         self.journal
             .record(SimTime::ZERO, WriteKind::Create, path, limit);
+        self.limit_epoch += 1;
         idx
     }
 
@@ -171,6 +177,7 @@ impl CgroupFs {
         self.groups[parent.0].children.push(idx);
         self.by_path.insert(path.clone(), idx);
         self.journal.record(at, WriteKind::Create, path, limit);
+        self.limit_epoch += 1;
         Ok(CgroupId(idx))
     }
 
@@ -204,6 +211,7 @@ impl CgroupFs {
         }
         self.journal
             .record(at, WriteKind::Remove, path, Resources::ZERO);
+        self.limit_epoch += 1;
         Ok(())
     }
 
@@ -258,7 +266,13 @@ impl CgroupFs {
         self.groups[id.0].limit = new_limit;
         self.journal
             .record(at, WriteKind::SetLimit, path, new_limit);
+        self.limit_epoch += 1;
         Ok(())
+    }
+
+    /// Epoch of the last structural or limit write (see field docs).
+    pub fn limit_epoch(&self) -> u64 {
+        self.limit_epoch
     }
 
     /// The limit written on this cgroup itself.

@@ -38,7 +38,19 @@ pub(crate) struct ReservationTable {
     held: Vec<Resources>,
     stamps: Vec<u64>,
     clock: u64,
+    /// Ring of `(clock, node)` change records, ascending by clock — the
+    /// candidate-view cache's incremental dirty list. Bounded: once the
+    /// ring wraps, readers whose last-seen clock predates the oldest
+    /// retained record fall back to a full stamp scan.
+    journal: std::collections::VecDeque<(u64, NodeId)>,
+    /// Highest clock value already discarded from the journal.
+    journal_base: u64,
 }
+
+/// Change records retained before the journal starts forgetting. At
+/// paper scale a dispatch round touches a few hundred reservations, so
+/// this covers dozens of rounds of reader lag.
+const JOURNAL_CAP: usize = 32 * 1024;
 
 impl ReservationTable {
     /// Table covering nodes `0..n`.
@@ -47,6 +59,8 @@ impl ReservationTable {
             held: vec![Resources::ZERO; n_nodes],
             stamps: vec![0; n_nodes],
             clock: 0,
+            journal: std::collections::VecDeque::with_capacity(JOURNAL_CAP),
+            journal_base: 0,
         }
     }
 
@@ -71,6 +85,28 @@ impl ReservationTable {
     fn touch(&mut self, i: usize) {
         self.clock += 1;
         self.stamps[i] = self.clock;
+        if self.journal.len() == JOURNAL_CAP {
+            if let Some((c, _)) = self.journal.pop_front() {
+                self.journal_base = c;
+            }
+        }
+        self.journal.push_back((self.clock, NodeId(i as u32)));
+    }
+
+    /// The nodes touched since clock `seen`, oldest first (a node appears
+    /// once per touch), as `(count, iterator)`. `None` when the journal
+    /// has already forgotten part of that range — the caller must fall
+    /// back to a full stamp scan.
+    pub(crate) fn changes_since(
+        &self,
+        seen: u64,
+    ) -> Option<(usize, impl Iterator<Item = NodeId> + '_)> {
+        if seen < self.journal_base {
+            return None;
+        }
+        let start = self.journal.partition_point(|&(c, _)| c <= seen);
+        let n = self.journal.len() - start;
+        Some((n, self.journal.range(start..).map(|&(_, node)| node)))
     }
 
     /// Add to a node's reservation.
@@ -114,9 +150,12 @@ impl ReservationTable {
             }
             self.held[i] = r;
         }
-        // one bump marks every row newer than any pre-restore view
+        // one bump marks every row newer than any pre-restore view; the
+        // bulk change is not journaled, so force readers to a full scan
         self.clock += 1;
         self.stamps.fill(self.clock);
+        self.journal.clear();
+        self.journal_base = self.clock;
     }
 }
 
@@ -266,8 +305,8 @@ pub(crate) fn requeue_or_abandon(ctx: &mut SystemCtx<'_>, rid: RequestId, now: S
 /// Schedule the node's next projected completion check (skipped past the
 /// horizon — scheduling those would livelock the engine at the horizon
 /// instant).
-pub(crate) fn schedule_node_check(ctx: &SystemCtx<'_>, node: NodeId, sched: &mut Sched<'_>) {
-    let n = &ctx.nodes[node.index()];
+pub(crate) fn schedule_node_check(ctx: &mut SystemCtx<'_>, node: NodeId, sched: &mut Sched<'_>) {
+    let n = &mut ctx.nodes[node.index()];
     if let Some(t) = n.next_completion(sched.now()) {
         if t <= ctx.horizon {
             sched.schedule_at(t, Event::NodeCheck(node, n.generation()));

@@ -209,8 +209,9 @@ pub(crate) fn on_sync(ctx: &mut SystemCtx<'_>, sched: &mut Sched<'_>) {
         ctx.counters
             .sample_utilization(now, overall / nw, lc_frac / nw, be_frac / nw);
     }
-    // Fresh store contents invalidate every cached candidate view.
-    ctx.dispatch.views.invalidate_structure();
+    // Fresh store contents invalidate every cached candidate view's row
+    // values; membership and link attributes are untouched by a push.
+    ctx.dispatch.views.invalidate_values();
     sched.schedule_in(ctx.cfg.sync_interval, Event::Sync);
 }
 
@@ -221,10 +222,11 @@ pub(crate) fn on_reassure(ctx: &mut SystemCtx<'_>, sched: &mut Sched<'_>) {
         let catalog = ctx.catalog;
         let targets = |svc: ServiceId| catalog.get(svc).qos_target;
         let adjustments = reassurer.tick(ctx.detector, &targets, now);
-        // Factors feed cached candidate views' min-requests; only a tick
-        // that actually moved a factor needs to invalidate them.
+        // Factors feed cached candidate views' min-requests — a row
+        // value, not membership — so only a tick that actually moved a
+        // factor needs to invalidate, and value-level suffices.
         if !adjustments.is_empty() {
-            ctx.dispatch.views.invalidate_structure();
+            ctx.dispatch.views.invalidate_values();
         }
     }
     sched.schedule_in(ctx.cfg.reassure_interval, Event::Reassure);

@@ -63,6 +63,8 @@ pub(crate) struct ViewInputs<'a> {
 struct View {
     /// Structure clock this view was (re)built under; 0 = never built.
     built_at: u64,
+    /// Value clock the row values currently reflect.
+    values_at: u64,
     /// Reservation clock the rows currently reflect.
     seen_res: u64,
     /// The candidate rows, shared with outstanding `TypeBatch`es.
@@ -71,6 +73,19 @@ struct View {
     lc_base: Vec<Resources>,
     /// Pre-reservation BE availability baseline, parallel to `rows`.
     be_base: Vec<Resources>,
+    /// Store row index per view row — the membership cache. Which nodes
+    /// pass the worker/geo/live/reachable filter (and their link
+    /// attributes) only changes on *structural* bumps, so a value-only
+    /// bump (sync push) refreshes row values through these indices
+    /// without re-running the filters.
+    member_rows: Vec<u32>,
+    /// Node id per view row, parallel to `rows` (ascending — rebuild
+    /// walks the node-dense store in order). The reservation patch scans
+    /// this slim array instead of the ~100-byte candidate rows, touching
+    /// `rows` (and `Arc::make_mut`'s potential clone) only on hits.
+    node_ids: Vec<tango_types::NodeId>,
+    /// Scratch: row indices hit by the current reservation patch.
+    patch_hits: Vec<u32>,
 }
 
 /// Key: origin cluster for LC scopes, `u32::MAX` for the BE-global scope.
@@ -87,6 +102,10 @@ fn key_of(scope: ViewScope, service: ServiceId) -> ViewKey {
 pub(crate) struct CandidateViewCache {
     /// Bumped on any structural change; views lazily rebuild on next use.
     structure_clock: u64,
+    /// Bumped when only row *values* moved (sync pushes): membership and
+    /// link attributes survive, values re-read through the membership
+    /// cache.
+    value_clock: u64,
     views: FxHashMap<ViewKey, View>,
     /// Sorted geo-nearby cluster sets per origin. Cluster geometry is
     /// static (link degradation changes latency/bandwidth, not
@@ -102,6 +121,7 @@ impl Default for CandidateViewCache {
     fn default() -> Self {
         CandidateViewCache {
             structure_clock: 1, // > View::default().built_at
+            value_clock: 1,
             views: FxHashMap::default(),
             geo_sets: FxHashMap::default(),
             verify: false,
@@ -114,6 +134,12 @@ impl CandidateViewCache {
     /// its next use.
     pub(crate) fn invalidate_structure(&mut self) {
         self.structure_clock += 1;
+    }
+
+    /// Invalidate only row values (a sync push): views keep their
+    /// membership and link attributes and re-read values lazily.
+    pub(crate) fn invalidate_values(&mut self) {
+        self.value_clock += 1;
     }
 
     /// Toggle verification mode (every query cross-checked against a
@@ -134,28 +160,23 @@ impl CandidateViewCache {
     ) -> Arc<Vec<CandidateNode>> {
         let Self {
             structure_clock,
+            value_clock,
             views,
             geo_sets,
             verify,
         } = self;
         let geo = match scope {
-            ViewScope::LcGeo(origin) => Some(&*geo_sets.entry(origin).or_insert_with(|| {
-                let mut set = if inp.cfg.local_only {
-                    Vec::new()
-                } else {
-                    inp.topology.clusters_within(origin, inp.cfg.geo_radius_km)
-                };
-                set.push(origin);
-                set.sort_unstable();
-                set.dedup();
-                set
-            })),
+            ViewScope::LcGeo(origin) => Some(&*geo_set_entry(geo_sets, inp, origin)),
             ViewScope::BeGlobal => None,
         };
         let view = views.entry(key_of(scope, service)).or_default();
         if view.built_at != *structure_clock {
             rebuild(view, inp, service, scope, geo.map(Vec::as_slice));
             view.built_at = *structure_clock;
+            view.values_at = *value_clock;
+        } else if view.values_at != *value_clock {
+            refresh_values(view, inp, service, scope);
+            view.values_at = *value_clock;
         } else {
             patch_reservations(view, inp.reserved);
         }
@@ -170,6 +191,38 @@ impl CandidateViewCache {
         }
         Arc::clone(&view.rows)
     }
+
+    /// OR `origin`'s geo-nearby cluster set — the read *and* write
+    /// footprint of its LC dispatch round — into `mask`, one bit per
+    /// cluster index. The batched dispatcher uses these masks to form
+    /// waves of rounds with pairwise-disjoint footprints that can plan in
+    /// parallel against frozen views.
+    pub(crate) fn or_geo_mask(&mut self, inp: &ViewInputs<'_>, origin: ClusterId, mask: &mut [u64]) {
+        for &c in geo_set_entry(&mut self.geo_sets, inp, origin) {
+            mask[c.index() >> 6] |= 1 << (c.index() & 63);
+        }
+    }
+}
+
+/// The cached (static) geo-nearby cluster set for an LC origin: nearby
+/// clusters within the configured radius plus the origin itself, sorted.
+/// Cluster geometry never changes, so entries are computed once.
+fn geo_set_entry<'a>(
+    geo_sets: &'a mut FxHashMap<ClusterId, Vec<ClusterId>>,
+    inp: &ViewInputs<'_>,
+    origin: ClusterId,
+) -> &'a Vec<ClusterId> {
+    geo_sets.entry(origin).or_insert_with(|| {
+        let mut set = if inp.cfg.local_only {
+            Vec::new()
+        } else {
+            inp.topology.clusters_within(origin, inp.cfg.geo_radius_km)
+        };
+        set.push(origin);
+        set.sort_unstable();
+        set.dedup();
+        set
+    })
 }
 
 /// Build a view from scratch: iterate store rows in node-id order, filter
@@ -192,6 +245,20 @@ fn rebuild(
     rows.clear();
     view.lc_base.clear();
     view.be_base.clear();
+    view.member_rows.clear();
+    view.node_ids.clear();
+    // Hoist the factor-free min-request out of the row loop (same
+    // reasoning as in `refresh_values`).
+    let per_row_factors = match (scope, inp.reassurer) {
+        (ViewScope::LcGeo(_), Some(r)) => r.has_factors().then_some(r),
+        _ => None,
+    };
+    let uniform_min = match (scope, inp.reassurer) {
+        (ViewScope::LcGeo(_), Some(r)) if per_row_factors.is_none() => {
+            r.min_request(tango_types::NodeId(0), service, spec.min_request)
+        }
+        _ => spec.min_request,
+    };
     // Link attributes are a function of (vantage, cluster, payload);
     // compute each cluster's once.
     let mut links: Vec<Option<LinkObservation>> = vec![None; inp.cfg.clusters];
@@ -223,9 +290,9 @@ fn rebuild(
                 spec.payload_kib,
             ),
         });
-        let min_request = match (scope, inp.reassurer) {
-            (ViewScope::LcGeo(_), Some(r)) => r.min_request(row.node, service, spec.min_request),
-            _ => spec.min_request,
+        let min_request = match per_row_factors {
+            Some(r) => r.min_request(row.node, service, spec.min_request),
+            None => uniform_min,
         };
         let obs = NodeObservation {
             node: row.node,
@@ -237,6 +304,8 @@ fn rebuild(
         };
         view.lc_base.push(obs.available_lc);
         view.be_base.push(obs.available_be);
+        view.member_rows.push(i as u32);
+        view.node_ids.push(row.node);
         rows.push(CandidateNode::from_observation(
             obs,
             link,
@@ -244,6 +313,50 @@ fn rebuild(
             inp.reserved.get(row.node),
             true,
         ));
+    }
+    // The journal patch path binary-searches rows by node id; store rows
+    // are dense by node, so build order guarantees this.
+    debug_assert!(rows.windows(2).all(|w| w[0].node < w[1].node));
+    view.seen_res = inp.reserved.clock();
+}
+
+/// Re-read row *values* (availability, slack, re-assured min-request)
+/// through the membership cache after a sync push or re-assure tick.
+/// Membership and link attributes are structure-stable and survive
+/// untouched.
+fn refresh_values(view: &mut View, inp: &ViewInputs<'_>, service: ServiceId, scope: ViewScope) {
+    let spec = inp.catalog.get(service);
+    // While no re-assurance factor is in effect, the adjusted min-request
+    // is the same for every row — compute it once instead of per row
+    // (bit-identical: it is exactly `min_request` at factor 1.0).
+    let per_row_factors = match (scope, inp.reassurer) {
+        (ViewScope::LcGeo(_), Some(re)) => re.has_factors().then_some(re),
+        _ => None,
+    };
+    let uniform_min = match (scope, inp.reassurer) {
+        (ViewScope::LcGeo(_), Some(re)) if per_row_factors.is_none() => {
+            re.min_request(tango_types::NodeId(0), service, spec.min_request)
+        }
+        _ => spec.min_request,
+    };
+    let rows = Arc::make_mut(&mut view.rows);
+    for (k, &ri) in view.member_rows.iter().enumerate() {
+        let row = inp
+            .store
+            .row(ri as usize)
+            .expect("store membership is stable between structural bumps");
+        let c = &mut rows[k];
+        let r = inp.reserved.get(c.node);
+        view.lc_base[k] = row.lc_available();
+        view.be_base[k] = row.be_available();
+        c.total = row.total;
+        c.available_lc = view.lc_base[k].saturating_sub(&r);
+        c.available_be = view.be_base[k].saturating_sub(&r);
+        c.slack = row.slack_for(service).unwrap_or(1.0);
+        c.min_request = match per_row_factors {
+            Some(re) => re.min_request(c.node, service, spec.min_request),
+            None => uniform_min,
+        };
     }
     view.seen_res = inp.reserved.clock();
 }
@@ -258,12 +371,49 @@ fn patch_reservations(view: &mut View, reserved: &ReservationTable) {
         return;
     }
     let seen = view.seen_res;
-    let rows = Arc::make_mut(&mut view.rows);
-    for (i, c) in rows.iter_mut().enumerate() {
-        if reserved.stamp(c.node) > seen {
-            let r = reserved.get(c.node);
-            c.available_lc = view.lc_base[i].saturating_sub(&r);
-            c.available_be = view.be_base[i].saturating_sub(&r);
+    // Journal fast path: when the reservation table still remembers every
+    // change since `seen` and the change list is small relative to the
+    // view, visit only the changed nodes (binary search by node id)
+    // instead of scanning every row. A first read-only pass finds whether
+    // any change hits this view at all, so untouched views never
+    // copy-on-write rows shared with outstanding batches.
+    if let Some((n, probe)) = reserved.changes_since(seen) {
+        if n * 4 <= view.rows.len() {
+            view.patch_hits.clear();
+            for node in probe {
+                if let Ok(k) = view.node_ids.binary_search(&node) {
+                    view.patch_hits.push(k as u32);
+                }
+            }
+            if !view.patch_hits.is_empty() {
+                let rows = Arc::make_mut(&mut view.rows);
+                for &k in &view.patch_hits {
+                    let k = k as usize;
+                    let r = reserved.get(view.node_ids[k]);
+                    rows[k].available_lc = view.lc_base[k].saturating_sub(&r);
+                    rows[k].available_be = view.be_base[k].saturating_sub(&r);
+                }
+            }
+            view.seen_res = clock;
+            return;
+        }
+    }
+    // Full scan over the slim node-id array; the fat candidate rows are
+    // only touched (and `Arc::make_mut` only pays a potential clone) when
+    // some row actually changed.
+    view.patch_hits.clear();
+    for (i, &node) in view.node_ids.iter().enumerate() {
+        if reserved.stamp(node) > seen {
+            view.patch_hits.push(i as u32);
+        }
+    }
+    if !view.patch_hits.is_empty() {
+        let rows = Arc::make_mut(&mut view.rows);
+        for &k in &view.patch_hits {
+            let k = k as usize;
+            let r = reserved.get(view.node_ids[k]);
+            rows[k].available_lc = view.lc_base[k].saturating_sub(&r);
+            rows[k].available_be = view.be_base[k].saturating_sub(&r);
         }
     }
     view.seen_res = clock;

@@ -54,6 +54,12 @@ struct ContainerState {
     running: Vec<RunningRequest>,
     /// Set while a native-VPA rebuild (or eviction restart) is in flight.
     unavailable_until: SimTime,
+    /// Cached effective limit, valid while `eff_epoch` matches the cgroup
+    /// tree's limit epoch. The execution integrator reads the effective
+    /// limit on every advance/projection; limits only move on D-VPA or
+    /// rebuild events, so this hits almost always.
+    eff: Resources,
+    eff_epoch: u64,
 }
 
 /// A master or worker node.
@@ -69,12 +75,30 @@ pub struct Node {
     /// The node's CGroup tree (public: D-VPA writes it directly).
     pub cgroups: CgroupFs,
     pods: FxHashMap<PodId, Pod>,
-    containers: FxHashMap<ContainerId, ContainerState>,
-    by_service: FxHashMap<ServiceId, ContainerId>,
+    /// Container states, dense in deployment order (== ascending id order,
+    /// since local ids are allocated sequentially). The execution
+    /// integrator walks this on every advance/projection, so it must be a
+    /// flat scan, not a hash-map iteration.
+    containers: Vec<ContainerState>,
+    index: FxHashMap<ContainerId, usize>,
+    by_service: FxHashMap<ServiceId, usize>,
+    /// Requests currently running across all containers — the early-out
+    /// for advance/projection on idle nodes.
+    running_total: usize,
     last_advance: SimTime,
     generation: u64,
     next_local_id: u64,
     finished: Vec<CompletedRequest>,
+}
+
+/// The container's effective limit through the per-container cache.
+fn cached_eff(cgroups: &CgroupFs, state: &mut ContainerState) -> Resources {
+    let epoch = cgroups.limit_epoch();
+    if state.eff_epoch != epoch {
+        state.eff = cgroups.effective_limit(state.meta.cgroup);
+        state.eff_epoch = epoch;
+    }
+    state.eff
 }
 
 /// Remaining work below this is "done" (guards float dust).
@@ -90,8 +114,10 @@ impl Node {
             capacity,
             cgroups: CgroupFs::new(capacity),
             pods: FxHashMap::default(),
-            containers: FxHashMap::default(),
+            containers: Vec::new(),
+            index: FxHashMap::default(),
             by_service: FxHashMap::default(),
+            running_total: 0,
             last_advance: SimTime::ZERO,
             generation: 0,
             next_local_id: 0,
@@ -169,62 +195,66 @@ impl Node {
             restarts: 0,
         };
         self.pods.insert(pod_id, pod);
-        self.containers.insert(
-            ctr_id,
-            ContainerState {
-                meta,
-                running: Vec::new(),
-                unavailable_until: SimTime::ZERO,
-            },
-        );
-        self.by_service.insert(spec.id, ctr_id);
+        let slot = self.containers.len();
+        self.containers.push(ContainerState {
+            meta,
+            running: Vec::new(),
+            unavailable_until: SimTime::ZERO,
+            eff: Resources::ZERO,
+            eff_epoch: 0,
+        });
+        self.index.insert(ctr_id, slot);
+        self.by_service.insert(spec.id, slot);
         self.touch();
         Ok(ctr_id)
     }
 
+    fn state(&self, id: ContainerId) -> Option<&ContainerState> {
+        self.index.get(&id).map(|&i| &self.containers[i])
+    }
+
+    fn state_mut(&mut self, id: ContainerId) -> Option<&mut ContainerState> {
+        self.index.get(&id).map(|&i| &mut self.containers[i])
+    }
+
     /// Container hosting a service, if deployed.
     pub fn container_for(&self, service: ServiceId) -> Option<ContainerId> {
-        self.by_service.get(&service).copied()
+        self.by_service
+            .get(&service)
+            .map(|&i| self.containers[i].meta.id)
     }
 
     /// Container metadata.
     pub fn container(&self, id: ContainerId) -> Option<&Container> {
-        self.containers.get(&id).map(|c| &c.meta)
+        self.state(id).map(|c| &c.meta)
     }
 
     /// The pod owning a container.
     pub fn pod_of(&self, ctr: ContainerId) -> Option<&Pod> {
-        self.containers
-            .get(&ctr)
-            .and_then(|c| self.pods.get(&c.meta.pod))
+        self.state(ctr).and_then(|c| self.pods.get(&c.meta.pod))
     }
 
-    /// All deployed containers (deterministic order by id).
+    /// All deployed containers (deterministic order by id — local ids are
+    /// allocated sequentially, so deployment order is id order).
     pub fn container_ids(&self) -> Vec<ContainerId> {
-        let mut v: Vec<ContainerId> = self.containers.keys().copied().collect();
-        v.sort_unstable();
-        v
+        self.containers.iter().map(|c| c.meta.id).collect()
     }
 
     /// Requests running in a container.
     pub fn running_in(&self, ctr: ContainerId) -> &[RunningRequest] {
-        self.containers
-            .get(&ctr)
-            .map(|c| c.running.as_slice())
-            .unwrap_or(&[])
+        self.state(ctr).map(|c| c.running.as_slice()).unwrap_or(&[])
     }
 
     /// Whether the container can accept requests at `now` (not mid-rebuild).
     pub fn is_available(&self, ctr: ContainerId, now: SimTime) -> bool {
-        self.containers
-            .get(&ctr)
+        self.state(ctr)
             .map(|c| c.unavailable_until <= now)
             .unwrap_or(false)
     }
 
     /// Mark a container unavailable until `until` (rebuild in progress).
     pub fn set_unavailable_until(&mut self, ctr: ContainerId, until: SimTime) {
-        if let Some(c) = self.containers.get_mut(&ctr) {
+        if let Some(c) = self.state_mut(ctr) {
             c.unavailable_until = until;
             self.generation += 1;
         }
@@ -232,8 +262,7 @@ impl Node {
 
     /// Effective CPU limit of a container (min over its cgroup path).
     pub fn effective_cpu(&self, ctr: ContainerId) -> u64 {
-        self.containers
-            .get(&ctr)
+        self.state(ctr)
             .map(|c| self.cgroups.effective_limit(c.meta.cgroup).cpu_milli)
             .unwrap_or(0)
     }
@@ -257,13 +286,17 @@ impl Node {
         }
         let dt_ms = (now - self.last_advance).as_micros() as f64 / 1_000.0;
         self.last_advance = now;
+        if self.running_total == 0 {
+            return;
+        }
         let mut any_done = false;
-        for state in self.containers.values_mut() {
+        let cgroups = &self.cgroups;
+        for state in &mut self.containers {
             let m = state.running.len();
             if m == 0 {
                 continue;
             }
-            let eff = self.cgroups.effective_limit(state.meta.cgroup).cpu_milli;
+            let eff = cached_eff(cgroups, state).cpu_milli;
             for r in &mut state.running {
                 let rate = Self::rate(eff, m, r.demand.cpu_milli);
                 r.remaining_work -= rate * dt_ms;
@@ -274,16 +307,22 @@ impl Node {
         }
         if any_done {
             // collect completions: remove, uncharge incompressibles
-            let ids = self.container_ids();
-            for ctr in ids {
-                let state = self.containers.get_mut(&ctr).expect("listed");
+            let Node {
+                containers,
+                cgroups,
+                finished,
+                running_total,
+                ..
+            } = self;
+            for state in containers.iter_mut() {
                 let mut i = 0;
                 while i < state.running.len() {
                     if state.running[i].remaining_work <= WORK_EPSILON {
                         let r = state.running.swap_remove(i);
+                        *running_total -= 1;
                         let (_, incompressible) = r.demand.split_compressible();
-                        self.cgroups.uncharge(state.meta.cgroup, incompressible);
-                        self.finished.push(CompletedRequest {
+                        cgroups.uncharge(state.meta.cgroup, incompressible);
+                        finished.push(CompletedRequest {
                             request: r.request,
                             service: state.meta.service,
                             class: state.meta.class,
@@ -317,25 +356,25 @@ impl Node {
         now: SimTime,
     ) -> Result<(), TangoError> {
         self.advance(now);
-        let ctr = self.by_service.get(&service).copied().ok_or_else(|| {
+        let slot = self.by_service.get(&service).copied().ok_or_else(|| {
             TangoError::Unschedulable(format!("{service} not deployed on {}", self.id))
         })?;
-        let state = self.containers.get_mut(&ctr).expect("indexed");
+        let state = &self.containers[slot];
         if state.unavailable_until > now {
             return Err(TangoError::Unschedulable(format!(
-                "container {ctr} rebuilding until {}",
-                state.unavailable_until
+                "container {} rebuilding until {}",
+                state.meta.id, state.unavailable_until
             )));
         }
         let (_, incompressible) = demand.split_compressible();
         self.cgroups.charge(state.meta.cgroup, incompressible)?;
-        let state = self.containers.get_mut(&ctr).expect("indexed");
-        state.running.push(RunningRequest {
+        self.containers[slot].running.push(RunningRequest {
             request,
             demand,
             remaining_work: work_milli_ms as f64,
             admitted_at: now,
         });
+        self.running_total += 1;
         self.generation += 1;
         Ok(())
     }
@@ -343,14 +382,18 @@ impl Node {
     /// Earliest projected completion time across all containers at current
     /// rates (call after [`Node::advance`]). `None` when nothing is
     /// running or every runnable rate is zero.
-    pub fn next_completion(&self, now: SimTime) -> Option<SimTime> {
+    pub fn next_completion(&mut self, now: SimTime) -> Option<SimTime> {
+        if self.running_total == 0 {
+            return None;
+        }
         let mut best: Option<SimTime> = None;
-        for state in self.containers.values() {
+        let cgroups = &self.cgroups;
+        for state in &mut self.containers {
             let m = state.running.len();
             if m == 0 {
                 continue;
             }
-            let eff = self.cgroups.effective_limit(state.meta.cgroup).cpu_milli;
+            let eff = cached_eff(cgroups, state).cpu_milli;
             for r in &state.running {
                 let rate = Self::rate(eff, m, r.demand.cpu_milli);
                 if rate <= 0.0 {
@@ -376,11 +419,15 @@ impl Node {
         ready_at: SimTime,
     ) -> Result<Vec<RunningRequest>, TangoError> {
         self.advance(now);
-        let state = self
-            .containers
-            .get_mut(&ctr)
+        let slot = self
+            .index
+            .get(&ctr)
+            .copied()
             .ok_or(TangoError::UnknownContainer(ctr))?;
+        let state = &mut self.containers[slot];
         let interrupted = std::mem::take(&mut state.running);
+        self.running_total -= interrupted.len();
+        let state = &mut self.containers[slot];
         let cg = state.meta.cgroup;
         state.meta.restarts += 1;
         state.unavailable_until = ready_at;
@@ -429,7 +476,7 @@ impl Node {
     pub fn demand_usage(&self) -> (Resources, Resources) {
         let mut lc = Resources::ZERO;
         let mut be = Resources::ZERO;
-        for state in self.containers.values() {
+        for state in &self.containers {
             for r in &state.running {
                 match state.meta.class {
                     ServiceClass::Lc => lc += r.demand,
@@ -450,7 +497,7 @@ impl Node {
     pub fn actual_usage(&self) -> (Resources, Resources) {
         let mut lc = Resources::ZERO;
         let mut be = Resources::ZERO;
-        for state in self.containers.values() {
+        for state in &self.containers {
             let m = state.running.len();
             if m == 0 {
                 continue;
@@ -492,15 +539,12 @@ impl Node {
 
     /// Number of requests currently running on the node.
     pub fn running_count(&self) -> usize {
-        self.containers.values().map(|c| c.running.len()).sum()
+        self.running_total
     }
 
     /// QoS level of a container's pod.
     pub fn qos_of(&self, ctr: ContainerId) -> Option<QosLevel> {
-        self.containers
-            .get(&ctr)
-            .and_then(|c| self.pods.get(&c.meta.pod))
-            .map(|p| p.qos)
+        self.pod_of(ctr).map(|p| p.qos)
     }
 
     // --- checkpoint plumbing (see the `snapshot` module) ---
@@ -518,8 +562,7 @@ impl Node {
     }
 
     pub(crate) fn snap_unavailable_until(&self, ctr: ContainerId) -> SimTime {
-        self.containers
-            .get(&ctr)
+        self.state(ctr)
             .map(|c| c.unavailable_until)
             .unwrap_or(SimTime::ZERO)
     }
@@ -544,10 +587,14 @@ impl Node {
         unavailable_until: SimTime,
         running: Vec<RunningRequest>,
     ) -> Result<(), tango_snap::SnapError> {
-        let state = self
-            .containers
-            .get_mut(&ctr)
+        let slot = self
+            .index
+            .get(&ctr)
+            .copied()
             .ok_or(tango_snap::SnapError::Corrupt("unknown container id"))?;
+        let state = &mut self.containers[slot];
+        self.running_total -= state.running.len();
+        self.running_total += running.len();
         state.meta.restarts = restarts;
         state.unavailable_until = unavailable_until;
         state.running = running;
@@ -559,7 +606,7 @@ impl Node {
     pub fn scaling_cgroups(&self, service: ServiceId) -> Option<(CgroupId, CgroupId)> {
         let ctr = self.container_for(service)?;
         let pod = self.pod_of(ctr)?;
-        let c = self.containers.get(&ctr)?;
+        let c = self.state(ctr)?;
         Some((pod.cgroup, c.meta.cgroup))
     }
 }

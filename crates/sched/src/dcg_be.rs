@@ -280,15 +280,25 @@ pub struct GreedyBe;
 
 impl BeScheduler for GreedyBe {
     fn schedule(&mut self, demand: &Resources, nodes: &[CandidateNode]) -> Option<NodeId> {
-        nodes
-            .iter()
-            .filter(|c| c.alive && demand.fits_within(&c.available_be))
-            .max_by(|a, b| {
-                let fa = a.available_be.utilization_against(&a.total);
-                let fb = b.available_be.utilization_against(&b.total);
-                fa.partial_cmp(&fb).unwrap_or(std::cmp::Ordering::Equal)
-            })
-            .map(|c| c.node)
+        // Single-pass fold computing each candidate's utilization once.
+        // Tie rule matches `Iterator::max_by` (last maximum wins, and an
+        // incomparable pair counts as a tie): the incumbent survives only
+        // when strictly greater.
+        let mut best: Option<(NodeId, f64)> = None;
+        for c in nodes {
+            if !c.alive || !demand.fits_within(&c.available_be) {
+                continue;
+            }
+            let f = c.available_be.utilization_against(&c.total);
+            let keep = matches!(
+                &best,
+                Some((_, fb)) if fb.partial_cmp(&f) == Some(std::cmp::Ordering::Greater)
+            );
+            if !keep {
+                best = Some((c.node, f));
+            }
+        }
+        best.map(|(n, _)| n)
     }
 
     fn feedback(&mut self, _: f32, _: &Resources, _: &[CandidateNode]) {}

@@ -128,7 +128,10 @@ impl DssLc {
         }
         order_idx.clear();
         order_idx.extend(0..batch.nodes.len());
-        order_idx.sort_by_key(|&i| (batch.nodes[i].delay, batch.nodes[i].node));
+        // Unstable sort: keys are unique (one row per node), so the
+        // result is identical to a stable sort and skips its per-call
+        // buffer allocation.
+        order_idx.sort_unstable_by_key(|&i| (batch.nodes[i].delay, batch.nodes[i].node));
         let mut remaining = demand;
         for &i in order_idx.iter() {
             if remaining == 0 {
