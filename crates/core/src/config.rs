@@ -1,5 +1,6 @@
 //! System configuration and the paper's experiment presets.
 
+pub use tango_ctrl::KeepAliveConfig;
 use tango_faults::FaultPlan;
 use tango_gnn::EncoderKind;
 use tango_hrm::ReassuranceConfig;
@@ -161,6 +162,13 @@ pub struct TangoConfig {
     /// Fault scenario (empty by default — a calm-weather run). Compiled
     /// into timed crash/recover/degrade events when the run starts.
     pub faults: FaultPlan,
+    /// Keep-alive failure detection. `None` (the default) keeps the
+    /// oracle model: the control plane learns of a crash the instant the
+    /// fault plan fires it. `Some` makes crashes *physical* first — the
+    /// control plane keeps scheduling onto the dead node until the
+    /// detector accumulates enough missed sync-tick probes, and only the
+    /// detector trip triggers rescheduling and reservation teardown.
+    pub detection: Option<KeepAliveConfig>,
     /// Master seed.
     pub seed: u64,
     /// Worker threads for the deterministic parallel runtime
@@ -208,6 +216,7 @@ impl TangoConfig {
             local_only: false,
             ablations: Ablations::default(),
             faults: FaultPlan::default(),
+            detection: None,
             seed: 42,
             parallelism: None,
         }

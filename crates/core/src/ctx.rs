@@ -19,6 +19,7 @@
 //!   emission point and builds events lazily, so an untraced run pays a
 //!   single branch per hook.
 
+use crate::ctrl_rt::CtrlState;
 use crate::dispatch::DispatchState;
 use crate::lifecycle::LifecycleState;
 use crate::runtime::{Allocator, ClusterRt};
@@ -65,6 +66,9 @@ pub struct SystemCtx<'a> {
     pub(crate) sync: &'a mut SyncState,
     /// Fault runtime state (down flags, crash epochs, ledger).
     pub(crate) fault: &'a mut FaultState,
+    /// Control-plane state (state mirror, keep-alive detector, proxy
+    /// accounting).
+    pub(crate) ctrl: &'a mut CtrlState,
     /// Deterministic worker pool for the embarrassingly-parallel phases.
     pub(crate) pool: &'a tango_par::Pool,
     /// Run horizon (completions projected past it are never scheduled).

@@ -302,8 +302,8 @@ fn dispatch_batch(ctx: &mut SystemCtx<'_>, clusters: &[ClusterId], sched: &mut S
         // Commit: apply every wave member in pop order, reproducing the
         // exact per-round push sequence (LC deliveries, then BE, then the
         // round reschedule) of strict sequential dispatch.
-        for k in i..j {
-            commit_round(ctx, &rounds[k], now, sched);
+        for round in &rounds[i..j] {
+            commit_round(ctx, round, now, sched);
         }
         i = j;
     }

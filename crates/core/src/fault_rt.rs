@@ -26,7 +26,16 @@ pub(crate) fn acting_master_for(
     ctx: &SystemCtx<'_>,
     cluster: ClusterId,
 ) -> Option<(ClusterId, SimTime)> {
-    if !ctx.fault.is_down(ctx.clusters[cluster.index()].master) {
+    let own = ctx.clusters[cluster.index()].master;
+    if !ctx.fault.is_down(own) {
+        // Under detection-driven faults the master may be physically
+        // dead while still *believed* alive; nothing answers, so the
+        // round is silently lost until the keep-alive detector trips
+        // and failover kicks in. (Oracle mode: phys == detected, so
+        // this branch never fires there.)
+        if ctx.fault.is_phys_down(own) {
+            return None;
+        }
         return Some((cluster, SimTime::ZERO));
     }
     let mut best: Option<(f64, ClusterId)> = None;
@@ -46,7 +55,14 @@ pub(crate) fn acting_master_for(
             best = Some((d, c.id));
         }
     }
-    best.map(|(_, backup)| (backup, ctx.topology.one_way_latency(cluster, backup)))
+    best.and_then(|(_, backup)| {
+        // A backup chosen on believed liveness can itself be physically
+        // dead and undetected — that round is lost too.
+        if ctx.fault.is_phys_down(ctx.clusters[backup.index()].master) {
+            return None;
+        }
+        Some((backup, ctx.topology.one_way_latency(cluster, backup)))
+    })
 }
 
 /// Apply one compiled fault-plan event. Crashes interrupt everything on
@@ -58,6 +74,30 @@ pub(crate) fn on_fault(ctx: &mut SystemCtx<'_>, fault: FaultEvent, sched: &mut S
     match fault {
         FaultEvent::NodeCrash { node } => {
             let is_master = ctx.nodes[node.index()].is_master;
+            if ctx.cfg.detection.is_some() {
+                // Detection-driven fault model: the crash is physical
+                // only. Nothing the control plane owns may react yet —
+                // interrupted work parks in limbo, wait queues and
+                // reservations stay, candidate views are NOT
+                // invalidated (the *believed* state did not change, and
+                // an attached mirror must not telegraph the crash). The
+                // keep-alive detector trips later in
+                // `ctrl_rt::keepalive_tick` and runs the reaction.
+                if !ctx.fault.on_phys_crash(node, now, is_master) {
+                    return; // already physically down
+                }
+                ctx.emit(now, || TraceEvent::Fault {
+                    kind: "crash",
+                    node: Some(node),
+                });
+                let limbo: Vec<(ServiceClass, RequestId)> = ctx.nodes[node.index()]
+                    .crash(now)
+                    .into_iter()
+                    .map(|(class, rr)| (class, rr.request))
+                    .collect();
+                ctx.fault.push_limbo(node, limbo);
+                return;
+            }
             if !ctx.fault.on_crash(node, now, is_master) {
                 return; // already down (overlapping churn draw)
             }
@@ -91,6 +131,11 @@ pub(crate) fn on_fault(ctx: &mut SystemCtx<'_>, fault: FaultEvent, sched: &mut S
             ctx.lifecycle.reserved.clear_node(node);
         }
         FaultEvent::NodeRecover { node } => {
+            // A recovery can land before the keep-alive detector ever
+            // tripped. The limbo work still has to go back to the
+            // schedulers — it does so here, at the recovery edge, with
+            // the same interruption accounting detection would have run.
+            let undetected = ctx.fault.is_phys_down(node) && !ctx.fault.is_down(node);
             if !ctx.fault.on_recover(node, now) {
                 return; // was not down
             }
@@ -98,6 +143,21 @@ pub(crate) fn on_fault(ctx: &mut SystemCtx<'_>, fault: FaultEvent, sched: &mut S
                 kind: "recover",
                 node: Some(node),
             });
+            if undetected {
+                for (class, rid) in ctx.fault.take_limbo(node) {
+                    match class {
+                        ServiceClass::Lc => ctx.fault.summary.lc_interrupted += 1,
+                        ServiceClass::Be => ctx.fault.summary.be_interrupted += 1,
+                    }
+                    ctx.fault.summary.rescheduled += 1;
+                    lifecycle::requeue_or_abandon(ctx, rid, now);
+                }
+            }
+            // Accumulated keep-alive suspicion no longer describes the
+            // restarted node.
+            if let Some(det) = ctx.ctrl.detector.as_mut() {
+                det.reset_node(node);
+            }
             ctx.nodes[node.index()].recover(now, ctx.cfg.faults.restart_delay);
             // The node comes back cold: pre-crash latency windows and
             // re-assurance factors no longer describe it.

@@ -30,6 +30,8 @@
 
 pub mod config;
 #[deny(missing_docs)]
+pub mod ctrl_rt;
+#[deny(missing_docs)]
 pub mod ctx;
 #[deny(missing_docs)]
 pub mod dispatch;

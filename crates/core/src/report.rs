@@ -61,11 +61,15 @@ impl RunAudit {
 }
 
 impl RunReport {
-    /// Deterministic 64-bit digest over every field of the report
+    /// Deterministic 64-bit digest over the report's behavioral fields
     /// (floats folded in bitwise, periods and fault ledger included).
-    /// Two reports digest equal iff they are bit-identical — the
+    /// Two reports digest equal iff those fields are bit-identical — the
     /// refactor-equivalence golden test pins this value for a seeded run
     /// so any behavioral drift in the staged runtime is caught exactly.
+    /// Purely observational additions (`detection_lag_ms`,
+    /// `proxy_fallbacks`) are deliberately *excluded* so pinned goldens
+    /// survive control-plane instrumentation; they get their own
+    /// assertions in the ctrl-plane tests.
     pub fn digest(&self) -> u64 {
         // FNV-1a, the same deterministic fold the bench harness stamps
         // its JSON with. No dependence on label text: the digest pins
@@ -129,11 +133,11 @@ impl RunReport {
     /// ready for external plotting.
     pub fn periods_csv(&self) -> String {
         let mut out = String::from(
-            "period,lc_arrived,lc_completed,lc_satisfied,be_completed,abandoned,util_overall,util_lc,util_be,lc_p95_ms,fault_qos_violations\n",
+            "period,lc_arrived,lc_completed,lc_satisfied,be_completed,abandoned,util_overall,util_lc,util_be,lc_p95_ms,fault_qos_violations,detection_lag_ms,proxy_fallbacks\n",
         );
         for p in &self.periods {
             out.push_str(&format!(
-                "{},{},{},{},{},{},{:.4},{:.4},{:.4},{:.2},{}\n",
+                "{},{},{},{},{},{},{:.4},{:.4},{:.4},{:.2},{},{:.2},{}\n",
                 p.index,
                 p.lc_arrived,
                 p.lc_completed,
@@ -144,7 +148,9 @@ impl RunReport {
                 p.util_lc,
                 p.util_be,
                 p.lc_p95_ms,
-                p.fault_qos_violations
+                p.fault_qos_violations,
+                p.detection_lag_ms,
+                p.proxy_fallbacks
             ));
         }
         out
@@ -246,6 +252,8 @@ mod tests {
                     util_be: 0.3,
                     lc_p95_ms: 123.45,
                     fault_qos_violations: 2,
+                    detection_lag_ms: 150.0,
+                    proxy_fallbacks: 4,
                 },
                 PeriodRecord::default(),
             ],
@@ -264,9 +272,9 @@ mod tests {
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 3);
         assert!(lines[0].starts_with("period,lc_arrived"));
-        assert!(lines[0].ends_with("fault_qos_violations"));
+        assert!(lines[0].ends_with("fault_qos_violations,detection_lag_ms,proxy_fallbacks"));
         assert!(lines[1].starts_with("0,10,9,8,3,1,0.5000"));
-        assert!(lines[1].ends_with(",2"));
+        assert!(lines[1].ends_with(",2,150.00,4"));
     }
 
     #[test]

@@ -124,6 +124,7 @@ const SEC_FAULT: u32 = 10;
 const SEC_TOPOLOGY: u32 = 11;
 const SEC_STORE: u32 = 12;
 const SEC_ENGINE: u32 = 13;
+const SEC_CTRL: u32 = 14;
 
 /// When and how many checkpoints [`EdgeCloudSystem::run_checkpointed`]
 /// takes.
@@ -297,6 +298,17 @@ pub(crate) fn encode(sys: &EdgeCloudSystem, engine: &Engine<Event>) -> Result<Ve
         }
     });
 
+    // Control plane: keep-alive suspicion levels. Mirror/proxy
+    // attachments are run-local wiring and are not part of the state
+    // (a proxy additionally fails the encode above via its backend).
+    b.section(SEC_CTRL, |w| match &sys.ctrl.detector {
+        None => w.put_u8(0),
+        Some(det) => {
+            w.put_u8(1);
+            det.snapshot(w);
+        }
+    });
+
     Ok(b.seal())
 }
 
@@ -464,6 +476,13 @@ impl EdgeCloudSystem {
         }
         let engine =
             Engine::from_parts(now, processed, EventQueue::from_entries(entries, next_seq));
+
+        let mut r = file.section(SEC_CTRL, "ctrl section")?;
+        match (r.u8()?, sys.ctrl.detector.as_mut()) {
+            (0, None) => {}
+            (1, Some(det)) => det.restore(&mut r)?,
+            _ => return Err(SnapError::Corrupt("ctrl detector presence")),
+        }
 
         Ok(Resumed { sys, engine })
     }

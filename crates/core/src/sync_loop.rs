@@ -30,6 +30,11 @@ pub(crate) struct SyncDraft {
     pub(crate) be_frac: f64,
     /// Per-LC-service slack pairs, for the node's store row.
     pub(crate) slack: Vec<(ServiceId, f64)>,
+    /// Physically down but not yet detected: phase 2 must keep the
+    /// node's stale pre-crash store row instead of overwriting it —
+    /// schedulers keep routing to the node until the keep-alive
+    /// detector trips, which is exactly the cost detection lag measures.
+    pub(crate) stale: bool,
 }
 
 /// State owned by the sync stage: reusable per-node drafts plus the shard
@@ -76,6 +81,11 @@ fn plan_shards(cluster_bounds: &[usize], parts: usize, out: &mut Vec<usize>) {
 /// utilization.
 pub(crate) fn on_sync(ctx: &mut SystemCtx<'_>, sched: &mut Sched<'_>) {
     let now = sched.now();
+    // Keep-alive probe round first: a detector trip this tick marks the
+    // node detected-down before phase 1 reads the down flags, so the
+    // store row zeroes on the same tick the control plane learns of the
+    // crash. No-op under the oracle fault model.
+    crate::ctrl_rt::keepalive_tick(ctx, now);
     let n = ctx.nodes.len();
     ctx.detector.ensure_nodes(n);
     let sync = &mut *ctx.sync;
@@ -110,6 +120,7 @@ pub(crate) fn on_sync(ctx: &mut SystemCtx<'_>, sched: &mut Sched<'_>) {
     // drafts and detector rows; every write is node-local, so drafts land
     // identically at any thread count.
     let down: &[bool] = ctx.fault.down_slice();
+    let phys_down: &[bool] = ctx.fault.phys_down_slice();
     let lc_targets = &sync.lc_targets;
     ctx.pool.par_parts_zip3_mut(
         &sync.shard_bounds,
@@ -128,6 +139,7 @@ pub(crate) fn on_sync(ctx: &mut SystemCtx<'_>, sched: &mut Sched<'_>) {
                         draft.slack.push((svc, s));
                     }
                 }
+                draft.stale = false;
                 if down[node.id.index()] {
                     // Crashed node: it advertises zero capacity (the
                     // snapshot keeps schedulers honest between the
@@ -138,6 +150,18 @@ pub(crate) fn on_sync(ctx: &mut SystemCtx<'_>, sched: &mut Sched<'_>) {
                     draft.overall = 0.0;
                     draft.lc_frac = 0.0;
                     draft.be_frac = 0.0;
+                    continue;
+                }
+                if phys_down[node.id.index()] {
+                    // Physically dead but not yet detected: no probe
+                    // answer, so the store keeps the stale pre-crash row
+                    // and the node contributes zero utilization. The
+                    // schedulers keep believing the old row until the
+                    // keep-alive detector trips.
+                    draft.overall = 0.0;
+                    draft.lc_frac = 0.0;
+                    draft.be_frac = 0.0;
+                    draft.stale = true;
                     continue;
                 }
                 node.advance(now);
@@ -164,6 +188,9 @@ pub(crate) fn on_sync(ctx: &mut SystemCtx<'_>, sched: &mut Sched<'_>) {
     // buffers — no allocation in steady state.
     let n_services = ctx.catalog.len();
     for (node, draft) in ctx.nodes.iter().zip(sync.drafts.iter()) {
+        if draft.stale {
+            continue; // undetected crash: keep the pre-crash row
+        }
         sync.pending_pairs.clear();
         if node.is_master {
             let counts = &mut sync.pending_counts;
@@ -212,6 +239,9 @@ pub(crate) fn on_sync(ctx: &mut SystemCtx<'_>, sched: &mut Sched<'_>) {
     // Fresh store contents invalidate every cached candidate view's row
     // values; membership and link attributes are untouched by a push.
     ctx.dispatch.views.invalidate_values();
+    // Control-plane epilogue: proxy fallback accounting, then a mirror
+    // frame if one is attached. Publishing reads state and clocks only.
+    crate::ctrl_rt::after_sync(ctx, now);
     sched.schedule_in(ctx.cfg.sync_interval, Event::Sync);
 }
 

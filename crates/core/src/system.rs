@@ -37,6 +37,7 @@
 //!   utilization (the Prometheus/QoS-detector push cycle of Fig. 3).
 
 use crate::config::{AllocatorKind, TangoConfig};
+use crate::ctrl_rt::CtrlState;
 use crate::ctx::SystemCtx;
 use crate::dispatch::DispatchState;
 use crate::fault_rt;
@@ -106,6 +107,7 @@ pub struct EdgeCloudSystem {
     pub(crate) dispatch: DispatchState,
     pub(crate) sync: SyncState,
     pub(crate) fault: FaultState,
+    pub(crate) ctrl: CtrlState,
     pub(crate) horizon: SimTime,
     /// Deterministic worker pool for the embarrassingly-parallel phases
     /// (per-type dispatch planning, per-node sync accounting). Thread
@@ -180,6 +182,7 @@ impl EdgeCloudSystem {
 
         let lifecycle = LifecycleState::new(nodes.len());
         let fault = FaultState::new(nodes.len());
+        let ctrl = CtrlState::from_config(&cfg, nodes.len());
         let pool = tango_par::Pool::new(tango_par::resolve(cfg.parallelism));
         EdgeCloudSystem {
             cfg,
@@ -204,6 +207,7 @@ impl EdgeCloudSystem {
             },
             sync: SyncState::default(),
             fault,
+            ctrl,
             horizon: SimTime::MAX,
             pool,
             trace: None,
@@ -267,6 +271,7 @@ impl EdgeCloudSystem {
             dispatch: &mut self.dispatch,
             sync: &mut self.sync,
             fault: &mut self.fault,
+            ctrl: &mut self.ctrl,
             pool: &self.pool,
             horizon: self.horizon,
             trace: self.trace.as_deref_mut().map(|t| t as _),

@@ -148,6 +148,16 @@ impl CandidateViewCache {
         self.verify = on;
     }
 
+    /// Current structure epoch — the mirror's structural change key.
+    pub(crate) fn structure_clock(&self) -> u64 {
+        self.structure_clock
+    }
+
+    /// Current value epoch — bumped by every sync push.
+    pub(crate) fn value_clock(&self) -> u64 {
+        self.value_clock
+    }
+
     /// The candidate view for `(scope, service)`, current as of the
     /// latest structural clock and reservation table. The returned `Arc`
     /// is a shared handle; it stays valid (and frozen) even as later
@@ -166,7 +176,7 @@ impl CandidateViewCache {
             verify,
         } = self;
         let geo = match scope {
-            ViewScope::LcGeo(origin) => Some(&*geo_set_entry(geo_sets, inp, origin)),
+            ViewScope::LcGeo(origin) => Some(geo_set_entry(geo_sets, inp, origin)),
             ViewScope::BeGlobal => None,
         };
         let view = views.entry(key_of(scope, service)).or_default();
@@ -197,7 +207,12 @@ impl CandidateViewCache {
     /// cluster index. The batched dispatcher uses these masks to form
     /// waves of rounds with pairwise-disjoint footprints that can plan in
     /// parallel against frozen views.
-    pub(crate) fn or_geo_mask(&mut self, inp: &ViewInputs<'_>, origin: ClusterId, mask: &mut [u64]) {
+    pub(crate) fn or_geo_mask(
+        &mut self,
+        inp: &ViewInputs<'_>,
+        origin: ClusterId,
+        mask: &mut [u64],
+    ) {
         for &c in geo_set_entry(&mut self.geo_sets, inp, origin) {
             mask[c.index() >> 6] |= 1 << (c.index() & 63);
         }

@@ -1,0 +1,192 @@
+//! Keep-alive failure detection.
+//!
+//! Real clusters do not get crash notifications from an oracle: a node
+//! is declared down after it misses enough keep-alive probes. The
+//! runtime observes each worker once per sync tick — a node that
+//! answers the tick records a heartbeat; a node that does not answers
+//! raises suspicion by one. When suspicion reaches the configured miss
+//! threshold the detector *trips* and the runtime converts the physical
+//! crash into a detected one (rescheduling, reservation teardown,
+//! candidate-view structure invalidation). Heartbeats decay suspicion
+//! multiplicatively instead of resetting it, so a flapping node that
+//! answers one probe out of three still trends toward detection.
+//!
+//! The detector holds only `f64` suspicion per node, so it checkpoints
+//! trivially; its state rides in the system snapshot.
+
+use tango_snap::{SnapError, SnapReader, SnapWriter};
+use tango_types::NodeId;
+
+/// Tuning for the keep-alive failure detector.
+///
+/// With the physical-testbed sync interval of 100 ms and the default
+/// threshold of 3, a crash is detected at most 300 ms after the tick
+/// that follows it — the bound asserted by the detection-lag tests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeepAliveConfig {
+    /// Consecutive-miss budget: the detector trips when a node's
+    /// suspicion reaches this many missed sync-tick probes.
+    pub miss_threshold: u32,
+    /// Multiplicative decay applied to suspicion on every answered
+    /// probe, in `[0, 1)`. `0.0` forgives all history on one heartbeat;
+    /// values near `1.0` make the detector remember flapping.
+    pub suspicion_decay: f64,
+}
+
+impl Default for KeepAliveConfig {
+    fn default() -> Self {
+        KeepAliveConfig {
+            miss_threshold: 3,
+            suspicion_decay: 0.5,
+        }
+    }
+}
+
+/// Per-node suspicion bookkeeping for keep-alive detection.
+#[derive(Debug, Clone)]
+pub struct HealthDetector {
+    cfg: KeepAliveConfig,
+    suspicion: Vec<f64>,
+}
+
+impl HealthDetector {
+    /// A detector over `nodes` workers, all initially trusted.
+    pub fn new(cfg: KeepAliveConfig, nodes: usize) -> Self {
+        HealthDetector {
+            cfg,
+            suspicion: vec![0.0; nodes],
+        }
+    }
+
+    /// The configuration this detector runs under.
+    pub fn config(&self) -> &KeepAliveConfig {
+        &self.cfg
+    }
+
+    /// Number of nodes tracked.
+    pub fn len(&self) -> usize {
+        self.suspicion.len()
+    }
+
+    /// True when no nodes are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.suspicion.is_empty()
+    }
+
+    /// Current suspicion for one node.
+    pub fn suspicion(&self, node: NodeId) -> f64 {
+        self.suspicion[node.0 as usize]
+    }
+
+    /// The node answered this sync tick's probe: decay its suspicion.
+    pub fn observe_heartbeat(&mut self, node: NodeId) {
+        let s = &mut self.suspicion[node.0 as usize];
+        *s *= self.cfg.suspicion_decay;
+        if *s < 1e-9 {
+            *s = 0.0;
+        }
+    }
+
+    /// The node missed this sync tick's probe. Returns `true` when the
+    /// miss pushes suspicion to the threshold — the trip edge; callers
+    /// stop feeding misses for the node once they act on it.
+    pub fn observe_miss(&mut self, node: NodeId) -> bool {
+        let s = &mut self.suspicion[node.0 as usize];
+        *s += 1.0;
+        *s >= self.cfg.miss_threshold as f64
+    }
+
+    /// Forget a node's history (on recovery, or when its containers are
+    /// re-admitted after a restart).
+    pub fn reset_node(&mut self, node: NodeId) {
+        self.suspicion[node.0 as usize] = 0.0;
+    }
+
+    /// Serialize suspicion state for a checkpoint.
+    pub fn snapshot(&self, w: &mut SnapWriter) {
+        w.put_u32(self.suspicion.len() as u32);
+        for s in &self.suspicion {
+            w.put_f64(*s);
+        }
+    }
+
+    /// Restore suspicion state captured by [`HealthDetector::snapshot`].
+    /// The node count must match the detector's construction-time count.
+    pub fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let n = r.u32()? as usize;
+        if n != self.suspicion.len() {
+            return Err(SnapError::Corrupt("health detector node count"));
+        }
+        for s in self.suspicion.iter_mut() {
+            *s = r.f64()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trips_after_threshold_misses() {
+        let mut d = HealthDetector::new(KeepAliveConfig::default(), 2);
+        let n = NodeId(1);
+        assert!(!d.observe_miss(n));
+        assert!(!d.observe_miss(n));
+        assert!(d.observe_miss(n));
+        // the other node is untouched
+        assert_eq!(d.suspicion(NodeId(0)), 0.0);
+    }
+
+    #[test]
+    fn heartbeat_decays_instead_of_resetting() {
+        let cfg = KeepAliveConfig {
+            miss_threshold: 3,
+            suspicion_decay: 0.5,
+        };
+        let mut d = HealthDetector::new(cfg, 1);
+        let n = NodeId(0);
+        d.observe_miss(n);
+        d.observe_miss(n);
+        d.observe_heartbeat(n);
+        assert_eq!(d.suspicion(n), 1.0);
+        // a flapping node still trends toward the threshold
+        assert!(!d.observe_miss(n));
+        assert!(d.observe_miss(n));
+    }
+
+    #[test]
+    fn zero_decay_forgives_everything() {
+        let cfg = KeepAliveConfig {
+            miss_threshold: 2,
+            suspicion_decay: 0.0,
+        };
+        let mut d = HealthDetector::new(cfg, 1);
+        d.observe_miss(NodeId(0));
+        d.observe_heartbeat(NodeId(0));
+        assert_eq!(d.suspicion(NodeId(0)), 0.0);
+    }
+
+    #[test]
+    fn snapshot_round_trips_and_validates_count() {
+        let mut d = HealthDetector::new(KeepAliveConfig::default(), 3);
+        d.observe_miss(NodeId(2));
+        let mut w = SnapWriter::new();
+        d.snapshot(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut fresh = HealthDetector::new(KeepAliveConfig::default(), 3);
+        let mut r = SnapReader::new(&bytes);
+        fresh.restore(&mut r).unwrap();
+        assert_eq!(fresh.suspicion(NodeId(2)), 1.0);
+        assert_eq!(fresh.suspicion(NodeId(0)), 0.0);
+
+        let mut wrong = HealthDetector::new(KeepAliveConfig::default(), 4);
+        let mut r = SnapReader::new(&bytes);
+        assert_eq!(
+            wrong.restore(&mut r),
+            Err(SnapError::Corrupt("health detector node count"))
+        );
+    }
+}

@@ -1,0 +1,672 @@
+//! ProxyBackend: delegate LC dispatch decisions to an external source.
+//!
+//! The inbound half of the delegated-orchestration seam. Each dispatch
+//! round the proxy serializes the round's candidate views into a framed
+//! [`DecisionRequest`] (`TGDQ`), offers it to a [`DecisionSource`], and
+//! validates whatever comes back as a [`DecisionReply`] (`TGDR`). The
+//! wrapped local backend (DSS-LC or a baseline) remains the authority of
+//! last resort — the proxy falls back to it deterministically when the
+//! source declines, misses its sim-time deadline, or returns a malformed
+//! or inconsistent decision. Fallback therefore never depends on
+//! wall-clock: the source *claims* a sim-time compute latency in its
+//! reply, and the proxy judges it against the configured deadline, so a
+//! run is bit-identical regardless of how slow the external process
+//! really was.
+//!
+//! The BE role (`pick_be`/`feedback_be`) passes straight through to the
+//! wrapped backend — delegation covers LC round planning, the decision
+//! with a wire-shaped batch view.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender, SyncSender};
+use std::sync::Arc;
+
+use tango_par::Pool;
+use tango_sched::{CandidateNode, SchedulerBackend, TypeBatch};
+use tango_snap::{fnv1a, SnapDecode, SnapEncode, SnapError, SnapReader, SnapWriter};
+use tango_types::{ClusterId, NodeId, RequestId, Resources, ServiceId, SimTime};
+
+/// Wire magic for a decision request frame.
+pub const DECISION_REQUEST_MAGIC: u32 = u32::from_le_bytes(*b"TGDQ");
+/// Wire magic for a decision reply frame.
+pub const DECISION_REPLY_MAGIC: u32 = u32::from_le_bytes(*b"TGDR");
+/// Decision wire-format version, bumped on any layout change.
+pub const DECISION_FORMAT_VERSION: u16 = 1;
+
+/// One per-type batch as it travels in a decision request: the pending
+/// requests plus the full candidate views the local policy would see.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestBatch {
+    /// The request type k.
+    pub service: ServiceId,
+    /// Pending request ids, in queue order.
+    pub requests: Vec<RequestId>,
+    /// Candidate nodes with their §5.2.1 attributes.
+    pub candidates: Vec<CandidateNode>,
+}
+
+/// One dispatch round offered to an external decision source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionRequest {
+    /// Monotone per-proxy round counter; the reply must echo it.
+    pub round: u64,
+    /// The deciding master's cluster.
+    pub cluster: ClusterId,
+    /// Sim-time compute budget: replies claiming more are discarded.
+    pub deadline: SimTime,
+    /// The round's per-type batches.
+    pub batches: Vec<RequestBatch>,
+}
+
+/// An external source's placements for one round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionReply {
+    /// Echo of [`DecisionRequest::round`].
+    pub round: u64,
+    /// Sim-time the source claims the decision took. Judged against the
+    /// request's deadline — never wall-clock, so runs stay deterministic.
+    pub compute_latency: SimTime,
+    /// Placements per batch, in batch order. Requests left out stay
+    /// queued, exactly as with a local policy.
+    pub placements: Vec<Vec<(RequestId, NodeId)>>,
+}
+
+/// Encode a decision request frame.
+pub fn encode_request(req: &DecisionRequest) -> Vec<u8> {
+    let mut w = SnapWriter::new();
+    w.put_u32(DECISION_REQUEST_MAGIC);
+    w.put_u16(DECISION_FORMAT_VERSION);
+    w.put_u64(req.round);
+    req.cluster.encode(&mut w);
+    req.deadline.encode(&mut w);
+    w.put_u64(req.batches.len() as u64);
+    for b in &req.batches {
+        b.service.encode(&mut w);
+        b.requests.encode(&mut w);
+        b.candidates.encode(&mut w);
+    }
+    seal(w)
+}
+
+/// Decode and validate a decision request frame.
+pub fn decode_request(bytes: &[u8]) -> Result<DecisionRequest, SnapError> {
+    let mut r = open(bytes, DECISION_REQUEST_MAGIC)?;
+    let round = r.u64()?;
+    let cluster = ClusterId::decode(&mut r)?;
+    let deadline = SimTime::decode(&mut r)?;
+    let n = r.len_prefix(4)?;
+    let mut batches = Vec::with_capacity(n);
+    for _ in 0..n {
+        batches.push(RequestBatch {
+            service: ServiceId::decode(&mut r)?,
+            requests: Vec::<RequestId>::decode(&mut r)?,
+            candidates: Vec::<CandidateNode>::decode(&mut r)?,
+        });
+    }
+    r.expect_end("decision request")?;
+    Ok(DecisionRequest {
+        round,
+        cluster,
+        deadline,
+        batches,
+    })
+}
+
+/// Encode a decision reply frame.
+pub fn encode_reply(reply: &DecisionReply) -> Vec<u8> {
+    let mut w = SnapWriter::new();
+    w.put_u32(DECISION_REPLY_MAGIC);
+    w.put_u16(DECISION_FORMAT_VERSION);
+    w.put_u64(reply.round);
+    reply.compute_latency.encode(&mut w);
+    w.put_u64(reply.placements.len() as u64);
+    for batch in &reply.placements {
+        w.put_u64(batch.len() as u64);
+        for (rid, node) in batch {
+            rid.encode(&mut w);
+            node.encode(&mut w);
+        }
+    }
+    seal(w)
+}
+
+/// Decode and validate a decision reply frame.
+pub fn decode_reply(bytes: &[u8]) -> Result<DecisionReply, SnapError> {
+    let mut r = open(bytes, DECISION_REPLY_MAGIC)?;
+    let round = r.u64()?;
+    let compute_latency = SimTime::decode(&mut r)?;
+    let n = r.len_prefix(4)?;
+    let mut placements = Vec::with_capacity(n);
+    for _ in 0..n {
+        let m = r.len_prefix(12)?;
+        let mut batch = Vec::with_capacity(m);
+        for _ in 0..m {
+            let rid = RequestId::decode(&mut r)?;
+            batch.push((rid, NodeId::decode(&mut r)?));
+        }
+        placements.push(batch);
+    }
+    r.expect_end("decision reply")?;
+    Ok(DecisionReply {
+        round,
+        compute_latency,
+        placements,
+    })
+}
+
+fn seal(w: SnapWriter) -> Vec<u8> {
+    let mut bytes = w.into_bytes();
+    let checksum = fnv1a(&bytes);
+    bytes.extend_from_slice(&checksum.to_le_bytes());
+    bytes
+}
+
+fn open(bytes: &[u8], want_magic: u32) -> Result<SnapReader<'_>, SnapError> {
+    if bytes.len() < 4 + 2 + 8 {
+        return Err(SnapError::Truncated);
+    }
+    let (body, trailer) = bytes.split_at(bytes.len() - 8);
+    let found = u64::from_le_bytes(trailer.try_into().unwrap());
+    let computed = fnv1a(body);
+    if found != computed {
+        return Err(SnapError::BadChecksum { found, computed });
+    }
+    let mut r = SnapReader::new(body);
+    if r.u32()? != want_magic {
+        return Err(SnapError::BadMagic);
+    }
+    let version = r.u16()?;
+    if version != DECISION_FORMAT_VERSION {
+        return Err(SnapError::VersionMismatch {
+            found: version,
+            expected: DECISION_FORMAT_VERSION,
+        });
+    }
+    Ok(r)
+}
+
+/// An external decision authority as the proxy sees it: give it encoded
+/// request bytes, get encoded reply bytes back — or `None` to decline
+/// the round (the wrapped local policy then plans it). The byte-level
+/// surface is what a socket transport will implement; the in-process
+/// transports below speak it already.
+pub trait DecisionSource: Send {
+    /// Offer one round. `None` = decline (not a failure).
+    fn decide(&mut self, request: &[u8]) -> Option<Vec<u8>>;
+}
+
+/// A decision source that declines every round: attaching it must leave
+/// runs bit-identical to local mode — the golden-digest proof that the
+/// proxy seam is inert until someone actually decides.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopProxy;
+
+impl DecisionSource for NoopProxy {
+    fn decide(&mut self, _request: &[u8]) -> Option<Vec<u8>> {
+        None
+    }
+}
+
+/// Wrap a decoded-level policy closure as a byte-level decision source:
+/// decodes each request, runs the closure, encodes its reply. Malformed
+/// requests (impossible from the in-process proxy) are declined.
+pub struct PolicyFn<F>(F);
+
+impl<F> PolicyFn<F>
+where
+    F: FnMut(&DecisionRequest) -> Option<DecisionReply> + Send,
+{
+    /// Lift `f` into a [`DecisionSource`].
+    pub fn new(f: F) -> Self {
+        PolicyFn(f)
+    }
+}
+
+impl<F> DecisionSource for PolicyFn<F>
+where
+    F: FnMut(&DecisionRequest) -> Option<DecisionReply> + Send,
+{
+    fn decide(&mut self, request: &[u8]) -> Option<Vec<u8>> {
+        let req = decode_request(request).ok()?;
+        (self.0)(&req).map(|reply| encode_reply(&reply))
+    }
+}
+
+/// Client end of the in-process channel transport: ships request bytes
+/// to a [`ChannelServer`] (typically on another thread) and blocks for
+/// the reply. A hung-up server reads as a decline, so a dead external
+/// process degrades to local planning instead of wedging the run.
+pub struct ChannelSource {
+    tx: SyncSender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+}
+
+impl DecisionSource for ChannelSource {
+    fn decide(&mut self, request: &[u8]) -> Option<Vec<u8>> {
+        self.tx.send(request.to_vec()).ok()?;
+        self.rx.recv().ok()
+    }
+}
+
+/// Server end of the in-process channel transport.
+pub struct ChannelServer {
+    rx: Receiver<Vec<u8>>,
+    tx: Sender<Vec<u8>>,
+}
+
+impl ChannelServer {
+    /// Block for the next request's bytes; `None` when the proxy side
+    /// has been dropped (run over).
+    pub fn recv(&self) -> Option<Vec<u8>> {
+        self.rx.recv().ok()
+    }
+
+    /// Send one reply's bytes. Errors (client gone) are ignored — the
+    /// run has already moved on via fallback.
+    pub fn reply(&self, bytes: Vec<u8>) {
+        let _ = self.tx.send(bytes);
+    }
+
+    /// Serve requests with a decoded-level policy until the client hangs
+    /// up. Convenience for example/test server threads.
+    pub fn serve<F>(&self, mut policy: F)
+    where
+        F: FnMut(&DecisionRequest) -> Option<DecisionReply>,
+    {
+        while let Some(req_bytes) = self.recv() {
+            let reply = decode_request(&req_bytes)
+                .ok()
+                .and_then(|req| policy(&req))
+                .map(|r| encode_reply(&r))
+                .unwrap_or_default();
+            self.reply(reply);
+        }
+    }
+}
+
+/// Build a connected in-process transport pair. The request channel is
+/// rendezvous-bounded so an absent server back-pressures immediately.
+pub fn channel_pair() -> (ChannelSource, ChannelServer) {
+    let (req_tx, req_rx) = std::sync::mpsc::sync_channel(1);
+    let (rep_tx, rep_rx) = std::sync::mpsc::channel();
+    (
+        ChannelSource {
+            tx: req_tx,
+            rx: rep_rx,
+        },
+        ChannelServer {
+            rx: req_rx,
+            tx: rep_tx,
+        },
+    )
+}
+
+/// Why delegation handed a round back to the local policy, per round.
+#[derive(Debug, Default)]
+pub struct ProxyStats {
+    /// Rounds the external source placed (validated replies).
+    pub accepted: AtomicU64,
+    /// Rounds the source declined (no reply) — the NoopProxy path.
+    pub declined: AtomicU64,
+    /// Rounds with a reply that was malformed, inconsistent, or over
+    /// the sim-time deadline — the deterministic-fallback path.
+    pub fallbacks: AtomicU64,
+}
+
+impl ProxyStats {
+    /// Snapshot of (accepted, declined, fallbacks).
+    pub fn totals(&self) -> (u64, u64, u64) {
+        (
+            self.accepted.load(Ordering::Relaxed),
+            self.declined.load(Ordering::Relaxed),
+            self.fallbacks.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// A [`SchedulerBackend`] that delegates LC round planning to a
+/// [`DecisionSource`], falling back to the wrapped backend whenever the
+/// source does not produce a valid in-deadline decision.
+pub struct ProxyBackend {
+    inner: Box<dyn SchedulerBackend + Send>,
+    source: Box<dyn DecisionSource + Send>,
+    cluster: ClusterId,
+    deadline: SimTime,
+    round: u64,
+    stats: Arc<ProxyStats>,
+}
+
+impl ProxyBackend {
+    /// Wrap `inner`, delegating each LC round to `source` with the given
+    /// sim-time decision deadline.
+    pub fn new(
+        inner: Box<dyn SchedulerBackend + Send>,
+        source: Box<dyn DecisionSource + Send>,
+        cluster: ClusterId,
+        deadline: SimTime,
+    ) -> Self {
+        ProxyBackend {
+            inner,
+            source,
+            cluster,
+            deadline,
+            round: 0,
+            stats: Arc::new(ProxyStats::default()),
+        }
+    }
+
+    /// Shared handle to this proxy's outcome counters.
+    pub fn stats(&self) -> Arc<ProxyStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Validate a reply against the round's batches; `Err` names the
+    /// first inconsistency (drives the fallback counter).
+    fn validate(
+        &self,
+        reply: &DecisionReply,
+        batches: &[TypeBatch],
+    ) -> Result<Vec<Vec<(RequestId, NodeId)>>, &'static str> {
+        if reply.round != self.round {
+            return Err("round mismatch");
+        }
+        if reply.compute_latency > self.deadline {
+            return Err("deadline miss");
+        }
+        if reply.placements.len() != batches.len() {
+            return Err("batch count mismatch");
+        }
+        let mut out = Vec::with_capacity(batches.len());
+        for (placed, batch) in reply.placements.iter().zip(batches) {
+            let mut seen: Vec<RequestId> = Vec::with_capacity(placed.len());
+            for &(rid, node) in placed {
+                if !batch.requests.contains(&rid) {
+                    return Err("placement for a request not in the batch");
+                }
+                if seen.contains(&rid) {
+                    return Err("request placed twice");
+                }
+                let Some(cand) = batch.nodes.iter().find(|c| c.node == node) else {
+                    return Err("placement onto a non-candidate node");
+                };
+                if !cand.alive {
+                    return Err("placement onto a dead node");
+                }
+                seen.push(rid);
+            }
+            out.push(placed.clone());
+        }
+        Ok(out)
+    }
+}
+
+impl SchedulerBackend for ProxyBackend {
+    fn name(&self) -> &'static str {
+        "proxy"
+    }
+
+    fn plan_lc(&mut self, batches: &[TypeBatch], pool: &Pool) -> Vec<Vec<(RequestId, NodeId)>> {
+        if batches.iter().all(|b| b.requests.is_empty()) {
+            return self.inner.plan_lc(batches, pool);
+        }
+        self.round += 1;
+        let request = DecisionRequest {
+            round: self.round,
+            cluster: self.cluster,
+            deadline: self.deadline,
+            batches: batches
+                .iter()
+                .map(|b| RequestBatch {
+                    service: b.service,
+                    requests: b.requests.clone(),
+                    candidates: b.nodes.as_ref().clone(),
+                })
+                .collect(),
+        };
+        let Some(reply_bytes) = self.source.decide(&encode_request(&request)) else {
+            self.stats.declined.fetch_add(1, Ordering::Relaxed);
+            return self.inner.plan_lc(batches, pool);
+        };
+        let placements = decode_reply(&reply_bytes)
+            .map_err(|_| "malformed reply frame")
+            .and_then(|reply| self.validate(&reply, batches));
+        match placements {
+            Ok(p) => {
+                self.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                p
+            }
+            Err(_) => {
+                self.stats.fallbacks.fetch_add(1, Ordering::Relaxed);
+                self.inner.plan_lc(batches, pool)
+            }
+        }
+    }
+
+    fn pick_be(&mut self, demand: &Resources, nodes: &[CandidateNode]) -> Option<NodeId> {
+        self.inner.pick_be(demand, nodes)
+    }
+
+    fn feedback_be(&mut self, reward: f32, next_demand: &Resources, next_nodes: &[CandidateNode]) {
+        self.inner.feedback_be(reward, next_demand, next_nodes)
+    }
+
+    fn snapshot_state(&self) -> Result<Vec<u8>, &'static str> {
+        Err("proxy backend delegates to an external source and cannot checkpoint it")
+    }
+
+    fn restore_state(&mut self, _bytes: &[u8]) -> Result<(), &'static str> {
+        Err("proxy backend delegates to an external source and cannot restore it")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc as StdArc;
+
+    fn cand(node: u32, alive: bool) -> CandidateNode {
+        CandidateNode {
+            node: NodeId(node),
+            cluster: ClusterId(0),
+            total: Resources::cpu_mem(4000, 8192),
+            available_lc: Resources::cpu_mem(2000, 4096),
+            available_be: Resources::cpu_mem(1000, 2048),
+            min_request: Resources::cpu_mem(250, 256),
+            delay: SimTime::from_millis(2),
+            link_capacity: 8,
+            slack: 1.0,
+            alive,
+        }
+    }
+
+    fn batch(reqs: &[u64], nodes: Vec<CandidateNode>) -> TypeBatch {
+        TypeBatch {
+            service: ServiceId(0),
+            requests: reqs.iter().map(|&r| RequestId(r)).collect(),
+            nodes: StdArc::new(nodes),
+        }
+    }
+
+    /// A local stand-in that places every request on a fixed node.
+    struct PinAll(NodeId);
+    impl SchedulerBackend for PinAll {
+        fn name(&self) -> &'static str {
+            "pin-all"
+        }
+        fn plan_lc(&mut self, batches: &[TypeBatch], _p: &Pool) -> Vec<Vec<(RequestId, NodeId)>> {
+            batches
+                .iter()
+                .map(|b| b.requests.iter().map(|&r| (r, self.0)).collect())
+                .collect()
+        }
+        fn pick_be(&mut self, _d: &Resources, _n: &[CandidateNode]) -> Option<NodeId> {
+            None
+        }
+        fn feedback_be(&mut self, _r: f32, _d: &Resources, _n: &[CandidateNode]) {}
+    }
+
+    #[test]
+    fn request_and_reply_frames_round_trip() {
+        let req = DecisionRequest {
+            round: 7,
+            cluster: ClusterId(3),
+            deadline: SimTime::from_millis(5),
+            batches: vec![RequestBatch {
+                service: ServiceId(1),
+                requests: vec![RequestId(10), RequestId(11)],
+                candidates: vec![cand(0, true), cand(1, false)],
+            }],
+        };
+        assert_eq!(decode_request(&encode_request(&req)).unwrap(), req);
+
+        let reply = DecisionReply {
+            round: 7,
+            compute_latency: SimTime::from_millis(1),
+            placements: vec![vec![(RequestId(10), NodeId(0))]],
+        };
+        assert_eq!(decode_reply(&encode_reply(&reply)).unwrap(), reply);
+    }
+
+    #[test]
+    fn corrupt_decision_frames_map_to_snap_errors() {
+        let bytes = encode_reply(&DecisionReply {
+            round: 1,
+            compute_latency: SimTime::ZERO,
+            placements: vec![],
+        });
+        assert_eq!(decode_reply(&bytes[..5]), Err(SnapError::Truncated));
+        let mut flipped = bytes.clone();
+        flipped[6] ^= 1;
+        assert!(matches!(
+            decode_reply(&flipped),
+            Err(SnapError::BadChecksum { .. })
+        ));
+        assert!(matches!(
+            decode_request(&bytes),
+            Err(SnapError::BadMagic) | Err(SnapError::BadChecksum { .. })
+        ));
+    }
+
+    #[test]
+    fn accepted_decision_overrides_the_local_policy() {
+        let source = PolicyFn::new(|req: &DecisionRequest| {
+            Some(DecisionReply {
+                round: req.round,
+                compute_latency: SimTime::from_millis(1),
+                placements: req
+                    .batches
+                    .iter()
+                    .map(|b| b.requests.iter().map(|&r| (r, NodeId(1))).collect())
+                    .collect(),
+            })
+        });
+        let mut proxy = ProxyBackend::new(
+            Box::new(PinAll(NodeId(0))),
+            Box::new(source),
+            ClusterId(0),
+            SimTime::from_millis(5),
+        );
+        let batches = [batch(&[1, 2], vec![cand(0, true), cand(1, true)])];
+        let out = proxy.plan_lc(&batches, &Pool::single());
+        assert_eq!(
+            out,
+            vec![vec![(RequestId(1), NodeId(1)), (RequestId(2), NodeId(1))]]
+        );
+        assert_eq!(proxy.stats().totals(), (1, 0, 0));
+    }
+
+    #[test]
+    fn deadline_miss_falls_back_to_the_local_policy() {
+        let source = PolicyFn::new(|req: &DecisionRequest| {
+            Some(DecisionReply {
+                round: req.round,
+                compute_latency: SimTime::from_millis(50), // over the 5 ms budget
+                placements: req
+                    .batches
+                    .iter()
+                    .map(|b| b.requests.iter().map(|&r| (r, NodeId(1))).collect())
+                    .collect(),
+            })
+        });
+        let mut proxy = ProxyBackend::new(
+            Box::new(PinAll(NodeId(0))),
+            Box::new(source),
+            ClusterId(0),
+            SimTime::from_millis(5),
+        );
+        let batches = [batch(&[1], vec![cand(0, true), cand(1, true)])];
+        let out = proxy.plan_lc(&batches, &Pool::single());
+        assert_eq!(out, vec![vec![(RequestId(1), NodeId(0))]]);
+        assert_eq!(proxy.stats().totals(), (0, 0, 1));
+    }
+
+    #[test]
+    fn invalid_placements_fall_back() {
+        // Places onto a dead node → rejected, local policy plans.
+        let source = PolicyFn::new(|req: &DecisionRequest| {
+            Some(DecisionReply {
+                round: req.round,
+                compute_latency: SimTime::ZERO,
+                placements: req
+                    .batches
+                    .iter()
+                    .map(|b| b.requests.iter().map(|&r| (r, NodeId(1))).collect())
+                    .collect(),
+            })
+        });
+        let mut proxy = ProxyBackend::new(
+            Box::new(PinAll(NodeId(0))),
+            Box::new(source),
+            ClusterId(0),
+            SimTime::from_millis(5),
+        );
+        let batches = [batch(&[1], vec![cand(0, true), cand(1, false)])];
+        let out = proxy.plan_lc(&batches, &Pool::single());
+        assert_eq!(out, vec![vec![(RequestId(1), NodeId(0))]]);
+        assert_eq!(proxy.stats().totals(), (0, 0, 1));
+    }
+
+    #[test]
+    fn noop_proxy_declines_and_the_local_policy_plans() {
+        let mut proxy = ProxyBackend::new(
+            Box::new(PinAll(NodeId(0))),
+            Box::new(NoopProxy),
+            ClusterId(0),
+            SimTime::from_millis(5),
+        );
+        let batches = [batch(&[1], vec![cand(0, true)])];
+        let out = proxy.plan_lc(&batches, &Pool::single());
+        assert_eq!(out, vec![vec![(RequestId(1), NodeId(0))]]);
+        assert_eq!(proxy.stats().totals(), (0, 1, 0));
+        assert!(proxy.snapshot_state().is_err());
+    }
+
+    #[test]
+    fn channel_transport_round_trips_through_a_server_thread() {
+        let (source, server) = channel_pair();
+        let t = std::thread::spawn(move || {
+            server.serve(|req| {
+                Some(DecisionReply {
+                    round: req.round,
+                    compute_latency: SimTime::ZERO,
+                    placements: req
+                        .batches
+                        .iter()
+                        .map(|b| b.requests.iter().map(|&r| (r, NodeId(0))).collect())
+                        .collect(),
+                })
+            });
+        });
+        let mut proxy = ProxyBackend::new(
+            Box::new(PinAll(NodeId(1))),
+            Box::new(source),
+            ClusterId(0),
+            SimTime::from_millis(5),
+        );
+        let batches = [batch(&[9], vec![cand(0, true), cand(1, true)])];
+        let out = proxy.plan_lc(&batches, &Pool::single());
+        assert_eq!(out, vec![vec![(RequestId(9), NodeId(0))]]);
+        drop(proxy); // hang up so the server thread exits
+        t.join().unwrap();
+    }
+}

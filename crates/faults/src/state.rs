@@ -1,7 +1,17 @@
 //! Runtime fault bookkeeping: which nodes are down, crash epochs, and the
 //! summary the run report surfaces.
+//!
+//! Since the delegated-orchestration work the state distinguishes a
+//! node being **physically down** (its containers died) from being
+//! **detected down** (the control plane knows). Under the oracle fault
+//! model the two flags move together ([`FaultState::on_crash`]); under
+//! keep-alive detection the runtime registers the physical crash first
+//! ([`FaultState::on_phys_crash`]) and promotes it to detected only when
+//! the health detector trips ([`FaultState::mark_detected`]). Work that
+//! was running on the node at crash time parks in a per-node *limbo*
+//! until detection or recovery decides its fate.
 
-use tango_types::{NodeId, SimTime};
+use tango_types::{NodeId, RequestId, ServiceClass, SimTime};
 
 /// Aggregated fault accounting for a run. All counters are cumulative;
 /// [`FaultState::settle`] folds still-open downtime in at the horizon.
@@ -47,7 +57,16 @@ pub struct FaultSummary {
 /// Live fault state, indexed by node.
 #[derive(Debug, Clone)]
 pub struct FaultState {
+    /// Detected-down flags: what dispatch masking, candidate views and
+    /// failover routing read. Under the oracle model this is also the
+    /// physical truth.
     down: Vec<bool>,
+    /// Physically-down flags: the ground truth the keep-alive detector
+    /// works toward. `phys_down[i] && !down[i]` is the undetected window.
+    phys_down: Vec<bool>,
+    /// Work interrupted by an undetected crash, parked per node until
+    /// detection (requeue then) or recovery (requeue at recovery).
+    limbo_run: Vec<Vec<(ServiceClass, RequestId)>>,
     down_since: Vec<SimTime>,
     /// Bumped on every crash: deliveries scheduled before the crash carry
     /// the old epoch and are bounced instead of touching post-recovery
@@ -65,6 +84,8 @@ impl FaultState {
     pub fn new(n_nodes: usize) -> Self {
         FaultState {
             down: vec![false; n_nodes],
+            phys_down: vec![false; n_nodes],
+            limbo_run: vec![Vec::new(); n_nodes],
             down_since: vec![SimTime::ZERO; n_nodes],
             epochs: vec![0; n_nodes],
             down_count: 0,
@@ -74,9 +95,20 @@ impl FaultState {
         }
     }
 
-    /// Whether a node is currently down.
+    /// Whether a node is currently *detected* down — what schedulers,
+    /// dispatch masking and failover routing act on.
     pub fn is_down(&self, node: NodeId) -> bool {
         self.down[node.index()]
+    }
+
+    /// Whether a node is *physically* down, detected or not.
+    pub fn is_phys_down(&self, node: NodeId) -> bool {
+        self.phys_down[node.index()]
+    }
+
+    /// Physically-down flags in node order.
+    pub fn phys_down_slice(&self) -> &[bool] {
+        &self.phys_down
     }
 
     /// The node's current crash epoch.
@@ -95,14 +127,28 @@ impl FaultState {
         self.down_count > 0 || self.active_link_faults > 0 || self.partition_active
     }
 
-    /// Register a crash. Returns `false` (no-op) if the node is already
-    /// down — churn and timed events may race benignly.
+    /// Register a crash the control plane learns about instantly (the
+    /// oracle model): physical and detected flags move together. Returns
+    /// `false` (no-op) if the node is already down — churn and timed
+    /// events may race benignly.
     pub fn on_crash(&mut self, node: NodeId, now: SimTime, is_master: bool) -> bool {
-        let i = node.index();
-        if self.down[i] {
+        if !self.on_phys_crash(node, now, is_master) {
             return false;
         }
-        self.down[i] = true;
+        self.down[node.index()] = true;
+        true
+    }
+
+    /// Register a physical crash that the control plane has *not* yet
+    /// detected: the node's containers die and its epoch bumps, but
+    /// `is_down` stays `false` until [`FaultState::mark_detected`].
+    /// Returns `false` if the node is already physically down.
+    pub fn on_phys_crash(&mut self, node: NodeId, now: SimTime, is_master: bool) -> bool {
+        let i = node.index();
+        if self.phys_down[i] {
+            return false;
+        }
+        self.phys_down[i] = true;
         self.down_since[i] = now;
         self.epochs[i] += 1;
         self.down_count += 1;
@@ -113,12 +159,45 @@ impl FaultState {
         true
     }
 
-    /// Register a recovery. Returns `false` if the node was not down.
-    pub fn on_recover(&mut self, node: NodeId, now: SimTime) -> bool {
+    /// Promote a physical crash to detected (the keep-alive detector
+    /// tripped). Returns `false` when the node is not physically down or
+    /// is already detected.
+    pub fn mark_detected(&mut self, node: NodeId) -> bool {
         let i = node.index();
-        if !self.down[i] {
+        if !self.phys_down[i] || self.down[i] {
             return false;
         }
+        self.down[i] = true;
+        true
+    }
+
+    /// How long the node has been physically down, for detection-lag
+    /// accounting. Meaningless unless [`FaultState::is_phys_down`].
+    pub fn down_duration(&self, node: NodeId, now: SimTime) -> SimTime {
+        now.saturating_since(self.down_since[node.index()])
+    }
+
+    /// Park work interrupted by an undetected crash on the node's limbo
+    /// list.
+    pub fn push_limbo(&mut self, node: NodeId, items: Vec<(ServiceClass, RequestId)>) {
+        self.limbo_run[node.index()].extend(items);
+    }
+
+    /// Take (and clear) the node's limbo list — at detection or
+    /// recovery, whichever comes first.
+    pub fn take_limbo(&mut self, node: NodeId) -> Vec<(ServiceClass, RequestId)> {
+        std::mem::take(&mut self.limbo_run[node.index()])
+    }
+
+    /// Register a recovery. Returns `false` if the node was not
+    /// physically down. Clears both flags: a recovery observed before
+    /// detection simply closes the undetected window.
+    pub fn on_recover(&mut self, node: NodeId, now: SimTime) -> bool {
+        let i = node.index();
+        if !self.phys_down[i] {
+            return false;
+        }
+        self.phys_down[i] = false;
         self.down[i] = false;
         self.down_count -= 1;
         self.summary.node_recoveries += 1;
@@ -162,6 +241,15 @@ impl FaultState {
         w.put_u32(self.active_link_faults);
         w.put_bool(self.partition_active);
         self.summary.encode(w);
+        self.phys_down.encode(w);
+        w.put_u64(self.limbo_run.len() as u64);
+        for items in &self.limbo_run {
+            w.put_u64(items.len() as u64);
+            for (class, rid) in items {
+                class.encode(w);
+                rid.encode(w);
+            }
+        }
     }
 
     /// Restore state captured by [`FaultState::snapshot`]. The node count
@@ -187,13 +275,33 @@ impl FaultState {
         self.active_link_faults = r.u32()?;
         self.partition_active = r.bool()?;
         self.summary = crate::FaultSummary::decode(r)?;
+        let phys_down = Vec::<bool>::decode(r)?;
+        if phys_down.len() != self.down.len() {
+            return Err(SnapError::Corrupt("fault state node count"));
+        }
+        self.phys_down = phys_down;
+        let n = r.len_prefix(8)?;
+        if n != self.down.len() {
+            return Err(SnapError::Corrupt("fault state node count"));
+        }
+        let mut limbo_run = Vec::with_capacity(n);
+        for _ in 0..n {
+            let m = r.len_prefix(9)?;
+            let mut items = Vec::with_capacity(m);
+            for _ in 0..m {
+                let class = ServiceClass::decode(r)?;
+                items.push((class, RequestId::decode(r)?));
+            }
+            limbo_run.push(items);
+        }
+        self.limbo_run = limbo_run;
         Ok(())
     }
 
     /// Fold downtime of nodes still down at the horizon into the summary.
     pub fn settle(&mut self, horizon: SimTime) {
-        for i in 0..self.down.len() {
-            if self.down[i] {
+        for i in 0..self.phys_down.len() {
+            if self.phys_down[i] {
                 self.summary.total_downtime += horizon.saturating_since(self.down_since[i]);
                 // keep the node marked down; settle is terminal
                 self.down_since[i] = horizon;
@@ -227,6 +335,43 @@ mod tests {
         assert!(s.on_crash(NodeId(2), SimTime::from_secs(6), true));
         assert_eq!(s.epoch(NodeId(2)), 2);
         assert_eq!(s.summary.master_failovers, 1);
+    }
+
+    #[test]
+    fn undetected_crash_is_invisible_until_marked() {
+        let mut s = FaultState::new(2);
+        assert!(s.on_phys_crash(NodeId(1), SimTime::from_secs(1), false));
+        assert!(s.is_phys_down(NodeId(1)));
+        assert!(!s.is_down(NodeId(1)));
+        assert_eq!(s.epoch(NodeId(1)), 1);
+        assert!(s.any_fault_active());
+        s.push_limbo(NodeId(1), vec![(ServiceClass::Lc, RequestId(7))]);
+        // detector trips: now visible, limbo drains once
+        assert!(s.mark_detected(NodeId(1)));
+        assert!(s.is_down(NodeId(1)));
+        assert!(!s.mark_detected(NodeId(1)));
+        assert_eq!(
+            s.down_duration(NodeId(1), SimTime::from_secs(3)),
+            SimTime::from_secs(2)
+        );
+        assert_eq!(
+            s.take_limbo(NodeId(1)),
+            vec![(ServiceClass::Lc, RequestId(7))]
+        );
+        assert!(s.take_limbo(NodeId(1)).is_empty());
+        assert!(s.on_recover(NodeId(1), SimTime::from_secs(4)));
+        assert_eq!(s.summary.total_downtime, SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn recovery_before_detection_closes_the_window() {
+        let mut s = FaultState::new(1);
+        s.on_phys_crash(NodeId(0), SimTime::from_secs(1), false);
+        assert!(s.on_recover(NodeId(0), SimTime::from_secs(2)));
+        assert!(!s.is_down(NodeId(0)));
+        assert!(!s.is_phys_down(NodeId(0)));
+        assert!(!s.mark_detected(NodeId(0)));
+        assert!(!s.any_fault_active());
     }
 
     #[test]

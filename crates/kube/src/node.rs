@@ -89,6 +89,11 @@ pub struct Node {
     generation: u64,
     next_local_id: u64,
     finished: Vec<CompletedRequest>,
+    /// Last sync tick at which this node answered its keep-alive probe.
+    /// Observational only (read by the control-plane mirror); it is not
+    /// part of the node's snapshot codec, so a restored run re-learns
+    /// heartbeats from its first sync tick.
+    last_heartbeat: SimTime,
 }
 
 /// The container's effective limit through the per-container cache.
@@ -122,7 +127,18 @@ impl Node {
             generation: 0,
             next_local_id: 0,
             finished: Vec::new(),
+            last_heartbeat: SimTime::ZERO,
         }
+    }
+
+    /// Record that the node answered a keep-alive probe at `now`.
+    pub fn record_heartbeat(&mut self, now: SimTime) {
+        self.last_heartbeat = now;
+    }
+
+    /// Last sync tick at which the node answered a keep-alive probe.
+    pub fn last_heartbeat(&self) -> SimTime {
+        self.last_heartbeat
     }
 
     /// Allocatable capacity.

@@ -35,6 +35,13 @@ pub struct PeriodRecord {
     /// LC completions that missed their QoS target while a fault (node
     /// down, link degraded, partition) was active in this period.
     pub fault_qos_violations: u64,
+    /// Mean keep-alive detection lag (fault injection → detector trip)
+    /// over the crashes detected in this period, in ms (0 when none).
+    pub detection_lag_ms: f64,
+    /// Dispatch rounds a delegated decision source answered but the
+    /// reply was discarded (malformed, inconsistent, or over its
+    /// sim-time deadline) and the local policy planned instead.
+    pub proxy_fallbacks: u64,
 }
 
 #[derive(Debug, Clone, Default)]
@@ -48,6 +55,9 @@ pub(crate) struct Accum {
     pub(crate) util_samples: u64,
     pub(crate) lc_latencies_us: Vec<u64>,
     pub(crate) fault_qos_violations: u64,
+    pub(crate) detection_lag_us_sum: u64,
+    pub(crate) detections: u64,
+    pub(crate) proxy_fallbacks: u64,
 }
 
 /// Period-bucketed experiment counters.
@@ -113,6 +123,37 @@ impl ExperimentCounters {
     /// Total QoS violations attributable to fault windows.
     pub fn total_fault_qos_violations(&self) -> u64 {
         self.buckets.iter().map(|b| b.fault_qos_violations).sum()
+    }
+
+    /// The keep-alive detector tripped on a crash: record the lag from
+    /// physical fault injection to detection, in sim time.
+    pub fn on_detection(&mut self, at: SimTime, lag: SimTime) {
+        let b = self.bucket(at);
+        b.detection_lag_us_sum += lag.as_micros();
+        b.detections += 1;
+    }
+
+    /// `n` dispatch rounds fell back from a delegated decision to the
+    /// local policy since the last sample.
+    pub fn on_proxy_fallbacks(&mut self, at: SimTime, n: u64) {
+        self.bucket(at).proxy_fallbacks += n;
+    }
+
+    /// (detected crashes, mean detection lag in ms) over the whole run.
+    pub fn detection_lag_summary(&self) -> (u64, f64) {
+        let (sum, n) = self.buckets.iter().fold((0u64, 0u64), |(s, n), b| {
+            (s + b.detection_lag_us_sum, n + b.detections)
+        });
+        if n == 0 {
+            (0, 0.0)
+        } else {
+            (n, sum as f64 / n as f64 / 1_000.0)
+        }
+    }
+
+    /// Total proxy fallbacks over the whole run.
+    pub fn total_proxy_fallbacks(&self) -> u64 {
+        self.buckets.iter().map(|b| b.proxy_fallbacks).sum()
     }
 
     /// Record a utilization sample (overall, LC share, BE share), each in
@@ -213,6 +254,12 @@ impl ExperimentCounters {
                     util_be: b.util_sum.2 / n,
                     lc_p95_ms: p95,
                     fault_qos_violations: b.fault_qos_violations,
+                    detection_lag_ms: if b.detections == 0 {
+                        0.0
+                    } else {
+                        b.detection_lag_us_sum as f64 / b.detections as f64 / 1_000.0
+                    },
+                    proxy_fallbacks: b.proxy_fallbacks,
                 }
             })
             .collect()
@@ -304,6 +351,25 @@ mod tests {
         assert_eq!(p[0].fault_qos_violations, 1);
         assert_eq!(p[1].fault_qos_violations, 2);
         assert_eq!(c.total_fault_qos_violations(), 3);
+    }
+
+    #[test]
+    fn detection_lag_and_proxy_fallbacks_bucket_and_summarize() {
+        let mut c = ExperimentCounters::paper_default();
+        c.on_detection(ms(300), ms(200)); // period 0
+        c.on_detection(ms(900), ms(100)); // period 1
+        c.on_detection(ms(1_000), ms(300)); // period 1
+        c.on_proxy_fallbacks(ms(100), 2); // period 0
+        c.on_proxy_fallbacks(ms(900), 1); // period 1
+        let p = c.periods();
+        assert!((p[0].detection_lag_ms - 200.0).abs() < 1e-9);
+        assert!((p[1].detection_lag_ms - 200.0).abs() < 1e-9);
+        assert_eq!(p[0].proxy_fallbacks, 2);
+        assert_eq!(p[1].proxy_fallbacks, 1);
+        let (n, mean) = c.detection_lag_summary();
+        assert_eq!(n, 3);
+        assert!((mean - 200.0).abs() < 1e-9);
+        assert_eq!(c.total_proxy_fallbacks(), 3);
     }
 
     #[test]

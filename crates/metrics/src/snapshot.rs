@@ -70,6 +70,9 @@ impl SnapEncode for Accum {
         w.put_u64(self.util_samples);
         self.lc_latencies_us.encode(w);
         w.put_u64(self.fault_qos_violations);
+        w.put_u64(self.detection_lag_us_sum);
+        w.put_u64(self.detections);
+        w.put_u64(self.proxy_fallbacks);
     }
 }
 impl SnapDecode for Accum {
@@ -84,6 +87,9 @@ impl SnapDecode for Accum {
             util_samples: r.u64()?,
             lc_latencies_us: Vec::<u64>::decode(r)?,
             fault_qos_violations: r.u64()?,
+            detection_lag_us_sum: r.u64()?,
+            detections: r.u64()?,
+            proxy_fallbacks: r.u64()?,
         })
     }
 }

@@ -114,6 +114,20 @@ impl TraceSink for NoopTrace {
 /// retained events (the most recent `capacity`) are read back with
 /// [`TraceRecorder::events`]. The shared buffer is mutex-guarded, but the
 /// simulation event loop is single-threaded so the lock is uncontended.
+///
+/// # Overwrite semantics
+///
+/// The buffer is a fixed-capacity ring: once `capacity` events are
+/// retained, each new event **evicts the oldest one** and increments
+/// [`TraceRecorder::dropped`]. [`TraceRecorder::events`] therefore
+/// always returns the most recent window of history, and
+/// `dropped() == 0` is the test for that window being complete.
+/// [`TraceRecorder::total_seen`] keeps counting across evictions, so
+/// `total_seen() == dropped() + len()` at all times. Consumers that
+/// poll mid-run should use [`TraceRecorder::drain`], which takes the
+/// retained window and resets `dropped` in one atomic step — polling
+/// with `events()` + `dropped()` separately can double-count an
+/// eviction that lands between the two calls.
 #[derive(Clone)]
 pub struct TraceRecorder {
     inner: Arc<Mutex<RecorderInner>>,
@@ -168,6 +182,19 @@ impl TraceRecorder {
     pub fn events(&self) -> Vec<(SimTime, TraceEvent)> {
         let inner = self.inner.lock().expect("trace recorder poisoned");
         inner.buf.iter().cloned().collect()
+    }
+
+    /// Take the retained events (oldest first), emptying the ring and
+    /// resetting the [`TraceRecorder::dropped`] counter in one locked
+    /// step. Returns the events together with the number dropped since
+    /// the previous drain, so an incremental consumer knows exactly how
+    /// large the gap before this window is. `total_seen` keeps
+    /// accumulating across drains.
+    pub fn drain(&self) -> (Vec<(SimTime, TraceEvent)>, u64) {
+        let mut inner = self.inner.lock().expect("trace recorder poisoned");
+        let events = inner.buf.drain(..).collect();
+        let dropped = std::mem::take(&mut inner.dropped);
+        (events, dropped)
     }
 
     /// Retained events for one request, oldest first — a per-request
@@ -292,6 +319,27 @@ mod tests {
             .request(),
             None
         );
+    }
+
+    #[test]
+    fn drain_takes_events_and_resets_dropped_atomically() {
+        let mut rec = TraceRecorder::new(3);
+        for i in 0..5 {
+            rec.record(SimTime::from_millis(i), ev(i));
+        }
+        let (events, dropped) = rec.drain();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].1.request(), Some(RequestId(2)));
+        assert_eq!(dropped, 2);
+        // the ring and the dropped counter restart together
+        assert!(rec.is_empty());
+        assert_eq!(rec.dropped(), 0);
+        assert_eq!(rec.total_seen(), 5);
+        rec.record(SimTime::from_millis(9), ev(9));
+        let (events, dropped) = rec.drain();
+        assert_eq!(events.len(), 1);
+        assert_eq!(dropped, 0);
+        assert_eq!(rec.total_seen(), 6);
     }
 
     #[test]

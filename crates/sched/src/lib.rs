@@ -27,6 +27,7 @@ pub mod backend;
 pub mod baselines;
 pub mod dcg_be;
 pub mod dss_lc;
+pub mod snap_impls;
 pub mod view;
 
 pub use backend::{BeBackend, LcBackend, SchedulerBackend};

@@ -242,7 +242,11 @@ impl<E> EventQueue<E> {
     /// events popping exactly as they would have in the original run.
     pub fn from_entries(entries: Vec<(SimTime, u64, E)>, next_seq: u64) -> Self {
         let mut q = EventQueue::new();
-        q.cursor_day = entries.iter().map(|(at, _, _)| day_of(*at)).min().unwrap_or(0);
+        q.cursor_day = entries
+            .iter()
+            .map(|(at, _, _)| day_of(*at))
+            .min()
+            .unwrap_or(0);
         for (at, seq, event) in entries {
             q.push_raw(Entry { at, seq, event });
         }

@@ -14,13 +14,58 @@
 //! cargo run --release --example large_scale -- 30
 //! cargo run --release --example large_scale -- 104 1000
 //! ```
+//!
+//! With `--json` the comparison table is replaced by bench-style stamped
+//! JSON on stdout — the same `{threads, git_rev, samples[]}` shape the
+//! bench binaries commit, with one timed sample per system and
+//! `rate_per_sec` counting completed requests per wall-clock second —
+//! so scripted sweeps can archive example runs next to bench results:
+//!
+//! ```sh
+//! cargo run --release --example large_scale -- 30 --json > large_scale.json
+//! ```
 
 use tango_repro::tango::runtime::{run_parallel, RunSpec};
 use tango_repro::tango::TangoConfig;
 use tango_repro::types::SimTime;
 
+/// Resolve the revision to stamp JSON output with, mirroring the bench
+/// harness: `TANGO_GIT_REV` first, then `git rev-parse --short HEAD`,
+/// and a panic (not a placeholder) when neither resolves.
+fn git_rev() -> String {
+    if let Ok(rev) = std::env::var("TANGO_GIT_REV") {
+        let rev = rev.trim().to_string();
+        if !rev.is_empty() {
+            return rev;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| {
+            panic!(
+                "JSON stamping could not resolve a git revision: run inside a \
+                 git checkout or set TANGO_GIT_REV=<rev>"
+            )
+        })
+}
+
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let mut json = false;
+    let mut positional: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        if arg == "--json" {
+            json = true;
+        } else {
+            positional.push(arg);
+        }
+    }
+    let mut args = positional.into_iter();
     let clusters: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(12);
     let node_target: Option<usize> = args.next().and_then(|a| a.parse().ok());
     let duration = SimTime::from_secs(20);
@@ -32,12 +77,6 @@ fn main() {
         base.workers_per_cluster = (mean.saturating_sub(4).max(1), mean + 4);
     }
 
-    match node_target {
-        Some(n) => {
-            println!("comparing on {clusters} clusters (~{n} nodes), {duration} simulated ...")
-        }
-        None => println!("comparing on {clusters} clusters, {duration} simulated ..."),
-    }
     let specs = vec![
         RunSpec {
             label: "Tango".into(),
@@ -55,6 +94,52 @@ fn main() {
             duration,
         },
     ];
+
+    if json {
+        // One timed sample per system, emitted in the bench harness's
+        // stamped shape (hand-rolled: serde is unavailable offline).
+        let threads = std::env::var("TANGO_THREADS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .or_else(|| std::thread::available_parallelism().ok().map(|n| n.get()))
+            .unwrap_or(1);
+        let rev = git_rev();
+        let mut samples = Vec::new();
+        for spec in specs {
+            let label = spec.label.clone();
+            let start = std::time::Instant::now();
+            let report = run_parallel(vec![spec]).remove(0);
+            let wall = start.elapsed();
+            let completed = report.lc_completed + report.be_throughput;
+            let rate = completed as f64 / wall.as_secs_f64().max(1e-9);
+            samples.push(format!(
+                "{{\"scenario\": \"large_scale/{}/{}\", \"wall_ns\": {}, \"rate_per_sec\": {:.2}}}",
+                label,
+                clusters,
+                wall.as_nanos(),
+                rate
+            ));
+        }
+        let mut out =
+            format!("{{\n  \"threads\": {threads},\n  \"git_rev\": \"{rev}\",\n  \"samples\": [\n");
+        for (i, s) in samples.iter().enumerate() {
+            out.push_str(&format!(
+                "    {}{}\n",
+                s,
+                if i + 1 < samples.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}");
+        println!("{out}");
+        return;
+    }
+
+    match node_target {
+        Some(n) => {
+            println!("comparing on {clusters} clusters (~{n} nodes), {duration} simulated ...")
+        }
+        None => println!("comparing on {clusters} clusters, {duration} simulated ..."),
+    }
     let reports = run_parallel(specs);
 
     println!("\nsystem  utilization  qos-satisfaction  be-throughput  abandoned  req/sim-min");

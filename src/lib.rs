@@ -5,6 +5,7 @@
 
 pub use tango;
 pub use tango_cgroup as cgroup;
+pub use tango_ctrl as ctrl;
 pub use tango_faults as faults;
 pub use tango_flow as flow;
 pub use tango_gnn as gnn;

@@ -96,7 +96,11 @@ fn random_interleavings_match_binary_heap_oracle() {
                 }
                 // 10%: peek
                 85..=94 => {
-                    assert_eq!(q.peek_time(), oracle.peek_time(), "seed {seed}: peek diverged");
+                    assert_eq!(
+                        q.peek_time(),
+                        oracle.peek_time(),
+                        "seed {seed}: peek diverged"
+                    );
                 }
                 // 5%: coalesced pop at the current head instant, with a
                 // predicate that sometimes refuses (even payloads only)

@@ -24,8 +24,7 @@ const FIXTURE_AT: SimTime = SimTime::from_millis(2_400);
 const DURATION: SimTime = SimTime::from_secs(5);
 
 fn fixture_path() -> std::path::PathBuf {
-    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("tests/fixtures/calm_mid.snap")
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/calm_mid.snap")
 }
 
 /// Same scenario as the calm golden in `refactor_equivalence.rs`.
@@ -75,7 +74,8 @@ fn current_encoder_reproduces_committed_fixture_bytes() {
     let (at, fresh) = regenerate();
     assert_eq!(at, FIXTURE_AT, "checkpoint cadence moved");
     assert_eq!(
-        fresh, committed,
+        fresh,
+        committed,
         "snapshot encoding drifted from the committed wire format \
          (fresh {} bytes vs committed {}); if intentional, bump the \
          snapshot version and regenerate the fixture",
