@@ -7,8 +7,9 @@
 //! Usage: `perf_smoke` (no arguments). Prints one line per scenario with
 //! wall time and a few sanity counters, exits non-zero on any violation.
 //!
-//! Besides liveness, the job carries one latency assertion: a scaled-down
-//! `system_tick/104` run must finish within 1.25× the committed
+//! Besides liveness, the job carries latency assertions: scaled-down
+//! `system_tick/104` runs (plain and mirror-attached) and a cloud-spill
+//! `edge_spill/16` run must each finish within 1.25× the committed
 //! `BENCH_baseline.json` figure (pro-rated to the smoke horizon). Set
 //! `TANGO_PERF_GUARD=off` to demote the guard to a warning on hosts that
 //! are not comparable to the baseline machine.
@@ -92,12 +93,11 @@ fn baseline_wall_ns(json: &str, scenario: &str) -> Option<f64> {
     tail.split(',').next()?.trim().parse::<f64>().ok()
 }
 
-/// Fail (or warn, under `TANGO_PERF_GUARD=off`) when the scaled-down
-/// 104-cluster tick runs slower than 1.25× the committed baseline,
-/// pro-rated from the baseline's 1 s horizon to the smoke horizon. Uses
-/// the best of three runs so one scheduling hiccup cannot fail CI.
+/// Fail (or warn, under `TANGO_PERF_GUARD=off`) when a scaled-down
+/// scenario runs slower than 1.25× the committed baseline, pro-rated
+/// from the baseline's 1 s horizon to the smoke horizon. Uses the best
+/// of three runs so one scheduling hiccup cannot fail CI.
 fn regression_guard() {
-    const SMOKE_MS: u64 = 250;
     let json = match std::fs::read_to_string(concat!(
         env!("CARGO_MANIFEST_DIR"),
         "/../../BENCH_baseline.json"
@@ -105,12 +105,18 @@ fn regression_guard() {
         Ok(j) => j,
         Err(e) => panic!("regression guard: cannot read BENCH_baseline.json: {e}"),
     };
-    let base_ns = baseline_wall_ns(&json, "system_tick/104")
-        .expect("BENCH_baseline.json carries a system_tick/104 sample");
-    let budget_ms = base_ns / 1e6 * (SMOKE_MS as f64 / 1_000.0) * 1.25;
-    // Plain run, and a mirror-attached run under the same budget: the
-    // state mirror publishes a frame per sync tick and must stay cheap
-    // enough to disappear inside the 1.25x envelope.
+    let budget_ms = |scenario: &str, smoke_ms: u64| {
+        let base_ns = baseline_wall_ns(&json, scenario)
+            .unwrap_or_else(|| panic!("BENCH_baseline.json carries a {scenario} sample"));
+        base_ns / 1e6 * (smoke_ms as f64 / 1_000.0) * 1.25
+    };
+
+    // 104-cluster tick, 250 ms horizon: a plain run, and a
+    // mirror-attached run under the same budget — the state mirror
+    // publishes a frame per sync tick and must stay cheap enough to
+    // disappear inside the 1.25x envelope.
+    const SMOKE_MS: u64 = 250;
+    let budget_104 = budget_ms("system_tick/104", SMOKE_MS);
     for (label, mirrored) in [
         ("smoke/regression_guard/104", false),
         ("smoke/regression_guard/104+mirror", true),
@@ -131,21 +137,51 @@ fn regression_guard() {
                 );
             }
         }
-        println!(
-            "{label:<34} {best_ms:>8.1} ms wall (budget {budget_ms:.1} ms = \
-             1.25x baseline pro-rated to {SMOKE_MS} ms)"
+        enforce(label, best_ms, budget_104, SMOKE_MS);
+    }
+
+    // Cloud-spill tick, 500 ms horizon (the defrag pass first fires at
+    // the second sync tick, so the shorter smoke window would never
+    // migrate): migration + egress accounting must stay inside the same
+    // 1.25x envelope, and pods must actually spill.
+    const SPILL_MS: u64 = 500;
+    let budget_spill = budget_ms("edge_spill/16", SPILL_MS);
+    let mut best_ms = f64::INFINITY;
+    for _ in 0..3 {
+        let sys = EdgeCloudSystem::new(tango_bench::scenarios::edge_spill_cfg(16));
+        let t = Instant::now();
+        let report = sys.run(SimTime::from_millis(SPILL_MS), "smoke-spill");
+        best_ms = best_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        assert!(
+            report.migrations_started > 0,
+            "edge_spill smoke never migrated — the scenario is dead weight"
         );
-        if best_ms > budget_ms {
-            let msg = format!(
-                "scaled-down {label} took {best_ms:.1} ms, over the {budget_ms:.1} ms \
-                 budget (1.25x the committed BENCH_baseline.json figure) — either fix the \
-                 regression or re-stamp the baseline"
-            );
-            if std::env::var("TANGO_PERF_GUARD").as_deref() == Ok("off") {
-                eprintln!("warning (guard off): {msg}");
-            } else {
-                panic!("{msg}");
-            }
+    }
+    enforce(
+        "smoke/regression_guard/spill16",
+        best_ms,
+        budget_spill,
+        SPILL_MS,
+    );
+}
+
+/// Shared budget check: print the measurement, then fail (or warn under
+/// `TANGO_PERF_GUARD=off`) when it exceeds the pro-rated budget.
+fn enforce(label: &str, best_ms: f64, budget_ms: f64, smoke_ms: u64) {
+    println!(
+        "{label:<34} {best_ms:>8.1} ms wall (budget {budget_ms:.1} ms = \
+         1.25x baseline pro-rated to {smoke_ms} ms)"
+    );
+    if best_ms > budget_ms {
+        let msg = format!(
+            "scaled-down {label} took {best_ms:.1} ms, over the {budget_ms:.1} ms \
+             budget (1.25x the committed BENCH_baseline.json figure) — either fix the \
+             regression or re-stamp the baseline"
+        );
+        if std::env::var("TANGO_PERF_GUARD").as_deref() == Ok("off") {
+            eprintln!("warning (guard off): {msg}");
+        } else {
+            panic!("{msg}");
         }
     }
 }

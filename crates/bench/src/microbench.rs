@@ -20,6 +20,11 @@ pub struct Sample {
     pub total_ns: u128,
     /// Median-of-batches estimate of ns per iteration.
     pub ns_per_iter: f64,
+    /// Set for non-timing samples: the measured value and its unit
+    /// (e.g. a snapshot size in `"bytes"`). Timing fields are zero for
+    /// these rows and the JSON emitter writes `value`/`unit` instead of
+    /// `wall_ns`/`rate_per_sec`.
+    pub metric: Option<(f64, &'static str)>,
 }
 
 impl Sample {
@@ -29,6 +34,19 @@ impl Sample {
             1e9 / self.ns_per_iter
         } else {
             0.0
+        }
+    }
+
+    /// A non-timing measurement: a named value with a unit, carried in
+    /// the same sample stream as the timings so it lands in the same
+    /// committed JSON.
+    pub fn metric(name: &str, value: f64, unit: &'static str) -> Sample {
+        Sample {
+            name: name.to_string(),
+            iters: 1,
+            total_ns: 0,
+            ns_per_iter: 0.0,
+            metric: Some((value, unit)),
         }
     }
 }
@@ -70,11 +88,16 @@ pub fn run<T>(name: &str, min_time_ms: u64, mut f: impl FnMut() -> T) -> Sample 
         iters,
         total_ns,
         ns_per_iter,
+        metric: None,
     }
 }
 
 /// Print one sample in the fixed-width table format the bench binaries use.
 pub fn report(s: &Sample) {
+    if let Some((value, unit)) = s.metric {
+        println!("{:<44} {value:>12.0} {unit}", s.name);
+        return;
+    }
     println!(
         "{:<44} {:>12.0} ns/iter {:>14.1} iters/s  ({} iters)",
         s.name,

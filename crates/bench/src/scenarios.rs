@@ -6,6 +6,7 @@
 //! the committed JSON files are comparable across revisions.
 
 use crate::microbench::Sample;
+use tango::{BePolicy, CloudConfig, DefragConfig, TangoConfig};
 use tango_flow::FlowGraph;
 use tango_gnn::FeatureGraph;
 use tango_nn::Matrix;
@@ -89,6 +90,26 @@ pub fn make_graph(n: usize, f: usize) -> FeatureGraph {
     g
 }
 
+/// Flash-crowd edge-overload scenario: a BE-heavy dual-space run with
+/// the elastic cloud tier attached and an aggressive defrag cadence, so
+/// the KubeDSM batch-migration pass fires on every other sync tick and
+/// pods actually spill to the cloud. Shared by `bench_baseline` (which
+/// stamps its wall time) and `perf_smoke` (which guards against it
+/// regressing), so both price the same work.
+pub fn edge_spill_cfg(clusters: usize) -> TangoConfig {
+    let mut cfg = TangoConfig::dual_space(clusters);
+    cfg.be_policy = BePolicy::LoadGreedy;
+    cfg.workload.be_rps = cfg.workload.be_rps.max(12.0 * clusters as f64);
+    cfg.cloud = Some(CloudConfig::default());
+    cfg.defrag = Some(DefragConfig {
+        every_n_ticks: 2,
+        max_moves: 16,
+        hot_threshold: 0.5,
+        cold_threshold: 0.35,
+    });
+    cfg
+}
+
 /// Short git revision stamped into bench JSON, resolved at bench
 /// *runtime* (never baked into the binary — a stale build must not
 /// re-stamp an old rev). Resolution order:
@@ -125,9 +146,18 @@ pub fn git_rev() -> String {
 }
 
 /// Render one sample as a JSON object (no trailing delimiter).
-/// `rate_per_sec` is iterations of the scenario per second — ticks for
-/// the system scenarios, solves/forwards for the micro ones.
+/// Timing samples carry `wall_ns` (median ns per iteration) and
+/// `rate_per_sec` (iterations of the scenario per second — ticks for the
+/// system scenarios, solves/forwards for the micro ones); non-timing
+/// samples carry `value` and `unit` instead, so a byte count never
+/// masquerades as a latency.
 pub fn sample_json(s: &Sample) -> String {
+    if let Some((value, unit)) = s.metric {
+        return format!(
+            "{{\"scenario\": \"{}\", \"value\": {value:.0}, \"unit\": \"{unit}\"}}",
+            s.name
+        );
+    }
     format!(
         "{{\"scenario\": \"{}\", \"wall_ns\": {:.0}, \"rate_per_sec\": {:.2}}}",
         s.name,
@@ -229,5 +259,25 @@ mod tests {
         assert!(sw.contains("\"note\": \"test note\""));
         assert!(sw.contains("{\"threads\": 1, \"samples\": ["));
         assert!(sw.contains("{\"threads\": 4, \"samples\": ["));
+    }
+
+    #[test]
+    fn metric_samples_emit_value_and_unit_not_timings() {
+        let m = Sample::metric("snap_size_bytes/16", 46809.0, "bytes");
+        let j = sample_json(&m);
+        assert_eq!(
+            j,
+            "{\"scenario\": \"snap_size_bytes/16\", \"value\": 46809, \"unit\": \"bytes\"}"
+        );
+        assert!(!j.contains("wall_ns"), "byte count stamped as a latency");
+        assert!(!j.contains("rate_per_sec"));
+    }
+
+    #[test]
+    fn edge_spill_cfg_attaches_cloud_and_defrag() {
+        let cfg = edge_spill_cfg(16);
+        assert!(cfg.cloud.is_some());
+        assert!(cfg.defrag.is_some());
+        assert!(cfg.workload.be_rps >= 12.0 * 16.0);
     }
 }

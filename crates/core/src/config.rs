@@ -113,6 +113,74 @@ impl Default for Ablations {
     }
 }
 
+/// The elastic cloud tier: one extra cluster of high-capacity,
+/// high-RTT workers appended after the edge clusters. Cloud nodes are
+/// schedulable BE targets (with distance-honest latency) and the
+/// spill destination of the defragmentation pass; LC dispatch never
+/// routes to them — an LC request's QoS budget cannot absorb the WAN
+/// round trip.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CloudConfig {
+    /// Cloud worker count (one datacenter cluster).
+    pub workers: usize,
+    /// Per-cloud-worker capacity. Uniform — no heterogeneity jitter;
+    /// datacenter fleets are homogeneous.
+    pub worker_capacity: Resources,
+    /// Base one-way edge→cloud latency before the distance term.
+    pub one_way_base: SimTime,
+    /// Extra one-way latency per km of edge-to-centroid distance (µs/km).
+    pub us_per_km: f64,
+    /// Uniform edge↔cloud link bandwidth, Mbps.
+    pub bandwidth_mbps: u64,
+    /// Optional egress-cost budget in KiB. Every BE payload placed on the
+    /// cloud and every migration transfer into it is charged; once the
+    /// budget is exhausted, cloud nodes stop appearing as scheduling
+    /// targets (work already there finishes). `None` = unmetered.
+    pub egress_budget_kib: Option<u64>,
+}
+
+impl Default for CloudConfig {
+    fn default() -> Self {
+        CloudConfig {
+            workers: 8,
+            worker_capacity: Resources::new(16_000, 32_768, 10_000, 1_000_000),
+            one_way_base: SimTime::from_millis(40),
+            us_per_km: 5.0,
+            bandwidth_mbps: 1_000,
+            egress_budget_kib: None,
+        }
+    }
+}
+
+/// The migration-aware defragmentation pass: every `every_n_ticks` sync
+/// ticks the configured [`tango_sched::MigrationPlanner`] sees all
+/// workers and plans batch BE migrations — evacuating hot edge nodes
+/// into cold edge nodes first and spilling the remainder to the cloud
+/// tier when one is attached.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DefragConfig {
+    /// Run the pass every N sync ticks (values below 1 behave as 1).
+    pub every_n_ticks: u32,
+    /// Migration batch limit per pass.
+    pub max_moves: usize,
+    /// Workers at or above this demand utilization are evacuation
+    /// sources.
+    pub hot_threshold: f64,
+    /// Workers below this demand utilization are repack receivers.
+    pub cold_threshold: f64,
+}
+
+impl Default for DefragConfig {
+    fn default() -> Self {
+        DefragConfig {
+            every_n_ticks: 4,
+            max_moves: 16,
+            hot_threshold: 0.85,
+            cold_threshold: 0.6,
+        }
+    }
+}
+
 /// Full system configuration.
 #[derive(Debug, Clone)]
 pub struct TangoConfig {
@@ -162,6 +230,12 @@ pub struct TangoConfig {
     /// Fault scenario (empty by default — a calm-weather run). Compiled
     /// into timed crash/recover/degrade events when the run starts.
     pub faults: FaultPlan,
+    /// Elastic cloud tier. `None` (the default) keeps the pure edge
+    /// system: no extra cluster, golden digests unchanged.
+    pub cloud: Option<CloudConfig>,
+    /// Migration-aware defragmentation pass. `None` (the default)
+    /// disables batch migration entirely.
+    pub defrag: Option<DefragConfig>,
     /// Keep-alive failure detection. `None` (the default) keeps the
     /// oracle model: the control plane learns of a crash the instant the
     /// fault plan fires it. `Some` makes crashes *physical* first — the
@@ -216,6 +290,8 @@ impl TangoConfig {
             local_only: false,
             ablations: Ablations::default(),
             faults: FaultPlan::default(),
+            cloud: None,
+            defrag: None,
             detection: None,
             seed: 42,
             parallelism: None,

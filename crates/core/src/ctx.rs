@@ -69,6 +69,9 @@ pub struct SystemCtx<'a> {
     /// Control-plane state (state mirror, keep-alive detector, proxy
     /// accounting).
     pub(crate) ctrl: &'a mut CtrlState,
+    /// Migration stage state (in-flight transfers, defrag cadence,
+    /// cloud egress accounting).
+    pub(crate) migration: &'a mut crate::migration::MigrationState,
     /// Deterministic worker pool for the embarrassingly-parallel phases.
     pub(crate) pool: &'a tango_par::Pool,
     /// Run horizon (completions projected past it are never scheduled).

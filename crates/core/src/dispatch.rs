@@ -58,6 +58,7 @@ macro_rules! view_inputs {
             reassurer: $ctx.reassurer.as_ref(),
             reserved: &$ctx.lifecycle.reserved,
             central: $ctx.dispatch.central,
+            cloud_gate: $ctx.migration.cloud_gate(),
         }
     };
 }
@@ -511,10 +512,14 @@ pub(crate) fn on_be_dispatch(ctx: &mut SystemCtx<'_>, sched: &mut Sched<'_>) {
                     target: node,
                     lane: TraceLane::Be,
                 });
-                let delay = failover_delay
-                    + ctx
-                        .topology
-                        .transfer_time(central, cluster_of_node(ctx, node), payload);
+                let target_cluster = cluster_of_node(ctx, node);
+                // A BE placement on the cloud tier ships its payload
+                // across the metered edge→cloud boundary.
+                if Some(target_cluster) == ctx.migration.cloud {
+                    crate::migration::charge_egress(ctx, now, payload);
+                }
+                let delay =
+                    failover_delay + ctx.topology.transfer_time(central, target_cluster, payload);
                 sched.schedule_in(delay, Event::Deliver(rid, node, ctx.fault.epoch(node)));
             }
             None => {

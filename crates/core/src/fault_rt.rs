@@ -227,10 +227,15 @@ pub(crate) fn audit(lifecycle: &LifecycleState, fault: &FaultState) -> RunAudit 
             Some(RequestOutcome::Failed) => a.failed += 1,
             None => {
                 a.pending += 1;
-                if let RequestState::Running { target } = req.state {
-                    if fault.is_down(target) {
+                match req.state {
+                    RequestState::Running { target } if fault.is_down(target) => {
                         a.running_on_down_nodes += 1;
                     }
+                    // A mid-transfer pod is on neither endpoint: its
+                    // residual work rides the in-flight checkpoint, so a
+                    // crash on either side can't lose or duplicate it.
+                    RequestState::Migrating { .. } => a.in_migration += 1,
+                    _ => {}
                 }
             }
         }

@@ -39,6 +39,8 @@ pub mod dispatch;
 pub mod fault_rt;
 #[deny(missing_docs)]
 pub mod lifecycle;
+#[deny(missing_docs)]
+pub mod migration;
 pub mod policy;
 pub mod report;
 #[deny(missing_docs)]
@@ -50,7 +52,10 @@ pub mod sync_loop;
 pub mod system;
 pub(crate) mod view_cache;
 
-pub use config::{Ablations, AllocatorKind, BePolicy, LcPolicy, TangoConfig, WorkloadSpec};
+pub use config::{
+    Ablations, AllocatorKind, BePolicy, CloudConfig, DefragConfig, LcPolicy, TangoConfig,
+    WorkloadSpec,
+};
 pub use report::{RunAudit, RunReport};
 pub use runtime::run_parallel;
 pub use snapshot::{config_fingerprint, Checkpoint, CheckpointPolicy, Resumed};

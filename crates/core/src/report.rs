@@ -31,6 +31,14 @@ pub struct RunReport {
     /// Fault accounting: crashes, recoveries, downtime, rescheduled work,
     /// fault-window QoS violations. All zero on a calm-weather run.
     pub faults: FaultSummary,
+    /// Pod migrations started by the defragmentation pass. Observational
+    /// (excluded from the digest); zero whenever defrag is off.
+    pub migrations_started: u64,
+    /// Pod migrations that landed and resumed at their destination.
+    pub migrations_completed: u64,
+    /// Total KiB shipped across the edge→cloud boundary (placement
+    /// payloads + migration checkpoints); zero without a cloud tier.
+    pub cloud_egress_kib: u64,
 }
 
 /// Conservation audit over every request a run injected: each `Arrival`
@@ -51,6 +59,10 @@ pub struct RunAudit {
     /// Requests whose state says "running on node X" while X is down —
     /// must be zero: crashes interrupt everything on the node.
     pub running_on_down_nodes: u64,
+    /// Requests mid-migration at the horizon (subset of `pending`): their
+    /// residual work rides the in-flight checkpoint, attached to neither
+    /// endpoint, so crashes on either side can't lose or duplicate them.
+    pub in_migration: u64,
 }
 
 impl RunAudit {
@@ -67,9 +79,10 @@ impl RunReport {
     /// refactor-equivalence golden test pins this value for a seeded run
     /// so any behavioral drift in the staged runtime is caught exactly.
     /// Purely observational additions (`detection_lag_ms`,
-    /// `proxy_fallbacks`) are deliberately *excluded* so pinned goldens
-    /// survive control-plane instrumentation; they get their own
-    /// assertions in the ctrl-plane tests.
+    /// `proxy_fallbacks`, the migration counters and egress totals) are
+    /// deliberately *excluded* so pinned goldens survive control-plane
+    /// and migration instrumentation; they get their own assertions in
+    /// the ctrl-plane and migration tests.
     pub fn digest(&self) -> u64 {
         // FNV-1a, the same deterministic fold the bench harness stamps
         // its JSON with. No dependence on label text: the digest pins
@@ -133,11 +146,11 @@ impl RunReport {
     /// ready for external plotting.
     pub fn periods_csv(&self) -> String {
         let mut out = String::from(
-            "period,lc_arrived,lc_completed,lc_satisfied,be_completed,abandoned,util_overall,util_lc,util_be,lc_p95_ms,fault_qos_violations,detection_lag_ms,proxy_fallbacks\n",
+            "period,lc_arrived,lc_completed,lc_satisfied,be_completed,abandoned,util_overall,util_lc,util_be,lc_p95_ms,fault_qos_violations,detection_lag_ms,proxy_fallbacks,migrations_started,migrations_completed,cloud_egress_kib\n",
         );
         for p in &self.periods {
             out.push_str(&format!(
-                "{},{},{},{},{},{},{:.4},{:.4},{:.4},{:.2},{},{:.2},{}\n",
+                "{},{},{},{},{},{},{:.4},{:.4},{:.4},{:.2},{},{:.2},{},{},{},{}\n",
                 p.index,
                 p.lc_arrived,
                 p.lc_completed,
@@ -150,7 +163,10 @@ impl RunReport {
                 p.lc_p95_ms,
                 p.fault_qos_violations,
                 p.detection_lag_ms,
-                p.proxy_fallbacks
+                p.proxy_fallbacks,
+                p.migrations_started,
+                p.migrations_completed,
+                p.cloud_egress_kib
             ));
         }
         out
@@ -185,6 +201,12 @@ impl RunReport {
                 f.fault_qos_violations,
             ));
         }
+        if self.migrations_started > 0 {
+            s.push_str(&format!(
+                " [migrations: {}/{} landed egress={}KiB]",
+                self.migrations_completed, self.migrations_started, self.cloud_egress_kib,
+            ));
+        }
         s
     }
 }
@@ -208,6 +230,9 @@ mod tests {
             dvpa_ops: 10,
             be_evictions: 2,
             faults: FaultSummary::default(),
+            migrations_started: 0,
+            migrations_completed: 0,
+            cloud_egress_kib: 0,
         }
     }
 
@@ -254,6 +279,9 @@ mod tests {
                     fault_qos_violations: 2,
                     detection_lag_ms: 150.0,
                     proxy_fallbacks: 4,
+                    migrations_started: 2,
+                    migrations_completed: 1,
+                    cloud_egress_kib: 64,
                 },
                 PeriodRecord::default(),
             ],
@@ -267,14 +295,18 @@ mod tests {
             dvpa_ops: 0,
             be_evictions: 0,
             faults: FaultSummary::default(),
+            migrations_started: 2,
+            migrations_completed: 1,
+            cloud_egress_kib: 64,
         };
         let csv = r.periods_csv();
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 3);
         assert!(lines[0].starts_with("period,lc_arrived"));
-        assert!(lines[0].ends_with("fault_qos_violations,detection_lag_ms,proxy_fallbacks"));
+        assert!(lines[0]
+            .ends_with("proxy_fallbacks,migrations_started,migrations_completed,cloud_egress_kib"));
         assert!(lines[1].starts_with("0,10,9,8,3,1,0.5000"));
-        assert!(lines[1].ends_with(",2,150.00,4"));
+        assert!(lines[1].ends_with(",2,150.00,4,2,1,64"));
     }
 
     #[test]
@@ -286,6 +318,7 @@ mod tests {
             failed: 1,
             pending: 1,
             running_on_down_nodes: 0,
+            in_migration: 0,
         };
         assert!(a.conserved());
         a.pending = 0;

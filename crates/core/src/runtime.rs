@@ -120,6 +120,28 @@ impl Allocator {
         }
     }
 
+    /// Admit a migrated BE pod resuming from residual work (the §4.1
+    /// regulations with D-VPA growth under HRM; clamp-into-fixed-limits
+    /// under static allocation).
+    pub(crate) fn try_admit_migrated(
+        &mut self,
+        node: &mut Node,
+        request: tango_types::RequestId,
+        service: tango_types::ServiceId,
+        demand: tango_types::Resources,
+        remaining_work: f64,
+        now: SimTime,
+    ) -> Result<(), tango_types::TangoError> {
+        match self {
+            Allocator::Hrm(h) => {
+                h.try_admit_migrated(node, request, service, demand, remaining_work, now)
+            }
+            Allocator::Static(s) => {
+                s.try_admit_migrated(node, request, service, demand, remaining_work, now)
+            }
+        }
+    }
+
     /// Post-completion rebalance (D-VPA shrink/regrow). No-op under
     /// static allocation.
     pub(crate) fn rebalance(&mut self, node: &mut Node, now: SimTime) {

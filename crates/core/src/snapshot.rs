@@ -75,6 +75,12 @@ impl SnapEncode for Event {
                 w.put_u8(8);
                 f.encode(w);
             }
+            Event::MigrateArrive(r, n, epoch) => {
+                w.put_u8(9);
+                r.encode(w);
+                n.encode(w);
+                w.put_u64(*epoch);
+            }
         }
     }
 }
@@ -94,6 +100,7 @@ impl SnapDecode for Event {
             6 => Event::Reassure,
             7 => Event::Sync,
             8 => Event::Fault(FaultEvent::decode(r)?),
+            9 => Event::MigrateArrive(RequestId::decode(r)?, NodeId::decode(r)?, r.u64()?),
             _ => return Err(SnapError::Corrupt("event tag")),
         })
     }
@@ -125,6 +132,7 @@ const SEC_TOPOLOGY: u32 = 11;
 const SEC_STORE: u32 = 12;
 const SEC_ENGINE: u32 = 13;
 const SEC_CTRL: u32 = 14;
+const SEC_MIGRATION: u32 = 15;
 
 /// When and how many checkpoints [`EdgeCloudSystem::run_checkpointed`]
 /// takes.
@@ -309,6 +317,28 @@ pub(crate) fn encode(sys: &EdgeCloudSystem, engine: &Engine<Event>) -> Result<Ve
         }
     });
 
+    // Migration stage: defrag cadence position, egress spent, and the
+    // in-flight transfers (sorted by request id — the canonical order).
+    // Cloud wiring and the planner are rebuilt from the config.
+    b.section(SEC_MIGRATION, |w| {
+        w.put_u32(sys.migration.ticks);
+        w.put_u64(sys.migration.egress_kib);
+        let mut ids: Vec<RequestId> = sys.migration.in_flight.keys().copied().collect();
+        ids.sort_unstable();
+        w.put_u64(ids.len() as u64);
+        for id in ids {
+            let m = &sys.migration.in_flight[&id];
+            id.encode(w);
+            m.service.encode(w);
+            m.demand.encode(w);
+            w.put_f64(m.remaining_work);
+            m.src.encode(w);
+            m.dst.encode(w);
+            w.put_u64(m.payload_kib);
+            m.done_at.encode(w);
+        }
+    });
+
     Ok(b.seal())
 }
 
@@ -482,6 +512,27 @@ impl EdgeCloudSystem {
             (0, None) => {}
             (1, Some(det)) => det.restore(&mut r)?,
             _ => return Err(SnapError::Corrupt("ctrl detector presence")),
+        }
+
+        let mut r = file.section(SEC_MIGRATION, "migration section")?;
+        sys.migration.ticks = r.u32()?;
+        sys.migration.egress_kib = r.u64()?;
+        let n = r.u64()? as usize;
+        if n > r.remaining() {
+            return Err(SnapError::Truncated);
+        }
+        for _ in 0..n {
+            let id = RequestId::decode(&mut r)?;
+            let m = crate::migration::InFlight {
+                service: ServiceId::decode(&mut r)?,
+                demand: Resources::decode(&mut r)?,
+                remaining_work: r.f64()?,
+                src: NodeId::decode(&mut r)?,
+                dst: NodeId::decode(&mut r)?,
+                payload_kib: r.u64()?,
+                done_at: SimTime::decode(&mut r)?,
+            };
+            sys.migration.in_flight.insert(id, m);
         }
 
         Ok(Resumed { sys, engine })

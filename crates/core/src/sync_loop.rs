@@ -239,6 +239,10 @@ pub(crate) fn on_sync(ctx: &mut SystemCtx<'_>, sched: &mut Sched<'_>) {
     // Fresh store contents invalidate every cached candidate view's row
     // values; membership and link attributes are untouched by a push.
     ctx.dispatch.views.invalidate_values();
+    // Defragmentation pass (every N ticks when configured): the sync
+    // phase just advanced every live node to `now`, so the migration
+    // planner sees current utilization.
+    crate::migration::defrag_tick(ctx, sched);
     // Control-plane epilogue: proxy fallback accounting, then a mirror
     // frame if one is attached. Publishing reads state and clocks only.
     crate::ctrl_rt::after_sync(ctx, now);

@@ -34,7 +34,9 @@
 //!   completions, feed the QoS detector, reclaim resources;
 //! * `Reassure` — Algorithm 1 over the QoS detector;
 //! * `Sync` — push node snapshots to the state storage and sample
-//!   utilization (the Prometheus/QoS-detector push cycle of Fig. 3).
+//!   utilization (the Prometheus/QoS-detector push cycle of Fig. 3);
+//! * `MigrateArrive` — a migrating BE pod's checkpoint lands at its
+//!   destination node (or bounces off a mid-transfer crash).
 
 use crate::config::{AllocatorKind, TangoConfig};
 use crate::ctrl_rt::CtrlState;
@@ -42,6 +44,7 @@ use crate::ctx::SystemCtx;
 use crate::dispatch::DispatchState;
 use crate::fault_rt;
 use crate::lifecycle::LifecycleState;
+use crate::migration::MigrationState;
 use crate::policy::{make_be_backend, make_lc_backend};
 use crate::report::{RunAudit, RunReport};
 use crate::runtime::{static_limits, Allocator, ClusterRt};
@@ -88,6 +91,11 @@ pub enum Event {
     Sync,
     /// A compiled fault-plan event fires (crash/recover/degrade/...).
     Fault(FaultEvent),
+    /// A migrating BE pod's checkpoint reaches its destination. The third
+    /// field is the destination's crash epoch when the transfer started;
+    /// a mismatch means the node crashed mid-transfer and the pod bounces
+    /// back to its scheduler (same contract as `Deliver`).
+    MigrateArrive(RequestId, NodeId, u64),
 }
 
 /// The simulated edge-cloud system: owner of all state, router of all
@@ -108,6 +116,7 @@ pub struct EdgeCloudSystem {
     pub(crate) sync: SyncState,
     pub(crate) fault: FaultState,
     pub(crate) ctrl: CtrlState,
+    pub(crate) migration: MigrationState,
     pub(crate) horizon: SimTime,
     /// Deterministic worker pool for the embarrassingly-parallel phases
     /// (per-type dispatch planning, per-node sync accounting). Thread
@@ -129,7 +138,7 @@ impl EdgeCloudSystem {
         let mut topo_cfg = cfg.topology.clone();
         topo_cfg.clusters = cfg.clusters;
         topo_cfg.seed = cfg.seed ^ 0x7070;
-        let topology = NetworkTopology::generate(&topo_cfg);
+        let mut topology = NetworkTopology::generate(&topo_cfg);
         let mut rng = SimRng::new(cfg.seed);
 
         let mut nodes: Vec<Node> = Vec::new();
@@ -177,8 +186,53 @@ impl EdgeCloudSystem {
         let be_backend = make_be_backend(cfg.be_policy, cfg.seed ^ 0xbe, &cfg.ablations);
         let allocator = Allocator::from_config(&cfg, &catalog);
         let reassurer = cfg.reassurance.clone().map(Reassurer::new);
+        // The BE dispatcher must stay on the edge: pick the central
+        // cluster before the cloud tier (if any) joins the topology.
         let central = topology.most_central();
         let counters = ExperimentCounters::new(cfg.period);
+
+        // Elastic cloud tier: one extra cluster appended after every edge
+        // cluster, built with zero draws from the shared RNG so the edge
+        // layout is bit-identical whether the tier is on or off.
+        let mut cloud_cluster = None;
+        if let Some(cloud) = &cfg.cloud {
+            let cid =
+                topology.attach_cloud(cloud.one_way_base, cloud.us_per_km, cloud.bandwidth_mbps);
+            debug_assert_eq!(cid.index(), cfg.clusters);
+            let master_id = NodeId(nodes.len() as u32);
+            nodes.push(Node::new(master_id, cid, true, cfg.master_capacity));
+            let mut workers = Vec::with_capacity(cloud.workers);
+            for _ in 0..cloud.workers {
+                let wid = NodeId(nodes.len() as u32);
+                // uniform datacenter-grade machines: no capacity jitter
+                let capacity = cloud.worker_capacity;
+                let mut node = Node::new(wid, cid, false, capacity);
+                for spec in catalog.specs() {
+                    let initial = match cfg.allocator {
+                        AllocatorKind::Hrm => spec.min_request,
+                        AllocatorKind::Static => limits[spec.id.index()]
+                            .min(&capacity)
+                            .max(&spec.min_request)
+                            .min(&capacity),
+                    };
+                    node.deploy_service(spec, initial, SimTime::ZERO)
+                        .expect("fresh node accepts deployments");
+                }
+                nodes.push(node);
+                workers.push(wid);
+            }
+            clusters.push(ClusterRt::new(cid, master_id, workers));
+            // Index/snapshot-shape consistency: one LC backend per
+            // cluster, even though the cloud master never runs a
+            // dispatch round (`prime` only schedules edge clusters).
+            lc_backends.push(make_lc_backend(
+                cfg.lc_policy,
+                cfg.seed ^ (cfg.clusters as u64) << 8,
+                &cfg.ablations,
+            ));
+            cloud_cluster = Some(cid);
+        }
+        let migration = MigrationState::from_config(&cfg, cloud_cluster);
 
         let lifecycle = LifecycleState::new(nodes.len());
         let fault = FaultState::new(nodes.len());
@@ -208,6 +262,7 @@ impl EdgeCloudSystem {
             sync: SyncState::default(),
             fault,
             ctrl,
+            migration,
             horizon: SimTime::MAX,
             pool,
             trace: None,
@@ -272,6 +327,7 @@ impl EdgeCloudSystem {
             sync: &mut self.sync,
             fault: &mut self.fault,
             ctrl: &mut self.ctrl,
+            migration: &mut self.migration,
             pool: &self.pool,
             horizon: self.horizon,
             trace: self.trace.as_deref_mut().map(|t| t as _),
@@ -374,6 +430,9 @@ impl EdgeCloudSystem {
             dvpa_ops: self.allocator.dvpa_ops(),
             be_evictions: self.lifecycle.be_evictions,
             faults: self.fault.summary.clone(),
+            migrations_started: self.counters.migration_totals().0,
+            migrations_completed: self.counters.migration_totals().1,
+            cloud_egress_kib: self.counters.total_cloud_egress_kib(),
         }
     }
 }
@@ -401,6 +460,9 @@ impl EventHandler for EdgeCloudSystem {
             Event::Reassure => crate::sync_loop::on_reassure(&mut ctx, sched),
             Event::Sync => crate::sync_loop::on_sync(&mut ctx, sched),
             Event::Fault(fault) => crate::fault_rt::on_fault(&mut ctx, fault, sched),
+            Event::MigrateArrive(rid, node, epoch) => {
+                crate::migration::on_migrate_arrive(&mut ctx, rid, node, epoch, sched)
+            }
         }
     }
 }

@@ -56,6 +56,11 @@ pub(crate) struct ViewInputs<'a> {
     pub reassurer: Option<&'a Reassurer>,
     pub reserved: &'a ReservationTable,
     pub central: ClusterId,
+    /// The cloud tier's cluster and whether its rows are currently
+    /// admissible (egress budget not exhausted). `None` = no tier
+    /// attached. Part of the inputs so view membership stays a pure
+    /// function of them (budget flips bump the structure clock).
+    pub cloud_gate: Option<(ClusterId, bool)>,
 }
 
 /// One cached `(scope, service)` view.
@@ -233,6 +238,10 @@ fn geo_set_entry<'a>(
         } else {
             inp.topology.clusters_within(origin, inp.cfg.geo_radius_km)
         };
+        // LC never runs on the cloud tier: only edge clusters (index
+        // below `cfg.clusters`) belong in a geo set, however close the
+        // tier's centroid placement puts it.
+        set.retain(|c| c.index() < inp.cfg.clusters);
         set.push(origin);
         set.sort_unstable();
         set.dedup();
@@ -275,8 +284,9 @@ fn rebuild(
         _ => spec.min_request,
     };
     // Link attributes are a function of (vantage, cluster, payload);
-    // compute each cluster's once.
-    let mut links: Vec<Option<LinkObservation>> = vec![None; inp.cfg.clusters];
+    // compute each cluster's once. Sized over the topology, not
+    // `cfg.clusters` — the cloud tier is an extra cluster beyond it.
+    let mut links: Vec<Option<LinkObservation>> = vec![None; inp.topology.len()];
     for i in 0..inp.store.rows() {
         let Some(row) = inp.store.row(i) else {
             continue;
@@ -291,6 +301,12 @@ fn rebuild(
         }
         if inp.fault.is_down(row.node) || !inp.topology.is_reachable(vantage, row.cluster) {
             continue;
+        }
+        // Cloud rows leave every view once the egress budget is spent.
+        if let Some((cloud, open)) = inp.cloud_gate {
+            if row.cluster == cloud && !open {
+                continue;
+            }
         }
         let slot = &mut links[row.cluster.index()];
         let link = *slot.get_or_insert_with(|| LinkObservation {

@@ -114,6 +114,42 @@ impl HrmAllocator {
         Ok(outcome)
     }
 
+    /// Admit a migrated BE pod carrying residual work: the same BE-side
+    /// regulations as [`try_admit`](Self::try_admit) (feasibility over
+    /// everything-held, D-VPA limit growth), but the pod resumes from the
+    /// fractional work the migration shipped rather than the service's
+    /// nominal work. Migrating pods are BE by policy, so the LC eviction
+    /// path never applies.
+    pub fn try_admit_migrated(
+        &mut self,
+        node: &mut Node,
+        request: tango_types::RequestId,
+        service: ServiceId,
+        demand: Resources,
+        remaining_work: f64,
+        now: SimTime,
+    ) -> Result<(), TangoError> {
+        node.advance(now);
+        let ctr = node.container_for(service).ok_or_else(|| {
+            TangoError::Unschedulable(format!("{service} not deployed on {}", node.id))
+        })?;
+        if !node.is_available(ctr, now) {
+            return Err(TangoError::Unschedulable(format!(
+                "container for {service} on {} is restarting",
+                node.id
+            )));
+        }
+        if !Self::feasible(node, ServiceClass::Be, &demand) {
+            let (lc, be) = node.demand_usage();
+            return Err(TangoError::InsufficientResources {
+                requested: demand,
+                available: node.capacity().saturating_sub(&lc).saturating_sub(&be),
+            });
+        }
+        self.rebalance_with_extra(node, Some((service, demand)), now);
+        node.admit_migrated(request, service, demand, remaining_work, now)
+    }
+
     /// Evict BE containers (cheapest remaining work first) until the LC
     /// demand's incompressible part fits in capacity − held.
     fn evict_for_incompressible(
@@ -291,6 +327,28 @@ impl StaticAllocator {
         };
         node.admit(req.id, req.service, clamped, work_milli_ms, now)?;
         Ok(AdmitOutcome::default())
+    }
+
+    /// Migrated-pod admission under static limits: clamp into the fixed
+    /// container limit like [`try_admit`](Self::try_admit), resume from
+    /// the shipped residual work.
+    pub fn try_admit_migrated(
+        &mut self,
+        node: &mut Node,
+        request: tango_types::RequestId,
+        service: ServiceId,
+        demand: Resources,
+        remaining_work: f64,
+        now: SimTime,
+    ) -> Result<(), TangoError> {
+        let clamped = match node
+            .scaling_cgroups(service)
+            .map(|(_, ctr_cg)| node.cgroups.limit(ctr_cg))
+        {
+            Some(limit) => demand.min(&limit).max(&Resources::new(1, 1, 0, 0)),
+            None => demand,
+        };
+        node.admit_migrated(request, service, clamped, remaining_work, now)
     }
 }
 

@@ -395,6 +395,64 @@ impl Node {
         Ok(())
     }
 
+    /// Admit a request that already ran elsewhere: same admission rules
+    /// as [`Node::admit`], but the remaining work is the fractional
+    /// residue carried over by a migration rather than the service's
+    /// nominal work. The caller must have advanced the source node and
+    /// detached the request there first.
+    pub fn admit_migrated(
+        &mut self,
+        request: RequestId,
+        service: ServiceId,
+        demand: Resources,
+        remaining_work: f64,
+        now: SimTime,
+    ) -> Result<(), TangoError> {
+        self.advance(now);
+        let slot = self.by_service.get(&service).copied().ok_or_else(|| {
+            TangoError::Unschedulable(format!("{service} not deployed on {}", self.id))
+        })?;
+        let state = &self.containers[slot];
+        if state.unavailable_until > now {
+            return Err(TangoError::Unschedulable(format!(
+                "container {} rebuilding until {}",
+                state.meta.id, state.unavailable_until
+            )));
+        }
+        let (_, incompressible) = demand.split_compressible();
+        self.cgroups.charge(state.meta.cgroup, incompressible)?;
+        self.containers[slot].running.push(RunningRequest {
+            request,
+            demand,
+            remaining_work: remaining_work.max(WORK_EPSILON),
+            admitted_at: now,
+        });
+        self.running_total += 1;
+        self.generation += 1;
+        Ok(())
+    }
+
+    /// Detach one running request for migration: integrate progress to
+    /// `now`, remove it from its container, uncharge its incompressibles,
+    /// and hand back the [`RunningRequest`] with its residual work. The
+    /// request is gone from this node the instant this returns — a later
+    /// crash of this node cannot touch it. `None` if the request is not
+    /// running here.
+    pub fn detach_request(&mut self, request: RequestId, now: SimTime) -> Option<RunningRequest> {
+        self.advance(now);
+        for state in &mut self.containers {
+            if let Some(i) = state.running.iter().position(|r| r.request == request) {
+                let r = state.running.remove(i);
+                self.running_total -= 1;
+                let (_, incompressible) = r.demand.split_compressible();
+                self.cgroups.uncharge(state.meta.cgroup, incompressible);
+                self.generation += 1;
+                return Some(r);
+            }
+        }
+        None
+    }
+
     /// Earliest projected completion time across all containers at current
     /// rates (call after [`Node::advance`]). `None` when nothing is
     /// running or every runnable rate is zero.
@@ -556,6 +614,20 @@ impl Node {
     /// Number of requests currently running on the node.
     pub fn running_count(&self) -> usize {
         self.running_total
+    }
+
+    /// The BE requests currently running on the node, in container
+    /// deployment order then admission order — the deterministic pod list
+    /// the defragmentation planner consumes.
+    pub fn running_be_pods(&self) -> impl Iterator<Item = (RequestId, ServiceId, Resources)> + '_ {
+        self.containers
+            .iter()
+            .filter(|s| s.meta.class == ServiceClass::Be)
+            .flat_map(|s| {
+                s.running
+                    .iter()
+                    .map(|r| (r.request, s.meta.service, r.demand))
+            })
     }
 
     /// QoS level of a container's pod.
@@ -908,6 +980,62 @@ mod tests {
         assert_eq!(beu.cpu_milli, 400);
         assert_eq!(n.idle().cpu_milli, 4_000 - 900);
         assert!(n.utilization() > 0.0);
+    }
+
+    #[test]
+    fn detach_carries_residual_work_and_admit_migrated_resumes_it() {
+        let (mut n, ctr, s) = node_with_service();
+        n.admit(
+            RequestId(1),
+            s.id,
+            s.min_request,
+            s.work_milli_ms,
+            SimTime::ZERO,
+        )
+        .unwrap();
+        // half the 100 ms nominal runtime elapses before the detach
+        let r = n
+            .detach_request(RequestId(1), SimTime::from_millis(50))
+            .expect("running request detaches");
+        assert_eq!(r.request, RequestId(1));
+        assert!(
+            (r.remaining_work - 25_000.0).abs() < 1.0,
+            "{}",
+            r.remaining_work
+        );
+        assert_eq!(n.running_count(), 0);
+        assert_eq!(n.running_in(ctr).len(), 0);
+        // incompressibles were uncharged: the container can fill up again
+        for i in 0..4 {
+            n.admit(
+                RequestId(10 + i),
+                s.id,
+                s.min_request,
+                s.work_milli_ms,
+                SimTime::from_millis(50),
+            )
+            .unwrap();
+        }
+        // a second detach of the same id finds nothing
+        assert!(n
+            .detach_request(RequestId(1), SimTime::from_millis(51))
+            .is_none());
+
+        // the destination resumes from the residue, not the nominal work
+        let (mut dst, _ctr2, s2) = node_with_service();
+        dst.admit_migrated(
+            r.request,
+            s2.id,
+            r.demand,
+            r.remaining_work,
+            SimTime::from_millis(60),
+        )
+        .unwrap();
+        // 25_000 mcore·ms at 500 m -> 50 ms
+        assert_eq!(
+            dst.next_completion(SimTime::from_millis(60)).unwrap(),
+            SimTime::from_millis(110)
+        );
     }
 
     #[test]

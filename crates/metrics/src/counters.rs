@@ -42,6 +42,15 @@ pub struct PeriodRecord {
     /// reply was discarded (malformed, inconsistent, or over its
     /// sim-time deadline) and the local policy planned instead.
     pub proxy_fallbacks: u64,
+    /// Migrations initiated in this period (pod detached, transfer
+    /// started).
+    pub migrations_started: u64,
+    /// Migrations that landed in this period (pod resumed on its
+    /// destination).
+    pub migrations_completed: u64,
+    /// KiB sent toward the cloud tier in this period: BE forward
+    /// payloads of cloud placements plus migration state transfers.
+    pub cloud_egress_kib: u64,
 }
 
 #[derive(Debug, Clone, Default)]
@@ -58,6 +67,9 @@ pub(crate) struct Accum {
     pub(crate) detection_lag_us_sum: u64,
     pub(crate) detections: u64,
     pub(crate) proxy_fallbacks: u64,
+    pub(crate) migrations_started: u64,
+    pub(crate) migrations_completed: u64,
+    pub(crate) cloud_egress_kib: u64,
 }
 
 /// Period-bucketed experiment counters.
@@ -137,6 +149,34 @@ impl ExperimentCounters {
     /// local policy since the last sample.
     pub fn on_proxy_fallbacks(&mut self, at: SimTime, n: u64) {
         self.bucket(at).proxy_fallbacks += n;
+    }
+
+    /// A migration was initiated (pod detached, transfer in flight).
+    pub fn on_migration_started(&mut self, at: SimTime) {
+        self.bucket(at).migrations_started += 1;
+    }
+
+    /// A migration landed (pod resumed on its destination).
+    pub fn on_migration_completed(&mut self, at: SimTime) {
+        self.bucket(at).migrations_completed += 1;
+    }
+
+    /// `kib` KiB crossed the edge→cloud boundary (placement payload or
+    /// migration state transfer).
+    pub fn on_cloud_egress(&mut self, at: SimTime, kib: u64) {
+        self.bucket(at).cloud_egress_kib += kib;
+    }
+
+    /// (started, completed) migrations over the whole run.
+    pub fn migration_totals(&self) -> (u64, u64) {
+        self.buckets.iter().fold((0, 0), |(s, c), b| {
+            (s + b.migrations_started, c + b.migrations_completed)
+        })
+    }
+
+    /// Total KiB of cloud egress over the whole run.
+    pub fn total_cloud_egress_kib(&self) -> u64 {
+        self.buckets.iter().map(|b| b.cloud_egress_kib).sum()
     }
 
     /// (detected crashes, mean detection lag in ms) over the whole run.
@@ -260,6 +300,9 @@ impl ExperimentCounters {
                         b.detection_lag_us_sum as f64 / b.detections as f64 / 1_000.0
                     },
                     proxy_fallbacks: b.proxy_fallbacks,
+                    migrations_started: b.migrations_started,
+                    migrations_completed: b.migrations_completed,
+                    cloud_egress_kib: b.cloud_egress_kib,
                 }
             })
             .collect()
@@ -370,6 +413,25 @@ mod tests {
         assert_eq!(n, 3);
         assert!((mean - 200.0).abs() < 1e-9);
         assert_eq!(c.total_proxy_fallbacks(), 3);
+    }
+
+    #[test]
+    fn migration_counters_bucket_and_total() {
+        let mut c = ExperimentCounters::paper_default();
+        c.on_migration_started(ms(100)); // period 0
+        c.on_cloud_egress(ms(100), 64); // period 0
+        c.on_migration_started(ms(900)); // period 1
+        c.on_cloud_egress(ms(900), 128); // period 1
+        c.on_migration_completed(ms(1_000)); // period 1
+        let p = c.periods();
+        assert_eq!(p[0].migrations_started, 1);
+        assert_eq!(p[0].migrations_completed, 0);
+        assert_eq!(p[0].cloud_egress_kib, 64);
+        assert_eq!(p[1].migrations_started, 1);
+        assert_eq!(p[1].migrations_completed, 1);
+        assert_eq!(p[1].cloud_egress_kib, 128);
+        assert_eq!(c.migration_totals(), (2, 1));
+        assert_eq!(c.total_cloud_egress_kib(), 192);
     }
 
     #[test]

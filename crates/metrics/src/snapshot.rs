@@ -73,6 +73,9 @@ impl SnapEncode for Accum {
         w.put_u64(self.detection_lag_us_sum);
         w.put_u64(self.detections);
         w.put_u64(self.proxy_fallbacks);
+        w.put_u64(self.migrations_started);
+        w.put_u64(self.migrations_completed);
+        w.put_u64(self.cloud_egress_kib);
     }
 }
 impl SnapDecode for Accum {
@@ -90,6 +93,9 @@ impl SnapDecode for Accum {
             detection_lag_us_sum: r.u64()?,
             detections: r.u64()?,
             proxy_fallbacks: r.u64()?,
+            migrations_started: r.u64()?,
+            migrations_completed: r.u64()?,
+            cloud_egress_kib: r.u64()?,
         })
     }
 }
@@ -277,6 +283,9 @@ mod tests {
         c.on_be_complete(SimTime::from_millis(900));
         c.sample_utilization(SimTime::from_millis(400), 0.5, 0.3, 0.2);
         c.on_fault_qos_violation(SimTime::from_millis(850));
+        c.on_migration_started(SimTime::from_millis(860));
+        c.on_migration_completed(SimTime::from_millis(910));
+        c.on_cloud_egress(SimTime::from_millis(860), 832);
         let bytes = round_trip_bytes(&c);
         let mut r = SnapReader::new(&bytes);
         let back = ExperimentCounters::decode(&mut r).unwrap();

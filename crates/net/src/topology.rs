@@ -339,6 +339,43 @@ impl NetworkTopology {
             .collect()
     }
 
+    /// Attach an elastic cloud tier as one extra cluster appended after
+    /// the edge clusters. The cloud sits at the geographic centroid of
+    /// the existing placement; one-way latency to each edge cluster is
+    /// `one_way_base + distance_km * us_per_km` (distance-honest: nearer
+    /// edges pay less), and every cloud link shares one uplink bandwidth.
+    /// No RNG is drawn, so attaching the cloud never perturbs the edge
+    /// layout generated from the same seed. Returns the cloud's id.
+    ///
+    /// Call before any fault overlay is applied; the degradation and
+    /// partition machinery then covers cloud links like any other.
+    pub fn attach_cloud(
+        &mut self,
+        one_way_base: SimTime,
+        us_per_km: f64,
+        bandwidth_mbps: u64,
+    ) -> ClusterId {
+        let n = self.len();
+        let centroid = GeoPoint::new(
+            self.positions.iter().map(|p| p.lat_deg).sum::<f64>() / n as f64,
+            self.positions.iter().map(|p| p.lon_deg).sum::<f64>() / n as f64,
+        );
+        self.positions.push(centroid);
+        for i in 0..n {
+            let dist = self.positions[i].distance_km(&centroid);
+            let lat = one_way_base + SimTime::from_micros((dist * us_per_km).round() as u64);
+            self.one_way[i].push(lat);
+            self.bandwidth[i].push(bandwidth_mbps.max(1));
+        }
+        let mut cloud_lat: Vec<SimTime> = (0..n).map(|i| self.one_way[i][n]).collect();
+        cloud_lat.push(SimTime::ZERO);
+        self.one_way.push(cloud_lat);
+        let mut cloud_bw = vec![bandwidth_mbps.max(1); n];
+        cloud_bw.push(self.bandwidth[0][0]);
+        self.bandwidth.push(cloud_bw);
+        ClusterId(n as u32)
+    }
+
     /// The most geographically central cluster: the one minimizing the sum
     /// of distances to all others. Tango places the BE traffic dispatcher
     /// there (§3 footnote 2).
@@ -509,6 +546,55 @@ mod tests {
         assert!(t.is_reachable(ClusterId(0), ClusterId(0)));
         t.heal_partition();
         assert!(t.is_reachable(ClusterId(0), ClusterId(4)));
+    }
+
+    #[test]
+    fn attach_cloud_appends_without_touching_edge_links() {
+        let base = topo(6, 21);
+        let mut t = topo(6, 21);
+        let cloud = t.attach_cloud(SimTime::from_millis(40), 20.0, 5_000);
+        assert_eq!(cloud, ClusterId(6));
+        assert_eq!(t.len(), 7);
+        // edge-to-edge links are byte-identical to the no-cloud topology
+        for i in 0..6u32 {
+            for j in 0..6u32 {
+                let (a, b) = (ClusterId(i), ClusterId(j));
+                assert_eq!(t.one_way_latency(a, b), base.one_way_latency(a, b));
+                assert_eq!(t.bandwidth_mbps(a, b), base.bandwidth_mbps(a, b));
+            }
+        }
+        // cloud links: symmetric, distance-honest above the base RTT floor
+        for i in 0..6u32 {
+            let e = ClusterId(i);
+            assert_eq!(t.one_way_latency(e, cloud), t.one_way_latency(cloud, e));
+            assert!(t.one_way_latency(e, cloud) >= SimTime::from_millis(40));
+            assert_eq!(t.bandwidth_mbps(e, cloud), 5_000);
+        }
+        // the centroid cloud sits inside the bounding box, so the
+        // farthest edge pays more than the nearest
+        let lats: Vec<u64> = (0..6u32)
+            .map(|i| t.one_way_latency(ClusterId(i), cloud).as_micros())
+            .collect();
+        assert!(lats.iter().max() > lats.iter().min());
+        // degradation and partitions cover cloud links like any other
+        t.degrade_link(ClusterId(0), cloud, 2.0, 2.0);
+        assert_eq!(
+            t.one_way_latency(ClusterId(0), cloud).as_micros(),
+            (base_cloud_lat(&t, 0) * 2.0).round() as u64
+        );
+        t.restore_link(ClusterId(0), cloud);
+        t.set_partition(&[ClusterId(0)]);
+        assert!(!t.is_reachable(ClusterId(0), cloud));
+        assert!(t.is_reachable(ClusterId(1), cloud));
+    }
+
+    /// Undegraded one-way latency of edge `i` to the cloud, in µs.
+    fn base_cloud_lat(t: &NetworkTopology, i: u32) -> f64 {
+        let mut clean = t.clone();
+        clean.restore_link(ClusterId(i), ClusterId(t.len() as u32 - 1));
+        clean
+            .one_way_latency(ClusterId(i), ClusterId(t.len() as u32 - 1))
+            .as_micros() as f64
     }
 
     #[test]

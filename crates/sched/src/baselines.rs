@@ -1,13 +1,19 @@
-//! Baseline LC schedulers from §7.2.
+//! Baseline LC schedulers from §7.2, plus the KubeDSM-style
+//! batch-migration baseline for the defragmentation pass.
 //!
 //! * **load-greedy** — always the least-loaded feasible node;
 //! * **K8s-native** — the default K8s round-robin dispatch;
 //! * **scoring** — a weighted-score policy in the spirit of
 //!   history-based harvesting \[42\]: balances free capacity against
-//!   dispatch delay.
+//!   dispatch delay;
+//! * **KubeDSM** — a batch migration planner in the spirit of KubeDSM's
+//!   cloud-assisted edge scheduler: evacuate hot edge nodes by moving
+//!   their BE pods to cold edge peers first and spilling the overflow
+//!   to the cloud tier.
 
+use crate::migrate::{MigrationCandidate, MigrationDecision, MigrationPlanner};
 use crate::view::{CandidateNode, LcScheduler, TypeBatch};
-use tango_types::{NodeId, RequestId};
+use tango_types::{NodeId, RequestId, Resources};
 
 /// Greedy: requests go one at a time to the node with the most remaining
 /// per-type capacity.
@@ -159,9 +165,103 @@ impl LcScheduler for Scoring {
     }
 }
 
+/// KubeDSM-style batch migration: hot edge nodes shed BE pods, smallest
+/// first, onto the coldest feasible edge peer; what no edge peer can
+/// take spills to the cloud tier. Repacking smallest-first maximizes
+/// the number of pods that fit into edge holes before the (egress-
+/// charged) cloud is touched.
+#[derive(Debug, Clone)]
+pub struct KubeDsm {
+    /// Utilization at or above which an edge node counts as hot.
+    pub hot_threshold: f64,
+    /// Utilization below which a node may receive migrated pods —
+    /// keeps the pass from ping-ponging pods between two warm nodes.
+    pub cold_threshold: f64,
+}
+
+impl Default for KubeDsm {
+    fn default() -> Self {
+        KubeDsm {
+            hot_threshold: 0.85,
+            cold_threshold: 0.6,
+        }
+    }
+}
+
+impl MigrationPlanner for KubeDsm {
+    fn plan(&mut self, view: &[MigrationCandidate], max_moves: usize) -> Vec<MigrationDecision> {
+        // Hot edge sources, hottest first (ties: node id — view order).
+        let mut hot: Vec<usize> = (0..view.len())
+            .filter(|&i| {
+                let c = &view[i];
+                c.alive && !c.is_cloud && c.utilization >= self.hot_threshold
+            })
+            .collect();
+        hot.sort_by(|&a, &b| {
+            view[b]
+                .utilization
+                .partial_cmp(&view[a].utilization)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(view[a].node.cmp(&view[b].node))
+        });
+        // Receivers: cold edge nodes (coldest first), then cloud nodes
+        // in id order. Headroom is tracked across the whole batch so two
+        // sources cannot both fill the same hole.
+        let mut edge_rx: Vec<usize> = (0..view.len())
+            .filter(|&i| {
+                let c = &view[i];
+                c.alive && !c.is_cloud && c.utilization < self.cold_threshold
+            })
+            .collect();
+        edge_rx.sort_by(|&a, &b| {
+            view[a]
+                .utilization
+                .partial_cmp(&view[b].utilization)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(view[a].node.cmp(&view[b].node))
+        });
+        let cloud_rx: Vec<usize> = (0..view.len())
+            .filter(|&i| view[i].alive && view[i].is_cloud)
+            .collect();
+        let mut headroom: Vec<Resources> = view.iter().map(|c| c.available_be).collect();
+
+        let mut out = Vec::new();
+        'sources: for &s in &hot {
+            // Smallest pods first: most moves per freed hole.
+            let mut pods: Vec<&crate::migrate::MigratablePod> = view[s].be_pods.iter().collect();
+            pods.sort_by_key(|p| (p.demand.cpu_milli, p.request));
+            for pod in pods {
+                if out.len() >= max_moves {
+                    break 'sources;
+                }
+                let fits =
+                    |i: usize, headroom: &[Resources]| headroom[i].capacity_for(&pod.demand) >= 1;
+                let dst = edge_rx
+                    .iter()
+                    .copied()
+                    .find(|&i| fits(i, &headroom))
+                    .or_else(|| cloud_rx.iter().copied().find(|&i| fits(i, &headroom)));
+                let Some(d) = dst else { continue };
+                headroom[d] = headroom[d].saturating_sub(&pod.demand);
+                out.push(MigrationDecision {
+                    request: pod.request,
+                    src: view[s].node,
+                    dst: view[d].node,
+                });
+            }
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "kubedsm-batch"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::migrate::test_support::worker;
     use crate::view::test_support::{batch, cand};
 
     #[test]
@@ -227,5 +327,66 @@ mod tests {
         assert!(LoadGreedy.assign(&bn).is_empty());
         assert!(KsNative::default().assign(&bn).is_empty());
         assert!(Scoring::default().assign(&bn).is_empty());
+        assert!(KubeDsm::default().plan(&[], 8).is_empty());
+    }
+
+    #[test]
+    fn kubedsm_prefers_cold_edge_over_cloud() {
+        let view = vec![
+            worker(1, 0, 100, 0.95, false, &[(10, 400), (11, 600)]),
+            worker(2, 1, 4_000, 0.2, false, &[]),
+            worker(3, 2, 8_000, 0.0, true, &[]),
+        ];
+        let plan = KubeDsm::default().plan(&view, 8);
+        // smallest pod moves first; both fit on the cold edge node
+        assert_eq!(
+            plan,
+            vec![
+                MigrationDecision {
+                    request: RequestId(10),
+                    src: NodeId(1),
+                    dst: NodeId(2),
+                },
+                MigrationDecision {
+                    request: RequestId(11),
+                    src: NodeId(1),
+                    dst: NodeId(2),
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn kubedsm_spills_to_cloud_when_edge_is_full() {
+        let view = vec![
+            worker(1, 0, 100, 0.95, false, &[(10, 500), (11, 700)]),
+            worker(2, 1, 600, 0.5, false, &[]), // room for the small pod only
+            worker(3, 2, 8_000, 0.0, true, &[]),
+        ];
+        let plan = KubeDsm::default().plan(&view, 8);
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan[0].dst, NodeId(2), "small pod repacks onto the edge");
+        assert_eq!(plan[1].dst, NodeId(3), "large pod spills to cloud");
+    }
+
+    #[test]
+    fn kubedsm_respects_batch_limit_and_skips_warm_receivers() {
+        let view = vec![
+            worker(1, 0, 0, 0.9, false, &[(1, 100), (2, 100), (3, 100)]),
+            worker(2, 1, 4_000, 0.7, false, &[]), // warm: not a receiver
+            worker(3, 2, 8_000, 0.0, true, &[]),
+        ];
+        let plan = KubeDsm::default().plan(&view, 2);
+        assert_eq!(plan.len(), 2);
+        assert!(plan.iter().all(|d| d.dst == NodeId(3)));
+    }
+
+    #[test]
+    fn kubedsm_without_cloud_or_cold_peers_plans_nothing() {
+        let view = vec![
+            worker(1, 0, 0, 0.95, false, &[(1, 500)]),
+            worker(2, 1, 4_000, 0.75, false, &[]),
+        ];
+        assert!(KubeDsm::default().plan(&view, 8).is_empty());
     }
 }

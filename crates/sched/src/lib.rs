@@ -13,7 +13,11 @@
 //!   paper's reward shaping (§5.3.1).
 //! * [`baselines`] — load-greedy, K8s-native round-robin, and the
 //!   history-based weighted `scoring` policy \[42\], all behind the same
-//!   [`LcScheduler`] interface.
+//!   [`LcScheduler`] interface; plus the KubeDSM-style batch-migration
+//!   planner behind [`migrate::MigrationPlanner`].
+//! * [`migrate`] — the defragmentation-pass decision surface: a
+//!   [`migrate::MigrationCandidate`] view of every worker's BE pods and
+//!   batch [`migrate::MigrationDecision`]s back.
 //! * [`backend`] — the unified [`SchedulerBackend`] surface the system's
 //!   dispatch stage consumes; [`LcBackend`]/[`BeBackend`] lift the narrow
 //!   per-role traits so every policy plugs in uniformly.
@@ -27,11 +31,13 @@ pub mod backend;
 pub mod baselines;
 pub mod dcg_be;
 pub mod dss_lc;
+pub mod migrate;
 pub mod snap_impls;
 pub mod view;
 
 pub use backend::{BeBackend, LcBackend, SchedulerBackend};
-pub use baselines::{KsNative, LoadGreedy, Scoring};
+pub use baselines::{KsNative, KubeDsm, LoadGreedy, Scoring};
 pub use dcg_be::{BeScheduler, DcgBe, DcgBeConfig, GnnSacBe, GreedyBe, RoundRobinBe};
 pub use dss_lc::{plan_masters, DssLc, LcPlan};
+pub use migrate::{MigratablePod, MigrationCandidate, MigrationDecision, MigrationPlanner};
 pub use view::{CandidateNode, LcScheduler, LinkObservation, NodeObservation, TypeBatch};

@@ -1,0 +1,106 @@
+//! Migration planning: the scheduler-facing view and decision surface
+//! for the periodic defragmentation pass (KubeDSM direction).
+//!
+//! Every N sync ticks the system snapshots its workers into
+//! [`MigrationCandidate`]s — utilization, idle resources, and the BE
+//! pods currently resident — and hands them to a [`MigrationPlanner`].
+//! The planner returns batch [`MigrationDecision`]s (request → new
+//! node); the system owns execution (detach, transfer over the link,
+//! re-admit) and may veto a decision whose destination no longer fits.
+//!
+//! Planners are pure decision engines over the view, like the
+//! [`crate::view::LcScheduler`] family: they never touch nodes, and
+//! they must be deterministic — same view, same plan, at any thread
+//! count. Only BE pods are migratable: LC requests live for
+//! milliseconds and their QoS would eat the transfer latency, while BE
+//! pods are long-running and preemptible by design (§4.1), which is
+//! exactly the population KubeDSM migrates to the cloud.
+
+use tango_types::{ClusterId, NodeId, RequestId, Resources, ServiceId};
+
+/// One BE request a planner may move.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigratablePod {
+    /// The running request.
+    pub request: RequestId,
+    /// Its service type (the destination must have it deployed).
+    pub service: ServiceId,
+    /// Resource demand it would charge on the destination.
+    pub demand: Resources,
+}
+
+/// One worker as the defragmentation planner sees it.
+#[derive(Debug, Clone)]
+pub struct MigrationCandidate {
+    /// Node id.
+    pub node: NodeId,
+    /// Its cluster.
+    pub cluster: ClusterId,
+    /// Total allocatable resources.
+    pub total: Resources,
+    /// Idle resources (what a migrated BE pod may charge).
+    pub available_be: Resources,
+    /// Demand-based utilization in [0, 1].
+    pub utilization: f64,
+    /// Whether this node belongs to the elastic cloud tier.
+    pub is_cloud: bool,
+    /// Whether the node is up and reachable from the planner's vantage.
+    pub alive: bool,
+    /// BE pods currently resident, in deterministic (admission) order.
+    pub be_pods: Vec<MigratablePod>,
+}
+
+/// A planned move: detach `request` from `src`, transfer, resume on `dst`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationDecision {
+    /// The request to move.
+    pub request: RequestId,
+    /// Where it currently runs.
+    pub src: NodeId,
+    /// Where it should resume.
+    pub dst: NodeId,
+}
+
+/// A batch migration policy: view of all workers in, batch of moves out.
+pub trait MigrationPlanner {
+    /// Plan at most `max_moves` migrations over the candidate view.
+    /// Candidates arrive sorted by node id; decisions must be returned
+    /// in a deterministic order.
+    fn plan(&mut self, view: &[MigrationCandidate], max_moves: usize) -> Vec<MigrationDecision>;
+
+    /// Planner name for reports.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+
+    /// A worker with `idle` CPU-millicores free and the given BE pods.
+    pub fn worker(
+        id: u32,
+        cluster: u32,
+        idle_cpu: u64,
+        util: f64,
+        is_cloud: bool,
+        pods: &[(u64, u64)],
+    ) -> MigrationCandidate {
+        MigrationCandidate {
+            node: NodeId(id),
+            cluster: ClusterId(cluster),
+            total: Resources::cpu_mem(8_000, 16_384),
+            available_be: Resources::cpu_mem(idle_cpu, idle_cpu * 2),
+            utilization: util,
+            is_cloud,
+            alive: true,
+            be_pods: pods
+                .iter()
+                .map(|&(rid, cpu)| MigratablePod {
+                    request: RequestId(rid),
+                    service: ServiceId(1),
+                    demand: Resources::cpu_mem(cpu, cpu / 2),
+                })
+                .collect(),
+        }
+    }
+}

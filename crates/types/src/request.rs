@@ -27,6 +27,19 @@ pub enum RequestState {
         /// The worker executing the request.
         target: NodeId,
     },
+    /// Detached from `src` and in flight to `dst`: its execution state is
+    /// being transferred over the inter-cluster link and resumes on the
+    /// destination at `done_at`. The work already performed travels with
+    /// the transfer, so a crash of either endpoint neither loses nor
+    /// duplicates the request.
+    Migrating {
+        /// The node the request was detached from.
+        src: NodeId,
+        /// The node it will resume on.
+        dst: NodeId,
+        /// When the state transfer lands at `dst`.
+        done_at: SimTime,
+    },
     /// Finished; see [`RequestOutcome`].
     Done(RequestOutcome),
 }
@@ -140,6 +153,13 @@ impl Request {
         self.started = None;
         self.requeues += 1;
     }
+
+    /// Mark the request as migrating from `src` to `dst`, landing at
+    /// `done_at`. Execution is suspended for the transfer; `started` is
+    /// preserved so end-to-end latency still counts from first admission.
+    pub fn mark_migrating(&mut self, src: NodeId, dst: NodeId, done_at: SimTime) {
+        self.state = RequestState::Migrating { src, dst, done_at };
+    }
 }
 
 #[cfg(test)]
@@ -191,5 +211,25 @@ mod tests {
         assert_eq!(r.state, RequestState::Queued);
         assert_eq!(r.started, None);
         assert_eq!(r.requeues, 1);
+    }
+
+    #[test]
+    fn migration_preserves_started_and_is_not_terminal() {
+        let mut r = req();
+        r.mark_running(NodeId(3), SimTime::from_millis(20));
+        r.mark_migrating(NodeId(3), NodeId(7), SimTime::from_millis(95));
+        assert_eq!(
+            r.state,
+            RequestState::Migrating {
+                src: NodeId(3),
+                dst: NodeId(7),
+                done_at: SimTime::from_millis(95),
+            }
+        );
+        assert!(!r.is_done());
+        assert_eq!(r.started, Some(SimTime::from_millis(20)));
+        // landing resumes execution on the destination
+        r.mark_running(NodeId(7), SimTime::from_millis(95));
+        assert_eq!(r.state, RequestState::Running { target: NodeId(7) });
     }
 }

@@ -109,6 +109,12 @@ impl SnapEncode for RequestState {
                 w.put_u8(3);
                 outcome.encode(w);
             }
+            RequestState::Migrating { src, dst, done_at } => {
+                w.put_u8(4);
+                src.encode(w);
+                dst.encode(w);
+                done_at.encode(w);
+            }
         }
     }
 }
@@ -123,6 +129,11 @@ impl SnapDecode for RequestState {
                 target: NodeId::decode(r)?,
             }),
             3 => Ok(RequestState::Done(RequestOutcome::decode(r)?)),
+            4 => Ok(RequestState::Migrating {
+                src: NodeId::decode(r)?,
+                dst: NodeId::decode(r)?,
+                done_at: SimTime::decode(r)?,
+            }),
             _ => Err(SnapError::Corrupt("request state tag")),
         }
     }
@@ -206,6 +217,8 @@ mod tests {
         round_trip(r.clone());
         r.mark_requeued();
         round_trip(r.clone());
+        r.mark_migrating(NodeId(9), NodeId(11), SimTime::from_millis(80));
+        round_trip(r.clone());
         r.mark_done(RequestOutcome::Failed, SimTime::from_millis(99));
         round_trip(r);
     }
@@ -217,7 +230,7 @@ mod tests {
             ServiceClass::decode(&mut r),
             Err(SnapError::Corrupt(_))
         ));
-        let mut r = SnapReader::new(&[4]);
+        let mut r = SnapReader::new(&[5]);
         assert!(matches!(
             RequestState::decode(&mut r),
             Err(SnapError::Corrupt(_))

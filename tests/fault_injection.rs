@@ -134,6 +134,103 @@ fn master_failover_reroutes_dispatch_through_a_stand_in() {
     assert_eq!(audit.running_on_down_nodes, 0);
 }
 
+/// Cloud-enabled, defrag-heavy run whose fault plan crashes migration
+/// *endpoints* mid-transfer: defrag fires on the 200 ms sync-tick grid
+/// and cloud transfers take ≥ the 40 ms one-way base, so crashes placed
+/// 10 ms after defrag boundaries land while checkpoints are in flight.
+/// Cluster 2 is the cloud tier (destinations); clusters 0–1 are the hot
+/// edge (sources).
+fn migration_churn_cfg(threads: Option<usize>) -> TangoConfig {
+    let mut cfg = TangoConfig::physical_testbed();
+    cfg.clusters = 2;
+    cfg.topology.clusters = 2;
+    cfg.workload.lc_rps = 30.0;
+    cfg.workload.be_rps = 24.0;
+    cfg.lc_policy = LcPolicy::DssLc;
+    cfg.be_policy = BePolicy::LoadGreedy;
+    cfg.parallelism = threads;
+    cfg.cloud = Some(tango::CloudConfig::default());
+    cfg.defrag = Some(tango::DefragConfig {
+        every_n_ticks: 2,
+        max_moves: 8,
+        hot_threshold: 0.5,
+        cold_threshold: 0.35,
+    });
+    let mut plan = FaultPlan::new();
+    // destination crashes: take down half the cloud workers just after
+    // successive defrag boundaries
+    for (i, at_ms) in [1_210u64, 1_410, 1_610, 1_810].into_iter().enumerate() {
+        plan = plan.crash_for(
+            SimTime::from_millis(at_ms),
+            NodeRef::Worker {
+                cluster: ClusterId(2),
+                index: i,
+            },
+            SimTime::from_millis(at_ms + 900),
+        );
+    }
+    // source crashes: hot edge workers just after defrag boundaries
+    plan = plan
+        .crash_for(
+            SimTime::from_millis(1_010),
+            NodeRef::Worker {
+                cluster: ClusterId(0),
+                index: 1,
+            },
+            SimTime::from_millis(2_000),
+        )
+        .crash_for(
+            SimTime::from_millis(1_210),
+            NodeRef::Worker {
+                cluster: ClusterId(1),
+                index: 2,
+            },
+            SimTime::from_millis(2_200),
+        );
+    cfg.faults = plan;
+    cfg
+}
+
+#[test]
+fn migrations_survive_endpoint_crashes_without_losing_requests() {
+    let (report, audit) =
+        EdgeCloudSystem::new(migration_churn_cfg(Some(1))).run_audited(SimTime::from_secs(5), "mc");
+    // the scenario is live: migrations actually started, crashes hit
+    assert!(report.migrations_started > 0, "defrag never fired");
+    assert!(report.faults.node_crashes >= 6);
+    // conservation: every request is in exactly one bucket — a crash of
+    // a migration source cannot lose the detached work, a crash of the
+    // destination bounces it back to the scheduler
+    assert!(audit.conserved(), "requests lost: {audit:?}");
+    assert_eq!(audit.running_on_down_nodes, 0, "{audit:?}");
+    assert_eq!(report.faults.down_node_dispatches, 0);
+    // crashes actually interrupted transfers: some migrations never
+    // landed, and at least one arrival bounced off a crashed destination
+    // (seeded run: 40 started / 32 landed / 1 bounced)
+    assert!(
+        report.migrations_completed < report.migrations_started,
+        "{}/{} — no migration was interrupted",
+        report.migrations_completed,
+        report.migrations_started
+    );
+    assert!(
+        report.faults.bounced_deliveries >= 1,
+        "no mid-transfer destination crash was observed"
+    );
+}
+
+#[test]
+fn migration_churn_is_bit_identical_across_thread_counts() {
+    let (a_report, a_audit) =
+        EdgeCloudSystem::new(migration_churn_cfg(Some(1))).run_audited(SimTime::from_secs(5), "mc");
+    let (b_report, b_audit) =
+        EdgeCloudSystem::new(migration_churn_cfg(Some(4))).run_audited(SimTime::from_secs(5), "mc");
+    assert!(a_report.migrations_started > 0);
+    assert_eq!(a_audit, b_audit);
+    assert_eq!(a_report.faults, b_report.faults);
+    assert_eq!(format!("{a_report:?}"), format!("{b_report:?}"));
+}
+
 #[test]
 fn calm_weather_run_reports_zero_fault_activity() {
     let mut cfg = TangoConfig::physical_testbed();
