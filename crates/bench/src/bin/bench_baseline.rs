@@ -12,7 +12,10 @@
 use std::hint::black_box;
 use tango::{BePolicy, CheckpointPolicy, EdgeCloudSystem, FaultPlan, NodeRef, TangoConfig};
 use tango_bench::microbench::{self, Sample};
-use tango_bench::scenarios::{edge_spill_cfg, emit, layered, make_batch, make_graph, to_json};
+use tango_bench::scenarios::{
+    edge_spill_cfg, emit, layered, make_batch, make_graph, replay_sample_bench, td3_update_bench,
+    to_json,
+};
 use tango_flow::{FlowGraph, MinCostMaxFlow};
 use tango_gnn::{Encoder, EncoderKind, GnnEncoder};
 use tango_sched::DssLc;
@@ -173,7 +176,15 @@ fn scenarios() -> Vec<Sample> {
         "bytes",
     ));
 
-    // 9. Elastic cloud tier: the 16-cluster tick with the cloud attached
+    // 9. TD3 learner hot path: one full update round (both critics plus
+    //    the delayed actor/target rounds, amortized) on a 64-node graph,
+    //    and a uniform 32-batch draw from a full 4096-slot replay ring.
+    //    The workloads live in scenarios.rs, shared with the perf-smoke
+    //    regression guard.
+    out.push(td3_update_bench(300));
+    out.push(replay_sample_bench(300));
+
+    // 10. Elastic cloud tier: the 16-cluster tick with the cloud attached
     //    and the KubeDSM defrag pass spilling BE pods — prices candidate
     //    views over the extra tier plus migration and egress accounting
     //    on the hot path.

@@ -10,9 +10,11 @@
 //! Besides liveness, the job carries latency assertions: scaled-down
 //! `system_tick/104` runs (plain and mirror-attached) and a cloud-spill
 //! `edge_spill/16` run must each finish within 1.25× the committed
-//! `BENCH_baseline.json` figure (pro-rated to the smoke horizon). Set
-//! `TANGO_PERF_GUARD=off` to demote the guard to a warning on hosts that
-//! are not comparable to the baseline machine.
+//! `BENCH_baseline.json` figure (pro-rated to the smoke horizon), and
+//! the `td3_update`/`replay_sample` learner microbenches must stay
+//! within 1.25× their committed ns/iter. Set `TANGO_PERF_GUARD=off` to
+//! demote the guard to a warning on hosts that are not comparable to
+//! the baseline machine.
 
 use std::time::Instant;
 use tango::{BePolicy, EdgeCloudSystem, LcPolicy, TangoConfig};
@@ -38,6 +40,13 @@ fn run_scenario(name: &str, cfg: TangoConfig, horizon: SimTime) {
 }
 
 fn main() {
+    // Learner microbenches first, while the process still looks like a
+    // fresh bench_baseline run: the committed figures were measured
+    // before any multi-threaded system scenario touched the allocator
+    // or spun up the worker pool, and running them after the heavy
+    // scenarios below skews them well past real regressions.
+    microbench_guard(&baseline_json());
+
     // 104 clusters, short horizon: two sync ticks + a dozen dispatch
     // rounds over the full cluster fan-out.
     let mut cfg = TangoConfig::dual_space(104);
@@ -97,14 +106,18 @@ fn baseline_wall_ns(json: &str, scenario: &str) -> Option<f64> {
 /// scenario runs slower than 1.25× the committed baseline, pro-rated
 /// from the baseline's 1 s horizon to the smoke horizon. Uses the best
 /// of three runs so one scheduling hiccup cannot fail CI.
-fn regression_guard() {
-    let json = match std::fs::read_to_string(concat!(
+fn baseline_json() -> String {
+    match std::fs::read_to_string(concat!(
         env!("CARGO_MANIFEST_DIR"),
         "/../../BENCH_baseline.json"
     )) {
         Ok(j) => j,
         Err(e) => panic!("regression guard: cannot read BENCH_baseline.json: {e}"),
-    };
+    }
+}
+
+fn regression_guard() {
+    let json = baseline_json();
     let budget_ms = |scenario: &str, smoke_ms: u64| {
         let base_ns = baseline_wall_ns(&json, scenario)
             .unwrap_or_else(|| panic!("BENCH_baseline.json carries a {scenario} sample"));
@@ -163,6 +176,50 @@ fn regression_guard() {
         budget_spill,
         SPILL_MS,
     );
+}
+
+/// TD3 learner microbenches: per-iteration cost is horizon-independent
+/// (the committed wall_ns for a microbench row is median ns/iter), so
+/// compare ns/iter directly — no pro-rating. Best of three short reruns
+/// of the exact bench_baseline workloads, same 1.25x envelope and
+/// guard-off escape as [`enforce`].
+fn microbench_guard(json: &str) {
+    type BenchFn = fn(u64) -> tango_bench::microbench::Sample;
+    let benches: [BenchFn; 2] = [
+        tango_bench::scenarios::td3_update_bench,
+        tango_bench::scenarios::replay_sample_bench,
+    ];
+    for bench in benches {
+        let mut best: Option<tango_bench::microbench::Sample> = None;
+        for _ in 0..3 {
+            let s = bench(200);
+            if best.as_ref().is_none_or(|b| s.ns_per_iter < b.ns_per_iter) {
+                best = Some(s);
+            }
+        }
+        let sample = best.expect("three runs produced a sample");
+        let base_ns = baseline_wall_ns(json, &sample.name)
+            .unwrap_or_else(|| panic!("BENCH_baseline.json carries a {} sample", sample.name));
+        let budget_ns = base_ns * 1.25;
+        let label = format!("smoke/regression_guard/{}", sample.name);
+        println!(
+            "{label:<34} {:>8.0} ns/iter (budget {budget_ns:.0} ns = 1.25x baseline)",
+            sample.ns_per_iter
+        );
+        if sample.ns_per_iter > budget_ns {
+            let msg = format!(
+                "{label} took {:.0} ns/iter, over the {budget_ns:.0} ns budget (1.25x the \
+                 committed BENCH_baseline.json figure) — either fix the regression or \
+                 re-stamp the baseline",
+                sample.ns_per_iter
+            );
+            if std::env::var("TANGO_PERF_GUARD").as_deref() == Ok("off") {
+                eprintln!("warning (guard off): {msg}");
+            } else {
+                panic!("{msg}");
+            }
+        }
+    }
 }
 
 /// Shared budget check: print the measurement, then fail (or warn under

@@ -10,7 +10,9 @@ use tango::{BePolicy, CloudConfig, DefragConfig, TangoConfig};
 use tango_flow::FlowGraph;
 use tango_gnn::FeatureGraph;
 use tango_nn::Matrix;
+use tango_rl::{ReplayBuffer, Td3Agent, Td3Config};
 use tango_sched::{CandidateNode, TypeBatch};
+use tango_simcore::SimRng;
 use tango_types::{ClusterId, NodeId, RequestId, Resources, ServiceId, SimTime};
 
 /// Deterministic layered flow graph (same generator as the mcmf bench).
@@ -108,6 +110,51 @@ pub fn edge_spill_cfg(clusters: usize) -> TangoConfig {
         cold_threshold: 0.35,
     });
     cfg
+}
+
+/// TD3 learner update microbench: one act/observe step with
+/// `train_interval: 1`, so every iteration pays a full update round
+/// (both critic regressions, the delayed actor/target rounds amortized
+/// in) on a 64-node graph. The agent is primed past one batch before
+/// timing starts. Shared by `bench_baseline` (which stamps the figure)
+/// and `perf_smoke` (which guards it), so both price the same work.
+pub fn td3_update_bench(min_time_ms: u64) -> Sample {
+    let graph = make_graph(64, 8);
+    let mask = vec![true; 64];
+    let mut agent = Td3Agent::new(Td3Config {
+        feature_dim: 8,
+        train_interval: 1,
+        seed: 11,
+        ..Td3Config::default()
+    });
+    for _ in 0..40 {
+        agent.act(&graph, &mask);
+        agent.observe(0.5, &graph, &mask, false);
+    }
+    crate::microbench::run("td3_update/64x32", min_time_ms, || {
+        agent.act(std::hint::black_box(&graph), &mask);
+        agent.observe(std::hint::black_box(0.5), &graph, &mask, false);
+        std::hint::black_box(agent.train_rounds)
+    })
+}
+
+/// Replay-ring sampling microbench: a uniform 32-draw from a full
+/// 4096-slot ring — the index-drawing and slot-copy machinery every
+/// `td3_update` round pays before its batch. Fixed-size elements on
+/// purpose: graph-bearing transitions would turn the row into an
+/// allocator benchmark whose figure tracks process malloc state instead
+/// of the sampling path (the full clone cost is already priced inside
+/// `td3_update`). Shared by `bench_baseline` and `perf_smoke` like
+/// [`td3_update_bench`].
+pub fn replay_sample_bench(min_time_ms: u64) -> Sample {
+    let mut ring: ReplayBuffer<[f32; 8]> = ReplayBuffer::new(4096);
+    for i in 0..4096u32 {
+        ring.push([i as f32; 8]);
+    }
+    let mut rng = SimRng::new(23);
+    crate::microbench::run("replay_sample/4096x32", min_time_ms, || {
+        std::hint::black_box(ring.sample(32, &mut rng))
+    })
 }
 
 /// Short git revision stamped into bench JSON, resolved at bench

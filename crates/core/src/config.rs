@@ -43,6 +43,9 @@ pub enum BePolicy {
     DcgBe(EncoderKind),
     /// GNN-SAC baseline.
     GnnSac,
+    /// TD3 continuous-action scheduler: placement plus per-request
+    /// CPU/memory grant sizing in one action.
+    Td3,
     /// Lowest-load greedy.
     LoadGreedy,
     /// K8s default round-robin.
@@ -55,6 +58,7 @@ impl BePolicy {
         match self {
             BePolicy::DcgBe(_) => "dcg-be",
             BePolicy::GnnSac => "gnn-sac",
+            BePolicy::Td3 => "td3-be",
             BePolicy::LoadGreedy => "load-greedy",
             BePolicy::KsNative => "k8s-native",
         }
@@ -451,6 +455,7 @@ mod tests {
     fn policy_names_are_stable() {
         assert_eq!(LcPolicy::DssLc.name(), "dss-lc");
         assert_eq!(BePolicy::GnnSac.name(), "gnn-sac");
+        assert_eq!(BePolicy::Td3.name(), "td3-be");
         assert_eq!(BePolicy::DcgBe(EncoderKind::Gcn).name(), "dcg-be");
     }
 }

@@ -383,16 +383,19 @@ fn commit_round(ctx: &mut SystemCtx<'_>, round: &Round, now: SimTime, sched: &mu
                     .collect()
             };
             pay_be_feedback(ctx, &demand, &local, now);
-            match ctx.dispatch.be.pick_be(&demand, &local) {
-                Some(node) if ctx.fault.is_down(node) => {
+            match ctx.dispatch.be.pick_be_sized(&demand, &local) {
+                Some((node, _)) if ctx.fault.is_down(node) => {
                     ctx.fault.summary.down_node_dispatches += 1;
                     ctx.clusters[ci].be_q.push_back(rid);
                 }
-                Some(node) => {
+                Some((node, granted)) => {
                     if let Some(r) = ctx.lifecycle.requests.get_mut(&rid) {
                         r.mark_dispatched(node);
-                        let demand = r.demand;
-                        ctx.lifecycle.reserved.add(node, demand);
+                        // continuous-action policies may grant less than
+                        // the nominal demand; the grant is what the node
+                        // reserves and the pod gets
+                        r.demand = granted;
+                        ctx.lifecycle.reserved.add(node, granted);
                     }
                     ctx.dispatch.be_pending_feedback = Some(node);
                     ctx.emit(now, || TraceEvent::DispatchDecision {
@@ -495,16 +498,18 @@ pub(crate) fn on_be_dispatch(ctx: &mut SystemCtx<'_>, sched: &mut Sched<'_>) {
             views.candidates(&inp, service, ViewScope::BeGlobal)
         };
         pay_be_feedback(ctx, &demand, &candidates, now);
-        match ctx.dispatch.be.pick_be(&demand, &candidates) {
-            Some(node) if ctx.fault.is_down(node) => {
+        match ctx.dispatch.be.pick_be_sized(&demand, &candidates) {
+            Some((node, _)) if ctx.fault.is_down(node) => {
                 ctx.fault.summary.down_node_dispatches += 1;
                 deferred.push_back(rid);
             }
-            Some(node) => {
+            Some((node, granted)) => {
                 if let Some(r) = ctx.lifecycle.requests.get_mut(&rid) {
                     r.mark_dispatched(node);
-                    let demand = r.demand;
-                    ctx.lifecycle.reserved.add(node, demand);
+                    // sized grant from a continuous-action policy (equals
+                    // the nominal demand for discrete policies)
+                    r.demand = granted;
+                    ctx.lifecycle.reserved.add(node, granted);
                 }
                 ctx.dispatch.be_pending_feedback = Some(node);
                 ctx.emit(now, || TraceEvent::DispatchDecision {

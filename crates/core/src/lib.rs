@@ -50,6 +50,8 @@ pub mod snapshot;
 #[deny(missing_docs)]
 pub mod sync_loop;
 pub mod system;
+#[deny(missing_docs)]
+pub mod train_hooks;
 pub(crate) mod view_cache;
 
 pub use config::{

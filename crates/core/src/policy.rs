@@ -6,7 +6,7 @@ use tango_rl::{Agent, SacAgent, SacConfig};
 use tango_sched::dcg_be::{build_graph, GreedyBe, RoundRobinBe};
 use tango_sched::{
     BeBackend, BeScheduler, DcgBe, DcgBeConfig, DssLc, GnnSacBe, KsNative, LcBackend, LcScheduler,
-    LoadGreedy, SchedulerBackend, Scoring, TypeBatch,
+    LoadGreedy, SchedulerBackend, Scoring, Td3Be, Td3BeConfig, TypeBatch,
 };
 use tango_types::{NodeId, RequestId};
 
@@ -46,6 +46,10 @@ pub fn make_be_scheduler(
             ..DcgBeConfig::default()
         })),
         BePolicy::GnnSac => Box::new(GnnSacBe::new(EncoderKind::Sage { p: 3 }, 1e-3, seed)),
+        BePolicy::Td3 => Box::new(Td3Be::new(Td3BeConfig {
+            seed,
+            ..Td3BeConfig::default()
+        })),
         BePolicy::LoadGreedy => Box::new(GreedyBe),
         BePolicy::KsNative => Box::new(RoundRobinBe::default()),
     }
@@ -128,15 +132,14 @@ impl LcScheduler for DsacoLc {
         "dsaco"
     }
 
-    // The SAC agent's network weights and optimizer state are out of
-    // checkpoint scope; inheriting the stateless default would silently
-    // reset the policy on resume.
     fn snapshot_state(&self) -> Result<Vec<u8>, &'static str> {
-        Err("RL agent state (network weights, replay) is not snapshottable")
+        Ok(self.agent.snapshot_bytes())
     }
 
-    fn restore_state(&mut self, _bytes: &[u8]) -> Result<(), &'static str> {
-        Err("RL agent state (network weights, replay) is not snapshottable")
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), &'static str> {
+        self.agent
+            .restore_bytes(bytes)
+            .map_err(|_| "dsaco agent blob rejected")
     }
 }
 
@@ -179,6 +182,7 @@ mod tests {
         for p in [
             BePolicy::DcgBe(EncoderKind::Sage { p: 3 }),
             BePolicy::GnnSac,
+            BePolicy::Td3,
             BePolicy::LoadGreedy,
             BePolicy::KsNative,
         ] {

@@ -347,8 +347,8 @@ pub(crate) fn encode(sys: &EdgeCloudSystem, engine: &Engine<Event>) -> Result<Ve
 /// [`run_to`](Resumed::run_to) / [`finish`](Resumed::finish), or take
 /// further snapshots.
 pub struct Resumed {
-    sys: EdgeCloudSystem,
-    engine: Engine<Event>,
+    pub(crate) sys: EdgeCloudSystem,
+    pub(crate) engine: Engine<Event>,
 }
 
 impl Resumed {

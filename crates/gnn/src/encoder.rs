@@ -332,6 +332,67 @@ impl GnnEncoder {
     pub fn kind(&self) -> EncoderKind {
         self.kind
     }
+
+    /// Write layer weights, attention vectors and the sampling RNG
+    /// stream. Aggregation/ReLU caches and the topology cache are
+    /// rebuildable scratch keyed on process-local topology versions and
+    /// are excluded; the RNG *is* state (SAGE over-budget sampling draws
+    /// from it), so it round-trips exactly.
+    pub fn snap_write(&self, w: &mut tango_snap::SnapWriter) {
+        use tango_snap::SnapEncode;
+        w.put_u64(self.layers.len() as u64);
+        for layer in &self.layers {
+            layer.w.encode(w);
+            layer.b.encode(w);
+        }
+        self.attn.encode(w);
+        for s in self.rng.state() {
+            w.put_u64(s);
+        }
+    }
+
+    /// Overwrite weights, attention vectors and the RNG stream from a
+    /// [`GnnEncoder::snap_write`] encoding. The encoder must have been
+    /// constructed with the same kind and layer dims. Caches are
+    /// dropped; they rebuild on the next forward pass.
+    pub fn snap_read(
+        &mut self,
+        r: &mut tango_snap::SnapReader<'_>,
+    ) -> Result<(), tango_snap::SnapError> {
+        use tango_snap::{SnapDecode, SnapError};
+        let n = r.len_prefix(1)?;
+        if n != self.layers.len() {
+            return Err(SnapError::Corrupt("encoder layer count mismatch"));
+        }
+        for layer in &mut self.layers {
+            let w = Matrix::decode(r)?;
+            let b = Vec::<f32>::decode(r)?;
+            if w.rows != layer.w.rows || w.cols != layer.w.cols || b.len() != layer.b.len() {
+                return Err(SnapError::Corrupt("encoder layer shape mismatch"));
+            }
+            layer.w = w;
+            layer.b = b;
+            layer.zero_grad();
+        }
+        let attn = Vec::<(Vec<f32>, Vec<f32>)>::decode(r)?;
+        let attn_ok = attn.len() == self.attn.len()
+            && attn
+                .iter()
+                .zip(&self.attn)
+                .all(|(a, b)| a.0.len() == b.0.len() && a.1.len() == b.1.len());
+        if !attn_ok {
+            return Err(SnapError::Corrupt("encoder attention shape mismatch"));
+        }
+        self.attn = attn;
+        let mut state = [0u64; 4];
+        for s in &mut state {
+            *s = r.u64()?;
+        }
+        self.rng = SimRng::from_state(state);
+        self.caches.clear();
+        self.topo_cache = None;
+        Ok(())
+    }
 }
 
 impl Encoder for GnnEncoder {

@@ -86,6 +86,37 @@ impl FeatureGraph {
     }
 }
 
+impl tango_snap::SnapEncode for FeatureGraph {
+    /// Encode features and adjacency. The topology version is a process-
+    /// local cache key and is *excluded*: a decoded graph draws a fresh
+    /// one (so warm encoder caches can never alias it) and re-encoding a
+    /// decoded graph reproduces these bytes exactly.
+    fn encode(&self, w: &mut tango_snap::SnapWriter) {
+        self.features.encode(w);
+        self.adj.encode(w);
+    }
+}
+
+impl tango_snap::SnapDecode for FeatureGraph {
+    fn decode(r: &mut tango_snap::SnapReader<'_>) -> Result<Self, tango_snap::SnapError> {
+        use tango_snap::SnapError;
+        let features = Matrix::decode(r)?;
+        let adj = Vec::<Vec<usize>>::decode(r)?;
+        if adj.len() != features.rows {
+            return Err(SnapError::Corrupt("feature graph row/adjacency mismatch"));
+        }
+        let n = adj.len();
+        if adj.iter().flatten().any(|&v| v >= n) {
+            return Err(SnapError::Corrupt("feature graph neighbor out of range"));
+        }
+        Ok(FeatureGraph {
+            features,
+            adj,
+            topo_version: next_topo_version(),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -49,6 +49,42 @@ impl Adam {
         self.t += 1;
     }
 
+    /// Write the step counter and both moment vectors to a snapshot.
+    ///
+    /// `lr`/betas/eps are construction-time configuration and are *not*
+    /// encoded; the restore target supplies them.
+    pub fn snap_write(&self, w: &mut tango_snap::SnapWriter) {
+        use tango_snap::SnapEncode;
+        w.put_i64(self.t as i64);
+        self.m.encode(w);
+        self.v.encode(w);
+    }
+
+    /// Overwrite the optimizer moments from an encoding produced by
+    /// [`Adam::snap_write`]. The registered slot layout (count and
+    /// per-slot length) must match this optimizer's.
+    pub fn snap_read(
+        &mut self,
+        r: &mut tango_snap::SnapReader<'_>,
+    ) -> Result<(), tango_snap::SnapError> {
+        use tango_snap::{SnapDecode, SnapError};
+        let t = r.i64()?;
+        let t = i32::try_from(t).map_err(|_| SnapError::Corrupt("adam step counter"))?;
+        let m = Vec::<Vec<f32>>::decode(r)?;
+        let v = Vec::<Vec<f32>>::decode(r)?;
+        let shape_ok = m.len() == self.m.len()
+            && v.len() == self.v.len()
+            && m.iter().zip(&self.m).all(|(a, b)| a.len() == b.len())
+            && v.iter().zip(&self.v).all(|(a, b)| a.len() == b.len());
+        if !shape_ok {
+            return Err(SnapError::Corrupt("adam slot layout mismatch"));
+        }
+        self.t = t;
+        self.m = m;
+        self.v = v;
+        Ok(())
+    }
+
     /// Apply one Adam update to `param` from `grad` using slot state.
     pub fn update(&mut self, slot: usize, param: &mut [f32], grad: &[f32]) {
         assert_eq!(param.len(), grad.len(), "param/grad length mismatch");

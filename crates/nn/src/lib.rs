@@ -11,6 +11,7 @@ pub mod adam;
 pub mod init;
 pub mod linear;
 pub mod mlp;
+pub mod snap_impls;
 pub mod tensor;
 
 pub use adam::Adam;

@@ -143,6 +143,47 @@ impl Mlp {
         }
     }
 
+    /// Write every layer's weights and biases, then the embedded Adam
+    /// state. Gradients and ReLU mask caches are transient (zeroed or
+    /// rebuilt on the next training pass at any snapshot boundary) and
+    /// are excluded so re-encoding restored state is byte-stable.
+    pub fn snap_write(&self, w: &mut tango_snap::SnapWriter) {
+        use tango_snap::SnapEncode;
+        w.put_u64(self.layers.len() as u64);
+        for layer in &self.layers {
+            layer.w.encode(w);
+            layer.b.encode(w);
+        }
+        self.adam.snap_write(w);
+    }
+
+    /// Overwrite parameters and optimizer state from a
+    /// [`Mlp::snap_write`] encoding. This MLP must have been constructed
+    /// with the same layer dimensions; anything else is rejected as
+    /// `SnapError::Corrupt`. Gradients are zeroed.
+    pub fn snap_read(
+        &mut self,
+        r: &mut tango_snap::SnapReader<'_>,
+    ) -> Result<(), tango_snap::SnapError> {
+        use tango_snap::{SnapDecode, SnapError};
+        let n = r.len_prefix(1)?;
+        if n != self.layers.len() {
+            return Err(SnapError::Corrupt("mlp layer count mismatch"));
+        }
+        for layer in &mut self.layers {
+            let w = Matrix::decode(r)?;
+            let b = Vec::<f32>::decode(r)?;
+            if w.rows != layer.w.rows || w.cols != layer.w.cols || b.len() != layer.b.len() {
+                return Err(SnapError::Corrupt("mlp layer shape mismatch"));
+            }
+            layer.w = w;
+            layer.b = b;
+        }
+        self.adam.snap_read(r)?;
+        self.zero_grad();
+        Ok(())
+    }
+
     /// Soft-update parameters: θ ← τ·θ_src + (1−τ)·θ (Polyak averaging).
     pub fn polyak_from(&mut self, other: &Mlp, tau: f32) {
         assert_eq!(self.layers.len(), other.layers.len());

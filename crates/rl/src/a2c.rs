@@ -13,6 +13,7 @@ use crate::Agent;
 use tango_gnn::{Encoder, EncoderKind, FeatureGraph, GnnEncoder};
 use tango_nn::{Matrix, Mlp};
 use tango_simcore::SimRng;
+use tango_snap::{SnapDecode, SnapEncode, SnapError, SnapReader, SnapWriter};
 
 /// Hyper-parameters for [`A2cAgent`].
 #[derive(Debug, Clone)]
@@ -61,6 +62,28 @@ struct Transition {
     done: bool,
 }
 
+impl SnapEncode for Transition {
+    fn encode(&self, w: &mut SnapWriter) {
+        self.graph.encode(w);
+        self.mask.encode(w);
+        self.action.encode(w);
+        w.put_f32(self.reward);
+        w.put_bool(self.done);
+    }
+}
+
+impl SnapDecode for Transition {
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Transition {
+            graph: FeatureGraph::decode(r)?,
+            mask: Vec::<bool>::decode(r)?,
+            action: usize::decode(r)?,
+            reward: r.f32()?,
+            done: r.bool()?,
+        })
+    }
+}
+
 /// The A2C agent.
 pub struct A2cAgent {
     cfg: A2cConfig,
@@ -99,6 +122,42 @@ impl A2cAgent {
             pending: None,
             train_rounds: 0,
         }
+    }
+
+    /// Serialize the complete learner state — encoder, actor/critic
+    /// heads (with Adam moments), the RNG stream, the on-policy buffer
+    /// and the pending decision — so a restored agent continues
+    /// bit-identically.
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        self.encoder.snap_write(&mut w);
+        self.actor.snap_write(&mut w);
+        self.critic.snap_write(&mut w);
+        for s in self.rng.state() {
+            w.put_u64(s);
+        }
+        self.buffer.encode(&mut w);
+        self.pending.encode(&mut w);
+        self.train_rounds.encode(&mut w);
+        w.into_bytes()
+    }
+
+    /// Restore state captured by [`A2cAgent::snapshot_bytes`] into an
+    /// agent built from the same config.
+    pub fn restore_bytes(&mut self, bytes: &[u8]) -> Result<(), SnapError> {
+        let mut r = SnapReader::new(bytes);
+        self.encoder.snap_read(&mut r)?;
+        self.actor.snap_read(&mut r)?;
+        self.critic.snap_read(&mut r)?;
+        let mut state = [0u64; 4];
+        for s in &mut state {
+            *s = r.u64()?;
+        }
+        self.rng = SimRng::from_state(state);
+        self.buffer = Vec::decode(&mut r)?;
+        self.pending = Option::decode(&mut r)?;
+        self.train_rounds = usize::decode(&mut r)?;
+        r.expect_end("a2c agent trailing bytes")
     }
 
     /// Policy probabilities for a state (inference; exposed for tests and

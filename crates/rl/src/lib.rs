@@ -7,19 +7,27 @@
 //! * [`sac`] — a discrete Soft Actor-Critic agent, the "GNN-SAC" baseline
 //!   of Fig. 11(c): twin Q heads, target networks with Polyak averaging,
 //!   entropy-regularized policy updates from a replay buffer.
+//! * [`td3`] — a Twin-Delayed DDPG learner with *continuous* actions:
+//!   per-candidate CPU/memory grant fractions, projected onto the
+//!   discrete candidate set by a critic argmax. Used by the `Td3Be`
+//!   scheduler backend and the `tango-train` harness.
 //!
-//! Both agents share the same action interface: given a [`FeatureGraph`]
-//! over candidate nodes and a validity mask, return the node to schedule
-//! the request on. Gradients flow through the actor/critic/Q heads *and*
-//! the graph encoder.
+//! The discrete agents share the same action interface: given a
+//! [`FeatureGraph`] over candidate nodes and a validity mask, return the
+//! node to schedule the request on. Gradients flow through the
+//! actor/critic/Q heads *and* the graph encoder. All agents serialize
+//! their complete learner state (weights, Adam moments, RNG streams,
+//! replay rings) through tango-snap for bit-identical resume.
 
 pub mod a2c;
 pub mod replay;
 pub mod sac;
+pub mod td3;
 
 pub use a2c::{A2cAgent, A2cConfig};
 pub use replay::ReplayBuffer;
 pub use sac::{SacAgent, SacConfig};
+pub use td3::{Td3Agent, Td3Config, Td3Stored, ACTION_DIM};
 
 use tango_gnn::FeatureGraph;
 

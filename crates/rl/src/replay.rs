@@ -1,9 +1,10 @@
-//! A bounded uniform replay buffer for off-policy learners (SAC).
+//! A bounded uniform replay buffer for off-policy learners (SAC, TD3).
 
 use tango_gnn::FeatureGraph;
 use tango_simcore::SimRng;
+use tango_snap::{SnapDecode, SnapEncode, SnapError, SnapReader, SnapWriter};
 
-/// One stored transition.
+/// One stored transition (discrete action).
 #[derive(Clone)]
 pub struct Stored {
     /// State at decision time.
@@ -22,14 +23,46 @@ pub struct Stored {
     pub done: bool,
 }
 
+impl SnapEncode for Stored {
+    fn encode(&self, w: &mut SnapWriter) {
+        self.graph.encode(w);
+        self.mask.encode(w);
+        self.action.encode(w);
+        w.put_f32(self.reward);
+        self.next_graph.encode(w);
+        self.next_mask.encode(w);
+        w.put_bool(self.done);
+    }
+}
+
+impl SnapDecode for Stored {
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Stored {
+            graph: FeatureGraph::decode(r)?,
+            mask: Vec::<bool>::decode(r)?,
+            action: usize::decode(r)?,
+            reward: r.f32()?,
+            next_graph: FeatureGraph::decode(r)?,
+            next_mask: Vec::<bool>::decode(r)?,
+            done: r.bool()?,
+        })
+    }
+}
+
 /// Fixed-capacity ring buffer with uniform sampling.
-pub struct ReplayBuffer {
-    items: Vec<Stored>,
+///
+/// Generic over the transition type: SAC stores discrete-action
+/// [`Stored`] entries (the default), TD3 stores continuous-action
+/// transitions.
+pub struct ReplayBuffer<T = Stored> {
+    items: Vec<T>,
     capacity: usize,
+    /// Next slot to overwrite once the ring is full. Stays 0 while
+    /// filling (appends go to the tail), then walks the ring.
     write: usize,
 }
 
-impl ReplayBuffer {
+impl<T> ReplayBuffer<T> {
     /// Buffer holding up to `capacity` transitions.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "capacity must be positive");
@@ -50,8 +83,14 @@ impl ReplayBuffer {
         self.items.is_empty()
     }
 
+    /// `true` once the ring has reached capacity — every further push
+    /// overwrites the oldest entry.
+    pub fn is_full(&self) -> bool {
+        self.items.len() == self.capacity
+    }
+
     /// Append, overwriting the oldest entry when full.
-    pub fn push(&mut self, t: Stored) {
+    pub fn push(&mut self, t: T) {
         if self.items.len() < self.capacity {
             self.items.push(t);
         } else {
@@ -60,8 +99,16 @@ impl ReplayBuffer {
         }
     }
 
+    /// Stored entries in slot order (ring layout, not insertion order) —
+    /// for tests and diagnostics.
+    pub fn slots(&self) -> &[T] {
+        &self.items
+    }
+}
+
+impl<T: Clone> ReplayBuffer<T> {
     /// Sample `n` transitions uniformly with replacement (clones).
-    pub fn sample(&self, n: usize, rng: &mut SimRng) -> Vec<Stored> {
+    pub fn sample(&self, n: usize, rng: &mut SimRng) -> Vec<T> {
         (0..n)
             .filter_map(|_| {
                 if self.items.is_empty() {
@@ -72,6 +119,35 @@ impl ReplayBuffer {
                 }
             })
             .collect()
+    }
+}
+
+impl<T: SnapEncode> ReplayBuffer<T> {
+    /// Write the ring contents and the overwrite cursor. Capacity is
+    /// construction-time configuration and is not encoded.
+    pub fn snap_write(&self, w: &mut SnapWriter) {
+        self.write.encode(w);
+        self.items.encode(w);
+    }
+}
+
+impl<T: SnapDecode> ReplayBuffer<T> {
+    /// Overwrite the ring from a [`ReplayBuffer::snap_write`] encoding.
+    /// The target's capacity must admit the stored contents.
+    pub fn snap_read(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let write = usize::decode(r)?;
+        let items = Vec::<T>::decode(r)?;
+        let cursor_ok = if items.len() < self.capacity {
+            write == 0
+        } else {
+            items.len() == self.capacity && write < self.capacity
+        };
+        if items.len() > self.capacity || !cursor_ok {
+            return Err(SnapError::Corrupt("replay ring cursor/occupancy"));
+        }
+        self.items = items;
+        self.write = write;
+        Ok(())
     }
 }
 
@@ -113,13 +189,49 @@ mod tests {
         }
         let mut rng = SimRng::new(1);
         assert_eq!(b.sample(7, &mut rng).len(), 7);
-        let empty = ReplayBuffer::new(5);
+        let empty: ReplayBuffer<Stored> = ReplayBuffer::new(5);
         assert!(empty.sample(3, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn fullness_is_reported() {
+        let mut b = ReplayBuffer::new(2);
+        assert!(!b.is_full() && b.is_empty());
+        b.push(t(0.0));
+        assert!(!b.is_full());
+        b.push(t(1.0));
+        assert!(b.is_full());
+        b.push(t(2.0));
+        assert!(b.is_full());
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn snapshot_round_trips_ring_cursor() {
+        let mut b: ReplayBuffer<Stored> = ReplayBuffer::new(3);
+        for i in 0..5 {
+            b.push(t(i as f32));
+        }
+        let mut w = SnapWriter::new();
+        b.snap_write(&mut w);
+        let bytes = w.into_bytes();
+        let mut c: ReplayBuffer<Stored> = ReplayBuffer::new(3);
+        c.snap_read(&mut SnapReader::new(&bytes)).unwrap();
+        // restored ring must continue overwriting exactly where the
+        // original would
+        b.push(t(9.0));
+        c.push(t(9.0));
+        let rb: Vec<f32> = b.items.iter().map(|s| s.reward).collect();
+        let rc: Vec<f32> = c.items.iter().map(|s| s.reward).collect();
+        assert_eq!(rb, rc);
+        // and a smaller-capacity target rejects the contents
+        let mut small: ReplayBuffer<Stored> = ReplayBuffer::new(2);
+        assert!(small.snap_read(&mut SnapReader::new(&bytes)).is_err());
     }
 
     #[test]
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
-        let _ = ReplayBuffer::new(0);
+        let _: ReplayBuffer<Stored> = ReplayBuffer::new(0);
     }
 }

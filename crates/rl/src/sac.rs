@@ -116,6 +116,51 @@ impl SacAgent {
         }
     }
 
+    /// Serialize the complete learner state — encoder, all five heads
+    /// (with Adam moments), the RNG stream, the replay ring and the
+    /// pending decision — so a restored agent continues bit-identically.
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        use tango_snap::{SnapEncode, SnapWriter};
+        let mut w = SnapWriter::new();
+        self.encoder.snap_write(&mut w);
+        self.policy.snap_write(&mut w);
+        self.q1.snap_write(&mut w);
+        self.q2.snap_write(&mut w);
+        self.q1_target.snap_write(&mut w);
+        self.q2_target.snap_write(&mut w);
+        for s in self.rng.state() {
+            w.put_u64(s);
+        }
+        self.replay.snap_write(&mut w);
+        self.pending.encode(&mut w);
+        self.observed.encode(&mut w);
+        self.train_rounds.encode(&mut w);
+        w.into_bytes()
+    }
+
+    /// Restore state captured by [`SacAgent::snapshot_bytes`] into an
+    /// agent built from the same config.
+    pub fn restore_bytes(&mut self, bytes: &[u8]) -> Result<(), tango_snap::SnapError> {
+        use tango_snap::{SnapDecode, SnapReader};
+        let mut r = SnapReader::new(bytes);
+        self.encoder.snap_read(&mut r)?;
+        self.policy.snap_read(&mut r)?;
+        self.q1.snap_read(&mut r)?;
+        self.q2.snap_read(&mut r)?;
+        self.q1_target.snap_read(&mut r)?;
+        self.q2_target.snap_read(&mut r)?;
+        let mut state = [0u64; 4];
+        for s in &mut state {
+            *s = r.u64()?;
+        }
+        self.rng = SimRng::from_state(state);
+        self.replay.snap_read(&mut r)?;
+        self.pending = Option::decode(&mut r)?;
+        self.observed = usize::decode(&mut r)?;
+        self.train_rounds = usize::decode(&mut r)?;
+        r.expect_end("sac agent trailing bytes")
+    }
+
     /// Policy probabilities (inference).
     pub fn policy_probs(&mut self, graph: &FeatureGraph, mask: &[bool]) -> Option<Vec<f32>> {
         let emb = self.encoder.forward(graph);

@@ -40,15 +40,29 @@ pub trait SchedulerBackend: Send {
     /// `None`.
     fn pick_be(&mut self, demand: &Resources, nodes: &[CandidateNode]) -> Option<NodeId>;
 
+    /// BE role, continuous-action variant: choose a target node and the
+    /// resources to grant (a TD3-style policy sizes the grant jointly
+    /// with the placement). Discrete policies delegate to
+    /// [`SchedulerBackend::pick_be`] and grant the nominal demand.
+    fn pick_be_sized(
+        &mut self,
+        demand: &Resources,
+        nodes: &[CandidateNode],
+    ) -> Option<(NodeId, Resources)> {
+        self.pick_be(demand, nodes).map(|n| (n, *demand))
+    }
+
     /// BE role: reward for the previous [`SchedulerBackend::pick_be`]
     /// decision together with the state that followed it. Ignored by
     /// backends without a BE role.
     fn feedback_be(&mut self, reward: f32, next_demand: &Resources, next_nodes: &[CandidateNode]);
 
     /// Serialize the policy's mutable state for a checkpoint. Stateless
-    /// policies return an empty blob; policies whose state cannot be
-    /// captured (learned network weights mid-training) return `Err` so
-    /// checkpointing fails loudly instead of resuming with reset state.
+    /// policies return an empty blob; learned policies serialize their
+    /// full learner state (weights, optimizer moments, RNG streams,
+    /// replay contents) so resume continues training bit-identically.
+    /// `Err` means the blob could not be produced — checkpointing fails
+    /// loudly instead of resuming with reset state.
     fn snapshot_state(&self) -> Result<Vec<u8>, &'static str> {
         Ok(Vec::new())
     }
@@ -118,6 +132,14 @@ impl SchedulerBackend for BeBackend {
 
     fn pick_be(&mut self, demand: &Resources, nodes: &[CandidateNode]) -> Option<NodeId> {
         self.0.schedule(demand, nodes)
+    }
+
+    fn pick_be_sized(
+        &mut self,
+        demand: &Resources,
+        nodes: &[CandidateNode],
+    ) -> Option<(NodeId, Resources)> {
+        self.0.schedule_sized(demand, nodes)
     }
 
     fn feedback_be(&mut self, reward: f32, next_demand: &Resources, next_nodes: &[CandidateNode]) {

@@ -23,6 +23,18 @@ pub trait BeScheduler {
     /// reschedule-on-failure).
     fn schedule(&mut self, demand: &Resources, nodes: &[CandidateNode]) -> Option<NodeId>;
 
+    /// Choose a target node *and* the resources to grant the request —
+    /// the continuous-action surface (TD3-style policies size the grant
+    /// jointly with the placement). Discrete policies fall through to
+    /// [`BeScheduler::schedule`] and grant the nominal demand.
+    fn schedule_sized(
+        &mut self,
+        demand: &Resources,
+        nodes: &[CandidateNode],
+    ) -> Option<(NodeId, Resources)> {
+        self.schedule(demand, nodes).map(|n| (n, *demand))
+    }
+
     /// Report the reward for the previous `schedule` decision together
     /// with the state that followed it.
     fn feedback(&mut self, reward: f32, next_demand: &Resources, next_nodes: &[CandidateNode]);
@@ -216,11 +228,13 @@ impl BeScheduler for DcgBe {
     }
 
     fn snapshot_state(&self) -> Result<Vec<u8>, &'static str> {
-        Err("RL agent state (network weights, replay) is not snapshottable")
+        Ok(self.agent.snapshot_bytes())
     }
 
-    fn restore_state(&mut self, _bytes: &[u8]) -> Result<(), &'static str> {
-        Err("RL agent state (network weights, replay) is not snapshottable")
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), &'static str> {
+        self.agent
+            .restore_bytes(bytes)
+            .map_err(|_| "dcg-be agent blob rejected")
     }
 }
 
@@ -266,11 +280,13 @@ impl BeScheduler for GnnSacBe {
     }
 
     fn snapshot_state(&self) -> Result<Vec<u8>, &'static str> {
-        Err("RL agent state (network weights, replay) is not snapshottable")
+        Ok(self.agent.snapshot_bytes())
     }
 
-    fn restore_state(&mut self, _bytes: &[u8]) -> Result<(), &'static str> {
-        Err("RL agent state (network weights, replay) is not snapshottable")
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), &'static str> {
+        self.agent
+            .restore_bytes(bytes)
+            .map_err(|_| "gnn-sac agent blob rejected")
     }
 }
 

@@ -18,6 +18,9 @@
 //! * [`migrate`] — the defragmentation-pass decision surface: a
 //!   [`migrate::MigrationCandidate`] view of every worker's BE pods and
 //!   batch [`migrate::MigrationDecision`]s back.
+//! * [`td3_be`] — a TD3-style continuous-action BE scheduler: the agent
+//!   emits per-candidate CPU/memory grant fractions and placement + grant
+//!   sizing land together through [`BeScheduler::schedule_sized`].
 //! * [`backend`] — the unified [`SchedulerBackend`] surface the system's
 //!   dispatch stage consumes; [`LcBackend`]/[`BeBackend`] lift the narrow
 //!   per-role traits so every policy plugs in uniformly.
@@ -33,6 +36,7 @@ pub mod dcg_be;
 pub mod dss_lc;
 pub mod migrate;
 pub mod snap_impls;
+pub mod td3_be;
 pub mod view;
 
 pub use backend::{BeBackend, LcBackend, SchedulerBackend};
@@ -40,4 +44,5 @@ pub use baselines::{KsNative, KubeDsm, LoadGreedy, Scoring};
 pub use dcg_be::{BeScheduler, DcgBe, DcgBeConfig, GnnSacBe, GreedyBe, RoundRobinBe};
 pub use dss_lc::{plan_masters, DssLc, LcPlan};
 pub use migrate::{MigratablePod, MigrationCandidate, MigrationDecision, MigrationPlanner};
+pub use td3_be::{Td3Be, Td3BeConfig};
 pub use view::{CandidateNode, LcScheduler, LinkObservation, NodeObservation, TypeBatch};

@@ -11,7 +11,7 @@ pub const MAGIC: [u8; 8] = *b"TNGOSNAP";
 /// the file layout or to any section's encoding; decoding a snapshot
 /// written under a different version fails with
 /// [`SnapError::VersionMismatch`] instead of misreading state.
-pub const FORMAT_VERSION: u16 = 3;
+pub const FORMAT_VERSION: u16 = 4;
 
 /// Builds a sealed snapshot file from tagged sections.
 #[derive(Debug)]

@@ -17,5 +17,6 @@ pub use tango_nn as nn;
 pub use tango_rl as rl;
 pub use tango_sched as sched;
 pub use tango_simcore as simcore;
+pub use tango_train as train;
 pub use tango_types as types;
 pub use tango_workload as workload;

@@ -205,18 +205,25 @@ fn garbage_bytes_are_rejected() {
 }
 
 #[test]
-fn rl_policies_refuse_checkpointing_loudly() {
-    // DCG-BE holds learned network weights the codec does not capture;
-    // checkpointing must fail with a typed error instead of sealing a
-    // snapshot that would resume with a reset agent.
-    let mut cfg = calm_cfg();
-    cfg.be_policy = BePolicy::GnnSac;
-    assert!(matches!(
-        EdgeCloudSystem::new(cfg).run_checkpointed(
-            SimTime::from_secs(1),
-            "rl",
-            CheckpointPolicy::default()
-        ),
-        Err(SnapError::Unsupported(_))
-    ));
+fn rl_policies_round_trip_through_checkpoints() {
+    // Learned policies (network weights, optimizer moments, RNG streams,
+    // replay rings) ride in the scheduler blob: a resumed RL run must
+    // land on the same digest as the uninterrupted one.
+    for be in [BePolicy::GnnSac, BePolicy::Td3] {
+        let mut cfg = calm_cfg();
+        cfg.be_policy = be;
+        cfg.workload.be_rps = 8.0; // enough BE traffic to train mid-run
+        let (report, checkpoints) = EdgeCloudSystem::new(cfg.clone())
+            .run_checkpointed(DURATION, "rl", CheckpointPolicy::default())
+            .expect("RL policies are snapshottable");
+        let mid = &checkpoints[checkpoints.len() / 2];
+        assert!(mid.at > SimTime::ZERO && mid.at < DURATION);
+        let resumed = EdgeCloudSystem::restore(cfg, &mid.bytes).expect("restore succeeds");
+        assert_eq!(
+            resumed.finish("rl").digest(),
+            report.digest(),
+            "resumed {} run drifted from the uninterrupted one",
+            be.name()
+        );
+    }
 }
